@@ -1,0 +1,37 @@
+//! End-to-end simulator throughput: simulated instructions per wall-clock
+//! second for the baseline and HyBP configurations (how expensive the
+//! security layer is to *simulate*).
+
+use bp_pipeline::{SimConfig, Simulation};
+use bp_workloads::profile::SpecBenchmark;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hybp::Mechanism;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let instructions = 200_000u64;
+    g.throughput(Throughput::Elements(instructions));
+    g.sample_size(10);
+    for (name, mech) in [
+        ("baseline", Mechanism::Baseline),
+        ("hybp", Mechanism::hybp_default()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::quick_test();
+                cfg.warmup_instructions = 10_000;
+                cfg.measure_instructions = instructions;
+                Simulation::single_thread(mech, SpecBenchmark::Xz, cfg)
+                    .run()
+                    .throughput()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,250 @@
+//! Experiment harness for regenerating every table and figure of the HyBP
+//! paper. One binary per experiment lives in `src/bin/`; this library holds
+//! the shared measurement machinery.
+//!
+//! # Measurement strategy (see `DESIGN.md` §7 and `EXPERIMENTS.md`)
+//!
+//! Context-switch intervals up to 16M cycles cannot be swept directly at
+//! laptop scale (a single 16M-cycle interval spans tens of millions of
+//! instructions). The harness therefore uses the standard decomposition
+//!
+//! ```text
+//! CPI_mech(I) ≈ CPI_mech(∞) · (1 + C_mech / I)
+//! ```
+//!
+//! where `CPI(∞)` is measured in a run without context switches (timer
+//! kernel episodes still run — they are interval-independent) and `C`, the
+//! per-switch cycle cost, is measured directly from a run at a 1M-cycle
+//! interval covering several switches. Small intervals (≤ 1M) are always
+//! measured directly; the model is validated against direct measurement at
+//! the crossover. Every CSV row records which method produced it.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use bp_common::Cycle;
+use bp_pipeline::{SimConfig, Simulation};
+use bp_workloads::profile::SpecBenchmark;
+use hybp::Mechanism;
+
+/// Run-length preset, selectable with `--scale quick|default|full`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast smoke runs (CI-sized).
+    Quick,
+    /// The documented default (EXPERIMENTS.md numbers).
+    Default,
+    /// Long runs for tighter confidence.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale <v>` from argv, defaulting to [`Scale::Default`].
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for i in 0..args.len() {
+            if args[i] == "--scale" {
+                return match args.get(i + 1).map(String::as_str) {
+                    Some("quick") => Scale::Quick,
+                    Some("full") => Scale::Full,
+                    _ => Scale::Default,
+                };
+            }
+        }
+        Scale::Default
+    }
+
+    /// Instructions measured per no-switch (fixed-part) run. Must span
+    /// several kernel-timer intervals (the interval-independent privilege
+    /// flushes are part of the fixed cost being measured).
+    pub fn fixed_instructions(self) -> u64 {
+        match self {
+            Scale::Quick => 2_000_000,
+            Scale::Default => 5_000_000,
+            Scale::Full => 16_000_000,
+        }
+    }
+
+    /// Warmup instructions.
+    pub fn warmup_instructions(self) -> u64 {
+        match self {
+            Scale::Quick => 150_000,
+            Scale::Default => 400_000,
+            Scale::Full => 1_500_000,
+        }
+    }
+
+    /// Context switches covered by the per-switch-cost calibration run.
+    pub fn calibration_switches(self) -> u64 {
+        match self {
+            Scale::Quick => 3,
+            Scale::Default => 5,
+            Scale::Full => 10,
+        }
+    }
+}
+
+/// Interval used for per-switch-cost calibration.
+pub const CALIBRATION_INTERVAL: Cycle = 1_000_000;
+
+/// The paper's context-switch interval sweep (cycles).
+pub const INTERVALS: [Cycle; 5] = [256_000, 512_000, 1_000_000, 4_000_000, 16_000_000];
+
+/// The default "Linux time slice" interval.
+pub const DEFAULT_INTERVAL: Cycle = 16_000_000;
+
+/// A no-context-switch simulation config (timer episodes still fire).
+pub fn no_switch_config(scale: Scale) -> SimConfig {
+    let mut cfg = SimConfig::default_run();
+    cfg.ctx_switch_interval = u64::MAX / 4; // never fires
+    cfg.warmup_instructions = scale.warmup_instructions();
+    cfg.measure_instructions = scale.fixed_instructions();
+    cfg
+}
+
+/// A direct-measurement config at `interval`, sized to cover
+/// `switches` context switches.
+pub fn direct_config(scale: Scale, interval: Cycle, switches: u64, base_ipc: f64) -> SimConfig {
+    let mut cfg = SimConfig::default_run();
+    cfg.ctx_switch_interval = interval;
+    cfg.warmup_instructions = scale.warmup_instructions();
+    let needed = (interval as f64 * switches as f64 * base_ipc * 1.1) as u64;
+    cfg.measure_instructions = needed.max(scale.fixed_instructions());
+    cfg
+}
+
+/// Per-(mechanism, benchmark) interval-overhead model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// IPC with no context switches.
+    pub ipc_fixed: f64,
+    /// Per-switch cycle cost (model parameter `C`).
+    pub per_switch_cycles: f64,
+}
+
+impl OverheadModel {
+    /// Predicted IPC at context-switch interval `I`.
+    pub fn ipc_at(&self, interval: Cycle) -> f64 {
+        self.ipc_fixed / (1.0 + self.per_switch_cycles / interval as f64)
+    }
+}
+
+/// Measures the overhead model for a single-thread run of `bench` under
+/// `mechanism`.
+pub fn single_thread_model(mechanism: Mechanism, bench: SpecBenchmark, scale: Scale) -> OverheadModel {
+    let fixed = Simulation::single_thread(mechanism, bench, no_switch_config(scale)).run();
+    let ipc_fixed = fixed.threads[0].ipc();
+    let cal_cfg = direct_config(
+        scale,
+        CALIBRATION_INTERVAL,
+        scale.calibration_switches(),
+        bench.profile().base_ipc,
+    );
+    let cal = Simulation::single_thread(mechanism, bench, cal_cfg).run();
+    let ipc_cal = cal.threads[0].ipc();
+    // CPI(I)/CPI(∞) = 1 + C/I  ⇒  C = I · (ipc_fixed/ipc_cal − 1).
+    let per_switch_cycles =
+        (CALIBRATION_INTERVAL as f64 * (ipc_fixed / ipc_cal - 1.0)).max(0.0);
+    OverheadModel {
+        ipc_fixed,
+        per_switch_cycles,
+    }
+}
+
+/// IPC of `bench` under `mechanism` at `interval`: measured directly when
+/// the interval is small enough, modeled otherwise. Returns `(ipc, method)`.
+pub fn single_thread_ipc_at(
+    mechanism: Mechanism,
+    bench: SpecBenchmark,
+    interval: Cycle,
+    model: &OverheadModel,
+    scale: Scale,
+) -> (f64, &'static str) {
+    if interval <= CALIBRATION_INTERVAL {
+        let cfg = direct_config(scale, interval, 4, bench.profile().base_ipc);
+        let m = Simulation::single_thread(mechanism, bench, cfg).run();
+        (m.threads[0].ipc(), "direct")
+    } else {
+        (model.ipc_at(interval), "model")
+    }
+}
+
+/// Relative performance degradation of `ipc` versus `baseline_ipc`.
+pub fn degradation(ipc: f64, baseline_ipc: f64) -> f64 {
+    (baseline_ipc - ipc) / baseline_ipc
+}
+
+/// Simple CSV accumulator writing into `results/`.
+#[derive(Debug)]
+pub struct Csv {
+    path: String,
+    buf: String,
+}
+
+impl Csv {
+    /// Creates a CSV with a header row; the file is written on
+    /// [`Csv::finish`].
+    pub fn new(name: &str, header: &str) -> Csv {
+        let mut buf = String::new();
+        let _ = writeln!(buf, "{header}");
+        Csv {
+            path: format!("results/{name}"),
+            buf,
+        }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, row: std::fmt::Arguments<'_>) {
+        let _ = writeln!(self.buf, "{row}");
+    }
+
+    /// Writes the file (creating `results/` if needed) and returns the path.
+    pub fn finish(self) -> std::io::Result<String> {
+        if let Some(parent) = Path::new(&self.path).parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&self.path, self.buf)?;
+        Ok(self.path)
+    }
+}
+
+/// The single-thread benchmark list (all of Table V's constituents).
+pub fn all_benchmarks() -> [SpecBenchmark; 14] {
+    SpecBenchmark::ALL
+}
+
+/// Pretty percent formatting.
+pub fn pct(x: f64) -> String {
+    format!("{:+.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_predicts_monotone_in_interval() {
+        let m = OverheadModel {
+            ipc_fixed: 2.0,
+            per_switch_cycles: 100_000.0,
+        };
+        assert!(m.ipc_at(256_000) < m.ipc_at(16_000_000));
+        assert!(m.ipc_at(16_000_000) <= 2.0);
+    }
+
+    #[test]
+    fn degradation_signs() {
+        assert!(degradation(1.9, 2.0) > 0.0);
+        assert!(degradation(2.1, 2.0) < 0.0);
+    }
+
+    #[test]
+    fn csv_writes_rows() {
+        let mut c = Csv::new("test_tmp.csv", "a,b");
+        c.row(format_args!("1,2"));
+        let p = c.finish().unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+        std::fs::remove_file(p).unwrap();
+    }
+}

@@ -1,0 +1,214 @@
+//! Blind-contention analysis (paper §VI-A2, Equation 1).
+//!
+//! An attacker who cannot build eviction sets may randomly select lines and
+//! hope to contend with the victim's target branch. Equation (1) gives the
+//! probability that `n` attacker instructions produce exactly one *valid*
+//! (self-conflict-free) collision on the victim's set:
+//!
+//! ```text
+//! P = Σ_{i=1..W} C(n,i) (1/S)^i (1-1/S)^(n-i) · (W!/(W-i)!)/W^i · i/W
+//! ```
+//!
+//! The paper reports the optimum P ≈ 12% at n = 1140 for S = 1024, W = 7,
+//! giving an expected `n/P` ≈ 2¹³·² accesses per probe, and a further
+//! `L0·L1` filtering factor under HyBP pushing one round beyond 2²⁸.
+
+/// Evaluates Equation (1): probability of a valid conflict with the victim's
+/// target set when the attacker uses `n` uniformly mapped instructions on a
+/// BTB with `sets` sets and `ways` ways.
+///
+/// # Panics
+///
+/// Panics if `sets` or `ways` is zero.
+pub fn valid_conflict_probability(n: u64, sets: u64, ways: u64) -> f64 {
+    assert!(sets > 0 && ways > 0, "geometry must be positive");
+    let s = sets as f64;
+    let w = ways as f64;
+    let p = 1.0 / s;
+    let mut total = 0.0;
+    for i in 1..=ways.min(n) {
+        let i_f = i as f64;
+        // C(n, i) p^i (1-p)^(n-i), computed in log space for large n.
+        let log_binom = log_binomial(n, i);
+        let log_term = log_binom + i_f * p.ln() + (n - i) as f64 * (1.0 - p).ln();
+        let occupancy: f64 = (0..i).map(|k| (w - k as f64) / w).product();
+        total += log_term.exp() * occupancy * (i_f / w);
+    }
+    total
+}
+
+fn log_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    (0..k)
+        .map(|i| ((n - i) as f64).ln() - ((i + 1) as f64).ln())
+        .sum()
+}
+
+/// Searches for the `n` maximizing Equation (1).
+///
+/// Returns `(n_opt, p_max)`.
+pub fn optimal_n(sets: u64, ways: u64) -> (u64, f64) {
+    let mut best = (1u64, 0.0f64);
+    // P(n) is unimodal; scan a generous range around W·S.
+    let hi = sets * (ways + 4);
+    let mut n = 1;
+    while n <= hi {
+        let p = valid_conflict_probability(n, sets, ways);
+        if p > best.1 {
+            best = (n, p);
+        }
+        n += (sets / 128).max(1);
+    }
+    // Refine around the coarse optimum.
+    let lo = best.0.saturating_sub(sets / 64);
+    for n in lo..best.0 + sets / 64 {
+        let p = valid_conflict_probability(n, sets, ways);
+        if p > best.1 {
+            best = (n, p);
+        }
+    }
+    best
+}
+
+/// Expected accesses for one blind-contention probe: `n / P`.
+pub fn expected_accesses_per_probe(n: u64, sets: u64, ways: u64) -> f64 {
+    n as f64 / valid_conflict_probability(n, sets, ways)
+}
+
+/// Expected accesses per probe under HyBP's hybrid protection: the target
+/// branch is only visible in the shared L2 at the rate the isolated upper
+/// levels let it through, multiplying the cost by `l0_entries · l1_entries`
+/// in the paper's §VI-A2 accounting.
+pub fn expected_accesses_hybrid(
+    n: u64,
+    sets: u64,
+    ways: u64,
+    l0_entries: u64,
+    l1_entries: u64,
+) -> f64 {
+    expected_accesses_per_probe(n, sets, ways) * (l0_entries * l1_entries) as f64
+}
+
+/// Success probability of extracting a full `bits`-bit secret where each bit
+/// requires an independent successful probe round with probability
+/// `p_round`.
+pub fn multi_bit_success(p_round: f64, bits: u32) -> f64 {
+    p_round.powi(bits as i32)
+}
+
+/// Monte Carlo validation of Equation (1): simulate `trials` random
+/// placements and count valid conflicts.
+pub fn monte_carlo_conflict_probability(
+    n: u64,
+    sets: u64,
+    ways: u64,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    let mut rng = bp_common::rng::Xoshiro256StarStar::seeded(seed);
+    let mut hits = 0u32;
+    for _ in 0..trials {
+        // Victim set is 0 wlog. Count attacker lines landing in it.
+        let mut in_set = 0u64;
+        for _ in 0..n {
+            if rng.next_below(sets) == 0 {
+                in_set += 1;
+            }
+        }
+        if in_set == 0 || in_set > ways {
+            continue; // no contact, or guaranteed self-conflict
+        }
+        // Probability that i lines fall into distinct ways without
+        // self-conflict and one of them collides with the victim's way.
+        let w = ways as f64;
+        let mut occupancy = 1.0;
+        for k in 0..in_set {
+            occupancy *= (w - k as f64) / w;
+        }
+        let p_valid = occupancy * in_set as f64 / w;
+        if rng.chance(p_valid) {
+            hits += 1;
+        }
+    }
+    f64::from(hits) / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_value_p_of_1140_is_about_12_percent() {
+        // §VI-A2 reports P ≈ 12% at n = 1140 for S = 1024, W = 7; the
+        // printed Equation (1) evaluates to ≈ 12.7% there. (Its literal
+        // maximum sits slightly higher at larger n; see EXPERIMENTS.md.)
+        let p = valid_conflict_probability(1140, 1024, 7);
+        assert!(
+            (0.10..=0.14).contains(&p),
+            "P(1140) = {p}, expected ≈ 12%"
+        );
+        let (_, p_max) = optimal_n(1024, 7);
+        assert!(p_max >= p, "search must find at least the paper's point");
+    }
+
+    #[test]
+    fn paper_hybrid_cost_is_protected_scale() {
+        // n·L0·L1/P at the paper's operating point is ≈ 2^26.2 — orders of
+        // magnitude beyond a Linux time slice (2^24 cycles), which is the
+        // security requirement of §VI-C. The paper quotes ≥ 2^28 for a full
+        // round; our Equation-(1)-literal value is recorded in
+        // EXPERIMENTS.md.
+        let cost = expected_accesses_hybrid(1140, 1024, 7, 16, 512);
+        assert!(
+            cost >= (1u64 << 26) as f64,
+            "hybrid blind contention cost {cost:.3e} must be ≥ 2^26"
+        );
+        assert!(cost > (1u64 << 24) as f64 * 3.0, "beyond a time slice");
+    }
+
+    #[test]
+    fn probability_is_a_probability() {
+        for n in [1u64, 10, 100, 1000, 10_000] {
+            let p = valid_conflict_probability(n, 1024, 7);
+            assert!((0.0..=1.0).contains(&p), "P({n}) = {p}");
+        }
+    }
+
+    #[test]
+    fn too_many_lines_self_conflict() {
+        // With n >> W·S nearly every set overflows: valid single-conflict
+        // probability collapses.
+        let p_good = valid_conflict_probability(1140, 1024, 7);
+        let p_flooded = valid_conflict_probability(40_000, 1024, 7);
+        assert!(p_flooded < p_good / 4.0);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_formula() {
+        let n = 1140;
+        let analytic = valid_conflict_probability(n, 1024, 7);
+        let sim = monte_carlo_conflict_probability(n, 1024, 7, 4_000, 9);
+        assert!(
+            (analytic - sim).abs() < 0.02,
+            "analytic {analytic} vs monte carlo {sim}"
+        );
+    }
+
+    #[test]
+    fn multi_bit_secret_is_nearly_impossible() {
+        // §VI-A2: stealing a 32-bit key by blind contention succeeds with
+        // probability below one in a million.
+        let (_, p) = optimal_n(1024, 7);
+        assert!(multi_bit_success(p, 32) < 1e-6);
+    }
+
+    #[test]
+    fn smaller_tables_are_easier_targets() {
+        let (_, p_small) = optimal_n(64, 4);
+        let (_, p_big) = optimal_n(1024, 7);
+        assert!(p_small >= p_big * 0.9, "small {p_small} vs big {p_big}");
+    }
+}

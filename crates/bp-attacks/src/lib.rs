@@ -1,0 +1,36 @@
+//! Attack algorithms and security analysis for the HyBP reproduction.
+//!
+//! Implements everything the paper's security evaluation (§III, §VI) uses:
+//!
+//! * [`mod@env`] — the attacker/victim harness: two SMT threads sharing one
+//!   [`hybp::SecureBpu`], with the attacker observing only architectural
+//!   signals (misses/mispredictions), exactly like a timing side channel;
+//! * [`ppp`] — Algorithm 1: PPP-style eviction-set construction against the
+//!   hierarchical BTB (prepare → prune self-conflicts → binary search);
+//! * [`gem`] — the Group-Elimination Method on an unprotected BTB (the
+//!   §III-C argument that a key change is needed every ≈ 2¹⁶ accesses);
+//! * [`blind`] — the blind-contention analysis: exact evaluation of Eq. (1),
+//!   the optimum `n`, and the L0·L1 filtering factor (§VI-A2);
+//! * [`contention`] — Jump-over-ASLR-style set inference: address-bit
+//!   leakage through observed evictions, defeated by keyed indexing;
+//! * [`pht_analysis`] — Eq. (2): the PHT reuse-attack access count;
+//! * [`poc`] — the §VI-D proof-of-concept: malicious training of BTB and PHT,
+//!   10 000 iterations, ≥90/100 threshold;
+//! * [`analysis`] — the §VI-C security-margin check: attack-cost inventory
+//!   versus the key-change policy;
+//! * [`threat_model`] — the typed Table II matrix;
+//! * [`linear`] — the cryptanalytic break of linear index ciphers (LLBC/XOR)
+//!   showing eviction-set construction degenerates to the unprotected case.
+
+pub mod analysis;
+pub mod blind;
+pub mod contention;
+pub mod env;
+pub mod gem;
+pub mod linear;
+pub mod pht_analysis;
+pub mod poc;
+pub mod ppp;
+pub mod threat_model;
+
+pub use env::AttackEnv;

@@ -1,0 +1,190 @@
+//! Cryptanalysis of linear index ciphers (§III-A).
+//!
+//! Purnal et al. and Bodduna et al. showed that CEASER's LLBC is GF(2)-
+//! affine, so an attacker can recover the full index mapping from a handful
+//! of chosen queries and then *compute* eviction sets instead of searching
+//! for them — "the complexity of finding an eviction set is the same as
+//! when there is no randomization present". This module implements that
+//! break generically against any [`TweakableBlockCipher`] and proves (by
+//! verification) that it works on [`bp_crypto::Llbc`]/[`bp_crypto::XorCipher`] and fails on
+//! QARMA/PRINCE.
+
+use bp_crypto::TweakableBlockCipher;
+
+/// A recovered affine model `E(x) = A·x ⊕ b` over GF(2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineModel {
+    /// Column `i` is `E(eᵢ) ⊕ E(0)`.
+    cols: [u64; 64],
+    /// `b = E(0)`.
+    b: u64,
+}
+
+impl AffineModel {
+    /// Predicts `E(x)` from the model.
+    pub fn predict(&self, x: u64) -> u64 {
+        let mut acc = self.b;
+        for (i, &col) in self.cols.iter().enumerate() {
+            if (x >> i) & 1 == 1 {
+                acc ^= col;
+            }
+        }
+        acc
+    }
+
+    /// Solves `A·x = y ⊕ b` for `x` by Gaussian elimination over GF(2):
+    /// the attacker computing which *plaintext* index maps to a chosen
+    /// *physical* set. Returns `None` if `A` is singular and `y` is outside
+    /// its image.
+    pub fn preimage(&self, y: u64) -> Option<u64> {
+        // Build the augmented system: columns of A as a 64x64 bit-matrix.
+        // We eliminate on rows; represent each row of A as a u64 whose bit j
+        // is A[row][j] = bit `row` of cols[j].
+        let mut rows = [0u64; 64];
+        for (j, &col) in self.cols.iter().enumerate() {
+            for (row, r) in rows.iter_mut().enumerate() {
+                *r |= ((col >> row) & 1) << j;
+            }
+        }
+        let mut rhs = [0u8; 64];
+        let target = y ^ self.b;
+        for (row, v) in rhs.iter_mut().enumerate() {
+            *v = ((target >> row) & 1) as u8;
+        }
+        // Forward elimination with partial pivoting.
+        let mut pivot_of_col = [usize::MAX; 64];
+        let mut next_row = 0usize;
+        for col in 0..64 {
+            let Some(p) = (next_row..64).find(|&r| (rows[r] >> col) & 1 == 1) else {
+                continue;
+            };
+            rows.swap(next_row, p);
+            rhs.swap(next_row, p);
+            for r in 0..64 {
+                if r != next_row && (rows[r] >> col) & 1 == 1 {
+                    rows[r] ^= rows[next_row];
+                    rhs[r] ^= rhs[next_row];
+                }
+            }
+            pivot_of_col[col] = next_row;
+            next_row += 1;
+        }
+        // Inconsistent rows ⇒ no preimage.
+        for r in next_row..64 {
+            if rows[r] == 0 && rhs[r] == 1 {
+                return None;
+            }
+        }
+        let mut x = 0u64;
+        for col in 0..64 {
+            let p = pivot_of_col[col];
+            if p != usize::MAX && rhs[p] == 1 {
+                x |= 1 << col;
+            }
+        }
+        Some(x)
+    }
+}
+
+/// Attempts the linear break: queries `E(0)` and `E(eᵢ)` (65 chosen
+/// queries), builds the affine model, and verifies it on `verify_samples`
+/// random inputs. Returns the model only if it predicts perfectly —
+/// which happens exactly when the cipher is affine.
+pub fn break_affine(
+    cipher: &dyn TweakableBlockCipher,
+    tweak: u64,
+    verify_samples: u32,
+    seed: u64,
+) -> Option<AffineModel> {
+    let b = cipher.encrypt(0, tweak);
+    let mut cols = [0u64; 64];
+    for (i, col) in cols.iter_mut().enumerate() {
+        *col = cipher.encrypt(1u64 << i, tweak) ^ b;
+    }
+    let model = AffineModel { cols, b };
+    let mut rng = bp_common::rng::Xoshiro256StarStar::seeded(seed);
+    for _ in 0..verify_samples {
+        let x = rng.next_u64();
+        if model.predict(x) != cipher.encrypt(x, tweak) {
+            return None;
+        }
+    }
+    Some(model)
+}
+
+/// Computes a full eviction set for physical set `target_set` of a
+/// `sets`-set table whose index is `E(raw_index) mod sets`, using a
+/// recovered affine model: the attacker simply enumerates raw indices and
+/// keeps those mapping to the target — no probing needed.
+pub fn computed_eviction_set(
+    model: &AffineModel,
+    target_set: u64,
+    sets: u64,
+    count: usize,
+) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    let mut raw = 0u64;
+    while out.len() < count && raw < sets * (count as u64 + 4) * 4 {
+        if model.predict(raw) % sets == target_set {
+            out.push(raw);
+        }
+        raw += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_crypto::{Llbc, Prince, Qarma64, XorCipher};
+
+    #[test]
+    fn llbc_is_broken() {
+        let c = Llbc::from_seed(11);
+        let model = break_affine(&c, 0xAA, 200, 1).expect("LLBC must be affine");
+        // The model predicts unseen queries.
+        assert_eq!(model.predict(0x1234_5678_9ABC), c.encrypt(0x1234_5678_9ABC, 0xAA));
+    }
+
+    #[test]
+    fn xor_is_broken() {
+        let c = XorCipher::new(0xDEAD);
+        assert!(break_affine(&c, 5, 100, 2).is_some());
+    }
+
+    #[test]
+    fn qarma_and_prince_resist() {
+        assert!(break_affine(&Qarma64::from_seed(3), 7, 50, 3).is_none());
+        assert!(break_affine(&Prince::from_seed(4), 7, 50, 4).is_none());
+    }
+
+    #[test]
+    fn preimage_inverts_the_map() {
+        let c = Llbc::from_seed(21);
+        let model = break_affine(&c, 1, 100, 5).unwrap();
+        for y in [0u64, 1, 0xFFFF, 0x1234_5678] {
+            let x = model.preimage(y).expect("LLBC diffusion is invertible");
+            assert_eq!(model.predict(x), y);
+            assert_eq!(c.encrypt(x, 1), y);
+        }
+    }
+
+    #[test]
+    fn eviction_set_computed_without_probing() {
+        // The §III-A conclusion: with a linear cipher, eviction sets cost
+        // only the 65 model-building queries plus arithmetic.
+        let c = Llbc::from_seed(31);
+        let model = break_affine(&c, 9, 100, 6).unwrap();
+        let sets = 1024u64;
+        // Target the physical set of a known victim line: attacks aim at a
+        // concrete victim mapping, which is reachable by construction (the
+        // affine map restricted to small raw indices need not cover every
+        // set value).
+        let target = model.predict(0x2345) % sets;
+        let ev = computed_eviction_set(&model, target, sets, 8);
+        assert_eq!(ev.len(), 8);
+        for &raw in &ev {
+            assert_eq!(c.encrypt(raw, 9) % sets, target, "computed line must map to target");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! PHT reuse-attack cost analysis (paper §VI-B, Equation 2).
+//!
+//! With index and content encoding on the TAGE tagged tables, a Prime+Probe
+//! on a direction predictor entry requires enumerating the encoded index and
+//! tag space while defeating counter and useful-bit state:
+//!
+//! ```text
+//! accesses = 2^(I+T) · (2^C + 2^U + 1)
+//! ```
+//!
+//! where `I` = log2(entries per tag table), `T` = tag bits, `C` = counter
+//! bits, `U` = useful bits. The paper's instantiation (I = 13, T = 12,
+//! C = 2, U = 1) gives ≈ 2²⁸ accesses per effective Prime+Probe.
+
+/// Parameters of Equation (2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhtAttackParams {
+    /// log2 of entries per tagged table.
+    pub index_bits: u32,
+    /// Partial tag width.
+    pub tag_bits: u32,
+    /// Prediction counter width.
+    pub ctr_bits: u32,
+    /// Useful counter width.
+    pub useful_bits: u32,
+}
+
+impl PhtAttackParams {
+    /// The paper's instantiation: I = 13, T = 12, C = 2, U = 1.
+    pub const fn paper() -> Self {
+        PhtAttackParams {
+            index_bits: 13,
+            tag_bits: 12,
+            ctr_bits: 2,
+            useful_bits: 1,
+        }
+    }
+
+    /// Parameters matching this reproduction's TAGE geometry (2K-entry
+    /// tables, 11-bit tags on the long-history tables).
+    pub const fn repro_default() -> Self {
+        PhtAttackParams {
+            index_bits: 11,
+            tag_bits: 11,
+            ctr_bits: 3,
+            useful_bits: 1,
+        }
+    }
+
+    /// Equation (2): expected accesses for one effective Prime+Probe.
+    pub fn accesses_per_probe(&self) -> f64 {
+        let space = 2f64.powi((self.index_bits + self.tag_bits) as i32);
+        let state =
+            2f64.powi(self.ctr_bits as i32) + 2f64.powi(self.useful_bits as i32) + 1.0;
+        space * state
+    }
+
+    /// log2 of [`PhtAttackParams::accesses_per_probe`].
+    pub fn log2_accesses(&self) -> f64 {
+        self.accesses_per_probe().log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_value_is_about_2_28() {
+        let p = PhtAttackParams::paper();
+        let log2 = p.log2_accesses();
+        // 2^25 · 7 = 2^27.8
+        assert!(
+            (27.0..=28.5).contains(&log2),
+            "paper Eq. 2 gives 2^{log2:.2}, expected ≈ 2^28"
+        );
+    }
+
+    #[test]
+    fn cost_exceeds_linux_time_slice_budget() {
+        // §VI-C: the default Linux slice is ≈ 2^24 cycles at 4 GHz; even at
+        // one access per cycle the PHT attack cannot finish within it.
+        let p = PhtAttackParams::paper();
+        assert!(p.accesses_per_probe() > (1u64 << 24) as f64);
+    }
+
+    #[test]
+    fn wider_tags_raise_cost_exponentially() {
+        let narrow = PhtAttackParams {
+            tag_bits: 8,
+            ..PhtAttackParams::paper()
+        };
+        let wide = PhtAttackParams::paper();
+        let ratio = wide.accesses_per_probe() / narrow.accesses_per_probe();
+        assert!((ratio - 16.0).abs() < 1e-9, "4 extra tag bits = 16x");
+    }
+
+    #[test]
+    fn repro_geometry_is_same_order() {
+        let log2 = PhtAttackParams::repro_default().log2_accesses();
+        assert!((24.0..=29.0).contains(&log2));
+    }
+}

@@ -1,0 +1,343 @@
+//! The §VI-D proof-of-concept attacks: malicious training of BTB and PHT.
+//!
+//! The paper runs 10 000 iterations on a RISC-V FPGA prototype; an iteration
+//! counts as a successful attack when the victim branch follows the
+//! attacker-trained direction/target more than 90 times out of 100. On the
+//! unprotected baseline the training accuracy is 96.5% (BTB) and 97.2%
+//! (PHT); under the hybrid protection it collapses below 1%.
+//!
+//! Here the same protocol runs against the simulated BPU. The victim
+//! "following the trained direction" is observed through the victim's
+//! misprediction on a branch whose architectural outcome opposes the
+//! training — exactly the signal the paper extracts via Flush+Reload.
+
+use bp_common::Addr;
+use hybp::Mechanism;
+
+use crate::env::AttackEnv;
+
+/// Where attacker and victim run relative to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoResidency {
+    /// Concurrent SMT siblings (cross-thread attacks; Flush cannot help).
+    Smt,
+    /// Separate processes time-sharing one hardware thread with context
+    /// switches between them (the paper's FPGA PoC topology; switch-driven
+    /// mechanisms get to act).
+    SingleCore,
+}
+
+fn make_env(mechanism: Mechanism, topo: CoResidency, seed: u64) -> AttackEnv {
+    match topo {
+        CoResidency::Smt => AttackEnv::new(mechanism, seed),
+        CoResidency::SingleCore => AttackEnv::new_single_core(mechanism, seed),
+    }
+}
+
+/// Outcome of a PoC campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PocResult {
+    /// Iterations run.
+    pub iterations: u32,
+    /// Iterations counted as successful (> `success_threshold` trained
+    /// outcomes out of `rounds_per_iteration`).
+    pub successes: u32,
+    /// Total trained-direction rounds across all iterations.
+    pub trained_rounds: u64,
+    /// Total rounds across all iterations.
+    pub total_rounds: u64,
+}
+
+impl PocResult {
+    /// Fraction of iterations that met the ≥90/100 criterion.
+    pub fn success_rate(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        f64::from(self.successes) / f64::from(self.iterations)
+    }
+
+    /// Fraction of individual rounds that followed the training (the
+    /// paper's "accuracy of training").
+    pub fn training_accuracy(&self) -> f64 {
+        if self.total_rounds == 0 {
+            return 0.0;
+        }
+        self.trained_rounds as f64 / self.total_rounds as f64
+    }
+}
+
+/// Protocol parameters (paper defaults: 10 000 iterations of 100 rounds,
+/// ≥90 to count as success).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PocParams {
+    /// Number of iterations.
+    pub iterations: u32,
+    /// Victim executions per iteration.
+    pub rounds_per_iteration: u32,
+    /// Trained rounds needed for a successful iteration.
+    pub success_threshold: u32,
+    /// Attacker training executions before each victim round.
+    pub trainings_per_round: u32,
+}
+
+impl PocParams {
+    /// The paper's protocol.
+    pub const fn paper() -> Self {
+        PocParams {
+            iterations: 10_000,
+            rounds_per_iteration: 100,
+            success_threshold: 90,
+            trainings_per_round: 8,
+        }
+    }
+
+    /// A scaled-down protocol for unit tests.
+    pub const fn quick() -> Self {
+        PocParams {
+            iterations: 60,
+            rounds_per_iteration: 50,
+            success_threshold: 45,
+            trainings_per_round: 8,
+        }
+    }
+}
+
+/// PHT malicious training: the attacker trains the shared direction
+/// predictor at the victim branch's address toward *taken*. The victim's
+/// branch is secret-dependent — its architectural outcome is a fresh random
+/// bit each execution, so the predictor cannot learn it and the only
+/// persistent per-PC signal is whatever the attacker planted. A round
+/// "follows the training" when the victim's *prediction* was taken
+/// (reconstructed from the misprediction signal and the known outcome).
+pub fn pht_training(mechanism: Mechanism, params: PocParams, seed: u64) -> PocResult {
+    pht_training_topo(mechanism, CoResidency::Smt, params, seed)
+}
+
+/// [`pht_training`] with an explicit co-residency topology.
+pub fn pht_training_topo(
+    mechanism: Mechanism,
+    topo: CoResidency,
+    params: PocParams,
+    seed: u64,
+) -> PocResult {
+    let mut env = make_env(mechanism, topo, seed);
+    // Data-dependent noise in both parties' surrounding code.
+    let mut secret = bp_common::rng::Xoshiro256StarStar::seeded(seed ^ 0x5EC2E7);
+    let victim_pc = Addr::new(0x0040_1230);
+    let mut result = PocResult {
+        iterations: params.iterations,
+        successes: 0,
+        trained_rounds: 0,
+        total_rounds: 0,
+    };
+    for _ in 0..params.iterations {
+        let mut trained = 0u32;
+        for _ in 0..params.rounds_per_iteration {
+            // History-spraying training (as Spectre-V2-style attacks do):
+            // every training shot executes behind fresh noise branches so
+            // the plants spread across the short-history contexts the
+            // victim will hit; the victim runs its own noisy prologue, so
+            // TAGE's long-history tables never see a repeatable context.
+            // The shot count varies per round: a fixed count would make the
+            // whole protocol a constant-trip loop that the baseline's own
+            // loop predictor learns (and thereby accidentally defends).
+            let shots = params.trainings_per_round / 2
+                + (secret.next_below(u64::from(params.trainings_per_round)) as u32);
+            for _ in 0..shots {
+                for k in 0..2u64 {
+                    env.attacker_cond(Addr::new(0x0060_0000 + k * 16), secret.chance(0.5));
+                }
+                env.attacker_cond(victim_pc, true);
+            }
+            for k in 0..6u64 {
+                env.victim_cond(Addr::new(0x0040_0100 + k * 16), secret.chance(0.5));
+            }
+            // The victim's branch architecturally resolves not-taken; a
+            // misprediction therefore means the fetched direction was the
+            // attacker's trained "taken".
+            let mispredicted = env.victim_cond(victim_pc, false);
+            if mispredicted {
+                trained += 1;
+                result.trained_rounds += 1;
+            }
+            result.total_rounds += 1;
+        }
+        if trained >= params.success_threshold {
+            result.successes += 1;
+        }
+    }
+    result
+}
+
+/// BTB malicious training: the attacker plants its own target for the
+/// victim branch's address; a round follows the training when the victim
+/// fetches the planted target (observable as a target misprediction, since
+/// the victim's architectural target differs).
+pub fn btb_training(mechanism: Mechanism, params: PocParams, seed: u64) -> PocResult {
+    btb_training_topo(mechanism, CoResidency::Smt, params, seed)
+}
+
+/// [`btb_training`] with an explicit co-residency topology.
+pub fn btb_training_topo(
+    mechanism: Mechanism,
+    topo: CoResidency,
+    params: PocParams,
+    seed: u64,
+) -> PocResult {
+    let mut env = make_env(mechanism, topo, seed);
+    let victim_pc = Addr::new(0x0040_5670);
+    let victim_target = Addr::new(0x0041_0000);
+    let mut result = PocResult {
+        iterations: params.iterations,
+        successes: 0,
+        trained_rounds: 0,
+        total_rounds: 0,
+    };
+    for _ in 0..params.iterations {
+        let mut trained = 0u32;
+        for _ in 0..params.rounds_per_iteration {
+            for _ in 0..params.trainings_per_round {
+                // The attacker's access installs target = pc + 0x100, which
+                // differs from the victim's real target.
+                env.attacker_access(victim_pc);
+            }
+            // The victim executes its branch. Following the training means
+            // fetch *hit* an entry and steered to a wrong (planted/garbled)
+            // target — a plain BTB miss is not a hijack, just a cold fetch.
+            let t = env.victim_branch(victim_pc, victim_target);
+            if t.slow && t.level.is_some() {
+                trained += 1;
+                result.trained_rounds += 1;
+            }
+            result.total_rounds += 1;
+        }
+        if trained >= params.success_threshold {
+            result.successes += 1;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_pht_training_succeeds() {
+        // Note: our baseline is a full TAGE-SC-L, whose statistical
+        // corrector partially resists cross-thread training; the paper's
+        // FPGA platform ran a plain TAGE. The mechanism comparison (high
+        // accuracy here vs collapse under HyBP) is the reproduced result;
+        // see EXPERIMENTS.md.
+        let r = pht_training_topo(
+            Mechanism::Baseline,
+            CoResidency::SingleCore,
+            PocParams::quick(),
+            1,
+        );
+        assert!(
+            r.training_accuracy() > 0.7,
+            "baseline PHT training accuracy {} (iteration success {})",
+            r.training_accuracy(),
+            r.success_rate()
+        );
+    }
+
+    #[test]
+    fn hybp_pht_training_fails() {
+        let r = pht_training(Mechanism::hybp_default(), PocParams::quick(), 2);
+        assert!(
+            r.success_rate() < 0.05 && r.training_accuracy() < 0.05,
+            "HyBP PHT training must collapse (success {}, accuracy {})",
+            r.success_rate(),
+            r.training_accuracy()
+        );
+    }
+
+    #[test]
+    fn baseline_btb_training_succeeds_single_core() {
+        let r = btb_training_topo(
+            Mechanism::Baseline,
+            CoResidency::SingleCore,
+            PocParams::quick(),
+            3,
+        );
+        assert!(
+            r.success_rate() > 0.9,
+            "baseline BTB training success {}",
+            r.success_rate()
+        );
+    }
+
+    #[test]
+    fn hybp_btb_training_fails() {
+        let r = btb_training(Mechanism::hybp_default(), PocParams::quick(), 4);
+        // The victim's first round misses cold (counted as "slow"), but the
+        // ≥90% criterion cannot be met without actual attacker influence.
+        assert!(
+            r.success_rate() < 0.05,
+            "HyBP BTB training success {} must collapse",
+            r.success_rate()
+        );
+    }
+
+    #[test]
+    fn partition_blocks_cross_thread_training() {
+        let r = pht_training(Mechanism::Partition, PocParams::quick(), 5);
+        assert!(r.success_rate() < 0.05, "partition isolates threads");
+    }
+
+    #[test]
+    fn flush_does_not_block_smt_training() {
+        // Flush only acts at switches; concurrent SMT threads still share
+        // the predictor — the paper's Table III "No Protection" entry.
+        // Under concurrent SMT, Flush's state survives (it only acts at
+        // switches): the shared tables stay trainable, unlike under the
+        // isolating mechanisms. With banked per-thread histories the signal
+        // is structural rather than total, so compare against HyBP.
+        let flush = pht_training(Mechanism::Flush, PocParams::quick(), 6);
+        let hybp = pht_training(Mechanism::hybp_default(), PocParams::quick(), 6);
+        assert!(
+            flush.training_accuracy() > hybp.training_accuracy() + 0.08,
+            "flush SMT {} must leak clearly more than HyBP {}",
+            flush.training_accuracy(),
+            hybp.training_accuracy()
+        );
+    }
+
+    #[test]
+    fn flush_defends_single_core_training() {
+        // The paper's Table III single-threaded row: Flush DOES defend when
+        // the parties time-share (every switch wipes the training).
+        let r = pht_training_topo(
+            Mechanism::Flush,
+            CoResidency::SingleCore,
+            PocParams::quick(),
+            8,
+        );
+        assert!(
+            r.training_accuracy() < 0.1,
+            "single-core flush training accuracy {}",
+            r.training_accuracy()
+        );
+    }
+
+    #[test]
+    fn hybp_defends_single_core_training() {
+        let r = pht_training_topo(
+            Mechanism::hybp_default(),
+            CoResidency::SingleCore,
+            PocParams::quick(),
+            9,
+        );
+        assert!(r.training_accuracy() < 0.1);
+        let b = btb_training_topo(
+            Mechanism::hybp_default(),
+            CoResidency::SingleCore,
+            PocParams::quick(),
+            10,
+        );
+        assert!(b.training_accuracy() < 0.1);
+    }
+}

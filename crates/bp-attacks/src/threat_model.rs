@@ -1,0 +1,122 @@
+//! The paper's threat-model classification (Table II).
+//!
+//! Attacks are classified by type (reuse-based vs contention-based) and by
+//! the relationship between attacker and victim execution contexts. HyBP
+//! targets every combination except same-thread/same-privilege (Spectre V1
+//! style), which the paper argues is not a branch predictor isolation
+//! problem (§IV).
+
+use std::fmt;
+
+/// Attack family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackType {
+    /// Entries set by one party are directly consumed by the other
+    /// (BranchScope, Spectre V2, Bluethunder).
+    ReuseBased,
+    /// The attacker senses evictions caused by the victim (Jump over ASLR).
+    ContentionBased,
+}
+
+impl fmt::Display for AttackType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AttackType::ReuseBased => "Reuse-based",
+            AttackType::ContentionBased => "Contention-based",
+        })
+    }
+}
+
+/// Attacker/victim context relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Same software thread, same privilege (e.g. Spectre V1, trojans).
+    SameThreadSamePrivilege,
+    /// Same thread across a privilege boundary (e.g. Bluethunder on SGX).
+    SameThreadCrossPrivilege,
+    /// Different threads at the same privilege (SMT co-residency).
+    CrossThreadSamePrivilege,
+    /// Different threads across privileges.
+    CrossThreadCrossPrivilege,
+}
+
+impl Scenario {
+    /// All scenarios, Table II column order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::SameThreadSamePrivilege,
+        Scenario::SameThreadCrossPrivilege,
+        Scenario::CrossThreadSamePrivilege,
+        Scenario::CrossThreadCrossPrivilege,
+    ];
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scenario::SameThreadSamePrivilege => "Same-thread/Same-priv",
+            Scenario::SameThreadCrossPrivilege => "Same-thread/Cross-priv",
+            Scenario::CrossThreadSamePrivilege => "Cross-thread/Same-priv",
+            Scenario::CrossThreadCrossPrivilege => "Cross-thread/Cross-priv",
+        })
+    }
+}
+
+/// Whether a scenario is in HyBP's threat model (Table II check marks).
+pub fn in_scope(_attack: AttackType, scenario: Scenario) -> bool {
+    // Both attack families: every scenario except same-thread/same-priv.
+    scenario != Scenario::SameThreadSamePrivilege
+}
+
+/// Renders Table II as text rows.
+pub fn table_ii() -> Vec<String> {
+    let mut rows = Vec::new();
+    for attack in [AttackType::ReuseBased, AttackType::ContentionBased] {
+        let marks: Vec<&str> = Scenario::ALL
+            .iter()
+            .map(|&s| if in_scope(attack, s) { "✓" } else { "○" })
+            .collect();
+        rows.push(format!(
+            "{:<18} {:>22} {:>22} {:>22} {:>22}",
+            attack.to_string(),
+            marks[0],
+            marks[1],
+            marks[2],
+            marks[3]
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_thread_same_priv_is_out_of_scope() {
+        assert!(!in_scope(AttackType::ReuseBased, Scenario::SameThreadSamePrivilege));
+        assert!(!in_scope(
+            AttackType::ContentionBased,
+            Scenario::SameThreadSamePrivilege
+        ));
+    }
+
+    #[test]
+    fn all_other_scenarios_are_in_scope() {
+        for s in [
+            Scenario::SameThreadCrossPrivilege,
+            Scenario::CrossThreadSamePrivilege,
+            Scenario::CrossThreadCrossPrivilege,
+        ] {
+            assert!(in_scope(AttackType::ReuseBased, s), "{s}");
+            assert!(in_scope(AttackType::ContentionBased, s), "{s}");
+        }
+    }
+
+    #[test]
+    fn table_renders_two_rows() {
+        let t = table_ii();
+        assert_eq!(t.len(), 2);
+        assert!(t[0].contains("Reuse"));
+        assert!(t[1].contains("Contention"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Branch-history registers used by direction predictors.
+//!
+//! TAGE folds very long global histories (hundreds of bits) into short table
+//! indices; [`GlobalHistory`] stores the raw history and [`FoldedHistory`]
+//! maintains the incrementally folded value exactly as hardware would (one XOR
+//! of the inserted bit, one XOR of the evicted bit, one rotate per update).
+
+/// A long global branch-direction history (up to [`GlobalHistory::CAPACITY`] bits).
+///
+/// Bit 0 is the most recent outcome.
+///
+/// # Examples
+///
+/// ```
+/// use bp_common::history::GlobalHistory;
+/// let mut h = GlobalHistory::new();
+/// h.push(true);
+/// h.push(false);
+/// assert_eq!(h.bit(0), false); // most recent
+/// assert_eq!(h.bit(1), true);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalHistory {
+    words: [u64; Self::WORDS],
+}
+
+impl GlobalHistory {
+    const WORDS: usize = 16;
+    /// Maximum number of history bits retained.
+    pub const CAPACITY: usize = Self::WORDS * 64;
+
+    /// Creates an empty (all-zero) history.
+    pub const fn new() -> Self {
+        GlobalHistory {
+            words: [0; Self::WORDS],
+        }
+    }
+
+    /// Shifts in a new outcome as the most recent bit.
+    pub fn push(&mut self, taken: bool) {
+        let mut carry = taken as u64;
+        for w in self.words.iter_mut() {
+            let out = *w >> 63;
+            *w = (*w << 1) | carry;
+            carry = out;
+        }
+    }
+
+    /// Returns history bit `i` (0 = most recent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= CAPACITY`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < Self::CAPACITY);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns the `n` most recent bits as a u64 (`n <= 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or greater than 64.
+    pub fn low_bits(&self, n: usize) -> u64 {
+        assert!(n > 0 && n <= 64);
+        if n == 64 {
+            self.words[0]
+        } else {
+            self.words[0] & ((1u64 << n) - 1)
+        }
+    }
+
+    /// Clears all history (e.g., on a predictor flush).
+    pub fn clear(&mut self) {
+        self.words = [0; Self::WORDS];
+    }
+}
+
+impl Default for GlobalHistory {
+    fn default() -> Self {
+        GlobalHistory::new()
+    }
+}
+
+/// Incrementally folded history, as used by TAGE for index/tag computation.
+///
+/// Maintains `fold(history[0..length])` into `width` bits such that each
+/// [`FoldedHistory::update`] costs O(1), mirroring the hardware circular shift
+/// register implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedHistory {
+    value: u64,
+    length: usize,
+    width: usize,
+    /// Position of the outgoing (evicted) bit inside the folded register.
+    out_point: usize,
+}
+
+impl FoldedHistory {
+    /// Creates a folded register over `length` history bits folded to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or > 32, or `length` exceeds
+    /// [`GlobalHistory::CAPACITY`].
+    pub fn new(length: usize, width: usize) -> Self {
+        assert!(width > 0 && width <= 32, "fold width out of range");
+        assert!(length <= GlobalHistory::CAPACITY, "length exceeds capacity");
+        FoldedHistory {
+            value: 0,
+            length,
+            width,
+            out_point: length % width,
+        }
+    }
+
+    /// Folded value (fits in `width` bits).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The folded width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The history length covered.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Updates the fold after `history` already received the new bit.
+    ///
+    /// `history` must be the [`GlobalHistory`] *after* pushing the newest
+    /// outcome; the evicted bit is read at `length` (the bit that just slid
+    /// out of the folded window).
+    pub fn update(&mut self, history: &GlobalHistory) {
+        if self.length == 0 {
+            return;
+        }
+        let inserted = history.bit(0) as u64;
+        let evicted = if self.length < GlobalHistory::CAPACITY {
+            history.bit(self.length) as u64
+        } else {
+            0
+        };
+        // Rotate left by one inside `width`, inject new bit, eject old bit.
+        self.value = (self.value << 1) | inserted;
+        self.value ^= evicted << self.out_point;
+        self.value ^= (self.value >> self.width) & 1;
+        self.value &= (1u64 << self.width) - 1;
+    }
+
+    /// Recomputes the fold from scratch (used by tests and after flushes).
+    pub fn rebuild(&mut self, history: &GlobalHistory) {
+        self.value = 0;
+        if self.length == 0 {
+            return;
+        }
+        // Invariant maintained by `update`: XOR of each in-window history bit
+        // placed at position (j mod width), j = 0 for the most recent bit.
+        let mut acc = 0u64;
+        for j in 0..self.length {
+            if history.bit(j) {
+                acc ^= 1u64 << (j % self.width);
+            }
+        }
+        self.value = acc;
+    }
+
+    /// Clears the folded value.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// A path history register: low bits of recent branch PCs, used to decorrelate
+/// TAGE indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathHistory {
+    value: u64,
+}
+
+impl PathHistory {
+    /// Creates an empty path history.
+    pub const fn new() -> Self {
+        PathHistory { value: 0 }
+    }
+
+    /// Shifts in one address bit of a just-executed branch.
+    pub fn push(&mut self, pc_bit: bool) {
+        self.value = (self.value << 1) | pc_bit as u64;
+    }
+
+    /// Returns the `n` most recent path bits (`n <= 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or greater than 64.
+    pub fn low_bits(&self, n: usize) -> u64 {
+        assert!(n > 0 && n <= 64);
+        if n == 64 {
+            self.value
+        } else {
+            self.value & ((1u64 << n) - 1)
+        }
+    }
+
+    /// Clears the path history.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn push_shifts_history() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        h.push(true);
+        h.push(false);
+        assert!(!h.bit(0));
+        assert!(h.bit(1));
+        assert!(h.bit(2));
+        assert!(!h.bit(3));
+        assert_eq!(h.low_bits(3), 0b110);
+    }
+
+    #[test]
+    fn push_carries_across_words() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        for _ in 0..64 {
+            h.push(false);
+        }
+        assert!(h.bit(64), "bit must have carried into the second word");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut h = GlobalHistory::new();
+        for _ in 0..100 {
+            h.push(true);
+        }
+        h.clear();
+        for i in 0..GlobalHistory::CAPACITY {
+            assert!(!h.bit(i));
+        }
+    }
+
+    #[test]
+    fn incremental_fold_matches_rebuild() {
+        let mut rng = SplitMix64::new(42);
+        for (length, width) in [(8usize, 8usize), (13, 11), (27, 12), (130, 12), (640, 10)] {
+            let mut h = GlobalHistory::new();
+            let mut inc = FoldedHistory::new(length, width);
+            let mut reference = FoldedHistory::new(length, width);
+            for step in 0..2000 {
+                h.push(rng.next_u64() & 1 == 1);
+                inc.update(&h);
+                reference.rebuild(&h);
+                assert_eq!(
+                    inc.value(),
+                    reference.value(),
+                    "mismatch at step {step} for length {length} width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_fits_in_width() {
+        let mut rng = SplitMix64::new(1);
+        let mut h = GlobalHistory::new();
+        let mut f = FoldedHistory::new(100, 9);
+        for _ in 0..1000 {
+            h.push(rng.next_u64() & 1 == 1);
+            f.update(&h);
+            assert!(f.value() < (1 << 9));
+        }
+    }
+
+    #[test]
+    fn zero_length_fold_stays_zero() {
+        let mut h = GlobalHistory::new();
+        let mut f = FoldedHistory::new(0, 8);
+        h.push(true);
+        f.update(&h);
+        assert_eq!(f.value(), 0);
+    }
+
+    #[test]
+    fn path_history_tracks_bits() {
+        let mut p = PathHistory::new();
+        p.push(true);
+        p.push(false);
+        p.push(true);
+        assert_eq!(p.low_bits(3), 0b101);
+        p.clear();
+        assert_eq!(p.low_bits(8), 0);
+    }
+}

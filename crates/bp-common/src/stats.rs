@@ -1,0 +1,322 @@
+//! Statistics helpers used by the evaluation harnesses.
+//!
+//! The paper reports IPC throughput (sum of per-thread IPCs), Hmean fairness
+//! (harmonic mean of per-thread speedups relative to solo execution), and
+//! averaged degradations across benchmarks. These helpers implement those
+//! metrics plus the usual descriptive statistics.
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bp_common::stats::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(bp_common::stats::mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Geometric mean. Returns `None` if the slice is empty or any value is
+/// non-positive.
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Harmonic mean. Returns `None` if the slice is empty or any value is
+/// non-positive.
+///
+/// This is the *Hmean* fairness metric of Luo et al. when applied to
+/// per-thread IPC speedups.
+pub fn harmonic_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let inv_sum: f64 = xs.iter().map(|x| 1.0 / x).sum();
+    Some(xs.len() as f64 / inv_sum)
+}
+
+/// Sample standard deviation (n-1 denominator). `None` if fewer than 2 samples.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Relative change of `value` versus `baseline`, as a signed fraction.
+///
+/// Positive means `value` is *larger*. A performance *degradation* of
+/// mechanism `m` vs baseline IPC is `-relative_change(ipc_m, ipc_base)`.
+///
+/// # Panics
+///
+/// Panics if `baseline` is zero.
+pub fn relative_change(value: f64, baseline: f64) -> f64 {
+    assert!(baseline != 0.0, "baseline must be non-zero");
+    (value - baseline) / baseline
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.051 -> "5.1%"`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// The Hmean fairness metric for an SMT run.
+///
+/// `smt_ipc[i]` is thread *i*'s IPC when co-running; `solo_ipc[i]` is its IPC
+/// when running alone on the same core. Returns the harmonic mean of the
+/// per-thread speedups `smt/solo`, or `None` on empty/mismatched input or a
+/// non-positive solo IPC.
+pub fn hmean_fairness(smt_ipc: &[f64], solo_ipc: &[f64]) -> Option<f64> {
+    if smt_ipc.len() != solo_ipc.len() || smt_ipc.is_empty() {
+        return None;
+    }
+    let speedups: Vec<f64> = smt_ipc
+        .iter()
+        .zip(solo_ipc)
+        .map(|(&s, &b)| if b > 0.0 { s / b } else { -1.0 })
+        .collect();
+    harmonic_mean(&speedups)
+}
+
+/// Online mean/variance accumulator (Welford) used by long simulations that
+/// cannot buffer every sample.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the samples, `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance, `None` if fewer than 2 samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Minimum sample, `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum sample, `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// A mean with a normal-approximation confidence interval, for reporting
+/// noisy simulation measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval (± this value).
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// 95% confidence interval of the mean of `xs` (normal approximation,
+    /// z = 1.96). Returns `None` with fewer than 2 samples.
+    pub fn from_samples(xs: &[f64]) -> Option<ConfidenceInterval> {
+        let m = mean(xs)?;
+        let sd = stddev(xs)?;
+        Some(ConfidenceInterval {
+            mean: m,
+            half_width: 1.96 * sd / (xs.len() as f64).sqrt(),
+        })
+    }
+
+    /// Whether `value` falls inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.half_width
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.half_width)
+    }
+}
+
+/// Binomial coefficient `C(n, k)` computed in floating point (the blind
+/// contention formula of the paper, Eq. 1, needs `C(1140, i)`-scale values
+/// which overflow u128 but are fine in f64 up to its exponent range).
+pub fn binomial_f64(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0f64; // log-space accumulation for range safety
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn harmonic_mean_basic() {
+        let h = harmonic_mean(&[1.0, 0.5]).unwrap();
+        assert!((h - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[1.0, -1.0]), None);
+    }
+
+    #[test]
+    fn harmonic_le_geo_le_arith() {
+        let xs = [0.7, 1.3, 2.9, 0.4];
+        let h = harmonic_mean(&xs).unwrap();
+        let g = geomean(&xs).unwrap();
+        let a = mean(&xs).unwrap();
+        assert!(h <= g + 1e-12);
+        assert!(g <= a + 1e-12);
+    }
+
+    #[test]
+    fn relative_change_signs() {
+        assert!((relative_change(0.95, 1.0) + 0.05).abs() < 1e-12);
+        assert!((relative_change(1.10, 1.0) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn relative_change_zero_baseline_panics() {
+        relative_change(1.0, 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.051), "5.1%");
+        assert_eq!(pct(0.005), "0.5%");
+    }
+
+    #[test]
+    fn hmean_fairness_perfect_is_one() {
+        let f = hmean_fairness(&[1.0, 2.0], &[1.0, 2.0]).unwrap();
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hmean_fairness_punishes_imbalance() {
+        // Same total throughput, one balanced, one starving a thread.
+        let balanced = hmean_fairness(&[0.5, 1.0], &[1.0, 2.0]).unwrap();
+        let unfair = hmean_fairness(&[0.9, 0.2], &[1.0, 2.0]).unwrap();
+        assert!(balanced > unfair);
+    }
+
+    #[test]
+    fn hmean_fairness_rejects_mismatch() {
+        assert_eq!(hmean_fairness(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(hmean_fairness(&[], &[]), None);
+    }
+
+    #[test]
+    fn accumulator_matches_batch() {
+        let xs = [1.0, 2.5, -3.0, 0.25, 9.0];
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.add(x);
+        }
+        assert_eq!(acc.count(), 5);
+        assert!((acc.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-12);
+        let sd = stddev(&xs).unwrap();
+        assert!((acc.variance().unwrap().sqrt() - sd).abs() < 1e-12);
+        assert_eq!(acc.min(), Some(-3.0));
+        assert_eq!(acc.max(), Some(9.0));
+    }
+
+    #[test]
+    fn confidence_interval_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ci = ConfidenceInterval::from_samples(&xs).unwrap();
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        assert!(ci.half_width > 0.0);
+        assert!(ci.contains(3.0));
+        assert!(!ci.contains(100.0));
+        assert_eq!(ConfidenceInterval::from_samples(&[1.0]), None);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_samples() {
+        let small: Vec<f64> = (0..10).map(|i| (i % 3) as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 3) as f64).collect();
+        let a = ConfidenceInterval::from_samples(&small).unwrap();
+        let b = ConfidenceInterval::from_samples(&large).unwrap();
+        assert!(b.half_width < a.half_width);
+    }
+
+    #[test]
+    fn binomial_small_values_exact() {
+        assert!((binomial_f64(5, 2) - 10.0).abs() < 1e-9);
+        assert!((binomial_f64(10, 0) - 1.0).abs() < 1e-12);
+        assert!((binomial_f64(10, 10) - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_f64(3, 5), 0.0);
+    }
+
+    #[test]
+    fn binomial_large_values_finite() {
+        let c = binomial_f64(1140, 7);
+        assert!(c.is_finite() && c > 1e15);
+    }
+}

@@ -1,0 +1,611 @@
+//! The randomized index keys table ("code book") and per-domain key
+//! management — the latency-hiding core of HyBP (paper §V-C, §V-D).
+//!
+//! Instead of placing a strong cipher on the prediction critical path (which
+//! would add ~8 front-end cycles, Figure 2), HyBP precomputes a table of
+//! *index keys* with QARMA whenever keys must change. A branch prediction
+//! then only performs one SRAM read (fixed latency, no misses — no timing
+//! side channel) and a cheap combination of the retrieved key with the
+//! plaintext index.
+//!
+//! The code book is renewed when (1) a context switch occurs or (2) a
+//! dedicated access counter reaches its threshold (§V-D sets it near the
+//! 2²⁷-access attack bound). Renewal is *non-stalling*: the pipeline keeps
+//! predicting while the SRAM is rewritten; a lookup that lands on a
+//! not-yet-rewritten word simply returns the stale key, costing only
+//! prediction accuracy, never correctness ([`KeysTable::key_at`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_crypto::keys::{IndexSeed, KeysTable, KeysTableConfig};
+//! use bp_crypto::Qarma64;
+//! use bp_common::{Asid, Vmid};
+//!
+//! let cipher = Qarma64::from_seed(1);
+//! let mut table = KeysTable::new(KeysTableConfig::paper_default());
+//! let seed = IndexSeed::derive(Asid::new(3), Vmid::new(0), 0xfeed);
+//! table.begin_refresh(&cipher, seed, 0, 0);
+//! // The paper's example: 1K entries x 10-bit keys in 40-bit words
+//! // refresh in 7 (pipeline fill) + 256 (words) = 263 cycles.
+//! assert_eq!(table.refresh_duration(), 263);
+//! ```
+
+use crate::TweakableBlockCipher;
+use bp_common::{Asid, Cycle, Vmid};
+
+/// Geometry of the randomized index keys table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeysTableConfig {
+    /// Number of logical key entries (e.g. 1K..32K, Table VI).
+    pub entries: usize,
+    /// Width of each key in bits (the paper's example uses 10).
+    pub key_bits: u32,
+    /// Width of one physical SRAM word rewritten per cycle during a refresh.
+    pub word_bits: u32,
+    /// Cipher pipeline fill-up latency before the first word is produced.
+    pub pipeline_fill: Cycle,
+}
+
+impl KeysTableConfig {
+    /// The paper's running example: 1K entries of 10-bit keys organised as
+    /// 256 x 40-bit words, 7-cycle cipher fill (§V-C1).
+    pub const fn paper_default() -> Self {
+        KeysTableConfig {
+            entries: 1024,
+            key_bits: 10,
+            word_bits: 40,
+            pipeline_fill: 7,
+        }
+    }
+
+    /// Same organisation with a different entry count (Table VI sweep).
+    pub const fn with_entries(entries: usize) -> Self {
+        KeysTableConfig {
+            entries,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Number of logical keys per physical word.
+    pub fn keys_per_word(&self) -> usize {
+        (self.word_bits / self.key_bits) as usize
+    }
+
+    /// Number of physical words backing the table.
+    pub fn words(&self) -> usize {
+        self.entries.div_ceil(self.keys_per_word())
+    }
+
+    /// Storage size of one table in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        (self.entries * self.key_bits as usize).div_ceil(8)
+    }
+
+    fn validate(&self) {
+        assert!(self.entries > 0, "table must have at least one entry");
+        assert!(
+            self.key_bits > 0 && self.key_bits <= 64,
+            "key width must be 1..=64 bits"
+        );
+        assert!(
+            self.word_bits >= self.key_bits,
+            "a word must hold at least one key"
+        );
+    }
+}
+
+impl Default for KeysTableConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The hardware-internal seed for code-book generation (§V-C1).
+///
+/// Derived from the ASID, the VMID and a value from a hardware random number
+/// generator or PUF; never visible to software, including the hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexSeed(u64);
+
+impl IndexSeed {
+    /// Derives the seed from the architectural identifiers and the hardware
+    /// random value. The mixing is a fixed injective-ish packing followed by
+    /// a SplitMix finalizer so that adjacent ASIDs do not produce related
+    /// seeds.
+    pub fn derive(asid: Asid, vmid: Vmid, hardware_rand: u64) -> Self {
+        let packed = (u64::from(asid.raw()) << 48)
+            ^ (u64::from(vmid.raw()) << 32)
+            ^ hardware_rand;
+        let mut z = packed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        IndexSeed(z ^ (z >> 31))
+    }
+
+    /// Raw 64-bit seed value (used as the cipher tweak).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// State of an in-flight, non-stalling code-book refresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RefreshState {
+    started_at: Cycle,
+    old_keys: Vec<u64>,
+}
+
+/// The randomized index keys table.
+///
+/// See the [module documentation](self) for the role this table plays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeysTable {
+    config: KeysTableConfig,
+    keys: Vec<u64>,
+    refresh: Option<RefreshState>,
+    accesses_since_refresh: u64,
+    generation: u64,
+    stale_hits: u64,
+}
+
+impl KeysTable {
+    /// Creates an all-zero-key table with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (zero entries, key wider
+    /// than a word, ...).
+    pub fn new(config: KeysTableConfig) -> Self {
+        config.validate();
+        KeysTable {
+            keys: vec![0; config.entries],
+            config,
+            refresh: None,
+            accesses_since_refresh: 0,
+            generation: 0,
+            stale_hits: 0,
+        }
+    }
+
+    /// The table geometry.
+    pub fn config(&self) -> &KeysTableConfig {
+        &self.config
+    }
+
+    /// Cycles from refresh start until the last word is rewritten:
+    /// pipeline fill + one word per cycle (§V-C1).
+    pub fn refresh_duration(&self) -> Cycle {
+        self.config.pipeline_fill + self.config.words() as Cycle
+    }
+
+    /// Starts a non-stalling refresh at cycle `now`, filling the table with
+    /// ciphertext of a timer-readout sequence under `seed` (§V-C1).
+    ///
+    /// The old key material remains visible for words the rewrite has not
+    /// reached yet; see [`KeysTable::key_at`].
+    pub fn begin_refresh(
+        &mut self,
+        cipher: &dyn TweakableBlockCipher,
+        seed: IndexSeed,
+        timer_base: u64,
+        now: Cycle,
+    ) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let per_word = self.config.keys_per_word();
+        let key_mask = if self.config.key_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.config.key_bits) - 1
+        };
+        let mut keys = Vec::with_capacity(self.config.entries);
+        for word_idx in 0..self.config.words() {
+            let word = cipher.encrypt(timer_base.wrapping_add(word_idx as u64), seed.raw());
+            for slot in 0..per_word {
+                if keys.len() == self.config.entries {
+                    break;
+                }
+                keys.push((word >> (slot as u32 * self.config.key_bits)) & key_mask);
+            }
+        }
+        self.keys = keys;
+        self.refresh = Some(RefreshState {
+            started_at: now,
+            old_keys,
+        });
+        self.accesses_since_refresh = 0;
+        self.generation += 1;
+    }
+
+    /// Reads the key for `entry` at cycle `now`, modelling the non-stalling
+    /// refresh: if the word holding `entry` has not been rewritten yet, the
+    /// *previous generation's* key is returned (and counted as a stale hit).
+    ///
+    /// Also counts the access toward the renewal threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of bounds.
+    pub fn key_at(&mut self, entry: usize, now: Cycle) -> u64 {
+        assert!(entry < self.config.entries, "key entry out of bounds");
+        self.accesses_since_refresh += 1;
+        if let Some(refresh) = &self.refresh {
+            let word_idx = (entry / self.config.keys_per_word()) as Cycle;
+            let rewritten_at = refresh.started_at + self.config.pipeline_fill + word_idx + 1;
+            if now < rewritten_at {
+                self.stale_hits += 1;
+                return refresh.old_keys.get(entry).copied().unwrap_or(0);
+            }
+            // Drop the old generation once the whole table is rewritten.
+            if now >= refresh.started_at + self.refresh_duration() {
+                self.refresh = None;
+            }
+        }
+        self.keys[entry]
+    }
+
+    /// Whether the access counter has reached `threshold` and a renewal
+    /// request should be sent (§VI-C).
+    pub fn needs_refresh(&self, threshold: u64) -> bool {
+        self.accesses_since_refresh >= threshold
+    }
+
+    /// Number of accesses since the last refresh (the dedicated counter).
+    pub fn accesses_since_refresh(&self) -> u64 {
+        self.accesses_since_refresh
+    }
+
+    /// How many lookups returned a stale (old-generation) key, across the
+    /// table's lifetime. Evaluated in Table VI.
+    pub fn stale_hits(&self) -> u64 {
+        self.stale_hits
+    }
+
+    /// Monotonic refresh generation (0 = never refreshed).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether a refresh is still in flight at cycle `now`.
+    pub fn refresh_in_flight(&self, now: Cycle) -> bool {
+        self.refresh
+            .as_ref()
+            .is_some_and(|r| now < r.started_at + self.refresh_duration())
+    }
+}
+
+/// Per-`(hardware thread, privilege)` key state: the content key registers
+/// and the isolated keys table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainKeys {
+    content_key: u64,
+    table: KeysTable,
+}
+
+impl DomainKeys {
+    /// Creates zeroed key state.
+    pub fn new(config: KeysTableConfig) -> Self {
+        DomainKeys {
+            content_key: 0,
+            table: KeysTable::new(config),
+        }
+    }
+
+    /// The current content key (XOR-ed into stored table contents).
+    pub fn content_key(&self) -> u64 {
+        self.content_key
+    }
+
+    /// Shared access to the keys table.
+    pub fn table(&self) -> &KeysTable {
+        &self.table
+    }
+
+    /// Mutable access to the keys table.
+    pub fn table_mut(&mut self) -> &mut KeysTable {
+        &mut self.table
+    }
+}
+
+/// Key manager for all isolation slots of a core (§V-D).
+///
+/// Owns one [`DomainKeys`] per `(hardware thread, privilege)` slot, the
+/// modeled hardware timer and random source, and implements the paper's key
+/// change policy: renew a slot's keys on context switch and whenever the
+/// access counter reaches the threshold.
+///
+/// Content-key update is a 1-cycle register write and takes effect
+/// immediately; the keys-table rewrite proceeds in the background
+/// (two-step refresh, §V-C2).
+#[derive(Debug)]
+pub struct KeyManager {
+    cipher: Box<dyn TweakableBlockCipher>,
+    slots: Vec<DomainKeys>,
+    /// Models the hardware DRNG/PUF feeding the index seed.
+    rand_source: bp_common::rng::SplitMix64,
+    /// Models the free-running timer register read during code-book fill.
+    timer: u64,
+    /// Access-counter threshold for forced renewal (paper: ≈ 2²⁷).
+    threshold: u64,
+}
+
+/// The paper's renewal threshold: the shortest analyzed attack needs ≈ 2²⁷
+/// BPU accesses (§VI-C).
+pub const PAPER_RENEWAL_THRESHOLD: u64 = 1 << 27;
+
+impl KeyManager {
+    /// Creates a manager with `slot_count` isolation slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_count` is zero.
+    pub fn new(
+        cipher: Box<dyn TweakableBlockCipher>,
+        slot_count: usize,
+        config: KeysTableConfig,
+        threshold: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(slot_count > 0, "need at least one isolation slot");
+        KeyManager {
+            cipher,
+            slots: (0..slot_count).map(|_| DomainKeys::new(config)).collect(),
+            rand_source: bp_common::rng::SplitMix64::new(seed),
+            timer: 0x1000,
+            threshold,
+        }
+    }
+
+    /// Number of isolation slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The renewal threshold in accesses.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Renews all keys of `slot` (content key immediately, keys table in the
+    /// background), as on a context switch. Returns the cycle at which the
+    /// table rewrite completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds.
+    pub fn renew(&mut self, slot: usize, asid: Asid, vmid: Vmid, now: Cycle) -> Cycle {
+        let rand = self.rand_source.next_u64();
+        let seed = IndexSeed::derive(asid, vmid, rand);
+        // Step 1 (1 cycle): content key registers.
+        self.slots[slot].content_key = self.cipher.encrypt(self.timer, seed.raw() ^ 0xC0DE);
+        // Step 2 (hundreds of cycles, non-stalling): SRAM rewrite.
+        let timer_base = self.timer;
+        self.timer = self.timer.wrapping_add(0x10_0000);
+        let table = self.slots[slot].table_mut();
+        table.begin_refresh(self.cipher.as_ref(), seed, timer_base, now);
+        now + table.refresh_duration()
+    }
+
+    /// Looks up the index key for a branch in `slot`; the table is indexed by
+    /// a slice of the branch PC (§V-C). Counts the access and, if the counter
+    /// crossed the threshold, renews the slot's keys automatically and
+    /// reports it.
+    ///
+    /// Returns `(key, renewed)`.
+    pub fn index_key(
+        &mut self,
+        slot: usize,
+        pc_slice: u64,
+        asid: Asid,
+        vmid: Vmid,
+        now: Cycle,
+    ) -> (u64, bool) {
+        let entries = self.slots[slot].table().config().entries;
+        let entry = (pc_slice as usize) % entries;
+        let key = self.slots[slot].table_mut().key_at(entry, now);
+        if self.slots[slot].table().needs_refresh(self.threshold) {
+            self.renew(slot, asid, vmid, now);
+            return (key, true);
+        }
+        (key, false)
+    }
+
+    /// The content key currently active for `slot`.
+    pub fn content_key(&self, slot: usize) -> u64 {
+        self.slots[slot].content_key()
+    }
+
+    /// Read-only access to a slot's key state.
+    pub fn slot(&self, slot: usize) -> &DomainKeys {
+        &self.slots[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Qarma64;
+
+    fn cipher() -> Qarma64 {
+        Qarma64::from_seed(0xA5A5)
+    }
+
+    #[test]
+    fn paper_geometry_263_cycles() {
+        let t = KeysTable::new(KeysTableConfig::paper_default());
+        assert_eq!(t.config().keys_per_word(), 4);
+        assert_eq!(t.config().words(), 256);
+        assert_eq!(t.refresh_duration(), 263);
+        assert_eq!(t.config().storage_bytes(), 1280); // 1.25 KB per table
+    }
+
+    #[test]
+    fn keys_fit_width() {
+        let mut t = KeysTable::new(KeysTableConfig::paper_default());
+        let seed = IndexSeed::derive(Asid::new(1), Vmid::new(0), 42);
+        t.begin_refresh(&cipher(), seed, 0, 0);
+        for i in 0..1024 {
+            assert!(t.key_at(i, 10_000) < (1 << 10));
+        }
+    }
+
+    #[test]
+    fn refresh_changes_keys() {
+        let mut t = KeysTable::new(KeysTableConfig::paper_default());
+        let c = cipher();
+        t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 1), 0, 0);
+        let before: Vec<u64> = (0..1024).map(|i| t.key_at(i, 10_000)).collect();
+        t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 2), 4096, 20_000);
+        let after: Vec<u64> = (0..1024).map(|i| t.key_at(i, 40_000)).collect();
+        let differing = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert!(differing > 900, "only {differing} of 1024 keys changed");
+    }
+
+    #[test]
+    fn non_stalling_refresh_serves_stale_keys() {
+        let mut t = KeysTable::new(KeysTableConfig::paper_default());
+        let c = cipher();
+        t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 1), 0, 0);
+        // Let the first refresh complete, remember a late entry's key.
+        let old_last = t.key_at(1023, 100_000);
+        // Start a second refresh at cycle 200_000.
+        t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 2), 999, 200_000);
+        // Entry 1023 lives in the last word, rewritten at 200_000 + 7 + 256.
+        assert_eq!(t.key_at(1023, 200_001), old_last, "stale key expected");
+        assert!(t.refresh_in_flight(200_001));
+        assert!(!t.refresh_in_flight(201_000));
+        // Entry 0 is rewritten right after the pipeline fill.
+        let _ = t.key_at(0, 200_000 + 8);
+        assert!(t.stale_hits() >= 1);
+        // After completion the keys are the new generation's: with 8 entries
+        // of 10-bit keys compared, an accidental full match is ~2^-80.
+        let old_tail: Vec<u64> = (1016..1024).map(|i| t.key_at(i, 199_999)).collect();
+        let new_tail: Vec<u64> = (1016..1024).map(|i| t.key_at(i, 200_000 + 263)).collect();
+        assert_ne!(new_tail, old_tail, "keys should change across refresh");
+    }
+
+    #[test]
+    fn early_words_rewrite_before_late_words() {
+        let mut t = KeysTable::new(KeysTableConfig::paper_default());
+        let c = cipher();
+        t.begin_refresh(&c, IndexSeed::derive(Asid::new(7), Vmid::new(0), 3), 0, 0);
+        let now = 0 + 7 + 1; // first word rewritten, rest stale
+        let stale_before = t.stale_hits();
+        let _ = t.key_at(0, now);
+        assert_eq!(t.stale_hits(), stale_before, "entry 0 must be fresh");
+        let _ = t.key_at(1023, now);
+        assert_eq!(t.stale_hits(), stale_before + 1, "entry 1023 must be stale");
+    }
+
+    #[test]
+    fn access_counter_triggers_refresh_request() {
+        let mut t = KeysTable::new(KeysTableConfig::with_entries(4));
+        assert!(!t.needs_refresh(5));
+        for _ in 0..5 {
+            let _ = t.key_at(0, 0);
+        }
+        assert!(t.needs_refresh(5));
+        t.begin_refresh(&cipher(), IndexSeed::derive(Asid::new(0), Vmid::new(0), 0), 0, 0);
+        assert!(!t.needs_refresh(5), "counter must reset on refresh");
+    }
+
+    #[test]
+    fn generation_increments() {
+        let mut t = KeysTable::new(KeysTableConfig::with_entries(16));
+        assert_eq!(t.generation(), 0);
+        t.begin_refresh(&cipher(), IndexSeed::derive(Asid::new(0), Vmid::new(0), 0), 0, 0);
+        assert_eq!(t.generation(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_entry_panics() {
+        let mut t = KeysTable::new(KeysTableConfig::with_entries(16));
+        let _ = t.key_at(16, 0);
+    }
+
+    #[test]
+    fn index_seed_differs_across_asids() {
+        let a = IndexSeed::derive(Asid::new(1), Vmid::new(0), 99);
+        let b = IndexSeed::derive(Asid::new(2), Vmid::new(0), 99);
+        assert_ne!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn index_seed_depends_on_hardware_rand() {
+        let a = IndexSeed::derive(Asid::new(1), Vmid::new(0), 1);
+        let b = IndexSeed::derive(Asid::new(1), Vmid::new(0), 2);
+        assert_ne!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn key_manager_renews_per_slot_independently() {
+        let mut km = KeyManager::new(
+            Box::new(cipher()),
+            4,
+            KeysTableConfig::with_entries(64),
+            PAPER_RENEWAL_THRESHOLD,
+            7,
+        );
+        let done = km.renew(2, Asid::new(5), Vmid::new(0), 1000);
+        assert!(done > 1000);
+        assert_eq!(km.slot(2).table().generation(), 1);
+        assert_eq!(km.slot(0).table().generation(), 0, "other slots untouched");
+        assert_ne!(km.content_key(2), 0);
+        assert_eq!(km.content_key(0), 0);
+    }
+
+    #[test]
+    fn key_manager_counter_renewal() {
+        let mut km = KeyManager::new(
+            Box::new(cipher()),
+            1,
+            KeysTableConfig::with_entries(8),
+            4, // tiny threshold for the test
+            9,
+        );
+        let mut renewed_count = 0;
+        for i in 0..20u64 {
+            let (_k, renewed) = km.index_key(0, i, Asid::new(1), Vmid::new(0), i * 10);
+            if renewed {
+                renewed_count += 1;
+            }
+        }
+        assert!(renewed_count >= 4, "threshold 4 over 20 accesses: {renewed_count}");
+    }
+
+    #[test]
+    fn same_pc_slice_same_key_between_renewals() {
+        let mut km = KeyManager::new(
+            Box::new(cipher()),
+            1,
+            KeysTableConfig::paper_default(),
+            PAPER_RENEWAL_THRESHOLD,
+            11,
+        );
+        km.renew(0, Asid::new(3), Vmid::new(1), 0);
+        let (k1, _) = km.index_key(0, 0x1234, Asid::new(3), Vmid::new(1), 5000);
+        let (k2, _) = km.index_key(0, 0x1234, Asid::new(3), Vmid::new(1), 6000);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn renewal_changes_index_keys() {
+        let mut km = KeyManager::new(
+            Box::new(cipher()),
+            1,
+            KeysTableConfig::paper_default(),
+            PAPER_RENEWAL_THRESHOLD,
+            13,
+        );
+        km.renew(0, Asid::new(3), Vmid::new(1), 0);
+        let keys_a: Vec<u64> = (0..64)
+            .map(|pc| km.index_key(0, pc, Asid::new(3), Vmid::new(1), 5000).0)
+            .collect();
+        km.renew(0, Asid::new(3), Vmid::new(1), 10_000);
+        let keys_b: Vec<u64> = (0..64)
+            .map(|pc| km.index_key(0, pc, Asid::new(3), Vmid::new(1), 20_000).0)
+            .collect();
+        assert_ne!(keys_a, keys_b);
+    }
+}

@@ -1,0 +1,92 @@
+//! Run metrics: IPC, throughput, fairness inputs, predictor statistics.
+
+use bp_common::Cycle;
+use hybp::BpuStats;
+
+/// Metrics of one hardware thread over the measured region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadMetrics {
+    /// Instructions retired during measurement.
+    pub retired: u64,
+    /// Cycles elapsed during measurement.
+    pub cycles: Cycle,
+}
+
+impl ThreadMetrics {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Metrics of a full simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Per-hardware-thread metrics.
+    pub threads: Vec<ThreadMetrics>,
+    /// Total measured cycles.
+    pub cycles: Cycle,
+    /// BPU statistics accumulated over the whole run (including warmup).
+    pub bpu: BpuStats,
+}
+
+impl RunMetrics {
+    /// Sum of per-thread IPCs (the paper's throughput metric).
+    pub fn throughput(&self) -> f64 {
+        self.threads.iter().map(ThreadMetrics::ipc).sum()
+    }
+
+    /// Per-thread IPC vector.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.threads.iter().map(ThreadMetrics::ipc).collect()
+    }
+
+    /// Hmean fairness versus per-thread solo IPCs (same mechanism, run
+    /// alone). `None` when the shapes mismatch.
+    pub fn hmean_fairness(&self, solo_ipcs: &[f64]) -> Option<f64> {
+        bp_common::stats::hmean_fairness(&self.ipcs(), solo_ipcs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_throughput() {
+        let m = RunMetrics {
+            threads: vec![
+                ThreadMetrics { retired: 200, cycles: 100 },
+                ThreadMetrics { retired: 100, cycles: 100 },
+            ],
+            cycles: 100,
+            bpu: BpuStats::default(),
+        };
+        assert!((m.threads[0].ipc() - 2.0).abs() < 1e-12);
+        assert!((m.throughput() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_ipc() {
+        let t = ThreadMetrics { retired: 5, cycles: 0 };
+        assert_eq!(t.ipc(), 0.0);
+    }
+
+    #[test]
+    fn fairness_uses_solo_baseline() {
+        let m = RunMetrics {
+            threads: vec![
+                ThreadMetrics { retired: 100, cycles: 100 },
+                ThreadMetrics { retired: 100, cycles: 100 },
+            ],
+            cycles: 100,
+            bpu: BpuStats::default(),
+        };
+        let f = m.hmean_fairness(&[2.0, 2.0]).unwrap();
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,560 @@
+//! The cycle-level simulation loop.
+
+use bp_common::{Asid, Cycle, HwThreadId, Privilege};
+use bp_workloads::profile::SpecBenchmark;
+use bp_workloads::WorkloadGenerator;
+use hybp::SecureBpu;
+
+use crate::config::SimConfig;
+use crate::metrics::{RunMetrics, ThreadMetrics};
+
+/// Fetch progress within one instruction stream.
+#[derive(Debug, Clone)]
+struct FetchState {
+    pending: Option<bp_common::BranchRecord>,
+    gap_left: u32,
+}
+
+impl FetchState {
+    fn new() -> Self {
+        FetchState {
+            pending: None,
+            gap_left: 0,
+        }
+    }
+}
+
+/// Privilege mode state machine of one hardware thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    User,
+    /// In a kernel episode with `remaining` instructions; `then_switch`
+    /// marks scheduler episodes that end in a context switch.
+    Kernel { remaining: u64, then_switch: bool },
+}
+
+/// Per-hardware-thread simulation state.
+#[derive(Debug)]
+struct HwContext {
+    hw: HwThreadId,
+    /// Software threads alternated by the context-switch schedule.
+    user_gens: Vec<WorkloadGenerator>,
+    asids: Vec<Asid>,
+    active: usize,
+    kernel_gen: WorkloadGenerator,
+    mode: Mode,
+    user_fetch: FetchState,
+    kernel_fetch: FetchState,
+    window: u32,
+    retire_credit: f64,
+    retired_total: u64,
+    /// Measurement bookkeeping.
+    measured_retired: u64,
+    measure_start: Option<Cycle>,
+    measure_end: Option<Cycle>,
+    stall_until: Cycle,
+    next_cs: Cycle,
+    next_timer: Cycle,
+}
+
+impl HwContext {
+    fn active_base_ipc(&self) -> f64 {
+        match self.mode {
+            Mode::User => self.user_gens[self.active].profile().base_ipc,
+            Mode::Kernel { .. } => self.kernel_gen.profile().base_ipc,
+        }
+    }
+
+    fn done(&self, measure_target: u64) -> bool {
+        self.measured_retired >= measure_target
+    }
+}
+
+/// A trace-driven, cycle-level SMT simulation of one core plus OS events.
+///
+/// # Examples
+///
+/// ```
+/// use bp_pipeline::{SimConfig, Simulation};
+/// use bp_workloads::SpecBenchmark;
+/// use hybp::Mechanism;
+///
+/// let mut cfg = SimConfig::quick_test();
+/// cfg.warmup_instructions = 5_000;
+/// cfg.measure_instructions = 20_000;
+/// let m = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, cfg).run();
+/// assert!(m.threads[0].ipc() > 0.5);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    bpu: SecureBpu,
+    contexts: Vec<HwContext>,
+    cycle: Cycle,
+}
+
+impl Simulation {
+    /// Builds a single-hardware-thread simulation of `bench`: two software
+    /// instances of the benchmark alternate at the context-switch interval
+    /// (so the baseline sees realistic cross-process pollution rather than a
+    /// pristine predictor).
+    pub fn single_thread(
+        mechanism: hybp::Mechanism,
+        bench: SpecBenchmark,
+        cfg: SimConfig,
+    ) -> Self {
+        Simulation::build(mechanism, &[vec![bench, bench]], cfg)
+    }
+
+    /// Builds an SMT simulation: hardware thread `i` alternates between two
+    /// software instances of `pair[i]`.
+    pub fn smt(mechanism: hybp::Mechanism, pair: [SpecBenchmark; 2], cfg: SimConfig) -> Self {
+        Simulation::build(mechanism, &[vec![pair[0], pair[0]], vec![pair[1], pair[1]]], cfg)
+    }
+
+    /// Fully explicit constructor: `threads[i]` lists the software threads
+    /// that time-share hardware thread `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty or any entry is empty.
+    pub fn build(
+        mechanism: hybp::Mechanism,
+        threads: &[Vec<SpecBenchmark>],
+        cfg: SimConfig,
+    ) -> Self {
+        assert!(!threads.is_empty(), "need at least one hardware thread");
+        let bpu = SecureBpu::new(mechanism, cfg.smt_capacity.max(threads.len()), cfg.seed);
+        let mut next_asid = 1u16;
+        let contexts = threads
+            .iter()
+            .enumerate()
+            .map(|(i, sw)| {
+                assert!(!sw.is_empty(), "hardware thread {i} has no software threads");
+                let user_gens: Vec<WorkloadGenerator> = sw
+                    .iter()
+                    .enumerate()
+                    .map(|(j, b)| {
+                        WorkloadGenerator::new(
+                            b.profile(),
+                            cfg.seed ^ ((i as u64) << 32) ^ ((j as u64) << 16) ^ 0xABCD,
+                        )
+                    })
+                    .collect();
+                let asids: Vec<Asid> = (0..sw.len())
+                    .map(|_| {
+                        let a = Asid::new(next_asid);
+                        next_asid += 1;
+                        a
+                    })
+                    .collect();
+                HwContext {
+                    hw: HwThreadId::new(i as u8),
+                    user_gens,
+                    asids,
+                    active: 0,
+                    kernel_gen: WorkloadGenerator::new(
+                        SpecBenchmark::Kernel.profile(),
+                        cfg.seed ^ 0xFEED ^ (i as u64),
+                    ),
+                    mode: Mode::User,
+                    user_fetch: FetchState::new(),
+                    kernel_fetch: FetchState::new(),
+                    window: 0,
+                    retire_credit: 0.0,
+                    retired_total: 0,
+                    measured_retired: 0,
+                    measure_start: None,
+                    measure_end: None,
+                    stall_until: 0,
+                    // Stagger per-thread OS events so they do not align.
+                    next_cs: cfg.ctx_switch_interval + (i as Cycle) * (cfg.ctx_switch_interval / 3 + 1),
+                    next_timer: cfg.kernel_timer_interval
+                        + (i as Cycle) * (cfg.kernel_timer_interval / 3 + 1),
+                }
+            })
+            .collect();
+        let mut sim = Simulation {
+            cfg,
+            bpu,
+            contexts,
+            cycle: 0,
+        };
+        // Announce the initial software threads.
+        for i in 0..sim.contexts.len() {
+            let hw = sim.contexts[i].hw;
+            let asid = sim.contexts[i].asids[0];
+            sim.bpu.on_context_switch(hw, asid, 0);
+        }
+        sim
+    }
+
+    /// Read access to the BPU (attack/analysis harnesses).
+    pub fn bpu(&self) -> &SecureBpu {
+        &self.bpu
+    }
+
+    /// Runs warmup + measurement and returns the metrics.
+    pub fn run(mut self) -> RunMetrics {
+        let measure = self.cfg.measure_instructions;
+        // Generous runaway bound: even at 0.05 IPC the run fits.
+        let deadline = (self.cfg.warmup_instructions + measure) * 40 + 10_000_000;
+        while !self.contexts.iter().all(|c| c.done(measure)) && self.cycle < deadline {
+            self.step();
+        }
+        let threads = self
+            .contexts
+            .iter()
+            .map(|c| ThreadMetrics {
+                retired: c.measured_retired.min(measure),
+                cycles: match (c.measure_start, c.measure_end) {
+                    (Some(s), Some(e)) => e - s,
+                    (Some(s), None) => self.cycle.saturating_sub(s).max(1),
+                    _ => 1,
+                },
+            })
+            .collect();
+        RunMetrics {
+            threads,
+            cycles: self.cycle,
+            bpu: self.bpu.stats(),
+        }
+    }
+
+    /// One simulated cycle: retire, OS events, fetch.
+    fn step(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+        self.retire(now);
+        self.os_events(now);
+        self.fetch(now);
+    }
+
+    /// ILP-limited retirement sharing the issue width.
+    fn retire(&mut self, now: Cycle) {
+        let mut budget = self.cfg.core.issue_width;
+        let n = self.contexts.len();
+        let derate = if n > 1 { self.cfg.core.smt_ilp_derate } else { 1.0 };
+        // Rotate service order so no thread is structurally favoured.
+        for k in 0..n {
+            let i = (now as usize + k) % n;
+            let c = &mut self.contexts[i];
+            let ipc = c.active_base_ipc() * derate;
+            c.retire_credit = (c.retire_credit + ipc).min(ipc * 4.0 + 1.0);
+            let want = (c.retire_credit as u32).min(c.window);
+            let grant = want.min(budget);
+            if grant > 0 {
+                budget -= grant;
+                c.window -= grant;
+                c.retire_credit -= f64::from(grant);
+                c.retired_total += u64::from(grant);
+                if c.retired_total >= self.cfg.warmup_instructions {
+                    if c.measure_start.is_none() {
+                        c.measure_start = Some(now);
+                    }
+                    if c.measure_end.is_none() {
+                        c.measured_retired += u64::from(grant);
+                        if c.measured_retired >= self.cfg.measure_instructions {
+                            c.measure_end = Some(now);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Timer interrupts and context switches (entered only from user mode;
+    /// kernel exits fire the deferred actions).
+    fn os_events(&mut self, now: Cycle) {
+        for i in 0..self.contexts.len() {
+            let (mode, next_cs, next_timer, hw) = {
+                let c = &self.contexts[i];
+                (c.mode, c.next_cs, c.next_timer, c.hw)
+            };
+            if mode != Mode::User {
+                continue;
+            }
+            if now >= next_cs {
+                // Scheduler entry: privilege change into the kernel; the
+                // actual thread switch happens when the episode ends.
+                self.bpu.on_privilege_change(hw, Privilege::Kernel, now);
+                let c = &mut self.contexts[i];
+                c.mode = Mode::Kernel {
+                    remaining: self.cfg.scheduler_instructions,
+                    then_switch: true,
+                };
+            } else if now >= next_timer {
+                self.bpu.on_privilege_change(hw, Privilege::Kernel, now);
+                let c = &mut self.contexts[i];
+                c.mode = Mode::Kernel {
+                    remaining: self.cfg.kernel_episode_instructions,
+                    then_switch: false,
+                };
+                c.next_timer = now + self.cfg.kernel_timer_interval;
+            }
+        }
+    }
+
+    /// ICOUNT fetch: the least-loaded ready thread fetches up to
+    /// `fetch_width` instructions, stopping at redirects/bubbles.
+    fn fetch(&mut self, now: Cycle) {
+        let pick = self
+            .contexts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.stall_until <= now && c.window < self.cfg.core.window_size)
+            .min_by_key(|(_, c)| c.window)
+            .map(|(i, _)| i);
+        let Some(i) = pick else { return };
+        let mut budget = self.cfg.core.fetch_width;
+        while budget > 0 {
+            // Re-resolve everything each iteration: a kernel-episode end can
+            // switch the active stream (and even stall the thread) mid-fetch.
+            if self.contexts[i].stall_until > now {
+                break;
+            }
+            let c = &mut self.contexts[i];
+            let mode_before = c.mode;
+            let fetch_state = match c.mode {
+                Mode::User => &mut c.user_fetch,
+                Mode::Kernel { .. } => &mut c.kernel_fetch,
+            };
+            if fetch_state.pending.is_none() {
+                let rec = match c.mode {
+                    Mode::User => c.user_gens[c.active].next_branch(),
+                    Mode::Kernel { .. } => c.kernel_gen.next_branch(),
+                };
+                fetch_state.gap_left = rec.gap;
+                fetch_state.pending = Some(rec);
+            }
+            if fetch_state.gap_left > 0 {
+                // Fetch gap (non-branch) instructions first.
+                let gap_now = fetch_state.gap_left.min(budget);
+                fetch_state.gap_left -= gap_now;
+                budget -= gap_now;
+                c.window += gap_now;
+                self.note_kernel_progress(i, u64::from(gap_now), now);
+                // Mode may have changed (episode ended): restart resolution.
+                if self.contexts[i].mode != mode_before {
+                    continue;
+                }
+                continue;
+            }
+            // Fetch the branch itself.
+            let rec = fetch_state.pending.take().expect("pending branch");
+            budget -= 1;
+            c.window += 1;
+            let hw = c.hw;
+            let outcome = self.bpu.process_branch(hw, &rec, now);
+            self.note_kernel_progress(i, 1, now);
+            let c = &mut self.contexts[i];
+            if outcome.mispredicted() {
+                c.stall_until = c.stall_until.max(
+                    now + Cycle::from(self.cfg.core.mispredict_penalty)
+                        + Cycle::from(self.cfg.core.extra_frontend_cycles)
+                        + Cycle::from(self.bpu.extra_frontend_cycles()),
+                );
+                break;
+            } else if outcome.btb_latency > 0 {
+                c.stall_until = c.stall_until.max(now + Cycle::from(outcome.btb_latency));
+                break;
+            }
+        }
+    }
+
+    /// Advances kernel-episode accounting by `instructions` fetched; fires
+    /// the deferred context switch / privilege return at episode end.
+    fn note_kernel_progress(&mut self, i: usize, instructions: u64, now: Cycle) {
+        if instructions == 0 {
+            return;
+        }
+        let c = &mut self.contexts[i];
+        let Mode::Kernel {
+            remaining,
+            then_switch,
+        } = c.mode
+        else {
+            return;
+        };
+        if remaining > instructions {
+            c.mode = Mode::Kernel {
+                remaining: remaining - instructions,
+                then_switch,
+            };
+            return;
+        }
+        // Episode over.
+        let hw = c.hw;
+        c.mode = Mode::User;
+        if then_switch {
+            c.active = (c.active + 1) % c.user_gens.len();
+            let asid = c.asids[c.active];
+            c.next_cs = now + self.cfg.ctx_switch_interval;
+            c.stall_until = now + Cycle::from(self.cfg.core.context_switch_cost);
+            // The outgoing thread's fetch state is abandoned (it will get a
+            // fresh stream when it returns — different dynamic path).
+            c.user_fetch = FetchState::new();
+            self.bpu.on_context_switch(hw, asid, now);
+        }
+        self.bpu.on_privilege_change(hw, Privilege::User, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybp::Mechanism;
+
+    fn quick() -> SimConfig {
+        let mut cfg = SimConfig::quick_test();
+        cfg.warmup_instructions = 30_000;
+        cfg.measure_instructions = 120_000;
+        cfg
+    }
+
+    #[test]
+    fn baseline_ipc_approaches_base_ipc() {
+        let m = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, quick()).run();
+        let ipc = m.threads[0].ipc();
+        let base = SpecBenchmark::Lbm.profile().base_ipc;
+        assert!(
+            ipc > base * 0.8 && ipc <= base * 1.02,
+            "lbm IPC {ipc} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn harder_branches_cost_ipc() {
+        let lbm = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, quick())
+            .run()
+            .threads[0]
+            .ipc();
+        let mcf = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, quick())
+            .run()
+            .threads[0]
+            .ipc();
+        assert!(mcf < lbm, "mcf {mcf} must be slower than lbm {lbm}");
+    }
+
+    #[test]
+    fn extra_frontend_latency_reduces_ipc() {
+        let mut cfg = quick();
+        let base =
+            Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, cfg).run().threads
+                [0]
+            .ipc();
+        cfg.core.extra_frontend_cycles = 8;
+        let slow =
+            Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, cfg).run().threads
+                [0]
+            .ipc();
+        assert!(
+            slow < base * 0.99,
+            "8 extra cycles must cost mcf >1% (got {base} -> {slow})"
+        );
+    }
+
+    #[test]
+    fn smt_throughput_beats_single_thread() {
+        let cfg = quick();
+        let solo = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Wrf, cfg)
+            .run()
+            .throughput();
+        let smt = Simulation::smt(
+            Mechanism::Baseline,
+            [SpecBenchmark::Wrf, SpecBenchmark::Mcf],
+            cfg,
+        )
+        .run()
+        .throughput();
+        assert!(
+            smt > solo * 1.05,
+            "SMT throughput {smt} must beat solo {solo}"
+        );
+    }
+
+    #[test]
+    fn flush_costs_more_at_small_intervals() {
+        let mut small = quick();
+        small.measure_instructions = 500_000;
+        small.ctx_switch_interval = 25_000;
+        let mut big = quick();
+        big.measure_instructions = 500_000;
+        big.ctx_switch_interval = 8_000_000;
+        let bench = SpecBenchmark::Deepsjeng;
+        let ipc_small = Simulation::single_thread(Mechanism::Flush, bench, small)
+            .run()
+            .threads[0]
+            .ipc();
+        let ipc_big = Simulation::single_thread(Mechanism::Flush, bench, big)
+            .run()
+            .threads[0]
+            .ipc();
+        assert!(
+            ipc_small < ipc_big,
+            "flush at 100K ({ipc_small}) must be slower than at 16M ({ipc_big})"
+        );
+    }
+
+    #[test]
+    fn hybp_close_to_baseline_at_default_interval() {
+        let cfg = quick();
+        let base = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Xz, cfg)
+            .run()
+            .threads[0]
+            .ipc();
+        let hybp = Simulation::single_thread(Mechanism::hybp_default(), SpecBenchmark::Xz, cfg)
+            .run()
+            .threads[0]
+            .ipc();
+        let loss = (base - hybp) / base;
+        assert!(
+            loss < 0.05,
+            "HyBP loss at 16M interval should be small, got {loss}"
+        );
+    }
+
+    #[test]
+    fn partition_loses_to_hybp_on_capacity_sensitive_bench() {
+        let mut cfg = quick();
+        // Long enough for the quarter-capacity tables to be the bottleneck
+        // (short runs are dominated by cold-start for both mechanisms).
+        cfg.warmup_instructions = 150_000;
+        cfg.measure_instructions = 600_000;
+        let part =
+            Simulation::single_thread(Mechanism::Partition, SpecBenchmark::Fotonik3d, cfg)
+                .run()
+                .threads[0]
+                .ipc();
+        let hybp = Simulation::single_thread(
+            Mechanism::hybp_default(),
+            SpecBenchmark::Fotonik3d,
+            cfg,
+        )
+        .run()
+        .threads[0]
+        .ipc();
+        assert!(
+            part < hybp,
+            "partition ({part}) must underperform HyBP ({hybp}) on fotonik3d"
+        );
+    }
+
+    #[test]
+    fn all_threads_reach_measurement() {
+        let cfg = quick();
+        let m = Simulation::smt(
+            Mechanism::hybp_default(),
+            [SpecBenchmark::CactuBssn, SpecBenchmark::Xz],
+            cfg,
+        )
+        .run();
+        for (i, t) in m.threads.iter().enumerate() {
+            assert_eq!(
+                t.retired, cfg.measure_instructions,
+                "thread {i} must complete measurement"
+            );
+            assert!(t.ipc() > 0.1, "thread {i} ipc {}", t.ipc());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Behavioural tests for the cycle-level core model.
+
+use bp_pipeline::{CoreConfig, SimConfig, Simulation};
+use bp_workloads::profile::SpecBenchmark;
+use hybp::Mechanism;
+
+fn cfg(measure: u64) -> SimConfig {
+    let mut c = SimConfig::quick_test();
+    c.warmup_instructions = 60_000;
+    c.measure_instructions = measure;
+    c
+}
+
+#[test]
+fn ipc_never_exceeds_structural_limits() {
+    for b in [SpecBenchmark::Imagick, SpecBenchmark::Lbm, SpecBenchmark::Mcf] {
+        let m = Simulation::single_thread(Mechanism::Baseline, b, cfg(300_000)).run();
+        let ipc = m.threads[0].ipc();
+        let core = CoreConfig::sunny_cove();
+        assert!(ipc <= f64::from(core.issue_width), "{b:?}: ipc {ipc}");
+        assert!(
+            ipc <= b.profile().base_ipc * 1.01,
+            "{b:?}: ipc {ipc} exceeds intrinsic {}",
+            b.profile().base_ipc
+        );
+    }
+}
+
+#[test]
+fn bigger_mispredict_penalty_hurts() {
+    let mut a = cfg(400_000);
+    a.core.mispredict_penalty = 8;
+    let mut b = cfg(400_000);
+    b.core.mispredict_penalty = 32;
+    let fast = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Deepsjeng, a)
+        .run()
+        .threads[0]
+        .ipc();
+    let slow = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Deepsjeng, b)
+        .run()
+        .threads[0]
+        .ipc();
+    assert!(slow < fast, "penalty 32 ({slow}) must be slower than 8 ({fast})");
+}
+
+#[test]
+fn kernel_episodes_charge_time() {
+    // More frequent kernel episodes reduce user IPC even on the baseline
+    // (the kernel's lower intrinsic ILP and predictor pollution).
+    let mut rare = cfg(500_000);
+    rare.kernel_timer_interval = u64::MAX / 4;
+    let mut frequent = cfg(500_000);
+    frequent.kernel_timer_interval = 60_000;
+    let bench = SpecBenchmark::Wrf;
+    let fast = Simulation::single_thread(Mechanism::Baseline, bench, rare)
+        .run()
+        .threads[0]
+        .ipc();
+    let slow = Simulation::single_thread(Mechanism::Baseline, bench, frequent)
+        .run()
+        .threads[0]
+        .ipc();
+    assert!(
+        slow < fast,
+        "frequent kernel entries ({slow}) must cost vs none ({fast})"
+    );
+}
+
+#[test]
+fn tiny_window_throttles_ipc() {
+    let mut small = cfg(300_000);
+    small.core.window_size = 8;
+    let bench = SpecBenchmark::Imagick; // intrinsic IPC 4.4
+    let throttled = Simulation::single_thread(Mechanism::Baseline, bench, small)
+        .run()
+        .threads[0]
+        .ipc();
+    let normal = Simulation::single_thread(Mechanism::Baseline, bench, cfg(300_000))
+        .run()
+        .threads[0]
+        .ipc();
+    assert!(
+        throttled < normal,
+        "8-entry window ({throttled}) must throttle vs 176 ({normal})"
+    );
+}
+
+#[test]
+fn smt_threads_progress_together() {
+    // Neither thread may be starved: both finish their measurement and the
+    // slower thread's IPC is at least a third of its solo value.
+    let c = cfg(250_000);
+    let pair = [SpecBenchmark::Imagick, SpecBenchmark::Mcf];
+    let smt = Simulation::smt(Mechanism::Baseline, pair, c).run();
+    for (i, t) in smt.threads.iter().enumerate() {
+        assert_eq!(t.retired, c.measure_instructions, "thread {i} starved");
+        let solo = Simulation::single_thread(Mechanism::Baseline, pair[i], c)
+            .run()
+            .threads[0]
+            .ipc();
+        assert!(
+            t.ipc() > solo / 3.0,
+            "thread {i} ipc {} vs solo {solo}",
+            t.ipc()
+        );
+    }
+}
+
+#[test]
+fn metrics_are_reproducible_across_identical_runs() {
+    let a = Simulation::smt(
+        Mechanism::hybp_default(),
+        [SpecBenchmark::Xz, SpecBenchmark::Namd],
+        cfg(200_000),
+    )
+    .run();
+    let b = Simulation::smt(
+        Mechanism::hybp_default(),
+        [SpecBenchmark::Xz, SpecBenchmark::Namd],
+        cfg(200_000),
+    )
+    .run();
+    assert_eq!(a, b, "identical configs must produce identical metrics");
+}
+
+#[test]
+fn different_seeds_produce_different_runs() {
+    let mut c2 = cfg(200_000);
+    c2.seed ^= 0xFFFF;
+    let a = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Cam4, cfg(200_000))
+        .run();
+    let b = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Cam4, c2).run();
+    assert_ne!(
+        a.cycles, b.cycles,
+        "different seeds should perturb the cycle count"
+    );
+}

@@ -1,0 +1,141 @@
+//! The security interposition hook for predictor tables.
+//!
+//! Every table access (BTB levels, TAGE base and tagged tables) routes its
+//! set index, its tag, and the stored content through a [`TableCodec`]. The
+//! baseline uses [`IdentityCodec`]; the `hybp` crate provides a codec that
+//! implements the paper's randomization: index transformation through the
+//! per-domain keys table and content XOR with the content key.
+//!
+//! Keeping the hook here (and key management in `bp-crypto`/`hybp`) means
+//! the predictor structures stay faithful models of the underlying hardware
+//! while mechanisms remain swappable.
+
+use bp_common::{Addr, Cycle};
+use std::fmt;
+
+/// Which predictor structure a table access belongs to.
+///
+/// Codecs use this to decide whether a table is randomized (the big,
+/// last-level structures under HyBP) or left alone (the physically isolated
+/// small structures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableUnit {
+    /// A BTB level (0, 1 or 2).
+    Btb,
+    /// The TAGE base bimodal predictor.
+    TageBase,
+    /// A TAGE tagged table.
+    TageTagged,
+    /// The statistical corrector tables.
+    StatisticalCorrector,
+    /// The loop predictor table.
+    LoopPredictor,
+    /// Tournament predictor structures (baseline comparisons only).
+    Tournament,
+}
+
+/// Identifies a concrete table: the unit plus its level/index within the
+/// unit (BTB level 0..=2, TAGE tagged table 0..N, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId {
+    /// The structure family.
+    pub unit: TableUnit,
+    /// Level within the family (e.g. BTB level, TAGE table number).
+    pub level: usize,
+}
+
+impl TableId {
+    /// Creates a table id.
+    pub const fn new(unit: TableUnit, level: usize) -> Self {
+        TableId { unit, level }
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}[{}]", self.unit, self.level)
+    }
+}
+
+/// Transforms table indices, tags and contents on every access.
+///
+/// Implementations must be deterministic between key changes: the same
+/// `(table, raw value, pc)` must map to the same output while the underlying
+/// keys are unchanged, or lookups could never hit.
+pub trait TableCodec: fmt::Debug {
+    /// Transforms a raw set index for `table`. The result is reduced modulo
+    /// the table's set count by the caller, so codecs may return any u64.
+    fn transform_index(&mut self, table: TableId, raw_index: u64, pc: Addr, now: Cycle) -> u64;
+
+    /// Transforms a raw tag for `table` before compare/store.
+    fn transform_tag(&mut self, table: TableId, raw_tag: u64, pc: Addr, now: Cycle) -> u64;
+
+    /// Encodes content before it is stored (e.g. XOR with the content key).
+    fn encode_content(&mut self, table: TableId, raw: u64) -> u64;
+
+    /// Decodes stored content after it is read. Must invert
+    /// [`TableCodec::encode_content`] *under the same key*; content written
+    /// under an older key decodes to garbage — which is the security
+    /// property HyBP relies on.
+    fn decode_content(&mut self, table: TableId, stored: u64) -> u64;
+}
+
+/// The identity codec: conventional, unprotected table access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityCodec;
+
+impl IdentityCodec {
+    /// Creates the identity codec.
+    pub const fn new() -> Self {
+        IdentityCodec
+    }
+}
+
+impl TableCodec for IdentityCodec {
+    fn transform_index(&mut self, _table: TableId, raw_index: u64, _pc: Addr, _now: Cycle) -> u64 {
+        raw_index
+    }
+
+    fn transform_tag(&mut self, _table: TableId, raw_tag: u64, _pc: Addr, _now: Cycle) -> u64 {
+        raw_tag
+    }
+
+    fn encode_content(&mut self, _table: TableId, raw: u64) -> u64 {
+        raw
+    }
+
+    fn decode_content(&mut self, _table: TableId, stored: u64) -> u64 {
+        stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_codec_passes_through() {
+        let mut c = IdentityCodec::new();
+        let t = TableId::new(TableUnit::Btb, 2);
+        assert_eq!(c.transform_index(t, 123, Addr::new(0), 0), 123);
+        assert_eq!(c.transform_tag(t, 45, Addr::new(0), 0), 45);
+        assert_eq!(c.encode_content(t, 678), 678);
+        assert_eq!(c.decode_content(t, 678), 678);
+    }
+
+    #[test]
+    fn table_id_display() {
+        let t = TableId::new(TableUnit::TageTagged, 5);
+        assert_eq!(t.to_string(), "TageTagged[5]");
+    }
+
+    #[test]
+    fn table_ids_hashable_and_distinct() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(TableId::new(TableUnit::Btb, 0));
+        set.insert(TableId::new(TableUnit::Btb, 1));
+        set.insert(TableId::new(TableUnit::TageBase, 0));
+        assert_eq!(set.len(), 3);
+    }
+}

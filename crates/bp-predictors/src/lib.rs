@@ -1,0 +1,64 @@
+//! Branch predictor structures for the HyBP reproduction.
+//!
+//! This crate implements the baseline prediction hardware the paper builds
+//! on (its Figure 3): a three-level BTB hierarchy modeled after AMD Zen 2 and
+//! a TAGE-SC-L direction predictor, plus a decades-old tournament predictor
+//! used by the paper as a reference point for how much performance modern
+//! predictors are worth (§VII-F).
+//!
+//! Security layering is done through the [`codec::TableCodec`] hook: every
+//! table access routes its set index, tag and stored content through the
+//! codec, so the `hybp` crate can interpose encryption without the predictor
+//! structures knowing anything about keys. The default
+//! [`codec::IdentityCodec`] makes the structures behave like conventional
+//! unprotected hardware.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_predictors::btb::BtbHierarchy;
+//! use bp_predictors::codec::IdentityCodec;
+//! use bp_common::Addr;
+//!
+//! let mut btb = BtbHierarchy::zen2();
+//! let mut codec = IdentityCodec::new();
+//! let pc = Addr::new(0x40_0000);
+//! let tgt = Addr::new(0x40_1000);
+//! assert!(btb.lookup(pc, &mut codec, 0).is_miss());
+//! btb.update(pc, tgt, &mut codec, 0);
+//! assert_eq!(btb.lookup(pc, &mut codec, 1).target(), Some(tgt));
+//! ```
+
+pub mod bimodal;
+pub mod btb;
+pub mod codec;
+pub mod loop_pred;
+pub mod ras;
+pub mod sc;
+pub mod tage;
+pub mod tage_scl;
+pub mod tournament;
+
+use bp_common::{Addr, Cycle};
+
+/// A direction predictor: predicts taken/not-taken for conditional branches.
+///
+/// Implemented by [`tage_scl::TageScL`], [`tournament::Tournament`] and
+/// [`bimodal::Bimodal`]. The `codec` gives the security layer a chance to
+/// transform table indices/tags/contents; `now` is the current cycle (used
+/// by codecs that model in-flight key refreshes).
+pub trait DirectionPredictor: std::fmt::Debug {
+    /// Predicts the direction of the conditional branch at `pc`.
+    fn predict(&mut self, pc: Addr, codec: &mut dyn codec::TableCodec, now: Cycle) -> bool;
+
+    /// Trains the predictor with the resolved outcome. Must be called once
+    /// per predicted branch, after `predict`, with the same `pc`.
+    fn update(&mut self, pc: Addr, taken: bool, codec: &mut dyn codec::TableCodec, now: Cycle);
+
+    /// Clears all prediction state (the Flush defense and context-switch
+    /// flushes of physically isolated tables).
+    fn flush(&mut self);
+
+    /// Total modeled storage in bits (used by the hardware cost model).
+    fn storage_bits(&self) -> u64;
+}

@@ -1,0 +1,139 @@
+//! The paper's Table V SMT-2 workload mixes.
+//!
+//! Pair-wise SPEC combinations selected per the standard SMT methodology,
+//! classified by the ILP of their members: H-ILP (both high), L-ILP (both
+//! low), MIX (one of each).
+
+use crate::profile::SpecBenchmark;
+
+/// ILP class of a benchmark or mix member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IlpClass {
+    /// High instruction-level parallelism.
+    High,
+    /// Low instruction-level parallelism.
+    Low,
+}
+
+impl std::fmt::Display for IlpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IlpClass::High => "H-ILP",
+            IlpClass::Low => "L-ILP",
+        })
+    }
+}
+
+/// Classification of a two-thread mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixClass {
+    /// Both members high-ILP.
+    HighIlp,
+    /// One high, one low.
+    Mixed,
+    /// Both members low-ILP.
+    LowIlp,
+}
+
+impl std::fmt::Display for MixClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MixClass::HighIlp => "H-ILP",
+            MixClass::Mixed => "MIX",
+            MixClass::LowIlp => "L-ILP",
+        })
+    }
+}
+
+/// One SMT-2 workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Mix number (1..=12, as in Table V).
+    pub id: u8,
+    /// The two co-running benchmarks.
+    pub pair: [SpecBenchmark; 2],
+}
+
+impl Mix {
+    /// The mix's class, derived from its members.
+    pub fn class(&self) -> MixClass {
+        use IlpClass::*;
+        match (
+            self.pair[0].profile().ilp_class,
+            self.pair[1].profile().ilp_class,
+        ) {
+            (High, High) => MixClass::HighIlp,
+            (Low, Low) => MixClass::LowIlp,
+            _ => MixClass::Mixed,
+        }
+    }
+
+    /// Table-style label, e.g. `mix1: cactuBSSN_r+imagick_r`.
+    pub fn label(&self) -> String {
+        format!(
+            "mix{}: {}+{}",
+            self.id,
+            self.pair[0].name(),
+            self.pair[1].name()
+        )
+    }
+}
+
+impl std::fmt::Display for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mix{}", self.id)
+    }
+}
+
+/// Table V: the twelve SMT-2 mixes.
+pub const TABLE_V_MIXES: [Mix; 12] = {
+    use SpecBenchmark::*;
+    [
+        Mix { id: 1, pair: [CactuBssn, Imagick] },
+        Mix { id: 2, pair: [Wrf, Namd] },
+        Mix { id: 3, pair: [Fotonik3d, Exchange2] },
+        Mix { id: 4, pair: [Wrf, CactuBssn] },
+        Mix { id: 5, pair: [Imagick, Xz] },
+        Mix { id: 6, pair: [Imagick, Bwaves] },
+        Mix { id: 7, pair: [Wrf, Mcf] },
+        Mix { id: 8, pair: [Namd, Roms] },
+        Mix { id: 9, pair: [Xz, Cam4] },
+        Mix { id: 10, pair: [Cam4, Xalancbmk] },
+        Mix { id: 11, pair: [Lbm, Bwaves] },
+        Mix { id: 12, pair: [Cam4, Bwaves] },
+    ]
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_mixes_with_sequential_ids() {
+        assert_eq!(TABLE_V_MIXES.len(), 12);
+        for (i, m) in TABLE_V_MIXES.iter().enumerate() {
+            assert_eq!(m.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn classes_match_table_v_layout() {
+        // Table V: mixes 1-4 are H-ILP, 5-8 are MIX, 9-12 are L-ILP.
+        for m in &TABLE_V_MIXES[0..4] {
+            assert_eq!(m.class(), MixClass::HighIlp, "{}", m.label());
+        }
+        for m in &TABLE_V_MIXES[4..8] {
+            assert_eq!(m.class(), MixClass::Mixed, "{}", m.label());
+        }
+        for m in &TABLE_V_MIXES[8..12] {
+            assert_eq!(m.class(), MixClass::LowIlp, "{}", m.label());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(TABLE_V_MIXES[0].label(), "mix1: cactuBSSN_r+imagick_r");
+        assert_eq!(TABLE_V_MIXES[6].label(), "mix7: wrf_r+mcf_r");
+        assert_eq!(TABLE_V_MIXES[11].label(), "mix12: cam4_r+bwaves_r");
+    }
+}

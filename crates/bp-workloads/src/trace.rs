@@ -1,0 +1,260 @@
+//! Branch-trace recording and replay.
+//!
+//! The generators in this crate are deterministic, but experiments sometimes
+//! need to freeze an exact dynamic stream — e.g. to replay the same branch
+//! sequence against two mechanisms, to ship a regression trace with a bug
+//! report, or to cut simulator time by skipping generation. A [`BranchTrace`]
+//! is such a frozen stream, with a compact text serialization.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_workloads::trace::BranchTrace;
+//! use bp_workloads::{SpecBenchmark, WorkloadGenerator};
+//!
+//! let mut gen = WorkloadGenerator::new(SpecBenchmark::Mcf.profile(), 1);
+//! let trace = BranchTrace::record(&mut gen, 100);
+//! let text = trace.to_text();
+//! let back = BranchTrace::from_text(&text).unwrap();
+//! assert_eq!(trace, back);
+//! ```
+
+use bp_common::{Addr, BranchKind, BranchRecord};
+
+use crate::generator::WorkloadGenerator;
+
+/// A recorded dynamic branch stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BranchTrace {
+    records: Vec<BranchRecord>,
+}
+
+/// Error parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn kind_code(k: BranchKind) -> char {
+    match k {
+        BranchKind::Conditional => 'C',
+        BranchKind::Direct => 'D',
+        BranchKind::Indirect => 'I',
+        BranchKind::Call => 'L',
+        BranchKind::Return => 'R',
+    }
+}
+
+fn kind_from_code(c: &str) -> Option<BranchKind> {
+    match c {
+        "C" => Some(BranchKind::Conditional),
+        "D" => Some(BranchKind::Direct),
+        "I" => Some(BranchKind::Indirect),
+        "L" => Some(BranchKind::Call),
+        "R" => Some(BranchKind::Return),
+        _ => None,
+    }
+}
+
+impl BranchTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        BranchTrace::default()
+    }
+
+    /// Records `n` branches from a generator.
+    pub fn record(gen: &mut WorkloadGenerator, n: usize) -> Self {
+        BranchTrace {
+            records: (0..n).map(|_| gen.next_branch()).collect(),
+        }
+    }
+
+    /// Wraps an explicit record list.
+    pub fn from_records(records: Vec<BranchRecord>) -> Self {
+        BranchTrace { records }
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total instructions the trace represents (branches + gaps).
+    pub fn instructions(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| u64::from(r.gap) + 1)
+            .sum()
+    }
+
+    /// Serializes to the line format `kind,pc,target,taken,gap` (hex
+    /// addresses), one record per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 32);
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{:x},{:x},{},{}\n",
+                kind_code(r.kind),
+                r.pc.raw(),
+                r.target.raw(),
+                u8::from(r.taken),
+                r.gap
+            ));
+        }
+        out
+    }
+
+    /// Parses the [`BranchTrace::to_text`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] naming the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, ParseTraceError> {
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let err = |reason: &str| ParseTraceError {
+                line: i + 1,
+                reason: reason.to_string(),
+            };
+            let parts: Vec<&str> = line.split(',').collect();
+            if parts.len() != 5 {
+                return Err(err("expected 5 comma-separated fields"));
+            }
+            let kind = kind_from_code(parts[0]).ok_or_else(|| err("unknown branch kind"))?;
+            let pc = u64::from_str_radix(parts[1], 16).map_err(|_| err("bad pc"))?;
+            let target = u64::from_str_radix(parts[2], 16).map_err(|_| err("bad target"))?;
+            let taken = match parts[3] {
+                "0" => false,
+                "1" => true,
+                _ => return Err(err("taken must be 0 or 1")),
+            };
+            let gap: u32 = parts[4].parse().map_err(|_| err("bad gap"))?;
+            if kind != BranchKind::Conditional && !taken {
+                return Err(err("unconditional branches must be taken"));
+            }
+            records.push(BranchRecord {
+                pc: Addr::new(pc),
+                kind,
+                target: Addr::new(target),
+                taken,
+                gap,
+            });
+        }
+        Ok(BranchTrace { records })
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, BranchRecord> {
+        self.records.iter()
+    }
+}
+
+impl FromIterator<BranchRecord> for BranchTrace {
+    fn from_iter<T: IntoIterator<Item = BranchRecord>>(iter: T) -> Self {
+        BranchTrace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BranchTrace {
+    type Item = &'a BranchRecord;
+    type IntoIter = std::slice::Iter<'a, BranchRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SpecBenchmark;
+
+    #[test]
+    fn record_and_roundtrip() {
+        let mut gen = WorkloadGenerator::new(SpecBenchmark::Xz.profile(), 3);
+        let trace = BranchTrace::record(&mut gen, 500);
+        assert_eq!(trace.len(), 500);
+        assert!(trace.instructions() >= 500);
+        let text = trace.to_text();
+        let back = BranchTrace::from_text(&text).expect("roundtrip");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = BranchTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.instructions(), 0);
+        assert_eq!(BranchTrace::from_text("").unwrap(), t);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let e = BranchTrace::from_text("C,10,20,1,3\nX,10,20,1,3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.reason.contains("kind"));
+        let e = BranchTrace::from_text("C,zz,20,1,3\n").unwrap_err();
+        assert!(e.reason.contains("pc"));
+        let e = BranchTrace::from_text("D,10,20,0,3\n").unwrap_err();
+        assert!(e.reason.contains("unconditional"));
+    }
+
+    #[test]
+    fn replay_is_mechanism_fair() {
+        // The trace replays identically across predictors — the property the
+        // module exists for.
+        use bp_predictors::codec::IdentityCodec;
+        use bp_predictors::tage_scl::TageScL;
+        use bp_predictors::DirectionPredictor;
+        let mut gen = WorkloadGenerator::new(SpecBenchmark::Cam4.profile(), 7);
+        let trace = BranchTrace::record(&mut gen, 2_000);
+        let run = |trace: &BranchTrace| {
+            let mut p = TageScL::paper_default();
+            let mut c = IdentityCodec::new();
+            let mut mis = 0;
+            for (i, r) in trace.iter().enumerate() {
+                if r.kind.is_conditional() {
+                    if p.predict(r.pc, &mut c, i as u64) != r.taken {
+                        mis += 1;
+                    }
+                    p.update(r.pc, r.taken, &mut c, i as u64);
+                }
+            }
+            mis
+        };
+        assert_eq!(run(&trace), run(&trace));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let r = BranchRecord::conditional(Addr::new(4), Addr::new(8), true, 1);
+        let t: BranchTrace = std::iter::repeat(r).take(5).collect();
+        assert_eq!(t.len(), 5);
+    }
+}

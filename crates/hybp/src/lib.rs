@@ -1,0 +1,37 @@
+//! # HyBP: Hybrid Isolation-Randomization Secure Branch Predictor
+//!
+//! This crate is the paper's contribution (Zhao et al., HPCA 2022): a branch
+//! prediction unit that protects the *small, upper-level* structures (L0/L1
+//! BTB, TAGE base predictor, per-thread histories) with **physical
+//! isolation** per `(hardware thread, privilege)` and the *large, last-level*
+//! structures (L2 BTB, TAGE tagged tables) with **randomization** — index
+//! encryption through a QARMA-filled keys table plus content XOR encryption —
+//! with keys changed at context switches and at an access-count threshold.
+//!
+//! The same [`SecureBpu`] type also implements every comparison mechanism of
+//! the paper's evaluation ([`Mechanism`]): the unprotected baseline, Flush,
+//! Partition, Replication (with a storage scale knob for the Figure-8
+//! sweep), and Disable-SMT.
+//!
+//! # Examples
+//!
+//! ```
+//! use hybp::{Mechanism, SecureBpu};
+//! use bp_common::{Addr, Asid, BranchRecord, HwThreadId};
+//!
+//! let mut bpu = SecureBpu::new(Mechanism::hybp_default(), 2, 42);
+//! let hw = HwThreadId::new(0);
+//! bpu.on_context_switch(hw, Asid::new(7), 0);
+//! let branch = BranchRecord::conditional(Addr::new(0x1000), Addr::new(0x2000), true, 5);
+//! let outcome = bpu.process_branch(hw, &branch, 100);
+//! assert!(outcome.btb_latency <= 4);
+//! ```
+
+mod bpu;
+mod codec;
+pub mod cost;
+mod mechanism;
+
+pub use bpu::{BpuStats, BranchOutcome, SecureBpu};
+pub use codec::HybpCodec;
+pub use mechanism::{CipherKind, HybpConfig, Mechanism};

@@ -1,0 +1,104 @@
+//! Property-based tests on the HyBP codec and mechanisms.
+
+use bp_common::{Addr, Asid, BranchRecord, HwThreadId, Vmid};
+use bp_predictors::codec::{TableCodec, TableId, TableUnit};
+use hybp::{HybpCodec, HybpConfig, Mechanism, SecureBpu};
+use proptest::prelude::*;
+
+fn l2() -> TableId {
+    TableId::new(TableUnit::Btb, 2)
+}
+
+proptest! {
+    /// Content encode/decode round-trips for any value, slot and key state.
+    #[test]
+    fn content_roundtrips(value in any::<u64>(), slot in 0usize..4, seed in any::<u64>()) {
+        let mut c = HybpCodec::new(&HybpConfig::paper_default(), 4, seed);
+        c.renew_slot(slot, Asid::new(1), 0);
+        c.set_context(slot, Asid::new(1), Vmid::new(0));
+        let enc = c.encode_content(l2(), value);
+        prop_assert_eq!(c.decode_content(l2(), enc), value);
+    }
+
+    /// Index/tag transforms are deterministic between key changes: the same
+    /// (pc, raw) maps identically at any two times within a generation.
+    #[test]
+    fn transforms_stable_within_generation(
+        pc in any::<u64>(),
+        raw in any::<u64>(),
+        t1 in 10_000u64..1_000_000,
+        t2 in 10_000u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let mut c = HybpCodec::new(&HybpConfig::paper_default(), 4, seed);
+        c.renew_slot(0, Asid::new(1), 0);
+        c.set_context(0, Asid::new(1), Vmid::new(0));
+        let a = c.transform_index(l2(), raw, Addr::new(pc), t1);
+        let b = c.transform_index(l2(), raw, Addr::new(pc), t2);
+        prop_assert_eq!(a, b);
+        let ta = c.transform_tag(l2(), raw, Addr::new(pc), t1);
+        let tb = c.transform_tag(l2(), raw, Addr::new(pc), t2);
+        prop_assert_eq!(ta, tb);
+    }
+
+    /// Isolated tables pass through unchanged for any inputs.
+    #[test]
+    fn isolated_tables_identity(
+        raw in any::<u64>(),
+        pc in any::<u64>(),
+        level in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let mut c = HybpCodec::new(&HybpConfig::paper_default(), 4, seed);
+        c.renew_slot(0, Asid::new(1), 0);
+        c.set_context(0, Asid::new(1), Vmid::new(0));
+        let id = TableId::new(TableUnit::Btb, level);
+        prop_assert_eq!(c.transform_index(id, raw, Addr::new(pc), 5_000), raw);
+        prop_assert_eq!(c.encode_content(id, raw), raw);
+        let base = TableId::new(TableUnit::TageBase, 0);
+        prop_assert_eq!(c.transform_index(base, raw, Addr::new(pc), 5_000), raw);
+    }
+
+    /// The BPU never panics and keeps counters consistent for arbitrary
+    /// branch streams under every mechanism.
+    #[test]
+    fn bpu_counters_consistent(
+        stream in proptest::collection::vec((any::<u16>(), any::<bool>(), any::<u16>()), 1..80),
+        seed in any::<u64>(),
+    ) {
+        for mech in [Mechanism::Baseline, Mechanism::hybp_default(), Mechanism::Partition] {
+            let mut bpu = SecureBpu::new(mech, 2, seed);
+            let hw = HwThreadId::new((seed % 2) as u8);
+            bpu.on_context_switch(hw, Asid::new(5), 0);
+            let mut conds = 0u64;
+            for (i, &(pc16, taken, tgt16)) in stream.iter().enumerate() {
+                let r = BranchRecord::conditional(
+                    Addr::new(0x1000 + u64::from(pc16) * 4),
+                    Addr::new(0x9000 + u64::from(tgt16) * 4),
+                    taken,
+                    1,
+                );
+                conds += 1;
+                let _ = bpu.process_branch(hw, &r, 1_000 + i as u64 * 8);
+            }
+            let s = bpu.stats();
+            prop_assert_eq!(s.branches, conds);
+            prop_assert_eq!(s.conditional_branches, conds);
+            prop_assert!(s.direction_mispredicts <= conds);
+        }
+    }
+
+    /// Renewing one slot never perturbs another slot's index mapping.
+    #[test]
+    fn renewal_is_slot_local(pc in any::<u64>(), raw in any::<u64>(), seed in any::<u64>()) {
+        let mut c = HybpCodec::new(&HybpConfig::paper_default(), 4, seed);
+        c.renew_slot(0, Asid::new(1), 0);
+        c.renew_slot(1, Asid::new(2), 0);
+        c.set_context(1, Asid::new(2), Vmid::new(0));
+        let before = c.transform_index(l2(), raw, Addr::new(pc), 50_000);
+        c.renew_slot(0, Asid::new(1), 60_000);
+        c.set_context(1, Asid::new(2), Vmid::new(0));
+        let after = c.transform_index(l2(), raw, Addr::new(pc), 70_000);
+        prop_assert_eq!(before, after);
+    }
+}

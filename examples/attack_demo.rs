@@ -1,0 +1,57 @@
+//! Attack demo: malicious training and eviction-set construction against
+//! the unprotected baseline versus HyBP.
+//!
+//! ```sh
+//! cargo run --release --example attack_demo
+//! ```
+
+use hybp_repro::bp_attacks::poc::{btb_training_topo, pht_training_topo, CoResidency, PocParams};
+use hybp_repro::bp_attacks::ppp::{campaign, PppParams};
+use hybp_repro::bp_attacks::linear::break_affine;
+use hybp_repro::bp_crypto::{Llbc, Qarma64};
+use hybp_repro::hybp::Mechanism;
+
+fn main() {
+    println!("== Malicious training (paper §VI-D PoC, scaled to 200 iterations) ==");
+    let params = PocParams {
+        iterations: 200,
+        rounds_per_iteration: 100,
+        success_threshold: 90,
+        trainings_per_round: 8,
+    };
+    for (name, mech) in [("Baseline", Mechanism::Baseline), ("HyBP", Mechanism::hybp_default())] {
+        let btb = btb_training_topo(mech, CoResidency::SingleCore, params, 1);
+        let pht = pht_training_topo(mech, CoResidency::SingleCore, params, 2);
+        println!(
+            "{name:<9} BTB training accuracy {:>5.1}%   PHT training accuracy {:>5.1}%",
+            btb.training_accuracy() * 100.0,
+            pht.training_accuracy() * 100.0
+        );
+    }
+
+    println!();
+    println!("== Eviction-set construction (Algorithm 1, sampled geometry) ==");
+    let params = PppParams::quick();
+    for (name, mech) in [("Baseline", Mechanism::Baseline), ("HyBP", Mechanism::hybp_default())] {
+        let c = campaign(mech, &params, 8, 77);
+        println!(
+            "{name:<9} genuine eviction sets {}/{} runs ({:.0} accesses/run)",
+            c.successes,
+            c.runs,
+            c.total_accesses as f64 / f64::from(c.runs)
+        );
+    }
+
+    println!();
+    println!("== Why the cipher matters (§III-A) ==");
+    let llbc = break_affine(&Llbc::from_seed(3), 0, 100, 1);
+    let qarma = break_affine(&Qarma64::from_seed(3), 0, 100, 2);
+    println!(
+        "LLBC (CEASER-style, 2-cycle): {}",
+        if llbc.is_some() { "affine map recovered in 65 queries — broken" } else { "resisted" }
+    );
+    println!(
+        "QARMA-64 (HyBP's choice):     {}",
+        if qarma.is_some() { "broken" } else { "no affine structure — resisted" }
+    );
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the HyBP reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so that the runnable
+//! examples in `examples/` and the integration tests in `tests/` can reach the
+//! whole system through a single dependency.
+//!
+//! The actual functionality lives in the member crates:
+//!
+//! * [`bp_common`] — shared types, PRNGs, statistics.
+//! * [`bp_crypto`] — QARMA-64 / PRINCE / LLBC ciphers and the randomized keys table.
+//! * [`bp_predictors`] — 3-level BTB, TAGE-SC-L, tournament predictor.
+//! * [`bp_workloads`] — synthetic SPEC CPU2017-like branch workloads and mixes.
+//! * [`bp_pipeline`] — cycle-level SMT-2 out-of-order core model.
+//! * [`hybp`] — the paper's contribution: the hybrid protection mechanisms.
+//! * [`bp_attacks`] — PPP / GEM / blind-contention / reuse attack harnesses.
+
+pub use bp_attacks;
+pub use bp_common;
+pub use bp_crypto;
+pub use bp_pipeline;
+pub use bp_predictors;
+pub use bp_workloads;
+pub use hybp;
