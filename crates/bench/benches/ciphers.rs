@@ -5,48 +5,20 @@
 //! software-model cost ordering (the hardware numbers are 8 vs 2 vs 1
 //! cycles).
 
+use bench::timing::{black_box, Bench};
 use bp_crypto::{Llbc, Prince, Qarma64, TweakableBlockCipher, XorCipher};
-use std::time::Duration;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn bench_ciphers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cipher_encrypt");
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
-    let qarma = Qarma64::from_seed(1);
-    let prince = Prince::from_seed(2);
-    let llbc = Llbc::from_seed(3);
-    let xor = XorCipher::new(4);
-    g.bench_function("qarma64", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = qarma.encrypt(black_box(x), 7);
-            x
-        })
+fn bench_cipher(name: &str, c: &dyn TweakableBlockCipher) {
+    let mut x = 0u64;
+    Bench::new(format!("cipher_encrypt/{name}")).run(|| {
+        x = c.encrypt(black_box(x), 7);
+        x
     });
-    g.bench_function("prince", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = prince.encrypt(black_box(x), 7);
-            x
-        })
-    });
-    g.bench_function("llbc", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = llbc.encrypt(black_box(x), 7);
-            x
-        })
-    });
-    g.bench_function("xor", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = xor.encrypt(black_box(x), 7);
-            x
-        })
-    });
-    g.finish();
 }
 
-criterion_group!(benches, bench_ciphers);
-criterion_main!(benches);
+fn main() {
+    bench_cipher("qarma64", &Qarma64::from_seed(1));
+    bench_cipher("prince", &Prince::from_seed(2));
+    bench_cipher("llbc", &Llbc::from_seed(3));
+    bench_cipher("xor", &XorCipher::new(4));
+}

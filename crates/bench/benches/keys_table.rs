@@ -2,43 +2,34 @@
 //! Table VI size range. The refresh is the paper's 263-cycle hardware
 //! operation; here we measure the simulation cost per size.
 
+use bench::timing::{black_box, Bench};
 use bp_common::{Asid, Vmid};
 use bp_crypto::keys::{IndexSeed, KeysTable, KeysTableConfig};
 use bp_crypto::Qarma64;
-use std::time::Duration;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_refresh(c: &mut Criterion) {
+fn main() {
     let cipher = Qarma64::from_seed(7);
-    let mut g = c.benchmark_group("keys_table_refresh");
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
     for entries in [1024usize, 4096, 32 * 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &n| {
-            let mut t = KeysTable::new(KeysTableConfig::with_entries(n));
-            let seed = IndexSeed::derive(Asid::new(1), Vmid::new(0), 42);
-            let mut base = 0u64;
-            b.iter(|| {
-                base = base.wrapping_add(4096);
-                t.begin_refresh(&cipher, seed, black_box(base), 0);
-            })
+        let mut t = KeysTable::new(KeysTableConfig::with_entries(entries)).expect("valid size");
+        let seed = IndexSeed::derive(Asid::new(1), Vmid::new(0), 42);
+        let mut base = 0u64;
+        Bench::new(format!("keys_table_refresh/{entries}")).run(|| {
+            base = base.wrapping_add(4096);
+            t.begin_refresh(&cipher, seed, black_box(base), 0);
         });
     }
-    g.finish();
-}
 
-fn bench_lookup(c: &mut Criterion) {
     let cipher = Qarma64::from_seed(8);
-    let mut t = KeysTable::new(KeysTableConfig::paper_default());
-    t.begin_refresh(&cipher, IndexSeed::derive(Asid::new(2), Vmid::new(0), 1), 0, 0);
-    c.bench_function("keys_table_lookup", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % 1024;
-            t.key_at(black_box(i), 1_000_000)
-        })
+    let mut t = KeysTable::new(KeysTableConfig::paper_default()).expect("paper default");
+    t.begin_refresh(
+        &cipher,
+        IndexSeed::derive(Asid::new(2), Vmid::new(0), 1),
+        0,
+        0,
+    );
+    let mut i = 0usize;
+    Bench::new("keys_table_lookup").run(|| {
+        i = (i + 1) % 1024;
+        t.key_at(black_box(i), 1_000_000)
     });
 }
-
-criterion_group!(benches, bench_refresh, bench_lookup);
-criterion_main!(benches);

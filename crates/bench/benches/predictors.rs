@@ -3,66 +3,51 @@
 //! cost of the security layer — in hardware the keys-table read is a fixed
 //! 1-cycle SRAM access).
 
+use bench::timing::{black_box, Bench};
 use bp_common::{Addr, Asid, Vmid};
 use bp_predictors::btb::BtbHierarchy;
 use bp_predictors::codec::IdentityCodec;
 use bp_predictors::tage_scl::TageScL;
 use bp_predictors::DirectionPredictor;
-use std::time::Duration;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hybp::{HybpCodec, HybpConfig};
 
-fn bench_tage(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tage_scl");
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
-    g.bench_function("predict_update_identity", |b| {
+fn main() {
+    {
         let mut p = TageScL::paper_default();
         let mut codec = IdentityCodec::new();
         let mut i = 0u64;
-        b.iter(|| {
+        Bench::new("tage_scl/predict_update_identity").run(|| {
             let pc = Addr::new(0x1000 + (i % 512) * 16);
             let pred = p.predict(black_box(pc), &mut codec, i);
-            p.update(pc, i % 3 != 0, &mut codec, i);
+            p.update(pc, !i.is_multiple_of(3), &mut codec, i);
             i += 1;
             pred
-        })
-    });
-    g.bench_function("predict_update_hybp_codec", |b| {
+        });
+    }
+    {
         let mut p = TageScL::paper_default();
-        let mut codec = HybpCodec::new(&HybpConfig::paper_default(), 4, 9);
+        let mut codec = HybpCodec::new(&HybpConfig::paper_default(), 4, 9).expect("paper default");
         codec.renew_slot(0, Asid::new(1), 0);
         codec.set_context(0, Asid::new(1), Vmid::new(0));
         let mut i = 0u64;
-        b.iter(|| {
+        Bench::new("tage_scl/predict_update_hybp_codec").run(|| {
             let pc = Addr::new(0x1000 + (i % 512) * 16);
             let pred = p.predict(black_box(pc), &mut codec, i);
-            p.update(pc, i % 3 != 0, &mut codec, i);
+            p.update(pc, !i.is_multiple_of(3), &mut codec, i);
             i += 1;
             pred
-        })
-    });
-    g.finish();
-}
-
-fn bench_btb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("btb_hierarchy");
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
-    g.bench_function("lookup_update", |b| {
+        });
+    }
+    {
         let mut btb = BtbHierarchy::zen2();
         let mut codec = IdentityCodec::new();
         let mut i = 0u64;
-        b.iter(|| {
+        Bench::new("btb_hierarchy/lookup_update").run(|| {
             let pc = Addr::new(0x1000 + (i % 4096) * 20);
             let r = btb.lookup(black_box(pc), &mut codec, i);
             btb.update(pc, pc.wrapping_add(0x40), &mut codec, i);
             i += 1;
             r.latency()
-        })
-    });
-    g.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_tage, bench_btb);
-criterion_main!(benches);

@@ -2,36 +2,34 @@
 //! second for the baseline and HyBP configurations (how expensive the
 //! security layer is to *simulate*).
 
+use std::time::Duration;
+
+use bench::timing::Bench;
 use bp_pipeline::{SimConfig, Simulation};
 use bp_workloads::profile::SpecBenchmark;
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hybp::Mechanism;
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.measurement_time(Duration::from_secs(2));
-    g.warm_up_time(Duration::from_millis(500));
+fn main() {
     let instructions = 200_000u64;
-    g.throughput(Throughput::Elements(instructions));
-    g.sample_size(10);
     for (name, mech) in [
         ("baseline", Mechanism::Baseline),
         ("hybp", Mechanism::hybp_default()),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
+        let report = Bench::new(format!("simulator/{name}"))
+            .warmup_for(Duration::from_millis(500))
+            .measure_for(Duration::from_secs(2))
+            .run(|| {
                 let mut cfg = SimConfig::quick_test();
                 cfg.warmup_instructions = 10_000;
                 cfg.measure_instructions = instructions;
                 Simulation::single_thread(mech, SpecBenchmark::Xz, cfg)
+                    .expect("valid config")
                     .run()
                     .throughput()
-            })
-        });
+            });
+        println!(
+            "  -> {:.1}M simulated instructions / second",
+            report.per_second() * (instructions + 10_000) as f64 / 1e6
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -24,26 +24,40 @@ fn main() {
     );
     let bench = SpecBenchmark::Deepsjeng;
     let base = Simulation::single_thread(Mechanism::Baseline, bench, no_switch_config(scale))
+        .expect("valid config")
         .run()
         .threads[0]
         .ipc();
-    println!("Cipher ablation on {} (vs baseline IPC {:.3})", bench.name(), base);
+    println!(
+        "Cipher ablation on {} (vs baseline IPC {:.3})",
+        bench.name(),
+        base
+    );
     println!(
         "{:<10} {:>15} {:>13} {:>14}",
         "cipher", "code-book loss", "inline loss", "cryptanalysis"
     );
-    for cipher in [CipherKind::Qarma, CipherKind::Prince, CipherKind::Llbc, CipherKind::Xor] {
+    for cipher in [
+        CipherKind::Qarma,
+        CipherKind::Prince,
+        CipherKind::Llbc,
+        CipherKind::Xor,
+    ] {
         let mut cfg = HybpConfig::paper_default();
         cfg.cipher = cipher;
-        let codebook = Simulation::single_thread(Mechanism::HyBp(cfg), bench, no_switch_config(scale))
-            .run()
-            .threads[0]
-            .ipc();
+        let codebook =
+            Simulation::single_thread(Mechanism::HyBp(cfg), bench, no_switch_config(scale))
+                .expect("valid config")
+                .run()
+                .threads[0]
+                .ipc();
         cfg.inline_cipher = true;
-        let inline = Simulation::single_thread(Mechanism::HyBp(cfg), bench, no_switch_config(scale))
-            .run()
-            .threads[0]
-            .ipc();
+        let inline =
+            Simulation::single_thread(Mechanism::HyBp(cfg), bench, no_switch_config(scale))
+                .expect("valid config")
+                .run()
+                .threads[0]
+                .ipc();
         let broken = break_affine(cipher.build(7).as_ref(), 0, 100, 1).is_some();
         println!(
             "{:<10} {:>14.2}% {:>12.2}% {:>14}",

@@ -43,6 +43,7 @@ fn main() {
         // Upper-level filtering measured on a real workload: the fraction of
         // BTB hits served by L0/L1 is the traffic the shared L2 never sees.
         let m = Simulation::single_thread(mech, SpecBenchmark::Xz, no_switch_config(scale))
+            .expect("valid config")
             .run()
             .bpu;
         let upper = (m.btb_hits[0] + m.btb_hits[1]) as f64;

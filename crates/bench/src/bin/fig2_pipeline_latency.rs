@@ -22,7 +22,9 @@ fn main() {
     let mut avgs = [Vec::new(), Vec::new(), Vec::new()];
     for bench in all_benchmarks() {
         let base_cfg = no_switch_config(scale);
-        let base_run = Simulation::single_thread(Mechanism::Baseline, bench, base_cfg).run();
+        let base_run = Simulation::single_thread(Mechanism::Baseline, bench, base_cfg)
+            .expect("valid config")
+            .run();
         let base_ipc = base_run.threads[0].ipc();
         let accuracy = base_run.bpu.direction_accuracy();
         let mut losses = [0.0f64; 3];
@@ -30,6 +32,7 @@ fn main() {
             let mut cfg = no_switch_config(scale);
             cfg.core.extra_frontend_cycles = *extra;
             let ipc = Simulation::single_thread(Mechanism::Baseline, bench, cfg)
+                .expect("valid config")
                 .run()
                 .threads[0]
                 .ipc();

@@ -3,9 +3,7 @@
 //!
 //! Usage: `fig5_hybp_per_app [--scale quick|default|full]`
 
-use bench::{
-    all_benchmarks, single_thread_ipc_at, single_thread_model, Csv, Scale, INTERVALS,
-};
+use bench::{all_benchmarks, single_thread_ipc_at, single_thread_model, Csv, Scale, INTERVALS};
 use hybp::Mechanism;
 
 fn main() {
@@ -32,7 +30,13 @@ fn main() {
             let norm = h / b;
             per_interval_sum[k] += norm;
             print!(" {:>9.4}", norm);
-            csv.row(format_args!("{},{},{:.5},{}", bench.name(), interval, norm, method));
+            csv.row(format_args!(
+                "{},{},{:.5},{}",
+                bench.name(),
+                interval,
+                norm,
+                method
+            ));
         }
         println!();
     }

@@ -25,7 +25,11 @@ fn main() {
         "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "mechanism", "256K", "512K", "1M", "4M", "16M"
     );
-    let mechanisms = [Mechanism::Flush, Mechanism::Partition, Mechanism::hybp_default()];
+    let mechanisms = [
+        Mechanism::Flush,
+        Mechanism::Partition,
+        Mechanism::hybp_default(),
+    ];
     let benches = all_benchmarks();
     // Cache baseline models.
     let base_models: Vec<_> = benches
@@ -42,8 +46,13 @@ fn main() {
             let mut losses = Vec::new();
             let mut method = "model";
             for (i, &bench) in benches.iter().enumerate() {
-                let (b, _) =
-                    single_thread_ipc_at(Mechanism::Baseline, bench, interval, &base_models[i], scale);
+                let (b, _) = single_thread_ipc_at(
+                    Mechanism::Baseline,
+                    bench,
+                    interval,
+                    &base_models[i],
+                    scale,
+                );
                 let (m, me) = single_thread_ipc_at(mech, bench, interval, &models[i], scale);
                 method = me;
                 losses.push(degradation(m, b));
@@ -74,16 +83,34 @@ fn decompose_flush(csv: &mut Csv, scale: Scale) {
     // privilege-change part; compare against a run with kernel episodes
     // pushed out of the measurement window.
     let mut priv_losses = Vec::new();
-    for bench in [SpecBenchmark::Deepsjeng, SpecBenchmark::Xz, SpecBenchmark::Wrf] {
+    for bench in [
+        SpecBenchmark::Deepsjeng,
+        SpecBenchmark::Xz,
+        SpecBenchmark::Wrf,
+    ] {
         let cfg = no_switch_config(scale);
-        let base = Simulation::single_thread(Mechanism::Baseline, bench, cfg).run().threads[0].ipc();
-        let flush = Simulation::single_thread(Mechanism::Flush, bench, cfg).run().threads[0].ipc();
+        let base = Simulation::single_thread(Mechanism::Baseline, bench, cfg)
+            .expect("valid config")
+            .run()
+            .threads[0]
+            .ipc();
+        let flush = Simulation::single_thread(Mechanism::Flush, bench, cfg)
+            .expect("valid config")
+            .run()
+            .threads[0]
+            .ipc();
         let mut no_kernel = cfg;
         no_kernel.kernel_timer_interval = u64::MAX / 4;
-        let base_nk =
-            Simulation::single_thread(Mechanism::Baseline, bench, no_kernel).run().threads[0].ipc();
-        let flush_nk =
-            Simulation::single_thread(Mechanism::Flush, bench, no_kernel).run().threads[0].ipc();
+        let base_nk = Simulation::single_thread(Mechanism::Baseline, bench, no_kernel)
+            .expect("valid config")
+            .run()
+            .threads[0]
+            .ipc();
+        let flush_nk = Simulation::single_thread(Mechanism::Flush, bench, no_kernel)
+            .expect("valid config")
+            .run()
+            .threads[0]
+            .ipc();
         let total = degradation(flush, base);
         let ctx_only = degradation(flush_nk, base_nk);
         let priv_share = if total > 1e-6 {

@@ -29,6 +29,7 @@ fn main() {
     let mut solo_ipc = |mech: Mechanism, b: SpecBenchmark, scale: Scale| -> f64 {
         *solo.entry((mech.to_string(), b)).or_insert_with(|| {
             Simulation::single_thread(mech, b, no_switch_config(scale))
+                .expect("valid config")
                 .run()
                 .threads[0]
                 .ipc()
@@ -43,23 +44,46 @@ fn main() {
     let mut agg: HashMap<String, (Vec<f64>, Vec<f64>)> = HashMap::new();
     for mix in TABLE_V_MIXES {
         // Baseline reference for this mix.
-        let base = Simulation::smt(Mechanism::Baseline, mix.pair, no_switch_config(scale)).run();
+        let base = Simulation::smt(Mechanism::Baseline, mix.pair, no_switch_config(scale))
+            .expect("valid config")
+            .run();
         let base_thr = base.throughput();
         let base_solo: Vec<f64> = mix
             .pair
             .iter()
             .map(|&b| solo_ipc(Mechanism::Baseline, b, scale))
             .collect();
-        let base_hmean = base.hmean_fairness(&base_solo).unwrap_or(1.0);
+        let base_hmean = match base.hmean_fairness(&base_solo) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!(
+                    "skipping mix {}: baseline fairness unavailable ({e})",
+                    mix.label()
+                );
+                continue;
+            }
+        };
         for mech in mechanisms.iter().skip(1) {
-            let run = Simulation::smt(*mech, mix.pair, no_switch_config(scale)).run();
+            let run = Simulation::smt(*mech, mix.pair, no_switch_config(scale))
+                .expect("valid config")
+                .run();
             let thr_deg = degradation(run.throughput(), base_thr);
             let mech_solo: Vec<f64> = mix
                 .pair
                 .iter()
                 .map(|&b| solo_ipc(*mech, b, scale))
                 .collect();
-            let hmean = run.hmean_fairness(&mech_solo).unwrap_or(1.0);
+            let hmean = match run.hmean_fairness(&mech_solo) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!(
+                        "skipping {} on mix {}: fairness unavailable ({e})",
+                        mech.name(),
+                        mix.label()
+                    );
+                    continue;
+                }
+            };
             let hmean_deg = degradation(hmean, base_hmean);
             println!(
                 "{:<28} {:<7} {:>11} ({:<9}) {:>11} ({:<9})",

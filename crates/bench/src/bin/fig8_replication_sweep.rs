@@ -15,6 +15,7 @@ fn throughput(mech: Mechanism, scale: Scale) -> f64 {
     let mut total = 0.0;
     for mix in TABLE_V_MIXES {
         total += Simulation::smt(mech, mix.pair, no_switch_config(scale))
+            .expect("valid config")
             .run()
             .throughput();
     }
@@ -36,7 +37,11 @@ fn main() {
         hybp_loss * 100.0,
         hybp_cost * 100.0
     );
-    csv.row(format_args!("HyBP,{:.1},{:.5}", hybp_cost * 100.0, hybp_loss));
+    csv.row(format_args!(
+        "HyBP,{:.1},{:.5}",
+        hybp_cost * 100.0,
+        hybp_loss
+    ));
     println!("{:>14} {:>10}", "extra storage", "perf loss");
     let mut crossover: Option<u32> = None;
     for pct in [0u32, 40, 80, 120, 160, 200, 240, 300] {

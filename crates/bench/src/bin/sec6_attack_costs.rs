@@ -18,25 +18,32 @@ fn main() {
         Scale::Default => 24,
         Scale::Full => 100,
     };
-    let mut csv = Csv::new(
-        "sec6_attack_costs.csv",
-        "experiment,quantity,value",
-    );
+    let mut csv = Csv::new("sec6_attack_costs.csv", "experiment,quantity,value");
 
     println!("=== Algorithm 1 (PPP-style eviction-set construction) ===");
     let params = PppParams::quick();
     let scaling_bits = (1024.0 / params.subsets as f64).log2();
-    for (name, mech) in [("Baseline", Mechanism::Baseline), ("HyBP", Mechanism::hybp_default())]
-    {
+    for (name, mech) in [
+        ("Baseline", Mechanism::Baseline),
+        ("HyBP", Mechanism::hybp_default()),
+    ] {
         let c = campaign(mech, &params, runs, 11);
         let per_run = c.total_accesses as f64 / f64::from(c.runs);
         let cost = c.expected_accesses_to_success();
         let cost_str = if cost.is_finite() {
-            format!("{:.2e} to success (2^{:.1} + {scaling_bits:.0} geometry bits)", cost, cost.log2())
+            format!(
+                "{:.2e} to success (2^{:.1} + {scaling_bits:.0} geometry bits)",
+                cost,
+                cost.log2()
+            )
         } else {
             // Censored: no success observed — the campaign total is a lower
             // bound on the cost.
-            format!("> {:.2e} (censored; 2^{:.1}+)", c.total_accesses as f64, (c.total_accesses as f64).log2())
+            format!(
+                "> {:.2e} (censored; 2^{:.1}+)",
+                c.total_accesses as f64,
+                (c.total_accesses as f64).log2()
+            )
         };
         println!(
             "{name:<9} success {:>2}/{:<3} ({:>5.1}%), {:>10.0} accesses/run, extrapolated {}",
@@ -46,14 +53,20 @@ fn main() {
             per_run,
             cost_str
         );
-        csv.row(format_args!("ppp_{name},success_rate,{:.4}", c.success_rate()));
+        csv.row(format_args!(
+            "ppp_{name},success_rate,{:.4}",
+            c.success_rate()
+        ));
         csv.row(format_args!(
             "ppp_{name},accesses_per_run_log2,{:.2}",
             per_run.log2()
         ));
     }
     println!("(paper: ~1% success per attempt under HyBP, ≈ 2^27 accesses to one expected");
-    println!(" success; our runs sample {} of 1024 candidate subsets, so the full-geometry", params.subsets);
+    println!(
+        " success; our runs sample {} of 1024 candidate subsets, so the full-geometry",
+        params.subsets
+    );
     println!(" cost adds ≈ {scaling_bits:.0} bits on top of the extrapolation)");
     println!();
 
@@ -62,8 +75,14 @@ fn main() {
     let (n_opt, p_opt) = blind::optimal_n(1024, 7);
     let hybrid = blind::expected_accesses_hybrid(1140, 1024, 7, 16, 512);
     let mc = blind::monte_carlo_conflict_probability(1140, 1024, 7, 20_000, 7);
-    println!("P(n=1140, S=1024, W=7)          = {:.4}  (paper: ≈ 0.12)", p_1140);
-    println!("literal optimum of Eq.(1)        = {:.4} at n = {}", p_opt, n_opt);
+    println!(
+        "P(n=1140, S=1024, W=7)          = {:.4}  (paper: ≈ 0.12)",
+        p_1140
+    );
+    println!(
+        "literal optimum of Eq.(1)        = {:.4} at n = {}",
+        p_opt, n_opt
+    );
     println!("Monte Carlo check of P(1140)     = {:.4}", mc);
     println!(
         "hybrid cost n·L0·L1/P            = {:.3e} accesses (2^{:.1}; paper: ≥ 2^28)",
@@ -71,9 +90,15 @@ fn main() {
         hybrid.log2()
     );
     let secret32 = blind::multi_bit_success(p_1140, 32);
-    println!("32-bit secret success            = {:.2e} (paper: < 1e-6)", secret32);
+    println!(
+        "32-bit secret success            = {:.2e} (paper: < 1e-6)",
+        secret32
+    );
     csv.row(format_args!("blind,P_1140,{:.5}", p_1140));
-    csv.row(format_args!("blind,hybrid_accesses_log2,{:.2}", hybrid.log2()));
+    csv.row(format_args!(
+        "blind,hybrid_accesses_log2,{:.2}",
+        hybrid.log2()
+    ));
     csv.row(format_args!("blind,secret32_success,{:.3e}", secret32));
     println!();
 
@@ -83,7 +108,10 @@ fn main() {
         "2^(I+T)·(2^C+2^U+1) with (13,12,2,1) = 2^{:.2} accesses (paper: ≈ 2^28)",
         paper.log2_accesses()
     );
-    csv.row(format_args!("pht_eq2,log2_accesses,{:.2}", paper.log2_accesses()));
+    csv.row(format_args!(
+        "pht_eq2,log2_accesses,{:.2}",
+        paper.log2_accesses()
+    ));
     println!();
 
     println!("=== GEM re-key bound (§III-C) ===");
@@ -92,7 +120,10 @@ fn main() {
         "randomization-only re-key interval ≈ {est} accesses (2^{:.1}; paper: ≈ 2^16)",
         (est as f64).log2()
     );
-    csv.row(format_args!("gem,rekey_accesses_log2,{:.2}", (est as f64).log2()));
+    csv.row(format_args!(
+        "gem,rekey_accesses_log2,{:.2}",
+        (est as f64).log2()
+    ));
     println!();
 
     println!("=== Jump-over-ASLR set inference (§VI-A2 contention) ===");
@@ -126,8 +157,14 @@ fn main() {
     println!("=== Linear cipher break (§III-A) ===");
     let llbc_broken = break_affine(&Llbc::from_seed(5), 0, 200, 1).is_some();
     let qarma_broken = break_affine(&Qarma64::from_seed(5), 0, 200, 2).is_some();
-    println!("LLBC affine-model recovery (65 queries): {}", if llbc_broken { "BROKEN" } else { "resisted" });
-    println!("QARMA-64 affine-model recovery:          {}", if qarma_broken { "BROKEN" } else { "resisted" });
+    println!(
+        "LLBC affine-model recovery (65 queries): {}",
+        if llbc_broken { "BROKEN" } else { "resisted" }
+    );
+    println!(
+        "QARMA-64 affine-model recovery:          {}",
+        if qarma_broken { "BROKEN" } else { "resisted" }
+    );
     csv.row(format_args!("linear,llbc_broken,{}", llbc_broken));
     csv.row(format_args!("linear,qarma_broken,{}", qarma_broken));
 

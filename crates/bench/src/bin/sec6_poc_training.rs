@@ -38,8 +38,10 @@ fn main() {
         "unit", "mechanism", "training accuracy", "iteration success rate"
     );
     // The paper's PoC topology: attacker and victim time-share one core.
-    for (name, mech) in [("Baseline", Mechanism::Baseline), ("HyBP", Mechanism::hybp_default())]
-    {
+    for (name, mech) in [
+        ("Baseline", Mechanism::Baseline),
+        ("HyBP", Mechanism::hybp_default()),
+    ] {
         let btb = btb_training_topo(mech, CoResidency::SingleCore, params, 3);
         let pht = pht_training_topo(mech, CoResidency::SingleCore, params, 5);
         println!(

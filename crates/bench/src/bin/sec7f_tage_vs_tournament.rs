@@ -23,8 +23,13 @@ fn main() {
     let mut gains = Vec::new();
     for bench in all_benchmarks() {
         let cfg = no_switch_config(scale);
-        let tage = Simulation::single_thread(Mechanism::Baseline, bench, cfg).run().threads[0].ipc();
+        let tage = Simulation::single_thread(Mechanism::Baseline, bench, cfg)
+            .expect("valid config")
+            .run()
+            .threads[0]
+            .ipc();
         let tourney = Simulation::single_thread(Mechanism::TournamentBaseline, bench, cfg)
+            .expect("valid config")
             .run()
             .threads[0]
             .ipc();
@@ -46,7 +51,13 @@ fn main() {
         ));
     }
     let avg = gains.iter().sum::<f64>() / gains.len() as f64;
-    println!("{:<14} {:>10} {:>12} {:>9.2}%", "average", "", "", avg * 100.0);
+    println!(
+        "{:<14} {:>10} {:>12} {:>9.2}%",
+        "average",
+        "",
+        "",
+        avg * 100.0
+    );
     csv.row(format_args!("average,,,{:.5}", avg));
     println!();
     println!("(paper: ≈ 5.4% average gain from TAGE-SC-L over the tournament predictor)");

@@ -18,7 +18,9 @@ fn smt_throughput(mech: Mechanism, scale: Scale) -> f64 {
     let mut total = 0.0;
     for mix in TABLE_V_MIXES {
         let cfg = no_switch_config(scale);
-        let m = Simulation::smt(mech, mix.pair, cfg).run();
+        let m = Simulation::smt(mech, mix.pair, cfg)
+            .expect("valid config")
+            .run();
         total += m.throughput();
     }
     total / TABLE_V_MIXES.len() as f64
@@ -41,7 +43,9 @@ fn main() {
         let mut total = 0.0;
         for mix in TABLE_V_MIXES {
             let cfg = no_switch_config(scale);
-            let m = Simulation::single_thread(Mechanism::Baseline, mix.pair[0], cfg).run();
+            let m = Simulation::single_thread(Mechanism::Baseline, mix.pair[0], cfg)
+                .expect("valid config")
+                .run();
             total += m.throughput();
         }
         total / TABLE_V_MIXES.len() as f64

@@ -5,9 +5,7 @@
 //!
 //! Usage: `table6_keys_table_sensitivity [--scale quick|default|full]`
 
-use bench::{
-    all_benchmarks, degradation, single_thread_ipc_at, single_thread_model, Csv, Scale,
-};
+use bench::{all_benchmarks, degradation, single_thread_ipc_at, single_thread_model, Csv, Scale};
 use hybp::{HybpConfig, Mechanism};
 
 fn main() {

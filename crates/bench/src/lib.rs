@@ -27,6 +27,8 @@ use bp_pipeline::{SimConfig, Simulation};
 use bp_workloads::profile::SpecBenchmark;
 use hybp::Mechanism;
 
+pub mod timing;
+
 /// Run-length preset, selectable with `--scale quick|default|full`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -131,8 +133,14 @@ impl OverheadModel {
 
 /// Measures the overhead model for a single-thread run of `bench` under
 /// `mechanism`.
-pub fn single_thread_model(mechanism: Mechanism, bench: SpecBenchmark, scale: Scale) -> OverheadModel {
-    let fixed = Simulation::single_thread(mechanism, bench, no_switch_config(scale)).run();
+pub fn single_thread_model(
+    mechanism: Mechanism,
+    bench: SpecBenchmark,
+    scale: Scale,
+) -> OverheadModel {
+    let fixed = Simulation::single_thread(mechanism, bench, no_switch_config(scale))
+        .expect("valid config")
+        .run();
     let ipc_fixed = fixed.threads[0].ipc();
     let cal_cfg = direct_config(
         scale,
@@ -140,11 +148,12 @@ pub fn single_thread_model(mechanism: Mechanism, bench: SpecBenchmark, scale: Sc
         scale.calibration_switches(),
         bench.profile().base_ipc,
     );
-    let cal = Simulation::single_thread(mechanism, bench, cal_cfg).run();
+    let cal = Simulation::single_thread(mechanism, bench, cal_cfg)
+        .expect("valid config")
+        .run();
     let ipc_cal = cal.threads[0].ipc();
     // CPI(I)/CPI(∞) = 1 + C/I  ⇒  C = I · (ipc_fixed/ipc_cal − 1).
-    let per_switch_cycles =
-        (CALIBRATION_INTERVAL as f64 * (ipc_fixed / ipc_cal - 1.0)).max(0.0);
+    let per_switch_cycles = (CALIBRATION_INTERVAL as f64 * (ipc_fixed / ipc_cal - 1.0)).max(0.0);
     OverheadModel {
         ipc_fixed,
         per_switch_cycles,
@@ -162,7 +171,9 @@ pub fn single_thread_ipc_at(
 ) -> (f64, &'static str) {
     if interval <= CALIBRATION_INTERVAL {
         let cfg = direct_config(scale, interval, 4, bench.profile().base_ipc);
-        let m = Simulation::single_thread(mechanism, bench, cfg).run();
+        let m = Simulation::single_thread(mechanism, bench, cfg)
+            .expect("valid config")
+            .run();
         (m.threads[0].ipc(), "direct")
     } else {
         (model.ipc_at(interval), "model")

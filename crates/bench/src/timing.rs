@@ -1,0 +1,131 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the bench targets cannot pull in
+//! an external statistics framework; this module provides the small subset
+//! they need: warmup, batched timing with `Instant`, and a median-of-batches
+//! report. Run them with `cargo bench -p bench --features bench-harness`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the compiler's optimization barrier for benchmark inputs.
+pub use std::hint::black_box;
+
+/// One measured benchmark case.
+pub struct Bench {
+    name: String,
+    warmup: Duration,
+    measure: Duration,
+}
+
+/// Timing summary of one case, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Median over measurement batches.
+    pub median_ns: f64,
+    /// Fastest batch (closest to the true cost, least scheduler noise).
+    pub min_ns: f64,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+impl Report {
+    /// Iterations per wall-clock second, from the median batch.
+    pub fn per_second(&self) -> f64 {
+        if self.median_ns > 0.0 {
+            1e9 / self.median_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl Bench {
+    /// A case with the default 300 ms warmup / 1 s measurement budget.
+    pub fn new(name: impl Into<String>) -> Self {
+        Bench {
+            name: name.into(),
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+        }
+    }
+
+    /// Overrides the measurement budget.
+    pub fn measure_for(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Overrides the warmup budget.
+    pub fn warmup_for(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Runs `f` repeatedly — first for the warmup budget (also used to size
+    /// timing batches), then for the measurement budget — and prints one
+    /// `name ... median ns/iter (min, iters)` line.
+    pub fn run<T>(&self, mut f: impl FnMut() -> T) -> Report {
+        // Warmup, counting iterations to size measurement batches so each
+        // batch is long enough (~10 ms) for Instant's resolution.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let warm_ns = start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((10e6 / warm_ns.max(1.0)).ceil() as u64).clamp(1, 1 << 24);
+
+        let mut samples = Vec::new();
+        let mut iterations = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            iterations += batch;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = samples[samples.len() / 2];
+        let min_ns = samples[0];
+        let report = Report {
+            median_ns,
+            min_ns,
+            iterations,
+        };
+        println!(
+            "{:<44} {:>12} ns/iter   (min {:>10} ns, {} iters)",
+            self.name,
+            fmt_ns(median_ns),
+            fmt_ns(min_ns),
+            iterations
+        );
+        report
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_plausible_timings() {
+        let r = Bench::new("noop")
+            .warmup_for(Duration::from_millis(5))
+            .measure_for(Duration::from_millis(20))
+            .run(|| 1u64 + black_box(1));
+        assert!(r.iterations > 0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.per_second() > 0.0);
+    }
+}

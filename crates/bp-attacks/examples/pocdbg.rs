@@ -5,7 +5,9 @@ fn main() {
     let mut env = AttackEnv::new(Mechanism::Baseline, 1);
     let v = Addr::new(0x0040_1230);
     for round in 0..10 {
-        for _ in 0..8 { env.attacker_cond(v, true); }
+        for _ in 0..8 {
+            env.attacker_cond(v, true);
+        }
         let mp = env.victim_cond(v, false);
         println!("round {round}: victim mispredicted (followed training) = {mp}");
     }

@@ -80,8 +80,7 @@ impl KeyChangePolicy {
     /// Accesses an attacker can make within one key epoch: the counter cap
     /// or the slice cap, whichever binds first.
     pub fn max_accesses_per_epoch(&self) -> f64 {
-        (self.access_threshold as f64)
-            .min(self.time_slice_cycles as f64 * self.accesses_per_cycle)
+        (self.access_threshold as f64).min(self.time_slice_cycles as f64 * self.accesses_per_cycle)
     }
 
     /// Whether no analyzed attack fits in a key epoch.

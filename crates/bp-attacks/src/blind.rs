@@ -146,10 +146,7 @@ mod tests {
         // printed Equation (1) evaluates to ≈ 12.7% there. (Its literal
         // maximum sits slightly higher at larger n; see EXPERIMENTS.md.)
         let p = valid_conflict_probability(1140, 1024, 7);
-        assert!(
-            (0.10..=0.14).contains(&p),
-            "P(1140) = {p}, expected ≈ 12%"
-        );
+        assert!((0.10..=0.14).contains(&p), "P(1140) = {p}, expected ≈ 12%");
         let (_, p_max) = optimal_n(1024, 7);
         assert!(p_max >= p, "search must find at least the paper's point");
     }

@@ -39,7 +39,7 @@ impl AttackEnv {
     /// thread 0 (ASID 100), victim on hardware thread 1 (ASID 200), running
     /// concurrently.
     pub fn new(mechanism: Mechanism, seed: u64) -> Self {
-        let mut bpu = SecureBpu::new(mechanism, 2, seed);
+        let mut bpu = SecureBpu::new(mechanism, 2, seed).expect("attack env mechanisms are valid");
         let attacker = HwThreadId::new(0);
         let victim = HwThreadId::new(1);
         bpu.on_context_switch(attacker, Asid::new(100), 0);
@@ -61,7 +61,7 @@ impl AttackEnv {
     /// context switch the protection mechanisms react to.
     pub fn new_single_core(mechanism: Mechanism, seed: u64) -> Self {
         let hw = HwThreadId::new(0);
-        let mut bpu = SecureBpu::new(mechanism, 2, seed);
+        let mut bpu = SecureBpu::new(mechanism, 2, seed).expect("attack env mechanisms are valid");
         bpu.on_context_switch(hw, Asid::new(100), 0);
         AttackEnv {
             bpu,
@@ -78,7 +78,11 @@ impl AttackEnv {
         if self.single_core && self.active_is_attacker != attacker {
             self.active_is_attacker = attacker;
             self.now += 500;
-            let asid = if attacker { Asid::new(100) } else { Asid::new(200) };
+            let asid = if attacker {
+                Asid::new(100)
+            } else {
+                Asid::new(200)
+            };
             self.bpu.on_context_switch(self.attacker, asid, self.now);
             // Let any background key refresh complete before the process
             // runs (conservative for the attacker).
@@ -153,7 +157,8 @@ impl AttackEnv {
     /// Switches the victim's privilege level (cross-privilege scenarios).
     pub fn victim_privilege(&mut self, privilege: Privilege) {
         self.step();
-        self.bpu.on_privilege_change(self.victim, privilege, self.now);
+        self.bpu
+            .on_privilege_change(self.victim, privilege, self.now);
     }
 
     /// Context switch on the victim thread (forces key changes under HyBP).

@@ -126,7 +126,9 @@ mod tests {
         );
         // The reduced set still works: random replacement makes a single
         // trial probabilistic, so confirm over several.
-        let still = (0..6).filter(|_| evicts(&mut env, target, &r.eviction_set)).count();
+        let still = (0..6)
+            .filter(|_| evicts(&mut env, target, &r.eviction_set))
+            .count();
         assert!(still >= 1, "reduced set must still evict sometimes");
     }
 

@@ -54,7 +54,7 @@ impl AffineModel {
         // Forward elimination with partial pivoting.
         let mut pivot_of_col = [usize::MAX; 64];
         let mut next_row = 0usize;
-        for col in 0..64 {
+        for (col, pivot) in pivot_of_col.iter_mut().enumerate() {
             let Some(p) = (next_row..64).find(|&r| (rows[r] >> col) & 1 == 1) else {
                 continue;
             };
@@ -66,7 +66,7 @@ impl AffineModel {
                     rhs[r] ^= rhs[next_row];
                 }
             }
-            pivot_of_col[col] = next_row;
+            *pivot = next_row;
             next_row += 1;
         }
         // Inconsistent rows ⇒ no preimage.
@@ -76,8 +76,7 @@ impl AffineModel {
             }
         }
         let mut x = 0u64;
-        for col in 0..64 {
-            let p = pivot_of_col[col];
+        for (col, &p) in pivot_of_col.iter().enumerate() {
             if p != usize::MAX && rhs[p] == 1 {
                 x |= 1 << col;
             }
@@ -143,7 +142,10 @@ mod tests {
         let c = Llbc::from_seed(11);
         let model = break_affine(&c, 0xAA, 200, 1).expect("LLBC must be affine");
         // The model predicts unseen queries.
-        assert_eq!(model.predict(0x1234_5678_9ABC), c.encrypt(0x1234_5678_9ABC, 0xAA));
+        assert_eq!(
+            model.predict(0x1234_5678_9ABC),
+            c.encrypt(0x1234_5678_9ABC, 0xAA)
+        );
     }
 
     #[test]
@@ -184,7 +186,11 @@ mod tests {
         let ev = computed_eviction_set(&model, target, sets, 8);
         assert_eq!(ev.len(), 8);
         for &raw in &ev {
-            assert_eq!(c.encrypt(raw, 9) % sets, target, "computed line must map to target");
+            assert_eq!(
+                c.encrypt(raw, 9) % sets,
+                target,
+                "computed line must map to target"
+            );
         }
     }
 }

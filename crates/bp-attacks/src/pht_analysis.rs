@@ -50,8 +50,7 @@ impl PhtAttackParams {
     /// Equation (2): expected accesses for one effective Prime+Probe.
     pub fn accesses_per_probe(&self) -> f64 {
         let space = 2f64.powi((self.index_bits + self.tag_bits) as i32);
-        let state =
-            2f64.powi(self.ctr_bits as i32) + 2f64.powi(self.useful_bits as i32) + 1.0;
+        let state = 2f64.powi(self.ctr_bits as i32) + 2f64.powi(self.useful_bits as i32) + 1.0;
         space * state
     }
 

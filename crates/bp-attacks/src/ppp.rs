@@ -295,7 +295,8 @@ pub fn run_algorithm1(env: &mut AttackEnv, params: &PppParams) -> PppRun {
         // arm inherits it; groups unrelated to x show no contrast at all.
         if expectation_difference(env, &g1v, ways, params).abs() > params.decision_threshold {
             collection = g1v;
-        } else if expectation_difference(env, &g2v, ways, params).abs() > params.decision_threshold {
+        } else if expectation_difference(env, &g2v, ways, params).abs() > params.decision_threshold
+        {
             collection = g2v;
         } else {
             return PppRun {

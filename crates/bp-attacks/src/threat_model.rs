@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn same_thread_same_priv_is_out_of_scope() {
-        assert!(!in_scope(AttackType::ReuseBased, Scenario::SameThreadSamePrivilege));
+        assert!(!in_scope(
+            AttackType::ReuseBased,
+            Scenario::SameThreadSamePrivilege
+        ));
         assert!(!in_scope(
             AttackType::ContentionBased,
             Scenario::SameThreadSamePrivilege

@@ -1,0 +1,98 @@
+//! Typed configuration errors shared across the workspace.
+//!
+//! Every public constructor that derives state from a configuration value
+//! returns `Result<_, ConfigError>` instead of panicking: a service core
+//! must reject bad input, not die on it. The variants carry static strings
+//! so that error construction never allocates on a hot path.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_common::error::ConfigError;
+//!
+//! let e = ConfigError::zero("keys table entries");
+//! assert_eq!(e.to_string(), "keys table entries must be non-zero");
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// A rejected configuration value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A count or width that must be positive was zero.
+    Zero {
+        /// What was zero.
+        what: &'static str,
+    },
+    /// A value exceeded its supported maximum.
+    TooLarge {
+        /// What was too large.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The largest supported value.
+        max: u64,
+    },
+    /// Two configuration values contradict each other.
+    Inconsistent {
+        /// What is inconsistent.
+        what: &'static str,
+        /// The constraint that was violated.
+        why: &'static str,
+    },
+}
+
+impl ConfigError {
+    /// Shorthand for [`ConfigError::Zero`].
+    pub const fn zero(what: &'static str) -> Self {
+        ConfigError::Zero { what }
+    }
+
+    /// Shorthand for [`ConfigError::TooLarge`].
+    pub const fn too_large(what: &'static str, value: u64, max: u64) -> Self {
+        ConfigError::TooLarge { what, value, max }
+    }
+
+    /// Shorthand for [`ConfigError::Inconsistent`].
+    pub const fn inconsistent(what: &'static str, why: &'static str) -> Self {
+        ConfigError::Inconsistent { what, why }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Zero { what } => write!(f, "{what} must be non-zero"),
+            ConfigError::TooLarge { what, value, max } => {
+                write!(f, "{what} is {value}, which exceeds the maximum of {max}")
+            }
+            ConfigError::Inconsistent { what, why } => write!(f, "{what} is inconsistent: {why}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_field() {
+        assert_eq!(
+            ConfigError::too_large("extra storage", 5000, 1000).to_string(),
+            "extra storage is 5000, which exceeds the maximum of 1000"
+        );
+        assert_eq!(
+            ConfigError::inconsistent("keys table", "word_bits >= key_bits").to_string(),
+            "keys table is inconsistent: word_bits >= key_bits"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(ConfigError::zero("slots"));
+        assert!(e.to_string().contains("slots"));
+    }
+}

@@ -8,7 +8,9 @@
 //! * deterministic, seedable PRNGs used by every simulation component
 //!   ([`rng::SplitMix64`], [`rng::Xoshiro256StarStar`]),
 //! * branch-history registers ([`history::GlobalHistory`], [`history::PathHistory`]),
-//! * statistics helpers ([`stats`]).
+//! * statistics helpers ([`stats`]),
+//! * typed configuration errors ([`error::ConfigError`]),
+//! * a deterministic, dependency-free property-check harness ([`check`]).
 //!
 //! # Examples
 //!
@@ -21,9 +23,13 @@
 //! assert_eq!(pc.bits(2, 10), (0x4000_1234u64 >> 2) & 0x3ff);
 //! ```
 
+pub mod check;
+pub mod error;
 pub mod history;
 pub mod rng;
 pub mod stats;
+
+pub use error::ConfigError;
 
 use std::fmt;
 
@@ -430,12 +436,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "conditional")]
     fn unconditional_record_rejects_conditional_kind() {
-        let _ = BranchRecord::unconditional(
-            Addr::new(0),
-            BranchKind::Conditional,
-            Addr::new(4),
-            0,
-        );
+        let _ = BranchRecord::unconditional(Addr::new(0), BranchKind::Conditional, Addr::new(4), 0);
     }
 
     #[test]

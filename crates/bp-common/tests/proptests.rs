@@ -1,29 +1,39 @@
-//! Property-based tests for the foundation types.
+//! Property-based tests for the foundation types, on the in-repo
+//! deterministic harness (`bp_common::check`).
 
+use bp_common::check::{Checker, Gen};
 use bp_common::history::{FoldedHistory, GlobalHistory};
 use bp_common::rng::{SplitMix64, Xoshiro256StarStar};
 use bp_common::stats;
 use bp_common::Addr;
-use proptest::prelude::*;
 
-proptest! {
-    /// Bit extraction matches the shift-and-mask definition for every
-    /// address and in-range (lo, count).
-    #[test]
-    fn addr_bits_matches_definition(raw in any::<u64>(), lo in 0u32..60, count in 1u32..32) {
-        let a = Addr::new(raw);
-        let expect = (raw >> lo) & ((1u64 << count) - 1);
-        prop_assert_eq!(a.bits(lo, count), expect);
-    }
+/// Bit extraction matches the shift-and-mask definition for every address
+/// and in-range (lo, count).
+#[test]
+fn addr_bits_matches_definition() {
+    Checker::new("addr_bits_matches_definition")
+        .cases(256)
+        .run(|g| {
+            let raw = g.u64();
+            let lo = g.u32_in(0, 60);
+            let count = g.u32_in(1, 32);
+            let a = Addr::new(raw);
+            let expect = (raw >> lo) & ((1u64 << count) - 1);
+            assert_eq!(a.bits(lo, count), expect);
+        });
+}
 
-    /// The incrementally folded history always equals the from-scratch fold,
-    /// for arbitrary outcome streams and fold geometries.
-    #[test]
-    fn folded_history_incremental_equals_rebuild(
-        outcomes in proptest::collection::vec(any::<bool>(), 1..400),
-        length in 1usize..300,
-        width in 1usize..24,
-    ) {
+/// The incrementally folded history always equals the from-scratch fold,
+/// for arbitrary outcome streams and fold geometries.
+#[test]
+fn folded_history_incremental_equals_rebuild() {
+    Checker::new("folded_history_incremental_equals_rebuild").run(|g| {
+        let outcomes = {
+            let len = g.usize_in(1, 400);
+            g.vec(len, Gen::bool)
+        };
+        let length = g.usize_in(1, 300);
+        let width = g.usize_in(1, 24);
         let mut h = GlobalHistory::new();
         let mut inc = FoldedHistory::new(length, width);
         let mut reference = FoldedHistory::new(length, width);
@@ -31,55 +41,75 @@ proptest! {
             h.push(o);
             inc.update(&h);
             reference.rebuild(&h);
-            prop_assert_eq!(inc.value(), reference.value());
-            prop_assert!(inc.value() < (1u64 << width));
+            assert_eq!(inc.value(), reference.value());
+            assert!(inc.value() < (1u64 << width));
         }
-    }
+    });
+}
 
-    /// Pushing N outcomes leaves exactly those outcomes in the low N bits.
-    #[test]
-    fn global_history_preserves_recent_bits(outcomes in proptest::collection::vec(any::<bool>(), 1..64)) {
-        let mut h = GlobalHistory::new();
-        for &o in &outcomes {
-            h.push(o);
-        }
-        for (age, &o) in outcomes.iter().rev().enumerate() {
-            prop_assert_eq!(h.bit(age), o);
-        }
-    }
+/// Pushing N outcomes leaves exactly those outcomes in the low N bits.
+#[test]
+fn global_history_preserves_recent_bits() {
+    Checker::new("global_history_preserves_recent_bits")
+        .cases(128)
+        .run(|g| {
+            let len = g.usize_in(1, 64);
+            let outcomes = g.vec(len, Gen::bool);
+            let mut h = GlobalHistory::new();
+            for &o in &outcomes {
+                h.push(o);
+            }
+            for (age, &o) in outcomes.iter().rev().enumerate() {
+                assert_eq!(h.bit(age), o);
+            }
+        });
+}
 
-    /// next_below never violates its bound, for any seed and bound.
-    #[test]
-    fn rng_bound_respected(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// next_below never violates its bound, for any seed and bound.
+#[test]
+fn rng_bound_respected() {
+    Checker::new("rng_bound_respected").cases(128).run(|g| {
+        let seed = g.u64();
+        let bound = g.in_range(1, 1_000_000);
         let mut a = SplitMix64::new(seed);
         let mut b = Xoshiro256StarStar::seeded(seed);
         for _ in 0..50 {
-            prop_assert!(a.next_below(bound) < bound);
-            prop_assert!(b.next_below(bound) < bound);
+            assert!(a.next_below(bound) < bound);
+            assert!(b.next_below(bound) < bound);
         }
-    }
+    });
+}
 
-    /// Mean inequalities hold for any positive sample set.
-    #[test]
-    fn mean_inequalities(xs in proptest::collection::vec(0.001f64..1000.0, 1..40)) {
+/// Mean inequalities hold for any positive sample set.
+#[test]
+fn mean_inequalities() {
+    Checker::new("mean_inequalities").cases(256).run(|g| {
+        let len = g.usize_in(1, 40);
+        let xs = g.vec(len, |g| g.f64_in(0.001, 1000.0));
         let h = stats::harmonic_mean(&xs).unwrap();
-        let g = stats::geomean(&xs).unwrap();
+        let gm = stats::geomean(&xs).unwrap();
         let a = stats::mean(&xs).unwrap();
-        prop_assert!(h <= g * (1.0 + 1e-9));
-        prop_assert!(g <= a * (1.0 + 1e-9));
-    }
+        assert!(h <= gm * (1.0 + 1e-9));
+        assert!(gm <= a * (1.0 + 1e-9));
+    });
+}
 
-    /// The online accumulator agrees with batch statistics.
-    #[test]
-    fn accumulator_matches_batch(xs in proptest::collection::vec(-1e6f64..1e6, 2..50)) {
-        let mut acc = stats::Accumulator::new();
-        for &x in &xs {
-            acc.add(x);
-        }
-        let m = stats::mean(&xs).unwrap();
-        prop_assert!((acc.mean().unwrap() - m).abs() < 1e-6 * (1.0 + m.abs()));
-        let sd = stats::stddev(&xs).unwrap();
-        let asd = acc.variance().unwrap().sqrt();
-        prop_assert!((asd - sd).abs() < 1e-6 * (1.0 + sd));
-    }
+/// The online accumulator agrees with batch statistics.
+#[test]
+fn accumulator_matches_batch() {
+    Checker::new("accumulator_matches_batch")
+        .cases(256)
+        .run(|g| {
+            let len = g.usize_in(2, 50);
+            let xs = g.vec(len, |g| g.f64_in(-1e6, 1e6));
+            let mut acc = stats::Accumulator::new();
+            for &x in &xs {
+                acc.add(x);
+            }
+            let m = stats::mean(&xs).unwrap();
+            assert!((acc.mean().unwrap() - m).abs() < 1e-6 * (1.0 + m.abs()));
+            let sd = stats::stddev(&xs).unwrap();
+            let asd = acc.variance().unwrap().sqrt();
+            assert!((asd - sd).abs() < 1e-6 * (1.0 + sd));
+        });
 }

@@ -15,6 +15,12 @@
 //! not-yet-rewritten word simply returns the stale key, costing only
 //! prediction accuracy, never correctness ([`KeysTable::key_at`]).
 //!
+//! The same degradation policy covers faults: a corrupted key entry (see
+//! [`KeysTable::inject_bit_flip`] and the `bp-faults` crate) or an
+//! out-of-range read produces a *wrong key* — a misprediction at worst —
+//! and never an abort. Constructors validate their configuration and return
+//! [`ConfigError`] instead of panicking.
+//!
 //! # Examples
 //!
 //! ```
@@ -23,7 +29,7 @@
 //! use bp_common::{Asid, Vmid};
 //!
 //! let cipher = Qarma64::from_seed(1);
-//! let mut table = KeysTable::new(KeysTableConfig::paper_default());
+//! let mut table = KeysTable::new(KeysTableConfig::paper_default()).expect("paper default");
 //! let seed = IndexSeed::derive(Asid::new(3), Vmid::new(0), 0xfeed);
 //! table.begin_refresh(&cipher, seed, 0, 0);
 //! // The paper's example: 1K entries x 10-bit keys in 40-bit words
@@ -32,7 +38,8 @@
 //! ```
 
 use crate::TweakableBlockCipher;
-use bp_common::{Asid, Cycle, Vmid};
+use bp_common::{Asid, ConfigError, Cycle, Vmid};
+use bp_faults::{FaultInjector, RefreshDisposition};
 
 /// Geometry of the randomized index keys table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,9 +74,36 @@ impl KeysTableConfig {
         }
     }
 
+    /// A fully explicit, validated geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `entries` is zero, `key_bits` is zero or
+    /// wider than 64, or a word cannot hold at least one key.
+    pub fn checked(
+        entries: usize,
+        key_bits: u32,
+        word_bits: u32,
+        pipeline_fill: Cycle,
+    ) -> Result<Self, ConfigError> {
+        let cfg = KeysTableConfig {
+            entries,
+            key_bits,
+            word_bits,
+            pipeline_fill,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
     /// Number of logical keys per physical word.
+    ///
+    /// Total function even on unvalidated geometries: a zero key width or a
+    /// key wider than a word clamps to one key per word instead of dividing
+    /// toward zero (call [`KeysTableConfig::validate`] to reject such
+    /// configurations up front).
     pub fn keys_per_word(&self) -> usize {
-        (self.word_bits / self.key_bits) as usize
+        ((self.word_bits / self.key_bits.max(1)).max(1)) as usize
     }
 
     /// Number of physical words backing the table.
@@ -82,16 +116,32 @@ impl KeysTableConfig {
         (self.entries * self.key_bits as usize).div_ceil(8)
     }
 
-    fn validate(&self) {
-        assert!(self.entries > 0, "table must have at least one entry");
-        assert!(
-            self.key_bits > 0 && self.key_bits <= 64,
-            "key width must be 1..=64 bits"
-        );
-        assert!(
-            self.word_bits >= self.key_bits,
-            "a word must hold at least one key"
-        );
+    /// Checks the geometry for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.entries == 0 {
+            return Err(ConfigError::zero("keys table entries"));
+        }
+        if self.key_bits == 0 {
+            return Err(ConfigError::zero("keys table key_bits"));
+        }
+        if self.key_bits > 64 {
+            return Err(ConfigError::too_large(
+                "keys table key_bits",
+                u64::from(self.key_bits),
+                64,
+            ));
+        }
+        if self.word_bits < self.key_bits {
+            return Err(ConfigError::inconsistent(
+                "keys table geometry",
+                "a word must hold at least one key (word_bits >= key_bits)",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -114,9 +164,7 @@ impl IndexSeed {
     /// a SplitMix finalizer so that adjacent ASIDs do not produce related
     /// seeds.
     pub fn derive(asid: Asid, vmid: Vmid, hardware_rand: u64) -> Self {
-        let packed = (u64::from(asid.raw()) << 48)
-            ^ (u64::from(vmid.raw()) << 32)
-            ^ hardware_rand;
+        let packed = (u64::from(asid.raw()) << 48) ^ (u64::from(vmid.raw()) << 32) ^ hardware_rand;
         let mut z = packed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -147,25 +195,27 @@ pub struct KeysTable {
     accesses_since_refresh: u64,
     generation: u64,
     stale_hits: u64,
+    anomalous_reads: u64,
 }
 
 impl KeysTable {
     /// Creates an all-zero-key table with the given geometry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is inconsistent (zero entries, key wider
-    /// than a word, ...).
-    pub fn new(config: KeysTableConfig) -> Self {
-        config.validate();
-        KeysTable {
+    /// Returns [`ConfigError`] if the configuration is inconsistent (zero
+    /// entries, key wider than a word, ...).
+    pub fn new(config: KeysTableConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(KeysTable {
             keys: vec![0; config.entries],
             config,
             refresh: None,
             accesses_since_refresh: 0,
             generation: 0,
             stale_hits: 0,
-        }
+            anomalous_reads: 0,
+        })
     }
 
     /// The table geometry.
@@ -179,11 +229,29 @@ impl KeysTable {
         self.config.pipeline_fill + self.config.words() as Cycle
     }
 
+    /// The key of `entry` as architecturally visible at cycle `now`: the old
+    /// generation's key while the rewrite has not reached the entry's word.
+    /// Pure read — no counters, no refresh-state transitions.
+    fn visible_key(&self, entry: usize, now: Cycle) -> u64 {
+        if let Some(refresh) = &self.refresh {
+            let word_idx = (entry / self.config.keys_per_word()) as Cycle;
+            let rewritten_at = refresh.started_at + self.config.pipeline_fill + word_idx + 1;
+            if now < rewritten_at {
+                return refresh.old_keys.get(entry).copied().unwrap_or(0);
+            }
+        }
+        self.keys.get(entry).copied().unwrap_or(0)
+    }
+
     /// Starts a non-stalling refresh at cycle `now`, filling the table with
     /// ciphertext of a timer-readout sequence under `seed` (§V-C1).
     ///
     /// The old key material remains visible for words the rewrite has not
-    /// reached yet; see [`KeysTable::key_at`].
+    /// reached yet; see [`KeysTable::key_at`]. A refresh may overlap an
+    /// in-flight one (e.g. a context switch during the rewrite): the
+    /// snapshot preserved as "old" keys is then the architecturally visible
+    /// mix of the two earlier generations at `now`, not either generation
+    /// wholesale.
     pub fn begin_refresh(
         &mut self,
         cipher: &dyn TweakableBlockCipher,
@@ -191,7 +259,9 @@ impl KeysTable {
         timer_base: u64,
         now: Cycle,
     ) {
-        let old_keys = std::mem::take(&mut self.keys);
+        let old_keys: Vec<u64> = (0..self.config.entries)
+            .map(|e| self.visible_key(e, now))
+            .collect();
         let per_word = self.config.keys_per_word();
         let key_mask = if self.config.key_bits == 64 {
             u64::MAX
@@ -223,11 +293,17 @@ impl KeysTable {
     ///
     /// Also counts the access toward the renewal threshold.
     ///
-    /// # Panics
-    ///
-    /// Panics if `entry` is out of bounds.
+    /// An out-of-range `entry` (a faulted index, or a caller bug) is folded
+    /// back into the table and counted in
+    /// [`KeysTable::anomalous_reads`] — a wrong key costs a misprediction,
+    /// never an abort.
     pub fn key_at(&mut self, entry: usize, now: Cycle) -> u64 {
-        assert!(entry < self.config.entries, "key entry out of bounds");
+        let entry = if entry < self.config.entries {
+            entry
+        } else {
+            self.anomalous_reads += 1;
+            entry % self.config.entries
+        };
         self.accesses_since_refresh += 1;
         if let Some(refresh) = &self.refresh {
             let word_idx = (entry / self.config.keys_per_word()) as Cycle;
@@ -241,7 +317,25 @@ impl KeysTable {
                 self.refresh = None;
             }
         }
-        self.keys[entry]
+        self.keys.get(entry).copied().unwrap_or(0)
+    }
+
+    /// Flips one bit of the *stored* (current-generation) key of `entry`,
+    /// modelling persistent SRAM corruption. `entry` and `bit` are folded
+    /// into range. The corruption behaves exactly like a stale key: wrong
+    /// prediction, correct execution.
+    pub fn inject_bit_flip(&mut self, entry: usize, bit: u32) {
+        let entry = entry % self.config.entries.max(1);
+        let bit = bit % self.config.key_bits.max(1);
+        if let Some(k) = self.keys.get_mut(entry) {
+            *k ^= 1u64 << bit;
+        }
+    }
+
+    /// Forces the access counter to at least `count` (counter-saturation
+    /// fault; the next threshold check then triggers a renewal).
+    pub fn force_access_count(&mut self, count: u64) {
+        self.accesses_since_refresh = self.accesses_since_refresh.max(count);
     }
 
     /// Whether the access counter has reached `threshold` and a renewal
@@ -259,6 +353,12 @@ impl KeysTable {
     /// table's lifetime. Evaluated in Table VI.
     pub fn stale_hits(&self) -> u64 {
         self.stale_hits
+    }
+
+    /// How many reads arrived with an out-of-range entry and were folded
+    /// back into the table (fault accounting).
+    pub fn anomalous_reads(&self) -> u64 {
+        self.anomalous_reads
     }
 
     /// Monotonic refresh generation (0 = never refreshed).
@@ -284,11 +384,15 @@ pub struct DomainKeys {
 
 impl DomainKeys {
     /// Creates zeroed key state.
-    pub fn new(config: KeysTableConfig) -> Self {
-        DomainKeys {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the table geometry is inconsistent.
+    pub fn new(config: KeysTableConfig) -> Result<Self, ConfigError> {
+        Ok(DomainKeys {
             content_key: 0,
-            table: KeysTable::new(config),
-        }
+            table: KeysTable::new(config)?,
+        })
     }
 
     /// The current content key (XOR-ed into stored table contents).
@@ -317,6 +421,12 @@ impl DomainKeys {
 /// Content-key update is a 1-cycle register write and takes effect
 /// immediately; the keys-table rewrite proceeds in the background
 /// (two-step refresh, §V-C2).
+///
+/// An optional [`FaultInjector`] disturbs key reads (persistent bit flips),
+/// counter checks (saturation) and refresh requests (delay/drop); see the
+/// `bp-faults` crate. Disturbances never change the *reported* refresh
+/// timing — [`KeyManager::renew`] always returns the nominal completion
+/// cycle, so no fault opens a timing channel.
 #[derive(Debug)]
 pub struct KeyManager {
     cipher: Box<dyn TweakableBlockCipher>,
@@ -327,6 +437,7 @@ pub struct KeyManager {
     timer: u64,
     /// Access-counter threshold for forced renewal (paper: ≈ 2²⁷).
     threshold: u64,
+    faults: Option<FaultInjector>,
 }
 
 /// The paper's renewal threshold: the shortest analyzed attack needs ≈ 2²⁷
@@ -336,24 +447,42 @@ pub const PAPER_RENEWAL_THRESHOLD: u64 = 1 << 27;
 impl KeyManager {
     /// Creates a manager with `slot_count` isolation slots.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `slot_count` is zero.
+    /// Returns [`ConfigError`] if `slot_count` or `threshold` is zero, or
+    /// the table geometry is inconsistent.
     pub fn new(
         cipher: Box<dyn TweakableBlockCipher>,
         slot_count: usize,
         config: KeysTableConfig,
         threshold: u64,
         seed: u64,
-    ) -> Self {
-        assert!(slot_count > 0, "need at least one isolation slot");
-        KeyManager {
+    ) -> Result<Self, ConfigError> {
+        if slot_count == 0 {
+            return Err(ConfigError::zero("isolation slot count"));
+        }
+        if threshold == 0 {
+            // A zero threshold would demand a renewal on every access.
+            return Err(ConfigError::zero("renewal threshold"));
+        }
+        config.validate()?;
+        let slots = (0..slot_count)
+            .map(|_| DomainKeys::new(config))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(KeyManager {
             cipher,
-            slots: (0..slot_count).map(|_| DomainKeys::new(config)).collect(),
+            slots,
             rand_source: bp_common::rng::SplitMix64::new(seed),
             timer: 0x1000,
             threshold,
-        }
+            faults: None,
+        })
+    }
+
+    /// Installs (or removes) the fault injector consulted on key reads,
+    /// counter checks and refresh requests.
+    pub fn set_fault_injector(&mut self, faults: Option<FaultInjector>) {
+        self.faults = faults;
     }
 
     /// Number of isolation slots.
@@ -366,24 +495,50 @@ impl KeyManager {
         self.threshold
     }
 
+    /// Folds an out-of-range slot id into range (counted per-table as an
+    /// anomalous read when it reaches one).
+    fn clamp_slot(&self, slot: usize) -> usize {
+        if slot < self.slots.len() {
+            slot
+        } else {
+            slot % self.slots.len().max(1)
+        }
+    }
+
     /// Renews all keys of `slot` (content key immediately, keys table in the
     /// background), as on a context switch. Returns the cycle at which the
-    /// table rewrite completes.
+    /// table rewrite nominally completes.
     ///
-    /// # Panics
-    ///
-    /// Panics if `slot` is out of bounds.
+    /// The return value is the *acknowledged* completion time and does not
+    /// change when a fault delays or drops the actual rewrite: faults must
+    /// not modulate observable timing.
     pub fn renew(&mut self, slot: usize, asid: Asid, vmid: Vmid, now: Cycle) -> Cycle {
+        let slot = self.clamp_slot(slot);
+        let nominal_done = now + self.slots[slot].table().refresh_duration();
+        let disposition = match &self.faults {
+            Some(f) => f.on_refresh(slot, now),
+            None => RefreshDisposition::Proceed,
+        };
+        if disposition == RefreshDisposition::Drop {
+            // The renewal request is lost: keys stay stale, the counter
+            // keeps running, and the next trigger will retry.
+            return nominal_done;
+        }
         let rand = self.rand_source.next_u64();
         let seed = IndexSeed::derive(asid, vmid, rand);
         // Step 1 (1 cycle): content key registers.
         self.slots[slot].content_key = self.cipher.encrypt(self.timer, seed.raw() ^ 0xC0DE);
-        // Step 2 (hundreds of cycles, non-stalling): SRAM rewrite.
+        // Step 2 (hundreds of cycles, non-stalling): SRAM rewrite, possibly
+        // silently starting late under a delay fault.
+        let start = match disposition {
+            RefreshDisposition::Delay(d) => now + d,
+            _ => now,
+        };
         let timer_base = self.timer;
         self.timer = self.timer.wrapping_add(0x10_0000);
         let table = self.slots[slot].table_mut();
-        table.begin_refresh(self.cipher.as_ref(), seed, timer_base, now);
-        now + table.refresh_duration()
+        table.begin_refresh(self.cipher.as_ref(), seed, timer_base, start);
+        nominal_done
     }
 
     /// Looks up the index key for a branch in `slot`; the table is indexed by
@@ -400,8 +555,19 @@ impl KeyManager {
         vmid: Vmid,
         now: Cycle,
     ) -> (u64, bool) {
+        let slot = self.clamp_slot(slot);
         let entries = self.slots[slot].table().config().entries;
         let entry = (pc_slice as usize) % entries;
+        if let Some(f) = self.faults.clone() {
+            let key_bits = self.slots[slot].table().config().key_bits;
+            if let Some(bit) = f.on_key_read(slot, entry, key_bits, now) {
+                self.slots[slot].table_mut().inject_bit_flip(entry, bit);
+            }
+            if f.saturate_counter(slot, now) {
+                let threshold = self.threshold;
+                self.slots[slot].table_mut().force_access_count(threshold);
+            }
+        }
         let key = self.slots[slot].table_mut().key_at(entry, now);
         if self.slots[slot].table().needs_refresh(self.threshold) {
             self.renew(slot, asid, vmid, now);
@@ -412,12 +578,12 @@ impl KeyManager {
 
     /// The content key currently active for `slot`.
     pub fn content_key(&self, slot: usize) -> u64 {
-        self.slots[slot].content_key()
+        self.slots[self.clamp_slot(slot)].content_key()
     }
 
     /// Read-only access to a slot's key state.
     pub fn slot(&self, slot: usize) -> &DomainKeys {
-        &self.slots[slot]
+        &self.slots[self.clamp_slot(slot)]
     }
 }
 
@@ -425,14 +591,29 @@ impl KeyManager {
 mod tests {
     use super::*;
     use crate::Qarma64;
+    use bp_faults::{FaultPlan, FaultStats};
 
     fn cipher() -> Qarma64 {
         Qarma64::from_seed(0xA5A5)
     }
 
+    fn table(config: KeysTableConfig) -> KeysTable {
+        KeysTable::new(config).expect("valid test geometry")
+    }
+
+    fn manager(
+        slot_count: usize,
+        config: KeysTableConfig,
+        threshold: u64,
+        seed: u64,
+    ) -> KeyManager {
+        KeyManager::new(Box::new(cipher()), slot_count, config, threshold, seed)
+            .expect("valid test configuration")
+    }
+
     #[test]
     fn paper_geometry_263_cycles() {
-        let t = KeysTable::new(KeysTableConfig::paper_default());
+        let t = table(KeysTableConfig::paper_default());
         assert_eq!(t.config().keys_per_word(), 4);
         assert_eq!(t.config().words(), 256);
         assert_eq!(t.refresh_duration(), 263);
@@ -440,8 +621,43 @@ mod tests {
     }
 
     #[test]
+    fn invalid_geometries_are_rejected() {
+        assert_eq!(
+            KeysTable::new(KeysTableConfig::with_entries(0)).err(),
+            Some(ConfigError::zero("keys table entries"))
+        );
+        assert!(KeysTableConfig::checked(16, 0, 40, 7).is_err());
+        assert!(KeysTableConfig::checked(16, 65, 80, 7).is_err());
+        // The silently-divides-toward-zero hazard: key wider than a word.
+        assert_eq!(
+            KeysTableConfig::checked(16, 48, 40, 7).err(),
+            Some(ConfigError::inconsistent(
+                "keys table geometry",
+                "a word must hold at least one key (word_bits >= key_bits)",
+            ))
+        );
+        assert!(KeysTableConfig::checked(1024, 10, 40, 7).is_ok());
+    }
+
+    #[test]
+    fn keys_per_word_is_total_even_unvalidated() {
+        // An unvalidated struct literal must not divide toward zero (or by
+        // zero) in derived quantities.
+        let bad = KeysTableConfig {
+            entries: 16,
+            key_bits: 48,
+            word_bits: 40,
+            pipeline_fill: 7,
+        };
+        assert_eq!(bad.keys_per_word(), 1);
+        assert_eq!(bad.words(), 16);
+        let zero = KeysTableConfig { key_bits: 0, ..bad };
+        assert!(zero.keys_per_word() >= 1);
+    }
+
+    #[test]
     fn keys_fit_width() {
-        let mut t = KeysTable::new(KeysTableConfig::paper_default());
+        let mut t = table(KeysTableConfig::paper_default());
         let seed = IndexSeed::derive(Asid::new(1), Vmid::new(0), 42);
         t.begin_refresh(&cipher(), seed, 0, 0);
         for i in 0..1024 {
@@ -451,11 +667,16 @@ mod tests {
 
     #[test]
     fn refresh_changes_keys() {
-        let mut t = KeysTable::new(KeysTableConfig::paper_default());
+        let mut t = table(KeysTableConfig::paper_default());
         let c = cipher();
         t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 1), 0, 0);
         let before: Vec<u64> = (0..1024).map(|i| t.key_at(i, 10_000)).collect();
-        t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 2), 4096, 20_000);
+        t.begin_refresh(
+            &c,
+            IndexSeed::derive(Asid::new(1), Vmid::new(0), 2),
+            4096,
+            20_000,
+        );
         let after: Vec<u64> = (0..1024).map(|i| t.key_at(i, 40_000)).collect();
         let differing = before.iter().zip(&after).filter(|(a, b)| a != b).count();
         assert!(differing > 900, "only {differing} of 1024 keys changed");
@@ -463,13 +684,18 @@ mod tests {
 
     #[test]
     fn non_stalling_refresh_serves_stale_keys() {
-        let mut t = KeysTable::new(KeysTableConfig::paper_default());
+        let mut t = table(KeysTableConfig::paper_default());
         let c = cipher();
         t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 1), 0, 0);
         // Let the first refresh complete, remember a late entry's key.
         let old_last = t.key_at(1023, 100_000);
         // Start a second refresh at cycle 200_000.
-        t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 2), 999, 200_000);
+        t.begin_refresh(
+            &c,
+            IndexSeed::derive(Asid::new(1), Vmid::new(0), 2),
+            999,
+            200_000,
+        );
         // Entry 1023 lives in the last word, rewritten at 200_000 + 7 + 256.
         assert_eq!(t.key_at(1023, 200_001), old_last, "stale key expected");
         assert!(t.refresh_in_flight(200_001));
@@ -486,7 +712,7 @@ mod tests {
 
     #[test]
     fn early_words_rewrite_before_late_words() {
-        let mut t = KeysTable::new(KeysTableConfig::paper_default());
+        let mut t = table(KeysTableConfig::paper_default());
         let c = cipher();
         t.begin_refresh(&c, IndexSeed::derive(Asid::new(7), Vmid::new(0), 3), 0, 0);
         let now = 0 + 7 + 1; // first word rewritten, rest stale
@@ -497,31 +723,159 @@ mod tests {
         assert_eq!(t.stale_hits(), stale_before + 1, "entry 1023 must be stale");
     }
 
+    /// Satellite coverage: at *every* cycle of the 263-cycle paper-default
+    /// refresh, every entry must read as its old key while its word has not
+    /// been rewritten and as its new key afterwards.
+    #[test]
+    fn mid_refresh_reads_old_key_until_word_rewritten_every_cycle() {
+        let cfg = KeysTableConfig::paper_default();
+        let mut t = table(cfg);
+        let c = cipher();
+        // Generation 1, fully rewritten by cycle 100_000.
+        t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 1), 0, 0);
+        let old: Vec<u64> = (0..cfg.entries).map(|i| t.key_at(i, 100_000)).collect();
+        // Generation 2 starts at `start`.
+        let start: Cycle = 200_000;
+        t.begin_refresh(
+            &c,
+            IndexSeed::derive(Asid::new(1), Vmid::new(0), 2),
+            777,
+            start,
+        );
+        // Capture the new generation's values from a clone (reading the
+        // original would interleave with the sweep below).
+        let mut done = t.clone();
+        let new: Vec<u64> = (0..cfg.entries)
+            .map(|i| done.key_at(i, start + t.refresh_duration()))
+            .collect();
+        assert_ne!(old, new);
+        let per_word = cfg.keys_per_word();
+        for offset in 0..=t.refresh_duration() {
+            let now = start + offset;
+            for entry in (0..cfg.entries).step_by(7) {
+                let word_idx = (entry / per_word) as Cycle;
+                let rewritten_at = cfg.pipeline_fill + word_idx + 1;
+                let expect = if offset < rewritten_at {
+                    old[entry]
+                } else {
+                    new[entry]
+                };
+                assert_eq!(
+                    t.key_at(entry, now),
+                    expect,
+                    "entry {entry} at offset {offset} (word rewritten at {rewritten_at})"
+                );
+            }
+        }
+        // After the sweep the refresh has completed and been retired.
+        assert!(!t.refresh_in_flight(start + t.refresh_duration()));
+    }
+
+    /// Satellite coverage: a second `begin_refresh` issued mid-refresh must
+    /// snapshot the architecturally *visible* keys (a mix of the two prior
+    /// generations), not either generation wholesale.
+    #[test]
+    fn overlapping_refresh_snapshots_visible_mix() {
+        let cfg = KeysTableConfig::paper_default();
+        let mut t = table(cfg);
+        let c = cipher();
+        // Generation 1 (complete): values A.
+        t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 1), 0, 0);
+        let a: Vec<u64> = (0..cfg.entries).map(|i| t.key_at(i, 100_000)).collect();
+        // Generation 2 starts at `g2`; values B once complete.
+        let g2: Cycle = 200_000;
+        t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 2), 55, g2);
+        let mut b_probe = t.clone();
+        let b: Vec<u64> = (0..cfg.entries)
+            .map(|i| b_probe.key_at(i, g2 + t.refresh_duration()))
+            .collect();
+        // Generation 3 starts 100 cycles in: words 0..93 hold B, the rest A.
+        let g3 = g2 + 100;
+        t.begin_refresh(&c, IndexSeed::derive(Asid::new(1), Vmid::new(0), 3), 99, g3);
+        let per_word = cfg.keys_per_word();
+        // One cycle after g3 nothing of generation 3 is visible yet, so every
+        // entry must still read as the pre-g3 visible mix.
+        for entry in 0..cfg.entries {
+            let word_idx = (entry / per_word) as Cycle;
+            let rewritten_by_g2 = g2 + cfg.pipeline_fill + word_idx + 1 <= g3;
+            let expect = if rewritten_by_g2 { b[entry] } else { a[entry] };
+            assert_eq!(
+                t.key_at(entry, g3 + 1),
+                expect,
+                "entry {entry}: old generation must be the visible mix \
+                 (g2 rewrote it: {rewritten_by_g2})"
+            );
+        }
+        // Both phases of the mix must actually occur in this geometry.
+        assert!(
+            (0..cfg.entries).any(|e| (e / per_word) as Cycle + cfg.pipeline_fill + 1 + g2 <= g3)
+        );
+        assert!((0..cfg.entries).any(|e| (e / per_word) as Cycle + cfg.pipeline_fill + 1 + g2 > g3));
+    }
+
     #[test]
     fn access_counter_triggers_refresh_request() {
-        let mut t = KeysTable::new(KeysTableConfig::with_entries(4));
+        let mut t = table(KeysTableConfig::with_entries(4));
         assert!(!t.needs_refresh(5));
         for _ in 0..5 {
             let _ = t.key_at(0, 0);
         }
         assert!(t.needs_refresh(5));
-        t.begin_refresh(&cipher(), IndexSeed::derive(Asid::new(0), Vmid::new(0), 0), 0, 0);
+        t.begin_refresh(
+            &cipher(),
+            IndexSeed::derive(Asid::new(0), Vmid::new(0), 0),
+            0,
+            0,
+        );
         assert!(!t.needs_refresh(5), "counter must reset on refresh");
     }
 
     #[test]
     fn generation_increments() {
-        let mut t = KeysTable::new(KeysTableConfig::with_entries(16));
+        let mut t = table(KeysTableConfig::with_entries(16));
         assert_eq!(t.generation(), 0);
-        t.begin_refresh(&cipher(), IndexSeed::derive(Asid::new(0), Vmid::new(0), 0), 0, 0);
+        t.begin_refresh(
+            &cipher(),
+            IndexSeed::derive(Asid::new(0), Vmid::new(0), 0),
+            0,
+            0,
+        );
         assert_eq!(t.generation(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn out_of_bounds_entry_panics() {
-        let mut t = KeysTable::new(KeysTableConfig::with_entries(16));
-        let _ = t.key_at(16, 0);
+    fn out_of_bounds_entry_degrades_gracefully() {
+        let mut t = table(KeysTableConfig::with_entries(16));
+        let in_range = t.key_at(3, 0);
+        assert_eq!(t.key_at(16 + 3, 0), in_range, "folded into range");
+        assert_eq!(t.anomalous_reads(), 1);
+        let _ = t.key_at(usize::MAX, 0);
+        assert_eq!(t.anomalous_reads(), 2);
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let mut t = table(KeysTableConfig::paper_default());
+        t.begin_refresh(
+            &cipher(),
+            IndexSeed::derive(Asid::new(1), Vmid::new(0), 5),
+            0,
+            0,
+        );
+        let before = t.key_at(42, 10_000);
+        t.inject_bit_flip(42, 3);
+        let after = t.key_at(42, 10_000);
+        assert_eq!((before ^ after).count_ones(), 1);
+        assert!(after < (1 << 10), "flip stays inside the key width");
+        t.inject_bit_flip(42, 3);
+        assert_eq!(t.key_at(42, 10_000), before, "second flip restores");
+    }
+
+    #[test]
+    fn forced_counter_saturation_triggers_renewal() {
+        let mut t = table(KeysTableConfig::with_entries(8));
+        t.force_access_count(1 << 30);
+        assert!(t.needs_refresh(PAPER_RENEWAL_THRESHOLD));
     }
 
     #[test]
@@ -539,9 +893,36 @@ mod tests {
     }
 
     #[test]
-    fn key_manager_renews_per_slot_independently() {
-        let mut km = KeyManager::new(
+    fn key_manager_rejects_bad_configs() {
+        assert!(KeyManager::new(
             Box::new(cipher()),
+            0,
+            KeysTableConfig::paper_default(),
+            PAPER_RENEWAL_THRESHOLD,
+            1,
+        )
+        .is_err());
+        assert!(KeyManager::new(
+            Box::new(cipher()),
+            4,
+            KeysTableConfig::paper_default(),
+            0,
+            1,
+        )
+        .is_err());
+        assert!(KeyManager::new(
+            Box::new(cipher()),
+            4,
+            KeysTableConfig::with_entries(0),
+            PAPER_RENEWAL_THRESHOLD,
+            1,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn key_manager_renews_per_slot_independently() {
+        let mut km = manager(
             4,
             KeysTableConfig::with_entries(64),
             PAPER_RENEWAL_THRESHOLD,
@@ -557,13 +938,7 @@ mod tests {
 
     #[test]
     fn key_manager_counter_renewal() {
-        let mut km = KeyManager::new(
-            Box::new(cipher()),
-            1,
-            KeysTableConfig::with_entries(8),
-            4, // tiny threshold for the test
-            9,
-        );
+        let mut km = manager(1, KeysTableConfig::with_entries(8), 4, 9);
         let mut renewed_count = 0;
         for i in 0..20u64 {
             let (_k, renewed) = km.index_key(0, i, Asid::new(1), Vmid::new(0), i * 10);
@@ -571,13 +946,15 @@ mod tests {
                 renewed_count += 1;
             }
         }
-        assert!(renewed_count >= 4, "threshold 4 over 20 accesses: {renewed_count}");
+        assert!(
+            renewed_count >= 4,
+            "threshold 4 over 20 accesses: {renewed_count}"
+        );
     }
 
     #[test]
     fn same_pc_slice_same_key_between_renewals() {
-        let mut km = KeyManager::new(
-            Box::new(cipher()),
+        let mut km = manager(
             1,
             KeysTableConfig::paper_default(),
             PAPER_RENEWAL_THRESHOLD,
@@ -591,8 +968,7 @@ mod tests {
 
     #[test]
     fn renewal_changes_index_keys() {
-        let mut km = KeyManager::new(
-            Box::new(cipher()),
+        let mut km = manager(
             1,
             KeysTableConfig::paper_default(),
             PAPER_RENEWAL_THRESHOLD,
@@ -607,5 +983,133 @@ mod tests {
             .map(|pc| km.index_key(0, pc, Asid::new(3), Vmid::new(1), 20_000).0)
             .collect();
         assert_ne!(keys_a, keys_b);
+    }
+
+    #[test]
+    fn out_of_range_slot_is_folded() {
+        let mut km = manager(
+            2,
+            KeysTableConfig::with_entries(16),
+            PAPER_RENEWAL_THRESHOLD,
+            3,
+        );
+        // Folds to slot 1; must not panic and must behave like slot 1.
+        let done = km.renew(5, Asid::new(1), Vmid::new(0), 100);
+        assert!(done > 100);
+        assert_eq!(km.slot(1).table().generation(), 1);
+        let _ = km.index_key(7, 0xAB, Asid::new(1), Vmid::new(0), 200);
+    }
+
+    #[test]
+    fn key_flip_fault_corrupts_exactly_the_read_entry() {
+        let mut km = manager(
+            1,
+            KeysTableConfig::paper_default(),
+            PAPER_RENEWAL_THRESHOLD,
+            21,
+        );
+        km.renew(0, Asid::new(3), Vmid::new(1), 0);
+        let clean: Vec<u64> = (0..64)
+            .map(|pc| km.index_key(0, pc, Asid::new(3), Vmid::new(1), 5000).0)
+            .collect();
+        // Flip on every key read: each re-read entry differs by one bit from
+        // its previous value.
+        km.set_fault_injector(Some(FaultInjector::from_plan(
+            FaultPlan::new(17).with_key_bit_flips(1),
+        )));
+        let faulted: Vec<u64> = (0..64)
+            .map(|pc| km.index_key(0, pc, Asid::new(3), Vmid::new(1), 6000).0)
+            .collect();
+        for (c, f) in clean.iter().zip(&faulted) {
+            assert_eq!((c ^ f).count_ones(), 1, "one persistent bit flip per read");
+            assert!(*f < (1 << 10), "corrupted key stays in width");
+        }
+    }
+
+    #[test]
+    fn dropped_refresh_keeps_stale_keys_but_reports_nominal_timing() {
+        let mut km = manager(
+            1,
+            KeysTableConfig::paper_default(),
+            PAPER_RENEWAL_THRESHOLD,
+            23,
+        );
+        km.renew(0, Asid::new(3), Vmid::new(1), 0);
+        let gen_before = km.slot(0).table().generation();
+        // Drop every refresh request from now on.
+        km.set_fault_injector(Some(FaultInjector::from_plan(
+            FaultPlan::new(5).with_refresh_drops(1),
+        )));
+        let done = km.renew(0, Asid::new(3), Vmid::new(1), 10_000);
+        assert_eq!(done, 10_000 + 263, "acknowledged timing is nominal");
+        assert_eq!(
+            km.slot(0).table().generation(),
+            gen_before,
+            "rewrite was lost"
+        );
+    }
+
+    #[test]
+    fn delayed_refresh_extends_stale_window_only() {
+        let mut km = manager(
+            1,
+            KeysTableConfig::paper_default(),
+            PAPER_RENEWAL_THRESHOLD,
+            29,
+        );
+        km.renew(0, Asid::new(3), Vmid::new(1), 0);
+        let (old_key, _) = km.index_key(0, 0x77, Asid::new(3), Vmid::new(1), 5000);
+        km.set_fault_injector(Some(FaultInjector::from_plan(
+            FaultPlan::new(5).with_refresh_delays(1, 10_000),
+        )));
+        let done = km.renew(0, Asid::new(3), Vmid::new(1), 20_000);
+        assert_eq!(done, 20_000 + 263, "acknowledged timing is nominal");
+        // At the nominal completion time the rewrite is still 10_000 cycles
+        // behind: the old key is still being served.
+        let (key, _) = km.index_key(0, 0x77, Asid::new(3), Vmid::new(1), 20_000 + 263);
+        assert_eq!(key, old_key, "stale key during the delayed rewrite");
+        // Eventually the new generation lands.
+        let (late, _) = km.index_key(0, 0x77, Asid::new(3), Vmid::new(1), 40_000);
+        assert_eq!(km.slot(0).table().generation(), 2);
+        let _ = late;
+    }
+
+    #[test]
+    fn counter_saturation_fault_forces_renewal() {
+        let mut km = manager(
+            1,
+            KeysTableConfig::paper_default(),
+            PAPER_RENEWAL_THRESHOLD,
+            31,
+        );
+        km.renew(0, Asid::new(3), Vmid::new(1), 0);
+        km.set_fault_injector(Some(FaultInjector::from_plan(
+            FaultPlan::new(5).with_counter_saturation(10),
+        )));
+        let mut renewals = 0;
+        for i in 0..100u64 {
+            let (_, renewed) = km.index_key(0, i, Asid::new(3), Vmid::new(1), 5000 + i);
+            if renewed {
+                renewals += 1;
+            }
+        }
+        assert_eq!(renewals, 10, "every 10th access saturates and renews");
+    }
+
+    #[test]
+    fn fault_free_manager_has_zero_fault_stats() {
+        let mut km = manager(
+            1,
+            KeysTableConfig::paper_default(),
+            PAPER_RENEWAL_THRESHOLD,
+            37,
+        );
+        let inj = FaultInjector::from_plan(FaultPlan::new(0));
+        km.set_fault_injector(Some(inj.clone()));
+        km.renew(0, Asid::new(3), Vmid::new(1), 0);
+        for i in 0..50u64 {
+            let _ = km.index_key(0, i, Asid::new(3), Vmid::new(1), 1000 + i);
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
     }
 }

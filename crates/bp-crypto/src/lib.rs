@@ -176,10 +176,8 @@ mod tests {
 
     #[test]
     fn ciphers_are_object_safe() {
-        let ciphers: Vec<Box<dyn TweakableBlockCipher>> = vec![
-            Box::new(XorCipher::new(3)),
-            Box::new(IdentityCipher::new()),
-        ];
+        let ciphers: Vec<Box<dyn TweakableBlockCipher>> =
+            vec![Box::new(XorCipher::new(3)), Box::new(IdentityCipher::new())];
         for c in &ciphers {
             assert_eq!(c.decrypt(c.encrypt(5, 0), 0), 5);
         }

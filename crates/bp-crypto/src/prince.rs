@@ -230,8 +230,18 @@ mod tests {
         let vectors = [
             (0x0000000000000000u64, 0u64, 0u64, 0x818665aa0d02dfdau64),
             (0xffffffffffffffff, 0, 0, 0x604ae6ca03c20ada),
-            (0x0000000000000000, 0xffffffffffffffff, 0, 0x9fb51935fc3df524),
-            (0x0000000000000000, 0, 0xffffffffffffffff, 0x78a54cbe737bb7ef),
+            (
+                0x0000000000000000,
+                0xffffffffffffffff,
+                0,
+                0x9fb51935fc3df524,
+            ),
+            (
+                0x0000000000000000,
+                0,
+                0xffffffffffffffff,
+                0x78a54cbe737bb7ef,
+            ),
             (
                 0x0123456789abcdef,
                 0x0000000000000000,
@@ -241,7 +251,11 @@ mod tests {
         ];
         for (pt, k0, k1, ct) in vectors {
             let c = Prince::new(k0, k1);
-            assert_eq!(c.encrypt_block(pt), ct, "pt={pt:016x} k0={k0:016x} k1={k1:016x}");
+            assert_eq!(
+                c.encrypt_block(pt),
+                ct,
+                "pt={pt:016x} k0={k0:016x} k1={k1:016x}"
+            );
             assert_eq!(c.decrypt_block(ct), pt, "decrypt of {ct:016x}");
         }
     }

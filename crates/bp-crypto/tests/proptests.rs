@@ -1,15 +1,17 @@
 //! Property-based tests: cipher permutation properties and keys-table
-//! invariants under arbitrary keys, tweaks and geometries.
+//! invariants under arbitrary keys, tweaks and geometries, on the in-repo
+//! deterministic harness (`bp_common::check`).
 
+use bp_common::check::Checker;
 use bp_common::{Asid, Vmid};
 use bp_crypto::keys::{IndexSeed, KeysTable, KeysTableConfig};
 use bp_crypto::{Llbc, Prince, Qarma64, TweakableBlockCipher, XorCipher};
-use proptest::prelude::*;
 
-proptest! {
-    /// Decrypt inverts encrypt for every cipher, key, tweak and plaintext.
-    #[test]
-    fn all_ciphers_roundtrip(seed in any::<u64>(), pt in any::<u64>(), tweak in any::<u64>()) {
+/// Decrypt inverts encrypt for every cipher, key, tweak and plaintext.
+#[test]
+fn all_ciphers_roundtrip() {
+    Checker::new("all_ciphers_roundtrip").cases(128).run(|g| {
+        let (seed, pt, tweak) = (g.u64(), g.u64(), g.u64());
         let ciphers: Vec<Box<dyn TweakableBlockCipher>> = vec![
             Box::new(Qarma64::from_seed(seed)),
             Box::new(Prince::from_seed(seed)),
@@ -17,58 +19,75 @@ proptest! {
             Box::new(XorCipher::new(seed)),
         ];
         for c in &ciphers {
-            prop_assert_eq!(c.decrypt(c.encrypt(pt, tweak), tweak), pt, "{}", c.name());
+            assert_eq!(c.decrypt(c.encrypt(pt, tweak), tweak), pt, "{}", c.name());
         }
-    }
+    });
+}
 
-    /// Encryption is injective on sampled pairs (a permutation cannot
-    /// collide).
-    #[test]
-    fn qarma_injective_on_pairs(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>(), tweak in any::<u64>()) {
-        prop_assume!(a != b);
-        let c = Qarma64::from_seed(seed);
-        prop_assert_ne!(c.encrypt(a, tweak), c.encrypt(b, tweak));
-    }
+/// Encryption is injective on sampled pairs (a permutation cannot collide).
+#[test]
+fn qarma_injective_on_pairs() {
+    Checker::new("qarma_injective_on_pairs")
+        .cases(256)
+        .run(|g| {
+            let (seed, a, b, tweak) = (g.u64(), g.u64(), g.u64(), g.u64());
+            if a == b {
+                return;
+            }
+            let c = Qarma64::from_seed(seed);
+            assert_ne!(c.encrypt(a, tweak), c.encrypt(b, tweak));
+        });
+}
 
-    /// Different tweaks give independent permutations (outputs differ for
-    /// at least one of a few sampled plaintexts).
-    #[test]
-    fn qarma_tweak_separation(seed in any::<u64>(), t1 in any::<u64>(), t2 in any::<u64>()) {
-        prop_assume!(t1 != t2);
+/// Different tweaks give independent permutations (outputs differ for at
+/// least one of a few sampled plaintexts).
+#[test]
+fn qarma_tweak_separation() {
+    Checker::new("qarma_tweak_separation").cases(256).run(|g| {
+        let (seed, t1, t2) = (g.u64(), g.u64(), g.u64());
+        if t1 == t2 {
+            return;
+        }
         let c = Qarma64::from_seed(seed);
         let differs = (0..8u64).any(|x| c.encrypt(x, t1) != c.encrypt(x, t2));
-        prop_assert!(differs);
-    }
+        assert!(differs);
+    });
+}
 
-    /// Keys never exceed their configured width, for arbitrary geometry.
-    #[test]
-    fn keys_fit_width(
-        entries_pow in 4u32..13,
-        key_bits in 4u32..20,
-        seed in any::<u64>(),
-    ) {
-        let cfg = KeysTableConfig {
-            entries: 1usize << entries_pow,
-            key_bits,
-            word_bits: 40.max(key_bits),
-            pipeline_fill: 7,
-        };
-        let mut t = KeysTable::new(cfg);
+/// Keys never exceed their configured width, for arbitrary valid geometry.
+#[test]
+fn keys_fit_width() {
+    Checker::new("keys_fit_width").run(|g| {
+        let entries_pow = g.u32_in(4, 13);
+        let key_bits = g.u32_in(4, 20);
+        let seed = g.u64();
+        let cfg = KeysTableConfig::checked(1usize << entries_pow, key_bits, 40.max(key_bits), 7)
+            .expect("geometry is valid by construction");
+        let mut t = KeysTable::new(cfg).expect("valid config");
         let cipher = Qarma64::from_seed(seed);
-        t.begin_refresh(&cipher, IndexSeed::derive(Asid::new(1), Vmid::new(2), seed), 0, 0);
+        t.begin_refresh(
+            &cipher,
+            IndexSeed::derive(Asid::new(1), Vmid::new(2), seed),
+            0,
+            0,
+        );
         let far = 10_000_000;
         for i in (0..cfg.entries).step_by((cfg.entries / 16).max(1)) {
             let k = t.key_at(i, far);
-            prop_assert!(key_bits == 64 || k < (1u64 << key_bits));
+            assert!(key_bits == 64 || k < (1u64 << key_bits));
         }
-    }
+    });
+}
 
-    /// During a refresh, each entry transitions stale→fresh exactly at its
-    /// word's rewrite time and never flips back.
-    #[test]
-    fn refresh_is_monotone(entry in 0usize..1024, seed in any::<u64>()) {
+/// During a refresh, each entry transitions stale→fresh exactly at its
+/// word's rewrite time and never flips back.
+#[test]
+fn refresh_is_monotone() {
+    Checker::new("refresh_is_monotone").run(|g| {
+        let entry = g.usize_in(0, 1024);
+        let seed = g.u64();
         let cipher = Qarma64::from_seed(seed);
-        let mut t = KeysTable::new(KeysTableConfig::paper_default());
+        let mut t = KeysTable::new(KeysTableConfig::paper_default()).expect("paper default");
         let s1 = IndexSeed::derive(Asid::new(1), Vmid::new(0), seed);
         let s2 = IndexSeed::derive(Asid::new(2), Vmid::new(0), seed ^ 1);
         t.begin_refresh(&cipher, s1, 0, 0);
@@ -81,20 +100,25 @@ proptest! {
             if k == new && new != old {
                 seen_fresh = true;
             } else if seen_fresh && new != old {
-                prop_assert_eq!(k, new, "entry flipped back to stale");
+                assert_eq!(k, new, "entry flipped back to stale");
             }
         }
         // After the refresh window it must equal the new generation.
-        prop_assert_eq!(t.key_at(entry, 2_000_400), new);
-    }
+        assert_eq!(t.key_at(entry, 2_000_400), new);
+    });
+}
 
-    /// Index seeds are distinct across (asid, vmid, rand) perturbations.
-    #[test]
-    fn index_seed_sensitivity(asid in any::<u16>(), vmid in any::<u16>(), r in any::<u64>()) {
+/// Index seeds are distinct across (asid, vmid, rand) perturbations.
+#[test]
+fn index_seed_sensitivity() {
+    Checker::new("index_seed_sensitivity").cases(256).run(|g| {
+        let asid = g.u32_in(0, u32::from(u16::MAX)) as u16;
+        let vmid = g.u32_in(0, u32::from(u16::MAX)) as u16;
+        let r = g.u64();
         let base = IndexSeed::derive(Asid::new(asid), Vmid::new(vmid), r);
         let d1 = IndexSeed::derive(Asid::new(asid.wrapping_add(1)), Vmid::new(vmid), r);
         let d2 = IndexSeed::derive(Asid::new(asid), Vmid::new(vmid), r ^ 1);
-        prop_assert_ne!(base.raw(), d1.raw());
-        prop_assert_ne!(base.raw(), d2.raw());
-    }
+        assert_ne!(base.raw(), d1.raw());
+        assert_ne!(base.raw(), d2.raw());
+    });
 }

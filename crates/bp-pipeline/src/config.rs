@@ -1,6 +1,6 @@
 //! Simulation configuration (paper Table IV, gem5 column).
 
-use bp_common::Cycle;
+use bp_common::{ConfigError, Cycle};
 
 /// Core microarchitecture parameters (Sunny Cove-like, Table IV).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +39,31 @@ impl CoreConfig {
             context_switch_cost: 200,
             smt_ilp_derate: 0.72,
         }
+    }
+
+    /// Checks the core parameters for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when a width or the window is zero, or the
+    /// SMT ILP derate falls outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.fetch_width == 0 {
+            return Err(ConfigError::zero("fetch_width"));
+        }
+        if self.issue_width == 0 {
+            return Err(ConfigError::zero("issue_width"));
+        }
+        if self.window_size == 0 {
+            return Err(ConfigError::zero("window_size"));
+        }
+        if !(self.smt_ilp_derate > 0.0 && self.smt_ilp_derate <= 1.0) {
+            return Err(ConfigError::inconsistent(
+                "smt_ilp_derate",
+                "must lie in (0, 1]",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -108,6 +133,30 @@ impl SimConfig {
             ..Self::default_run()
         }
     }
+
+    /// Checks the full configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the core parameters are invalid, an
+    /// OS-event interval is zero, there is nothing to measure, or the SMT
+    /// capacity is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.core.validate()?;
+        if self.ctx_switch_interval == 0 {
+            return Err(ConfigError::zero("ctx_switch_interval"));
+        }
+        if self.kernel_timer_interval == 0 {
+            return Err(ConfigError::zero("kernel_timer_interval"));
+        }
+        if self.measure_instructions == 0 {
+            return Err(ConfigError::zero("measure_instructions"));
+        }
+        if self.smt_capacity == 0 {
+            return Err(ConfigError::zero("smt_capacity"));
+        }
+        Ok(())
+    }
 }
 
 impl Default for SimConfig {
@@ -131,6 +180,41 @@ mod tests {
     #[test]
     fn default_interval_is_16m() {
         assert_eq!(SimConfig::default_run().ctx_switch_interval, 16_000_000);
-        assert_eq!(SimConfig::with_interval(256_000).ctx_switch_interval, 256_000);
+        assert_eq!(
+            SimConfig::with_interval(256_000).ctx_switch_interval,
+            256_000
+        );
+    }
+
+    #[test]
+    fn stock_configs_validate() {
+        assert_eq!(SimConfig::default_run().validate(), Ok(()));
+        assert_eq!(SimConfig::quick_test().validate(), Ok(()));
+        assert_eq!(CoreConfig::sunny_cove().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_values() {
+        let mut c = SimConfig::default_run();
+        c.measure_instructions = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default_run();
+        c.ctx_switch_interval = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default_run();
+        c.smt_capacity = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default_run();
+        c.core.fetch_width = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default_run();
+        c.core.smt_ilp_derate = 0.0;
+        assert!(c.validate().is_err());
+        c.core.smt_ilp_derate = f64::NAN;
+        assert!(c.validate().is_err());
     }
 }

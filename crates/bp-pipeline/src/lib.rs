@@ -18,9 +18,11 @@
 //! crate build one per (mechanism, workload, interval) point.
 
 pub mod config;
+pub mod error;
 pub mod metrics;
 mod sim;
 
 pub use config::{CoreConfig, SimConfig};
-pub use metrics::{RunMetrics, ThreadMetrics};
+pub use error::{MetricsError, SimError};
+pub use metrics::{RunMetrics, StreamDigest, ThreadMetrics};
 pub use sim::Simulation;

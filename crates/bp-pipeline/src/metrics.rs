@@ -1,7 +1,67 @@
-//! Run metrics: IPC, throughput, fairness inputs, predictor statistics.
+//! Run metrics: IPC, throughput, fairness inputs, predictor statistics, and
+//! architectural stream digests.
 
-use bp_common::Cycle;
+use bp_common::{BranchRecord, Cycle};
 use hybp::BpuStats;
+
+use crate::error::MetricsError;
+
+/// Records folded between digest checkpoints.
+pub const DIGEST_CHECKPOINT_INTERVAL: u64 = 1024;
+
+/// A rolling digest of one generator's branch-record stream.
+///
+/// The digest is folded over every record *as generated*, before any fault
+/// disposition is applied, so it witnesses the architectural instruction
+/// stream rather than what the predictor happened to see. Because a
+/// generator's stream is a deterministic function of its seed, two runs of
+/// the same configuration must agree on every common prefix even when faults
+/// change how far each run got — that is exactly what
+/// [`StreamDigest::agrees_with`] checks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamDigest {
+    /// Records folded so far.
+    pub records: u64,
+    /// Running hash over all folded records.
+    pub hash: u64,
+    /// Hash snapshots taken every [`DIGEST_CHECKPOINT_INTERVAL`] records.
+    pub checkpoints: Vec<u64>,
+}
+
+impl StreamDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one branch record into the digest.
+    pub fn fold(&mut self, rec: &BranchRecord) {
+        let mut x = rec.pc.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= rec.target.raw().rotate_left(17);
+        x ^= u64::from(rec.taken) << 1 | u64::from(rec.gap) << 8;
+        x ^= (rec.kind as u64) << 56;
+        self.hash = (self.hash ^ x).wrapping_mul(0x100_0000_01B3).rotate_left(5);
+        self.records += 1;
+        if self.records.is_multiple_of(DIGEST_CHECKPOINT_INTERVAL) {
+            self.checkpoints.push(self.hash);
+        }
+    }
+
+    /// Whether two digests describe the same underlying stream: every
+    /// checkpoint present in both matches, and when the record counts are
+    /// equal the final hashes match too. Differing lengths are fine — a
+    /// disturbed run may pull more or fewer records before finishing.
+    pub fn agrees_with(&self, other: &StreamDigest) -> bool {
+        let common = self.checkpoints.len().min(other.checkpoints.len());
+        if self.checkpoints[..common] != other.checkpoints[..common] {
+            return false;
+        }
+        if self.records == other.records {
+            return self.hash == other.hash;
+        }
+        true
+    }
+}
 
 /// Metrics of one hardware thread over the measured region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +92,10 @@ pub struct RunMetrics {
     pub cycles: Cycle,
     /// BPU statistics accumulated over the whole run (including warmup).
     pub bpu: BpuStats,
+    /// Per-hardware-thread stream digests: one per software thread in
+    /// schedule order, then the kernel generator's digest last. Empty for
+    /// hand-built metrics.
+    pub stream_digests: Vec<Vec<StreamDigest>>,
 }
 
 impl RunMetrics {
@@ -46,25 +110,64 @@ impl RunMetrics {
     }
 
     /// Hmean fairness versus per-thread solo IPCs (same mechanism, run
-    /// alone). `None` when the shapes mismatch.
-    pub fn hmean_fairness(&self, solo_ipcs: &[f64]) -> Option<f64> {
-        bp_common::stats::hmean_fairness(&self.ipcs(), solo_ipcs)
+    /// alone).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::ShapeMismatch`] when `solo_ipcs` does not
+    /// have one entry per hardware thread (or the run has no threads).
+    pub fn hmean_fairness(&self, solo_ipcs: &[f64]) -> Result<f64, MetricsError> {
+        bp_common::stats::hmean_fairness(&self.ipcs(), solo_ipcs).ok_or(
+            MetricsError::ShapeMismatch {
+                threads: self.threads.len(),
+                supplied: solo_ipcs.len(),
+            },
+        )
+    }
+
+    /// Whether every generator's stream digest agrees with `other`'s on
+    /// their common prefixes — the "identical architectural streams"
+    /// invariant of the fault harness. Shape mismatches are disagreements.
+    pub fn streams_agree_with(&self, other: &RunMetrics) -> bool {
+        self.stream_digests.len() == other.stream_digests.len()
+            && self
+                .stream_digests
+                .iter()
+                .zip(&other.stream_digests)
+                .all(|(a, b)| a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.agrees_with(y)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bp_common::Addr;
+
+    fn rec(i: u64, taken: bool) -> BranchRecord {
+        BranchRecord::conditional(
+            Addr::new(0x1000 + i * 4),
+            Addr::new(0x9000 + i * 8),
+            taken,
+            3,
+        )
+    }
 
     #[test]
     fn ipc_and_throughput() {
         let m = RunMetrics {
             threads: vec![
-                ThreadMetrics { retired: 200, cycles: 100 },
-                ThreadMetrics { retired: 100, cycles: 100 },
+                ThreadMetrics {
+                    retired: 200,
+                    cycles: 100,
+                },
+                ThreadMetrics {
+                    retired: 100,
+                    cycles: 100,
+                },
             ],
             cycles: 100,
             bpu: BpuStats::default(),
+            stream_digests: Vec::new(),
         };
         assert!((m.threads[0].ipc() - 2.0).abs() < 1e-12);
         assert!((m.throughput() - 3.0).abs() < 1e-12);
@@ -72,7 +175,10 @@ mod tests {
 
     #[test]
     fn zero_cycles_is_zero_ipc() {
-        let t = ThreadMetrics { retired: 5, cycles: 0 };
+        let t = ThreadMetrics {
+            retired: 5,
+            cycles: 0,
+        };
         assert_eq!(t.ipc(), 0.0);
     }
 
@@ -80,13 +186,74 @@ mod tests {
     fn fairness_uses_solo_baseline() {
         let m = RunMetrics {
             threads: vec![
-                ThreadMetrics { retired: 100, cycles: 100 },
-                ThreadMetrics { retired: 100, cycles: 100 },
+                ThreadMetrics {
+                    retired: 100,
+                    cycles: 100,
+                },
+                ThreadMetrics {
+                    retired: 100,
+                    cycles: 100,
+                },
             ],
             cycles: 100,
             bpu: BpuStats::default(),
+            stream_digests: Vec::new(),
         };
-        let f = m.hmean_fairness(&[2.0, 2.0]).unwrap();
+        let f = m.hmean_fairness(&[2.0, 2.0]).expect("matching shapes");
         assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_shape_mismatch_is_typed() {
+        let m = RunMetrics {
+            threads: vec![ThreadMetrics {
+                retired: 100,
+                cycles: 100,
+            }],
+            cycles: 100,
+            bpu: BpuStats::default(),
+            stream_digests: Vec::new(),
+        };
+        assert_eq!(
+            m.hmean_fairness(&[1.0, 2.0]),
+            Err(MetricsError::ShapeMismatch {
+                threads: 1,
+                supplied: 2
+            })
+        );
+    }
+
+    #[test]
+    fn digest_prefix_agreement() {
+        let mut a = StreamDigest::new();
+        let mut b = StreamDigest::new();
+        for i in 0..(DIGEST_CHECKPOINT_INTERVAL * 3) {
+            a.fold(&rec(i, i % 3 == 0));
+            b.fold(&rec(i, i % 3 == 0));
+        }
+        // b pulls further along the same stream: still agrees.
+        for i in (DIGEST_CHECKPOINT_INTERVAL * 3)..(DIGEST_CHECKPOINT_INTERVAL * 5) {
+            b.fold(&rec(i, i % 3 == 0));
+        }
+        assert!(a.agrees_with(&b) && b.agrees_with(&a));
+    }
+
+    #[test]
+    fn digest_detects_divergence() {
+        let mut a = StreamDigest::new();
+        let mut b = StreamDigest::new();
+        for i in 0..(DIGEST_CHECKPOINT_INTERVAL * 2) {
+            a.fold(&rec(i, true));
+            // One flipped outcome early in the stream.
+            b.fold(&rec(i, i != 17));
+        }
+        assert!(!a.agrees_with(&b));
+        // Same length, different content, no checkpoint yet: final hash
+        // still catches it.
+        let mut c = StreamDigest::new();
+        let mut d = StreamDigest::new();
+        c.fold(&rec(1, true));
+        d.fold(&rec(2, true));
+        assert!(!c.agrees_with(&d));
     }
 }

@@ -1,18 +1,23 @@
 //! The cycle-level simulation loop.
 
-use bp_common::{Asid, Cycle, HwThreadId, Privilege};
+use bp_common::{Asid, ConfigError, Cycle, HwThreadId, Privilege};
+use bp_faults::{FaultInjector, TraceDisposition};
 use bp_workloads::profile::SpecBenchmark;
 use bp_workloads::WorkloadGenerator;
 use hybp::SecureBpu;
 
 use crate::config::SimConfig;
-use crate::metrics::{RunMetrics, ThreadMetrics};
+use crate::error::SimError;
+use crate::metrics::{RunMetrics, StreamDigest, ThreadMetrics};
 
 /// Fetch progress within one instruction stream.
 #[derive(Debug, Clone)]
 struct FetchState {
     pending: Option<bp_common::BranchRecord>,
     gap_left: u32,
+    /// How a fault hook told us to treat the pending branch once its gap is
+    /// fetched (trace anomalies; `Keep` when no faults are armed).
+    disposition: TraceDisposition,
 }
 
 impl FetchState {
@@ -20,6 +25,7 @@ impl FetchState {
         FetchState {
             pending: None,
             gap_left: 0,
+            disposition: TraceDisposition::Keep,
         }
     }
 }
@@ -30,7 +36,10 @@ enum Mode {
     User,
     /// In a kernel episode with `remaining` instructions; `then_switch`
     /// marks scheduler episodes that end in a context switch.
-    Kernel { remaining: u64, then_switch: bool },
+    Kernel {
+        remaining: u64,
+        then_switch: bool,
+    },
 }
 
 /// Per-hardware-thread simulation state.
@@ -45,6 +54,8 @@ struct HwContext {
     mode: Mode,
     user_fetch: FetchState,
     kernel_fetch: FetchState,
+    /// One digest per user generator, plus the kernel generator's last.
+    digests: Vec<StreamDigest>,
     window: u32,
     retire_credit: f64,
     retired_total: u64,
@@ -58,6 +69,14 @@ struct HwContext {
 }
 
 impl HwContext {
+    /// The fetch state of the currently active stream (user or kernel).
+    fn fetch_state(&mut self) -> &mut FetchState {
+        match self.mode {
+            Mode::User => &mut self.user_fetch,
+            Mode::Kernel { .. } => &mut self.kernel_fetch,
+        }
+    }
+
     fn active_base_ipc(&self) -> f64 {
         match self.mode {
             Mode::User => self.user_gens[self.active].profile().base_ipc,
@@ -82,7 +101,9 @@ impl HwContext {
 /// let mut cfg = SimConfig::quick_test();
 /// cfg.warmup_instructions = 5_000;
 /// cfg.measure_instructions = 20_000;
-/// let m = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, cfg).run();
+/// let m = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, cfg)
+///     .expect("valid config")
+///     .run();
 /// assert!(m.threads[0].ipc() > 0.5);
 /// ```
 #[derive(Debug)]
@@ -91,6 +112,7 @@ pub struct Simulation {
     bpu: SecureBpu,
     contexts: Vec<HwContext>,
     cycle: Cycle,
+    faults: Option<FaultInjector>,
 }
 
 impl Simulation {
@@ -98,39 +120,67 @@ impl Simulation {
     /// instances of the benchmark alternate at the context-switch interval
     /// (so the baseline sees realistic cross-process pollution rather than a
     /// pristine predictor).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration or mechanism is
+    /// invalid.
     pub fn single_thread(
         mechanism: hybp::Mechanism,
         bench: SpecBenchmark,
         cfg: SimConfig,
-    ) -> Self {
+    ) -> Result<Self, ConfigError> {
         Simulation::build(mechanism, &[vec![bench, bench]], cfg)
     }
 
     /// Builds an SMT simulation: hardware thread `i` alternates between two
     /// software instances of `pair[i]`.
-    pub fn smt(mechanism: hybp::Mechanism, pair: [SpecBenchmark; 2], cfg: SimConfig) -> Self {
-        Simulation::build(mechanism, &[vec![pair[0], pair[0]], vec![pair[1], pair[1]]], cfg)
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configuration or mechanism is
+    /// invalid.
+    pub fn smt(
+        mechanism: hybp::Mechanism,
+        pair: [SpecBenchmark; 2],
+        cfg: SimConfig,
+    ) -> Result<Self, ConfigError> {
+        Simulation::build(
+            mechanism,
+            &[vec![pair[0], pair[0]], vec![pair[1], pair[1]]],
+            cfg,
+        )
     }
 
     /// Fully explicit constructor: `threads[i]` lists the software threads
     /// that time-share hardware thread `i`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `threads` is empty or any entry is empty.
+    /// Returns a [`ConfigError`] when `threads` is empty, any hardware
+    /// thread has no software threads, or the configuration or mechanism is
+    /// invalid.
     pub fn build(
         mechanism: hybp::Mechanism,
         threads: &[Vec<SpecBenchmark>],
         cfg: SimConfig,
-    ) -> Self {
-        assert!(!threads.is_empty(), "need at least one hardware thread");
-        let bpu = SecureBpu::new(mechanism, cfg.smt_capacity.max(threads.len()), cfg.seed);
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if threads.is_empty() {
+            return Err(ConfigError::zero("hardware threads"));
+        }
+        if threads.iter().any(Vec::is_empty) {
+            return Err(ConfigError::inconsistent(
+                "software threads",
+                "every hardware thread needs at least one software thread",
+            ));
+        }
+        let bpu = SecureBpu::new(mechanism, cfg.smt_capacity.max(threads.len()), cfg.seed)?;
         let mut next_asid = 1u16;
         let contexts = threads
             .iter()
             .enumerate()
             .map(|(i, sw)| {
-                assert!(!sw.is_empty(), "hardware thread {i} has no software threads");
                 let user_gens: Vec<WorkloadGenerator> = sw
                     .iter()
                     .enumerate()
@@ -144,12 +194,13 @@ impl Simulation {
                 let asids: Vec<Asid> = (0..sw.len())
                     .map(|_| {
                         let a = Asid::new(next_asid);
-                        next_asid += 1;
+                        next_asid = next_asid.wrapping_add(1);
                         a
                     })
                     .collect();
                 HwContext {
                     hw: HwThreadId::new(i as u8),
+                    digests: vec![StreamDigest::new(); user_gens.len() + 1],
                     user_gens,
                     asids,
                     active: 0,
@@ -168,7 +219,8 @@ impl Simulation {
                     measure_end: None,
                     stall_until: 0,
                     // Stagger per-thread OS events so they do not align.
-                    next_cs: cfg.ctx_switch_interval + (i as Cycle) * (cfg.ctx_switch_interval / 3 + 1),
+                    next_cs: cfg.ctx_switch_interval
+                        + (i as Cycle) * (cfg.ctx_switch_interval / 3 + 1),
                     next_timer: cfg.kernel_timer_interval
                         + (i as Cycle) * (cfg.kernel_timer_interval / 3 + 1),
                 }
@@ -179,6 +231,7 @@ impl Simulation {
             bpu,
             contexts,
             cycle: 0,
+            faults: None,
         };
         // Announce the initial software threads.
         for i in 0..sim.contexts.len() {
@@ -186,7 +239,7 @@ impl Simulation {
             let asid = sim.contexts[i].asids[0];
             sim.bpu.on_context_switch(hw, asid, 0);
         }
-        sim
+        Ok(sim)
     }
 
     /// Read access to the BPU (attack/analysis harnesses).
@@ -194,12 +247,56 @@ impl Simulation {
         &self.bpu
     }
 
-    /// Runs warmup + measurement and returns the metrics.
-    pub fn run(mut self) -> RunMetrics {
+    /// Attaches (or detaches) a fault injector. The injector disturbs the
+    /// predictor (key/payload/direction faults, via the BPU), the trace feed
+    /// (dropped/duplicated records) and the OS model (forced context
+    /// switches and timer interrupts).
+    pub fn set_fault_injector(&mut self, faults: Option<FaultInjector>) {
+        self.bpu.set_fault_injector(faults.clone());
+        self.faults = faults;
+    }
+
+    /// Runs warmup + measurement and returns the metrics, even when the run
+    /// hits its runaway deadline first (the metrics then cover whatever was
+    /// measured). Use [`Simulation::try_run`] to treat a runaway as an
+    /// error.
+    pub fn run(self) -> RunMetrics {
+        self.run_inner().0
+    }
+
+    /// Runs warmup + measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runaway`] when the runaway deadline elapses
+    /// before every hardware thread finishes its measurement quota.
+    pub fn try_run(self) -> Result<RunMetrics, SimError> {
+        let deadline = self.deadline();
+        let (metrics, finished) = self.run_inner();
+        if finished {
+            Ok(metrics)
+        } else {
+            Err(SimError::Runaway {
+                cycle: metrics.cycles,
+                deadline,
+            })
+        }
+    }
+
+    /// Generous runaway bound: even at 0.05 IPC the run fits.
+    fn deadline(&self) -> Cycle {
+        (self.cfg.warmup_instructions + self.cfg.measure_instructions) * 40 + 10_000_000
+    }
+
+    fn run_inner(mut self) -> (RunMetrics, bool) {
         let measure = self.cfg.measure_instructions;
-        // Generous runaway bound: even at 0.05 IPC the run fits.
-        let deadline = (self.cfg.warmup_instructions + measure) * 40 + 10_000_000;
-        while !self.contexts.iter().all(|c| c.done(measure)) && self.cycle < deadline {
+        let deadline = self.deadline();
+        let mut finished;
+        loop {
+            finished = self.contexts.iter().all(|c| c.done(measure));
+            if finished || self.cycle >= deadline {
+                break;
+            }
             self.step();
         }
         let threads = self
@@ -214,11 +311,13 @@ impl Simulation {
                 },
             })
             .collect();
-        RunMetrics {
+        let metrics = RunMetrics {
             threads,
             cycles: self.cycle,
             bpu: self.bpu.stats(),
-        }
+            stream_digests: self.contexts.into_iter().map(|c| c.digests).collect(),
+        };
+        (metrics, finished)
     }
 
     /// One simulated cycle: retire, OS events, fetch.
@@ -234,7 +333,11 @@ impl Simulation {
     fn retire(&mut self, now: Cycle) {
         let mut budget = self.cfg.core.issue_width;
         let n = self.contexts.len();
-        let derate = if n > 1 { self.cfg.core.smt_ilp_derate } else { 1.0 };
+        let derate = if n > 1 {
+            self.cfg.core.smt_ilp_derate
+        } else {
+            1.0
+        };
         // Rotate service order so no thread is structurally favoured.
         for k in 0..n {
             let i = (now as usize + k) % n;
@@ -267,12 +370,25 @@ impl Simulation {
     /// kernel exits fire the deferred actions).
     fn os_events(&mut self, now: Cycle) {
         for i in 0..self.contexts.len() {
-            let (mode, next_cs, next_timer, hw) = {
+            let (mode, mut next_cs, mut next_timer, hw) = {
                 let c = &self.contexts[i];
                 (c.mode, c.next_cs, c.next_timer, c.hw)
             };
             if mode != Mode::User {
                 continue;
+            }
+            // An adversarial OS can reschedule or interrupt at any moment;
+            // a forced event simply pulls the next deadline to "now".
+            if let Some(f) = &self.faults {
+                let d = f.on_os_tick(hw.index(), now);
+                if d.force_context_switch {
+                    next_cs = now;
+                    self.contexts[i].next_cs = now;
+                }
+                if d.force_timer {
+                    next_timer = now;
+                    self.contexts[i].next_timer = now;
+                }
             }
             if now >= next_cs {
                 // Scheduler entry: privilege change into the kernel; the
@@ -315,18 +431,28 @@ impl Simulation {
             }
             let c = &mut self.contexts[i];
             let mode_before = c.mode;
-            let fetch_state = match c.mode {
-                Mode::User => &mut c.user_fetch,
-                Mode::Kernel { .. } => &mut c.kernel_fetch,
-            };
-            if fetch_state.pending.is_none() {
-                let rec = match c.mode {
-                    Mode::User => c.user_gens[c.active].next_branch(),
-                    Mode::Kernel { .. } => c.kernel_gen.next_branch(),
+            if c.fetch_state().pending.is_none() {
+                let (rec, digest_idx) = match c.mode {
+                    Mode::User => (c.user_gens[c.active].next_branch(), c.active),
+                    Mode::Kernel { .. } => (c.kernel_gen.next_branch(), c.digests.len() - 1),
                 };
+                // Witness the architectural stream *before* any fault
+                // disposition — trace anomalies change what the predictor
+                // sees, never what the program executes.
+                if let Some(d) = c.digests.get_mut(digest_idx) {
+                    d.fold(&rec);
+                }
+                let hw_idx = c.hw.index();
+                let disposition = match &self.faults {
+                    Some(f) => f.on_branch_record(hw_idx, now),
+                    None => TraceDisposition::Keep,
+                };
+                let fetch_state = c.fetch_state();
                 fetch_state.gap_left = rec.gap;
                 fetch_state.pending = Some(rec);
+                fetch_state.disposition = disposition;
             }
+            let fetch_state = c.fetch_state();
             if fetch_state.gap_left > 0 {
                 // Fetch gap (non-branch) instructions first.
                 let gap_now = fetch_state.gap_left.min(budget);
@@ -340,12 +466,29 @@ impl Simulation {
                 }
                 continue;
             }
-            // Fetch the branch itself.
-            let rec = fetch_state.pending.take().expect("pending branch");
+            // Fetch the branch itself. (The pending slot was filled above;
+            // an empty one here means the stream is wedged — stop fetching
+            // rather than crash.)
+            let Some(rec) = fetch_state.pending.take() else {
+                break;
+            };
+            let disposition =
+                std::mem::replace(&mut fetch_state.disposition, TraceDisposition::Keep);
             budget -= 1;
             c.window += 1;
             let hw = c.hw;
+            if disposition == TraceDisposition::Drop {
+                // The record was lost on the way to the predictor: fetch it
+                // as a plain instruction, never predicting or training.
+                self.note_kernel_progress(i, 1, now);
+                continue;
+            }
             let outcome = self.bpu.process_branch(hw, &rec, now);
+            if disposition == TraceDisposition::Duplicate {
+                // The feed replayed the record: the predictor sees (and
+                // trains on) it twice, but it retires only once.
+                let _ = self.bpu.process_branch(hw, &rec, now);
+            }
             self.note_kernel_progress(i, 1, now);
             let c = &mut self.contexts[i];
             if outcome.mispredicted() {
@@ -414,7 +557,9 @@ mod tests {
 
     #[test]
     fn baseline_ipc_approaches_base_ipc() {
-        let m = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, quick()).run();
+        let m = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, quick())
+            .expect("valid config")
+            .run();
         let ipc = m.threads[0].ipc();
         let base = SpecBenchmark::Lbm.profile().base_ipc;
         assert!(
@@ -426,10 +571,12 @@ mod tests {
     #[test]
     fn harder_branches_cost_ipc() {
         let lbm = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, quick())
+            .expect("valid config")
             .run()
             .threads[0]
             .ipc();
         let mcf = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, quick())
+            .expect("valid config")
             .run()
             .threads[0]
             .ipc();
@@ -439,14 +586,16 @@ mod tests {
     #[test]
     fn extra_frontend_latency_reduces_ipc() {
         let mut cfg = quick();
-        let base =
-            Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, cfg).run().threads
-                [0]
+        let base = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, cfg)
+            .expect("valid config")
+            .run()
+            .threads[0]
             .ipc();
         cfg.core.extra_frontend_cycles = 8;
-        let slow =
-            Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, cfg).run().threads
-                [0]
+        let slow = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, cfg)
+            .expect("valid config")
+            .run()
+            .threads[0]
             .ipc();
         assert!(
             slow < base * 0.99,
@@ -458,6 +607,7 @@ mod tests {
     fn smt_throughput_beats_single_thread() {
         let cfg = quick();
         let solo = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Wrf, cfg)
+            .expect("valid config")
             .run()
             .throughput();
         let smt = Simulation::smt(
@@ -465,6 +615,7 @@ mod tests {
             [SpecBenchmark::Wrf, SpecBenchmark::Mcf],
             cfg,
         )
+        .expect("valid config")
         .run()
         .throughput();
         assert!(
@@ -483,10 +634,12 @@ mod tests {
         big.ctx_switch_interval = 8_000_000;
         let bench = SpecBenchmark::Deepsjeng;
         let ipc_small = Simulation::single_thread(Mechanism::Flush, bench, small)
+            .expect("valid config")
             .run()
             .threads[0]
             .ipc();
         let ipc_big = Simulation::single_thread(Mechanism::Flush, bench, big)
+            .expect("valid config")
             .run()
             .threads[0]
             .ipc();
@@ -500,10 +653,12 @@ mod tests {
     fn hybp_close_to_baseline_at_default_interval() {
         let cfg = quick();
         let base = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Xz, cfg)
+            .expect("valid config")
             .run()
             .threads[0]
             .ipc();
         let hybp = Simulation::single_thread(Mechanism::hybp_default(), SpecBenchmark::Xz, cfg)
+            .expect("valid config")
             .run()
             .threads[0]
             .ipc();
@@ -521,19 +676,17 @@ mod tests {
         // (short runs are dominated by cold-start for both mechanisms).
         cfg.warmup_instructions = 150_000;
         cfg.measure_instructions = 600_000;
-        let part =
-            Simulation::single_thread(Mechanism::Partition, SpecBenchmark::Fotonik3d, cfg)
+        let part = Simulation::single_thread(Mechanism::Partition, SpecBenchmark::Fotonik3d, cfg)
+            .expect("valid config")
+            .run()
+            .threads[0]
+            .ipc();
+        let hybp =
+            Simulation::single_thread(Mechanism::hybp_default(), SpecBenchmark::Fotonik3d, cfg)
+                .expect("valid config")
                 .run()
                 .threads[0]
                 .ipc();
-        let hybp = Simulation::single_thread(
-            Mechanism::hybp_default(),
-            SpecBenchmark::Fotonik3d,
-            cfg,
-        )
-        .run()
-        .threads[0]
-        .ipc();
         assert!(
             part < hybp,
             "partition ({part}) must underperform HyBP ({hybp}) on fotonik3d"
@@ -548,6 +701,7 @@ mod tests {
             [SpecBenchmark::CactuBssn, SpecBenchmark::Xz],
             cfg,
         )
+        .expect("valid config")
         .run();
         for (i, t) in m.threads.iter().enumerate() {
             assert_eq!(

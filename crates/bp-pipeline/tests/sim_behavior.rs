@@ -13,8 +13,14 @@ fn cfg(measure: u64) -> SimConfig {
 
 #[test]
 fn ipc_never_exceeds_structural_limits() {
-    for b in [SpecBenchmark::Imagick, SpecBenchmark::Lbm, SpecBenchmark::Mcf] {
-        let m = Simulation::single_thread(Mechanism::Baseline, b, cfg(300_000)).run();
+    for b in [
+        SpecBenchmark::Imagick,
+        SpecBenchmark::Lbm,
+        SpecBenchmark::Mcf,
+    ] {
+        let m = Simulation::single_thread(Mechanism::Baseline, b, cfg(300_000))
+            .expect("valid config")
+            .run();
         let ipc = m.threads[0].ipc();
         let core = CoreConfig::sunny_cove();
         assert!(ipc <= f64::from(core.issue_width), "{b:?}: ipc {ipc}");
@@ -33,14 +39,19 @@ fn bigger_mispredict_penalty_hurts() {
     let mut b = cfg(400_000);
     b.core.mispredict_penalty = 32;
     let fast = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Deepsjeng, a)
+        .expect("valid config")
         .run()
         .threads[0]
         .ipc();
     let slow = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Deepsjeng, b)
+        .expect("valid config")
         .run()
         .threads[0]
         .ipc();
-    assert!(slow < fast, "penalty 32 ({slow}) must be slower than 8 ({fast})");
+    assert!(
+        slow < fast,
+        "penalty 32 ({slow}) must be slower than 8 ({fast})"
+    );
 }
 
 #[test]
@@ -53,10 +64,12 @@ fn kernel_episodes_charge_time() {
     frequent.kernel_timer_interval = 60_000;
     let bench = SpecBenchmark::Wrf;
     let fast = Simulation::single_thread(Mechanism::Baseline, bench, rare)
+        .expect("valid config")
         .run()
         .threads[0]
         .ipc();
     let slow = Simulation::single_thread(Mechanism::Baseline, bench, frequent)
+        .expect("valid config")
         .run()
         .threads[0]
         .ipc();
@@ -72,10 +85,12 @@ fn tiny_window_throttles_ipc() {
     small.core.window_size = 8;
     let bench = SpecBenchmark::Imagick; // intrinsic IPC 4.4
     let throttled = Simulation::single_thread(Mechanism::Baseline, bench, small)
+        .expect("valid config")
         .run()
         .threads[0]
         .ipc();
     let normal = Simulation::single_thread(Mechanism::Baseline, bench, cfg(300_000))
+        .expect("valid config")
         .run()
         .threads[0]
         .ipc();
@@ -91,10 +106,13 @@ fn smt_threads_progress_together() {
     // slower thread's IPC is at least a third of its solo value.
     let c = cfg(250_000);
     let pair = [SpecBenchmark::Imagick, SpecBenchmark::Mcf];
-    let smt = Simulation::smt(Mechanism::Baseline, pair, c).run();
+    let smt = Simulation::smt(Mechanism::Baseline, pair, c)
+        .expect("valid config")
+        .run();
     for (i, t) in smt.threads.iter().enumerate() {
         assert_eq!(t.retired, c.measure_instructions, "thread {i} starved");
         let solo = Simulation::single_thread(Mechanism::Baseline, pair[i], c)
+            .expect("valid config")
             .run()
             .threads[0]
             .ipc();
@@ -113,12 +131,14 @@ fn metrics_are_reproducible_across_identical_runs() {
         [SpecBenchmark::Xz, SpecBenchmark::Namd],
         cfg(200_000),
     )
+    .expect("valid config")
     .run();
     let b = Simulation::smt(
         Mechanism::hybp_default(),
         [SpecBenchmark::Xz, SpecBenchmark::Namd],
         cfg(200_000),
     )
+    .expect("valid config")
     .run();
     assert_eq!(a, b, "identical configs must produce identical metrics");
 }
@@ -128,8 +148,11 @@ fn different_seeds_produce_different_runs() {
     let mut c2 = cfg(200_000);
     c2.seed ^= 0xFFFF;
     let a = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Cam4, cfg(200_000))
+        .expect("valid config")
         .run();
-    let b = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Cam4, c2).run();
+    let b = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Cam4, c2)
+        .expect("valid config")
+        .run();
     assert_ne!(
         a.cycles, b.cycles,
         "different seeds should perturb the cycle count"

@@ -441,7 +441,14 @@ impl BtbHierarchy {
         if let Some(content) = self.l1[slot].lookup(pc, codec, now) {
             // Promote to L0 (exclusive: remove from L1), cascading evictions.
             let encoded = self.l1[slot].remove(pc, codec, now).unwrap_or(0);
-            self.promote_to_l0(pc, encoded, TableId::new(TableUnit::Btb, 1), slot, codec, now);
+            self.promote_to_l0(
+                pc,
+                encoded,
+                TableId::new(TableUnit::Btb, 1),
+                slot,
+                codec,
+                now,
+            );
             return BtbLookup {
                 level: Some(1),
                 target: Some(Addr::new(content)),
@@ -451,7 +458,14 @@ impl BtbHierarchy {
         let l2i = self.l2_index(slot);
         if let Some(content) = self.l2[l2i].lookup(pc, codec, now) {
             let encoded = self.l2[l2i].remove(pc, codec, now).unwrap_or(0);
-            self.promote_to_l0(pc, encoded, TableId::new(TableUnit::Btb, 2), slot, codec, now);
+            self.promote_to_l0(
+                pc,
+                encoded,
+                TableId::new(TableUnit::Btb, 2),
+                slot,
+                codec,
+                now,
+            );
             return BtbLookup {
                 level: Some(2),
                 target: Some(Addr::new(content)),
@@ -635,7 +649,11 @@ mod tests {
 
     #[test]
     fn table_miss_then_hit() {
-        let mut t = BtbTable::new(BtbConfig::new(16, 2, 12), TableId::new(TableUnit::Btb, 0), 1);
+        let mut t = BtbTable::new(
+            BtbConfig::new(16, 2, 12),
+            TableId::new(TableUnit::Btb, 0),
+            1,
+        );
         let mut c = IdentityCodec::new();
         assert_eq!(t.lookup(pc(0), &mut c, 0), None);
         t.insert(pc(0), 0xABCD, &mut c, 0);
@@ -645,7 +663,11 @@ mod tests {
 
     #[test]
     fn table_overwrite_same_pc() {
-        let mut t = BtbTable::new(BtbConfig::new(16, 2, 12), TableId::new(TableUnit::Btb, 0), 1);
+        let mut t = BtbTable::new(
+            BtbConfig::new(16, 2, 12),
+            TableId::new(TableUnit::Btb, 0),
+            1,
+        );
         let mut c = IdentityCodec::new();
         t.insert(pc(0), 1, &mut c, 0);
         t.insert(pc(0), 2, &mut c, 0);
@@ -670,7 +692,11 @@ mod tests {
 
     #[test]
     fn table_flush_clears() {
-        let mut t = BtbTable::new(BtbConfig::new(16, 2, 12), TableId::new(TableUnit::Btb, 0), 1);
+        let mut t = BtbTable::new(
+            BtbConfig::new(16, 2, 12),
+            TableId::new(TableUnit::Btb, 0),
+            1,
+        );
         let mut c = IdentityCodec::new();
         for i in 0..10 {
             t.insert(pc(i), i, &mut c, 0);
@@ -683,7 +709,11 @@ mod tests {
 
     #[test]
     fn table_remove_returns_content() {
-        let mut t = BtbTable::new(BtbConfig::new(16, 2, 12), TableId::new(TableUnit::Btb, 0), 1);
+        let mut t = BtbTable::new(
+            BtbConfig::new(16, 2, 12),
+            TableId::new(TableUnit::Btb, 0),
+            1,
+        );
         let mut c = IdentityCodec::new();
         t.insert(pc(5), 55, &mut c, 0);
         assert_eq!(t.remove(pc(5), &mut c, 0), Some(55));

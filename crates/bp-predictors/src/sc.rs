@@ -66,8 +66,14 @@ impl StatisticalCorrector {
     ///
     /// Panics if `entries` is not a power of two or no components are given.
     pub fn new(config: ScConfig) -> Self {
-        assert!(config.entries.is_power_of_two(), "entries must be a power of two");
-        assert!(!config.history_lens.is_empty(), "need at least one component");
+        assert!(
+            config.entries.is_power_of_two(),
+            "entries must be a power of two"
+        );
+        assert!(
+            !config.history_lens.is_empty(),
+            "need at least one component"
+        );
         StatisticalCorrector {
             tables: vec![vec![0; config.entries]; config.history_lens.len()],
             threshold: 5,

@@ -54,7 +54,9 @@ impl TageConfig {
     /// (modeling the "thirty 1K-entry interleaved banks"), tags 8 bits on
     /// the five shortest tables and 11 bits beyond, histories 4..640.
     pub fn paper_scl() -> Self {
-        let lengths = [4, 6, 9, 13, 19, 29, 43, 64, 96, 144, 216, 324, 486, 600, 640];
+        let lengths = [
+            4, 6, 9, 13, 19, 29, 43, 64, 96, 144, 216, 324, 486, 600, 640,
+        ];
         TageConfig {
             base_entries: 8192,
             tagged: lengths
@@ -119,7 +121,11 @@ struct TaggedEntry {
 }
 
 impl TaggedEntry {
-    const EMPTY: TaggedEntry = TaggedEntry { tag: 0, ctr: 0, u: 0 };
+    const EMPTY: TaggedEntry = TaggedEntry {
+        tag: 0,
+        ctr: 0,
+        u: 0,
+    };
 }
 
 #[derive(Debug, Clone)]
@@ -343,10 +349,9 @@ impl Tage {
             let raw_idx = self.raw_index(i, slot, pc);
             let raw_tag = self.raw_tag(i, slot, pc);
             let t = &self.tables[i];
-            let idx =
-                codec.transform_index(t.id, raw_idx, pc, now) % t.config.entries as u64;
-            let tag = codec.transform_tag(t.id, raw_tag, pc, now)
-                & ((1u64 << t.config.tag_bits) - 1);
+            let idx = codec.transform_index(t.id, raw_idx, pc, now) % t.config.entries as u64;
+            let tag =
+                codec.transform_tag(t.id, raw_tag, pc, now) & ((1u64 << t.config.tag_bits) - 1);
             indices[i] = idx;
             tags[i] = tag;
             let e = &t.entries[idx as usize];
@@ -471,7 +476,11 @@ impl Tage {
 
         // Allocation on misprediction in a longer-history table.
         if mispredicted {
-            let start = if provider == usize::MAX { 0 } else { provider + 1 };
+            let start = if provider == usize::MAX {
+                0
+            } else {
+                provider + 1
+            };
             if start < self.tables.len() {
                 let free: Vec<usize> = (start..self.tables.len())
                     .filter(|&j| self.tables[j].entries[state.indices[j] as usize].u == 0)
@@ -499,7 +508,7 @@ impl Tage {
             }
         }
 
-        if self.updates % self.config.u_reset_period == 0 {
+        if self.updates.is_multiple_of(self.config.u_reset_period) {
             for t in &mut self.tables {
                 for e in &mut t.entries {
                     e.u >>= 1;
@@ -675,7 +684,11 @@ mod tests {
         tage.flush_all();
         assert!(acc1 > 0.9);
         for i in 0..tage.table_count() {
-            assert_eq!(tage.tagged_occupancy(i), 0, "table {i} not empty after flush");
+            assert_eq!(
+                tage.tagged_occupancy(i),
+                0,
+                "table {i} not empty after flush"
+            );
         }
     }
 
@@ -714,7 +727,10 @@ mod tests {
         assert_eq!(q.base_entries, cfg.base_entries / 4);
         assert_eq!(q.tagged[0].entries, cfg.tagged[0].entries / 4);
         let one_and_half = cfg.scaled(3, 2);
-        assert_eq!(one_and_half.tagged[0].entries, cfg.tagged[0].entries * 3 / 2);
+        assert_eq!(
+            one_and_half.tagged[0].entries,
+            cfg.tagged[0].entries * 3 / 2
+        );
     }
 
     #[test]

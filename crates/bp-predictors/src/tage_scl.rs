@@ -72,8 +72,12 @@ impl TageScL {
         assert!(iso_slots > 0 && history_slots > 0, "need at least one slot");
         TageScL {
             tage: Tage::with_layout(config, iso_slots, history_slots),
-            sc: (0..iso_slots).map(|_| StatisticalCorrector::default_scl()).collect(),
-            loop_pred: (0..iso_slots).map(|_| LoopPredictor::default_scl()).collect(),
+            sc: (0..iso_slots)
+                .map(|_| StatisticalCorrector::default_scl())
+                .collect(),
+            loop_pred: (0..iso_slots)
+                .map(|_| LoopPredictor::default_scl())
+                .collect(),
             histories: (0..history_slots).map(|_| GlobalHistory::new()).collect(),
             last_sc: None,
         }
@@ -248,7 +252,15 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seeded(17);
         // 200 branches: 60% strongly biased, 30% pattern, 10% random.
         let kinds: Vec<u8> = (0..200)
-            .map(|i| if i < 120 { 0 } else if i < 180 { 1 } else { 2 })
+            .map(|i| {
+                if i < 120 {
+                    0
+                } else if i < 180 {
+                    1
+                } else {
+                    2
+                }
+            })
             .collect();
         let biases: Vec<bool> = (0..200).map(|_| rng.chance(0.5)).collect();
         let (mut ok, mut total) = (0u64, 0u64);

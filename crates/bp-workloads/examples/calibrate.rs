@@ -5,7 +5,10 @@ use bp_predictors::DirectionPredictor;
 use bp_workloads::{SpecBenchmark, WorkloadGenerator};
 
 fn main() {
-    println!("{:<14} {:>8} {:>8} {:>7}", "benchmark", "measured", "target", "delta");
+    println!(
+        "{:<14} {:>8} {:>8} {:>7}",
+        "benchmark", "measured", "target", "delta"
+    );
     for bench in SpecBenchmark::ALL {
         let p = bench.profile();
         let mut g = WorkloadGenerator::new(p, 13);
@@ -17,14 +20,27 @@ fn main() {
         while total < 80_000 {
             let r = g.next_branch();
             step += 1;
-            if !r.kind.is_conditional() { continue; }
+            if !r.kind.is_conditional() {
+                continue;
+            }
             let pred = t.predict(r.pc, &mut c, step);
             t.update(r.pc, r.taken, &mut c, step);
-            if warmup > 0 { warmup -= 1; continue; }
-            if pred == r.taken { ok += 1; }
+            if warmup > 0 {
+                warmup -= 1;
+                continue;
+            }
+            if pred == r.taken {
+                ok += 1;
+            }
             total += 1;
         }
         let acc = ok as f64 / total as f64;
-        println!("{:<14} {:>8.4} {:>8.4} {:>+7.4}", p.benchmark.name(), acc, p.target_accuracy, acc - p.target_accuracy);
+        println!(
+            "{:<14} {:>8.4} {:>8.4} {:>+7.4}",
+            p.benchmark.name(),
+            acc,
+            p.target_accuracy,
+            acc - p.target_accuracy
+        );
     }
 }

@@ -99,7 +99,9 @@ impl WorkloadGenerator {
             pc_cursor += 4 + 4 * rng.next_below(8);
             let pc = Addr::new(pc_cursor);
             let u = rng.next_f64();
-            let is_indirect = rng.chance(profile.indirect_frac / profile.branch_fraction.max(1e-9) * profile.branch_fraction);
+            let is_indirect = rng.chance(
+                profile.indirect_frac / profile.branch_fraction.max(1e-9) * profile.branch_fraction,
+            );
             // Assign kinds: a sprinkle of calls (paired with returns at run
             // time), indirect jumps per profile, rest conditional.
             let kind = if is_indirect {
@@ -270,7 +272,9 @@ impl WorkloadGenerator {
                 let (t, f) = (*taken, *flip_prob);
                 t != self.rng.chance(f)
             }
-            OutcomeModel::Pattern { bits, period } => (bits >> (execs % u64::from(*period))) & 1 == 1,
+            OutcomeModel::Pattern { bits, period } => {
+                (bits >> (execs % u64::from(*period))) & 1 == 1
+            }
             OutcomeModel::Loop { trip } => (execs % u64::from(*trip)) + 1 < u64::from(*trip),
             OutcomeModel::HistoryXor => self.last_two.0 ^ self.last_two.1,
             OutcomeModel::Noise { p_taken } => {
@@ -352,7 +356,11 @@ mod tests {
             pcs.insert(g.next_branch().pc);
         }
         // Returns add a few extra PCs beyond the static set.
-        assert!(pcs.len() >= 200 && pcs.len() < 400, "distinct PCs {}", pcs.len());
+        assert!(
+            pcs.len() >= 200 && pcs.len() < 400,
+            "distinct PCs {}",
+            pcs.len()
+        );
     }
 
     #[test]
@@ -364,7 +372,10 @@ mod tests {
         for _ in 0..200_000 {
             let r = g.next_branch();
             if r.kind == BranchKind::Indirect {
-                targets.entry(r.pc.raw()).or_default().insert(r.target.raw());
+                targets
+                    .entry(r.pc.raw())
+                    .or_default()
+                    .insert(r.target.raw());
             }
         }
         let multi = targets.values().filter(|s| s.len() > 1).count();

@@ -89,18 +89,54 @@ impl std::fmt::Display for Mix {
 pub const TABLE_V_MIXES: [Mix; 12] = {
     use SpecBenchmark::*;
     [
-        Mix { id: 1, pair: [CactuBssn, Imagick] },
-        Mix { id: 2, pair: [Wrf, Namd] },
-        Mix { id: 3, pair: [Fotonik3d, Exchange2] },
-        Mix { id: 4, pair: [Wrf, CactuBssn] },
-        Mix { id: 5, pair: [Imagick, Xz] },
-        Mix { id: 6, pair: [Imagick, Bwaves] },
-        Mix { id: 7, pair: [Wrf, Mcf] },
-        Mix { id: 8, pair: [Namd, Roms] },
-        Mix { id: 9, pair: [Xz, Cam4] },
-        Mix { id: 10, pair: [Cam4, Xalancbmk] },
-        Mix { id: 11, pair: [Lbm, Bwaves] },
-        Mix { id: 12, pair: [Cam4, Bwaves] },
+        Mix {
+            id: 1,
+            pair: [CactuBssn, Imagick],
+        },
+        Mix {
+            id: 2,
+            pair: [Wrf, Namd],
+        },
+        Mix {
+            id: 3,
+            pair: [Fotonik3d, Exchange2],
+        },
+        Mix {
+            id: 4,
+            pair: [Wrf, CactuBssn],
+        },
+        Mix {
+            id: 5,
+            pair: [Imagick, Xz],
+        },
+        Mix {
+            id: 6,
+            pair: [Imagick, Bwaves],
+        },
+        Mix {
+            id: 7,
+            pair: [Wrf, Mcf],
+        },
+        Mix {
+            id: 8,
+            pair: [Namd, Roms],
+        },
+        Mix {
+            id: 9,
+            pair: [Xz, Cam4],
+        },
+        Mix {
+            id: 10,
+            pair: [Cam4, Xalancbmk],
+        },
+        Mix {
+            id: 11,
+            pair: [Lbm, Bwaves],
+        },
+        Mix {
+            id: 12,
+            pair: [Cam4, Bwaves],
+        },
     ]
 };
 

@@ -88,35 +88,41 @@ impl SpecBenchmark {
                 .classes(0.96, 0.03, 0.005, 0.005, 0.9)
                 .working_set(900)
                 .indirect(0.002, 4)
-                .flip(0.0015).target(0.995),
+                .flip(0.0015)
+                .target(0.995),
             Imagick => BenchmarkProfile::new(self, IlpClass::High, 4.4, 0.11)
                 .classes(0.97, 0.02, 0.005, 0.005, 0.9)
                 .working_set(700)
                 .indirect(0.002, 4)
-                .flip(0.001).target(0.996),
+                .flip(0.001)
+                .target(0.996),
             Wrf => BenchmarkProfile::new(self, IlpClass::High, 3.2, 0.10)
                 .classes(0.965, 0.025, 0.005, 0.005, 0.85)
                 .working_set(2400)
                 .indirect(0.004, 4)
-                .flip(0.002).target(0.988)
+                .flip(0.002)
+                .target(0.988)
                 .iters(3, 20),
             Namd => BenchmarkProfile::new(self, IlpClass::High, 4.1, 0.05)
                 .classes(0.96, 0.03, 0.005, 0.005, 0.85)
                 .working_set(1100)
                 .indirect(0.002, 4)
-                .flip(0.0015).target(0.990),
+                .flip(0.0015)
+                .target(0.990),
             Exchange2 => BenchmarkProfile::new(self, IlpClass::High, 3.7, 0.17)
                 .classes(0.88, 0.08, 0.02, 0.02, 0.8)
                 .working_set(1400)
                 .indirect(0.001, 2)
-                .flip(0.003).target(0.982),
+                .flip(0.003)
+                .target(0.982),
             // fotonik3d: predictable but with a *large* instruction/branch
             // footprint — capacity-sensitive (the paper's Partition pain).
             Fotonik3d => BenchmarkProfile::new(self, IlpClass::High, 3.0, 0.06)
                 .classes(0.97, 0.02, 0.005, 0.005, 0.9)
                 .working_set(5000)
                 .indirect(0.003, 4)
-                .flip(0.002).target(0.991)
+                .flip(0.002)
+                .target(0.991)
                 .iters(2, 4),
             // deepsjeng: deep-history game tree search — very context-switch
             // sensitive (lots of warm predictor state).
@@ -124,53 +130,62 @@ impl SpecBenchmark {
                 .classes(0.85, 0.06, 0.03, 0.06, 0.72)
                 .working_set(3800)
                 .indirect(0.015, 8)
-                .flip(0.005).target(0.942)
+                .flip(0.005)
+                .target(0.942)
                 .iters(2, 10),
             // Low-ILP integer codes with hard branches.
             Xz => BenchmarkProfile::new(self, IlpClass::Low, 1.9, 0.15)
                 .classes(0.83, 0.06, 0.04, 0.07, 0.70)
                 .working_set(5200)
                 .indirect(0.010, 6)
-                .flip(0.005).target(0.934)
+                .flip(0.005)
+                .target(0.934)
                 .iters(2, 8),
             Cam4 => BenchmarkProfile::new(self, IlpClass::Low, 2.0, 0.12)
                 .classes(0.87, 0.08, 0.03, 0.02, 0.75)
                 .working_set(3000)
                 .indirect(0.006, 4)
-                .flip(0.003).target(0.975)
+                .flip(0.003)
+                .target(0.975)
                 .iters(3, 16),
             Xalancbmk => BenchmarkProfile::new(self, IlpClass::Low, 1.8, 0.22)
                 .classes(0.93, 0.03, 0.02, 0.02, 0.72)
                 .working_set(4200)
                 .indirect(0.030, 12)
-                .flip(0.003).target(0.971)
+                .flip(0.003)
+                .target(0.971)
                 .iters(2, 8),
             Lbm => BenchmarkProfile::new(self, IlpClass::Low, 1.4, 0.01)
                 .classes(0.97, 0.02, 0.005, 0.005, 0.9)
                 .working_set(260)
                 .indirect(0.001, 2)
-                .flip(0.0005).target(0.997),
+                .flip(0.0005)
+                .target(0.997),
             Bwaves => BenchmarkProfile::new(self, IlpClass::Low, 1.5, 0.03)
                 .classes(0.97, 0.025, 0.0025, 0.0025, 0.9)
                 .working_set(600)
                 .indirect(0.001, 2)
-                .flip(0.001).target(0.995),
+                .flip(0.001)
+                .target(0.995),
             Mcf => BenchmarkProfile::new(self, IlpClass::Low, 1.1, 0.19)
                 .classes(0.66, 0.15, 0.11, 0.08, 0.70)
                 .working_set(1900)
                 .indirect(0.008, 6)
-                .flip(0.006).target(0.928)
+                .flip(0.006)
+                .target(0.928)
                 .iters(2, 12),
             Kernel => BenchmarkProfile::new(self, IlpClass::Low, 1.6, 0.18)
                 .classes(0.80, 0.12, 0.04, 0.04, 0.75)
                 .working_set(420)
                 .indirect(0.02, 6)
-                .flip(0.004).target(0.965),
+                .flip(0.004)
+                .target(0.965),
             Roms => BenchmarkProfile::new(self, IlpClass::Low, 2.7, 0.06)
                 .classes(0.96, 0.03, 0.005, 0.005, 0.85)
                 .working_set(1500)
                 .indirect(0.002, 4)
-                .flip(0.002).target(0.992),
+                .flip(0.002)
+                .target(0.992),
         }
     }
 }
@@ -223,7 +238,12 @@ pub struct BenchmarkProfile {
 }
 
 impl BenchmarkProfile {
-    fn new(benchmark: SpecBenchmark, ilp_class: IlpClass, base_ipc: f64, branch_fraction: f64) -> Self {
+    fn new(
+        benchmark: SpecBenchmark,
+        ilp_class: IlpClass,
+        base_ipc: f64,
+        branch_fraction: f64,
+    ) -> Self {
         BenchmarkProfile {
             benchmark,
             ilp_class,
@@ -312,10 +332,13 @@ mod tests {
     fn all_profiles_are_consistent() {
         for b in SpecBenchmark::ALL {
             let p = b.profile();
-            let sum =
-                p.strongly_biased_frac + p.pattern_frac + p.history_frac + p.random_frac;
+            let sum = p.strongly_biased_frac + p.pattern_frac + p.history_frac + p.random_frac;
             assert!((sum - 1.0).abs() < 1e-9, "{b}: class sum {sum}");
-            assert!(p.base_ipc > 0.5 && p.base_ipc < 8.0, "{b}: ipc {}", p.base_ipc);
+            assert!(
+                p.base_ipc > 0.5 && p.base_ipc < 8.0,
+                "{b}: ipc {}",
+                p.base_ipc
+            );
             assert!(
                 p.branch_fraction > 0.0 && p.branch_fraction < 0.5,
                 "{b}: branch fraction"

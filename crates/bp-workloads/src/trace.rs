@@ -40,7 +40,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -102,10 +106,7 @@ impl BranchTrace {
 
     /// Total instructions the trace represents (branches + gaps).
     pub fn instructions(&self) -> u64 {
-        self.records
-            .iter()
-            .map(|r| u64::from(r.gap) + 1)
-            .sum()
+        self.records.iter().map(|r| u64::from(r.gap) + 1).sum()
     }
 
     /// Serializes to the line format `kind,pc,target,taken,gap` (hex

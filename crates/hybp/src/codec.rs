@@ -13,8 +13,9 @@
 //! access is counted, and crossing the renewal threshold re-keys the slot
 //! automatically (§V-D).
 
-use bp_common::{Addr, Asid, Cycle, Vmid};
+use bp_common::{Addr, Asid, ConfigError, Cycle, Vmid};
 use bp_crypto::keys::{KeyManager, KeysTableConfig};
+use bp_faults::FaultInjector;
 use bp_predictors::codec::{TableCodec, TableId, TableUnit};
 
 use crate::mechanism::HybpConfig;
@@ -42,22 +43,33 @@ pub struct HybpCodec {
 
 impl HybpCodec {
     /// Creates the codec with `slot_count` isolation slots.
-    pub fn new(config: &HybpConfig, slot_count: usize, seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the embedded keys-table geometry,
+    /// renewal threshold or slot count is invalid.
+    pub fn new(config: &HybpConfig, slot_count: usize, seed: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
         let keys_index_bits = keys_index_bits(&config.keys_table);
-        HybpCodec {
+        Ok(HybpCodec {
             key_manager: KeyManager::new(
                 config.cipher.build(seed),
                 slot_count,
                 config.keys_table,
                 config.renewal_threshold,
                 seed ^ 0x5EED_0001,
-            ),
+            )?,
             keys_index_bits,
             slot: 0,
             asid: Asid::new(0),
             vmid: Vmid::new(0),
             stats: CodecStats::default(),
-        }
+        })
+    }
+
+    /// Attaches (or detaches) a fault injector disturbing the keys table.
+    pub fn set_fault_injector(&mut self, faults: Option<FaultInjector>) {
+        self.key_manager.set_fault_injector(faults);
     }
 
     /// Sets the security context for subsequent accesses.
@@ -166,7 +178,7 @@ mod tests {
     use super::*;
 
     fn codec() -> HybpCodec {
-        let mut c = HybpCodec::new(&HybpConfig::paper_default(), 4, 7);
+        let mut c = HybpCodec::new(&HybpConfig::paper_default(), 4, 7).expect("valid config");
         for slot in 0..4 {
             c.renew_slot(slot, Asid::new(slot as u16 + 1), 0);
         }
@@ -290,7 +302,7 @@ mod tests {
     fn counter_threshold_triggers_renewal() {
         let mut cfg = HybpConfig::paper_default();
         cfg.renewal_threshold = 8;
-        let mut c = HybpCodec::new(&cfg, 1, 3);
+        let mut c = HybpCodec::new(&cfg, 1, 3).expect("valid config");
         c.renew_slot(0, Asid::new(1), 0);
         c.set_context(0, Asid::new(1), Vmid::new(0));
         for i in 0..40u64 {

@@ -39,7 +39,9 @@ pub struct CostBreakdown {
 impl CostBreakdown {
     /// Total extra storage over the baseline, bytes.
     pub fn overhead_bytes(&self) -> u64 {
-        self.replication_bytes + self.keys_tables_bytes + self.cipher_bytes
+        self.replication_bytes
+            + self.keys_tables_bytes
+            + self.cipher_bytes
             + self.scaled_tables_bytes
     }
 
@@ -78,15 +80,13 @@ pub fn mechanism_cost(mechanism: &Mechanism, n_hw_threads: usize) -> CostBreakdo
         | Mechanism::Flush
         | Mechanism::Partition
         | Mechanism::DisableSmt
-        | Mechanism::TournamentBaseline => {
-            CostBreakdown {
-                baseline_bytes: baseline,
-                replication_bytes: 0,
-                keys_tables_bytes: 0,
-                cipher_bytes: 0,
-                scaled_tables_bytes: 0,
-            }
-        }
+        | Mechanism::TournamentBaseline => CostBreakdown {
+            baseline_bytes: baseline,
+            replication_bytes: 0,
+            keys_tables_bytes: 0,
+            cipher_bytes: 0,
+            scaled_tables_bytes: 0,
+        },
         Mechanism::Replication { extra_storage_pct } => CostBreakdown {
             baseline_bytes: baseline,
             replication_bytes: 0,
@@ -147,8 +147,18 @@ mod tests {
 
     #[test]
     fn replication_overhead_is_linear() {
-        let r100 = mechanism_cost(&Mechanism::Replication { extra_storage_pct: 100 }, 2);
-        let r200 = mechanism_cost(&Mechanism::Replication { extra_storage_pct: 200 }, 2);
+        let r100 = mechanism_cost(
+            &Mechanism::Replication {
+                extra_storage_pct: 100,
+            },
+            2,
+        );
+        let r200 = mechanism_cost(
+            &Mechanism::Replication {
+                extra_storage_pct: 200,
+            },
+            2,
+        );
         assert!((r100.overhead_fraction() - 1.0).abs() < 0.01);
         assert!((r200.overhead_fraction() - 2.0).abs() < 0.01);
     }
@@ -158,7 +168,12 @@ mod tests {
         // The paper's Figure-8 punchline: matching HyBP's performance with
         // Replication needs ≈ 240% storage vs HyBP's ≈ 21%.
         let hybp = mechanism_cost(&Mechanism::hybp_default(), 2);
-        let repl = mechanism_cost(&Mechanism::Replication { extra_storage_pct: 240 }, 2);
+        let repl = mechanism_cost(
+            &Mechanism::Replication {
+                extra_storage_pct: 240,
+            },
+            2,
+        );
         assert!(repl.overhead_bytes() > 10 * hybp.overhead_bytes());
     }
 
@@ -174,7 +189,10 @@ mod tests {
     #[test]
     fn bigger_keys_tables_cost_more() {
         let small = mechanism_cost(&Mechanism::HyBp(HybpConfig::with_keys_entries(1024)), 2);
-        let big = mechanism_cost(&Mechanism::HyBp(HybpConfig::with_keys_entries(32 * 1024)), 2);
+        let big = mechanism_cost(
+            &Mechanism::HyBp(HybpConfig::with_keys_entries(32 * 1024)),
+            2,
+        );
         assert!(big.keys_tables_bytes > 20 * small.keys_tables_bytes);
     }
 

@@ -19,12 +19,15 @@
 //! use hybp::{Mechanism, SecureBpu};
 //! use bp_common::{Addr, Asid, BranchRecord, HwThreadId};
 //!
-//! let mut bpu = SecureBpu::new(Mechanism::hybp_default(), 2, 42);
+//! # fn main() -> Result<(), bp_common::ConfigError> {
+//! let mut bpu = SecureBpu::new(Mechanism::hybp_default(), 2, 42)?;
 //! let hw = HwThreadId::new(0);
 //! bpu.on_context_switch(hw, Asid::new(7), 0);
 //! let branch = BranchRecord::conditional(Addr::new(0x1000), Addr::new(0x2000), true, 5);
 //! let outcome = bpu.process_branch(hw, &branch, 100);
 //! assert!(outcome.btb_latency <= 4);
+//! # Ok(())
+//! # }
 //! ```
 
 mod bpu;

@@ -1,7 +1,13 @@
 //! The protection mechanisms compared in the paper's evaluation (Table I).
 
+use bp_common::ConfigError;
 use bp_crypto::keys::KeysTableConfig;
 use std::fmt;
+
+/// Largest accepted `extra_storage_pct` for [`Mechanism::Replication`]
+/// (Figure 8 sweeps 0..=300; anything beyond 1000% is a configuration
+/// mistake, not an experiment).
+pub const MAX_REPLICATION_EXTRA_PCT: u32 = 1000;
 
 /// Which strong cipher fills the randomized index keys table (or sits inline
 /// on the critical path for the Figure-2 ablation).
@@ -108,6 +114,24 @@ impl HybpConfig {
             ..Self::paper_default()
         }
     }
+
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the keys-table geometry is invalid,
+    /// the renewal threshold is zero, or a periodic refresh of zero cycles
+    /// is requested.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.keys_table.validate()?;
+        if self.renewal_threshold == 0 {
+            return Err(ConfigError::zero("renewal_threshold"));
+        }
+        if self.periodic_refresh == Some(0) {
+            return Err(ConfigError::zero("periodic_refresh"));
+        }
+        Ok(())
+    }
 }
 
 impl Default for HybpConfig {
@@ -176,6 +200,30 @@ impl Mechanism {
     pub fn is_per_slot(&self) -> bool {
         matches!(self, Mechanism::Partition | Mechanism::Replication { .. })
     }
+
+    /// Checks the mechanism's parameters for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when a Replication storage factor exceeds
+    /// [`MAX_REPLICATION_EXTRA_PCT`] or an embedded [`HybpConfig`] is
+    /// invalid.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            Mechanism::Replication { extra_storage_pct } => {
+                if *extra_storage_pct > MAX_REPLICATION_EXTRA_PCT {
+                    return Err(ConfigError::too_large(
+                        "extra_storage_pct",
+                        u64::from(*extra_storage_pct),
+                        u64::from(MAX_REPLICATION_EXTRA_PCT),
+                    ));
+                }
+                Ok(())
+            }
+            Mechanism::HyBp(cfg) => cfg.validate(),
+            _ => Ok(()),
+        }
+    }
 }
 
 impl fmt::Display for Mechanism {
@@ -232,6 +280,48 @@ mod tests {
         assert!(Mechanism::replication_default().is_per_slot());
         assert!(!Mechanism::Baseline.is_per_slot());
         assert!(!Mechanism::hybp_default().is_per_slot());
+    }
+
+    #[test]
+    fn validate_accepts_all_paper_mechanisms() {
+        for mech in [
+            Mechanism::Baseline,
+            Mechanism::Flush,
+            Mechanism::Partition,
+            Mechanism::replication_default(),
+            Mechanism::DisableSmt,
+            Mechanism::hybp_default(),
+            Mechanism::TournamentBaseline,
+        ] {
+            assert_eq!(mech.validate(), Ok(()), "{mech}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_absurd_replication() {
+        let m = Mechanism::Replication {
+            extra_storage_pct: MAX_REPLICATION_EXTRA_PCT + 1,
+        };
+        assert!(m.validate().is_err());
+        let ok = Mechanism::Replication {
+            extra_storage_pct: MAX_REPLICATION_EXTRA_PCT,
+        };
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_hybp_configs() {
+        let mut zero_threshold = HybpConfig::paper_default();
+        zero_threshold.renewal_threshold = 0;
+        assert!(Mechanism::HyBp(zero_threshold).validate().is_err());
+
+        let mut zero_period = HybpConfig::paper_default();
+        zero_period.periodic_refresh = Some(0);
+        assert!(Mechanism::HyBp(zero_period).validate().is_err());
+
+        let mut bad_geometry = HybpConfig::paper_default();
+        bad_geometry.keys_table.entries = 0;
+        assert!(Mechanism::HyBp(bad_geometry).validate().is_err());
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! cargo run --release --example attack_demo
 //! ```
 
+use hybp_repro::bp_attacks::linear::break_affine;
 use hybp_repro::bp_attacks::poc::{btb_training_topo, pht_training_topo, CoResidency, PocParams};
 use hybp_repro::bp_attacks::ppp::{campaign, PppParams};
-use hybp_repro::bp_attacks::linear::break_affine;
 use hybp_repro::bp_crypto::{Llbc, Qarma64};
 use hybp_repro::hybp::Mechanism;
 
@@ -19,7 +19,10 @@ fn main() {
         success_threshold: 90,
         trainings_per_round: 8,
     };
-    for (name, mech) in [("Baseline", Mechanism::Baseline), ("HyBP", Mechanism::hybp_default())] {
+    for (name, mech) in [
+        ("Baseline", Mechanism::Baseline),
+        ("HyBP", Mechanism::hybp_default()),
+    ] {
         let btb = btb_training_topo(mech, CoResidency::SingleCore, params, 1);
         let pht = pht_training_topo(mech, CoResidency::SingleCore, params, 2);
         println!(
@@ -32,7 +35,10 @@ fn main() {
     println!();
     println!("== Eviction-set construction (Algorithm 1, sampled geometry) ==");
     let params = PppParams::quick();
-    for (name, mech) in [("Baseline", Mechanism::Baseline), ("HyBP", Mechanism::hybp_default())] {
+    for (name, mech) in [
+        ("Baseline", Mechanism::Baseline),
+        ("HyBP", Mechanism::hybp_default()),
+    ] {
         let c = campaign(mech, &params, 8, 77);
         println!(
             "{name:<9} genuine eviction sets {}/{} runs ({:.0} accesses/run)",
@@ -48,10 +54,18 @@ fn main() {
     let qarma = break_affine(&Qarma64::from_seed(3), 0, 100, 2);
     println!(
         "LLBC (CEASER-style, 2-cycle): {}",
-        if llbc.is_some() { "affine map recovered in 65 queries — broken" } else { "resisted" }
+        if llbc.is_some() {
+            "affine map recovered in 65 queries — broken"
+        } else {
+            "resisted"
+        }
     );
     println!(
         "QARMA-64 (HyBP's choice):     {}",
-        if qarma.is_some() { "broken" } else { "no affine structure — resisted" }
+        if qarma.is_some() {
+            "broken"
+        } else {
+            "no affine structure — resisted"
+        }
     );
 }

@@ -19,7 +19,7 @@ fn main() {
 
     for entries in [1024usize, 4096, 32 * 1024] {
         let cfg = KeysTableConfig::with_entries(entries);
-        let t = KeysTable::new(cfg);
+        let t = KeysTable::new(cfg).expect("valid config");
         println!(
             "{:>6}-entry table: {:>4} words of {} bits, refresh in {} cycles, {:.2} KB",
             entries,
@@ -33,7 +33,7 @@ fn main() {
     // Demonstrate the non-stalling refresh: start one and sample a key early
     // and late in the rewrite.
     println!();
-    let mut t = KeysTable::new(KeysTableConfig::paper_default());
+    let mut t = KeysTable::new(KeysTableConfig::paper_default()).expect("paper default");
     let seed1 = IndexSeed::derive(Asid::new(1), Vmid::new(0), 111);
     let seed2 = IndexSeed::derive(Asid::new(2), Vmid::new(0), 222);
     t.begin_refresh(&cipher, seed1, 0, 0);
@@ -50,5 +50,8 @@ fn main() {
             if last == old_last { "stale" } else { "fresh" },
         );
     }
-    println!("stale lookups so far: {} (cost accuracy only, never correctness)", t.stale_hits());
+    println!(
+        "stale lookups so far: {} (cost accuracy only, never correctness)",
+        t.stale_hits()
+    );
 }

@@ -17,14 +17,17 @@ fn main() {
     cfg.measure_instructions = 900_000;
     let bench = SpecBenchmark::Deepsjeng;
 
-    println!("workload: {} ({} static branches, target accuracy {:.1}%)",
+    println!(
+        "workload: {} ({} static branches, target accuracy {:.1}%)",
         bench.name(),
         bench.profile().static_branches,
         bench.profile().target_accuracy * 100.0
     );
 
     for mech in [Mechanism::Baseline, Mechanism::hybp_default()] {
-        let metrics = Simulation::single_thread(mech, bench, cfg).run();
+        let metrics = Simulation::single_thread(mech, bench, cfg)
+            .expect("valid config")
+            .run();
         let stats = metrics.bpu;
         println!(
             "{:<10} IPC {:.3} | direction accuracy {:.2}% | BTB hits L0/L1/L2 {:?} | misses {}",
@@ -42,7 +45,8 @@ fn main() {
         c.overhead_bytes() as f64 / 1024.0,
         c.overhead_fraction() * 100.0
     );
-    println!("  replicas {:.1} KB + keys tables {:.1} KB + cipher {:.1} KB",
+    println!(
+        "  replicas {:.1} KB + keys tables {:.1} KB + cipher {:.1} KB",
         c.replication_bytes as f64 / 1024.0,
         c.keys_tables_bytes as f64 / 1024.0,
         c.cipher_bytes as f64 / 1024.0

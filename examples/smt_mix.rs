@@ -36,9 +36,17 @@ fn main() {
         let solo: Vec<f64> = mix
             .pair
             .iter()
-            .map(|&b| Simulation::single_thread(mech, b, cfg).run().threads[0].ipc())
+            .map(|&b| {
+                Simulation::single_thread(mech, b, cfg)
+                    .expect("valid config")
+                    .run()
+                    .threads[0]
+                    .ipc()
+            })
             .collect();
-        let smt = Simulation::smt(mech, mix.pair, cfg).run();
+        let smt = Simulation::smt(mech, mix.pair, cfg)
+            .expect("valid config")
+            .run();
         let ipcs = smt.ipcs();
         let fairness = hmean_fairness(&ipcs, &solo).unwrap_or(0.0);
         println!(

@@ -13,10 +13,12 @@
 //! * [`bp_pipeline`] — cycle-level SMT-2 out-of-order core model.
 //! * [`hybp`] — the paper's contribution: the hybrid protection mechanisms.
 //! * [`bp_attacks`] — PPP / GEM / blind-contention / reuse attack harnesses.
+//! * [`bp_faults`] — deterministic fault plans for the robustness harness.
 
 pub use bp_attacks;
 pub use bp_common;
 pub use bp_crypto;
+pub use bp_faults;
 pub use bp_pipeline;
 pub use bp_predictors;
 pub use bp_workloads;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ciphers-01ee0bab2ce0fa89.d: crates/bench/src/bin/ablation_ciphers.rs
+
+/root/repo/target/debug/deps/ablation_ciphers-01ee0bab2ce0fa89: crates/bench/src/bin/ablation_ciphers.rs
+
+crates/bench/src/bin/ablation_ciphers.rs:

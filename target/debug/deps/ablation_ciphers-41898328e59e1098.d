@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ciphers-41898328e59e1098.d: crates/bench/src/bin/ablation_ciphers.rs
+
+/root/repo/target/debug/deps/ablation_ciphers-41898328e59e1098: crates/bench/src/bin/ablation_ciphers.rs
+
+crates/bench/src/bin/ablation_ciphers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ciphers-5919076bc1687e67.d: crates/bench/src/bin/ablation_ciphers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ciphers-5919076bc1687e67.rmeta: crates/bench/src/bin/ablation_ciphers.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ciphers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

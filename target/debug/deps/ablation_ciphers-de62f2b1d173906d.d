@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ciphers-de62f2b1d173906d.d: crates/bench/src/bin/ablation_ciphers.rs
+
+/root/repo/target/debug/deps/ablation_ciphers-de62f2b1d173906d: crates/bench/src/bin/ablation_ciphers.rs
+
+crates/bench/src/bin/ablation_ciphers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_filtering-7c38a3dca08d9b07.d: crates/bench/src/bin/ablation_filtering.rs
+
+/root/repo/target/debug/deps/ablation_filtering-7c38a3dca08d9b07: crates/bench/src/bin/ablation_filtering.rs
+
+crates/bench/src/bin/ablation_filtering.rs:

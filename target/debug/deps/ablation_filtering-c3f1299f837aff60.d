@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_filtering-c3f1299f837aff60.d: crates/bench/src/bin/ablation_filtering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_filtering-c3f1299f837aff60.rmeta: crates/bench/src/bin/ablation_filtering.rs Cargo.toml
+
+crates/bench/src/bin/ablation_filtering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_filtering-cf5be7ed06bfd5fa.d: crates/bench/src/bin/ablation_filtering.rs
+
+/root/repo/target/debug/deps/ablation_filtering-cf5be7ed06bfd5fa: crates/bench/src/bin/ablation_filtering.rs
+
+crates/bench/src/bin/ablation_filtering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_filtering-d20e54c62cf2ce45.d: crates/bench/src/bin/ablation_filtering.rs
+
+/root/repo/target/debug/deps/ablation_filtering-d20e54c62cf2ce45: crates/bench/src/bin/ablation_filtering.rs
+
+crates/bench/src/bin/ablation_filtering.rs:

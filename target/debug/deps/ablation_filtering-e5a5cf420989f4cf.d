@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_filtering-e5a5cf420989f4cf.d: crates/bench/src/bin/ablation_filtering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_filtering-e5a5cf420989f4cf.rmeta: crates/bench/src/bin/ablation_filtering.rs Cargo.toml
+
+crates/bench/src/bin/ablation_filtering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-0b843fdec08c0ce3.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/bench-0b843fdec08c0ce3: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

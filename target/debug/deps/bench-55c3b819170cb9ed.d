@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-55c3b819170cb9ed.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/bench-55c3b819170cb9ed: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

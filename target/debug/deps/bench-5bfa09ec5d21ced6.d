@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-5bfa09ec5d21ced6.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-5bfa09ec5d21ced6.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-5bfa09ec5d21ced6.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-d6318a6f3e7e02e4.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-d6318a6f3e7e02e4.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbench-d6318a6f3e7e02e4.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

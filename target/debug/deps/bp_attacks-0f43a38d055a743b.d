@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/bp_attacks-0f43a38d055a743b.d: crates/bp-attacks/src/lib.rs crates/bp-attacks/src/analysis.rs crates/bp-attacks/src/blind.rs crates/bp-attacks/src/contention.rs crates/bp-attacks/src/env.rs crates/bp-attacks/src/gem.rs crates/bp-attacks/src/linear.rs crates/bp-attacks/src/pht_analysis.rs crates/bp-attacks/src/poc.rs crates/bp-attacks/src/ppp.rs crates/bp-attacks/src/threat_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbp_attacks-0f43a38d055a743b.rmeta: crates/bp-attacks/src/lib.rs crates/bp-attacks/src/analysis.rs crates/bp-attacks/src/blind.rs crates/bp-attacks/src/contention.rs crates/bp-attacks/src/env.rs crates/bp-attacks/src/gem.rs crates/bp-attacks/src/linear.rs crates/bp-attacks/src/pht_analysis.rs crates/bp-attacks/src/poc.rs crates/bp-attacks/src/ppp.rs crates/bp-attacks/src/threat_model.rs Cargo.toml
+
+crates/bp-attacks/src/lib.rs:
+crates/bp-attacks/src/analysis.rs:
+crates/bp-attacks/src/blind.rs:
+crates/bp-attacks/src/contention.rs:
+crates/bp-attacks/src/env.rs:
+crates/bp-attacks/src/gem.rs:
+crates/bp-attacks/src/linear.rs:
+crates/bp-attacks/src/pht_analysis.rs:
+crates/bp-attacks/src/poc.rs:
+crates/bp-attacks/src/ppp.rs:
+crates/bp-attacks/src/threat_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bp_attacks-a2ef7b148358bf8b.d: crates/bp-attacks/src/lib.rs crates/bp-attacks/src/analysis.rs crates/bp-attacks/src/blind.rs crates/bp-attacks/src/contention.rs crates/bp-attacks/src/env.rs crates/bp-attacks/src/gem.rs crates/bp-attacks/src/linear.rs crates/bp-attacks/src/pht_analysis.rs crates/bp-attacks/src/poc.rs crates/bp-attacks/src/ppp.rs crates/bp-attacks/src/threat_model.rs
+
+/root/repo/target/debug/deps/bp_attacks-a2ef7b148358bf8b: crates/bp-attacks/src/lib.rs crates/bp-attacks/src/analysis.rs crates/bp-attacks/src/blind.rs crates/bp-attacks/src/contention.rs crates/bp-attacks/src/env.rs crates/bp-attacks/src/gem.rs crates/bp-attacks/src/linear.rs crates/bp-attacks/src/pht_analysis.rs crates/bp-attacks/src/poc.rs crates/bp-attacks/src/ppp.rs crates/bp-attacks/src/threat_model.rs
+
+crates/bp-attacks/src/lib.rs:
+crates/bp-attacks/src/analysis.rs:
+crates/bp-attacks/src/blind.rs:
+crates/bp-attacks/src/contention.rs:
+crates/bp-attacks/src/env.rs:
+crates/bp-attacks/src/gem.rs:
+crates/bp-attacks/src/linear.rs:
+crates/bp-attacks/src/pht_analysis.rs:
+crates/bp-attacks/src/poc.rs:
+crates/bp-attacks/src/ppp.rs:
+crates/bp-attacks/src/threat_model.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bp_attacks-e04e5ae6a7bae0e1.d: crates/bp-attacks/src/lib.rs crates/bp-attacks/src/analysis.rs crates/bp-attacks/src/blind.rs crates/bp-attacks/src/contention.rs crates/bp-attacks/src/env.rs crates/bp-attacks/src/gem.rs crates/bp-attacks/src/linear.rs crates/bp-attacks/src/pht_analysis.rs crates/bp-attacks/src/poc.rs crates/bp-attacks/src/ppp.rs crates/bp-attacks/src/threat_model.rs
+
+/root/repo/target/debug/deps/libbp_attacks-e04e5ae6a7bae0e1.rlib: crates/bp-attacks/src/lib.rs crates/bp-attacks/src/analysis.rs crates/bp-attacks/src/blind.rs crates/bp-attacks/src/contention.rs crates/bp-attacks/src/env.rs crates/bp-attacks/src/gem.rs crates/bp-attacks/src/linear.rs crates/bp-attacks/src/pht_analysis.rs crates/bp-attacks/src/poc.rs crates/bp-attacks/src/ppp.rs crates/bp-attacks/src/threat_model.rs
+
+/root/repo/target/debug/deps/libbp_attacks-e04e5ae6a7bae0e1.rmeta: crates/bp-attacks/src/lib.rs crates/bp-attacks/src/analysis.rs crates/bp-attacks/src/blind.rs crates/bp-attacks/src/contention.rs crates/bp-attacks/src/env.rs crates/bp-attacks/src/gem.rs crates/bp-attacks/src/linear.rs crates/bp-attacks/src/pht_analysis.rs crates/bp-attacks/src/poc.rs crates/bp-attacks/src/ppp.rs crates/bp-attacks/src/threat_model.rs
+
+crates/bp-attacks/src/lib.rs:
+crates/bp-attacks/src/analysis.rs:
+crates/bp-attacks/src/blind.rs:
+crates/bp-attacks/src/contention.rs:
+crates/bp-attacks/src/env.rs:
+crates/bp-attacks/src/gem.rs:
+crates/bp-attacks/src/linear.rs:
+crates/bp-attacks/src/pht_analysis.rs:
+crates/bp-attacks/src/poc.rs:
+crates/bp-attacks/src/ppp.rs:
+crates/bp-attacks/src/threat_model.rs:

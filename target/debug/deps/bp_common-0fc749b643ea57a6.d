@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bp_common-0fc749b643ea57a6.d: crates/bp-common/src/lib.rs crates/bp-common/src/check.rs crates/bp-common/src/error.rs crates/bp-common/src/history.rs crates/bp-common/src/rng.rs crates/bp-common/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbp_common-0fc749b643ea57a6.rmeta: crates/bp-common/src/lib.rs crates/bp-common/src/check.rs crates/bp-common/src/error.rs crates/bp-common/src/history.rs crates/bp-common/src/rng.rs crates/bp-common/src/stats.rs Cargo.toml
+
+crates/bp-common/src/lib.rs:
+crates/bp-common/src/check.rs:
+crates/bp-common/src/error.rs:
+crates/bp-common/src/history.rs:
+crates/bp-common/src/rng.rs:
+crates/bp-common/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

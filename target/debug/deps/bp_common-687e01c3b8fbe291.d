@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bp_common-687e01c3b8fbe291.d: crates/bp-common/src/lib.rs crates/bp-common/src/check.rs crates/bp-common/src/error.rs crates/bp-common/src/history.rs crates/bp-common/src/rng.rs crates/bp-common/src/stats.rs
+
+/root/repo/target/debug/deps/libbp_common-687e01c3b8fbe291.rlib: crates/bp-common/src/lib.rs crates/bp-common/src/check.rs crates/bp-common/src/error.rs crates/bp-common/src/history.rs crates/bp-common/src/rng.rs crates/bp-common/src/stats.rs
+
+/root/repo/target/debug/deps/libbp_common-687e01c3b8fbe291.rmeta: crates/bp-common/src/lib.rs crates/bp-common/src/check.rs crates/bp-common/src/error.rs crates/bp-common/src/history.rs crates/bp-common/src/rng.rs crates/bp-common/src/stats.rs
+
+crates/bp-common/src/lib.rs:
+crates/bp-common/src/check.rs:
+crates/bp-common/src/error.rs:
+crates/bp-common/src/history.rs:
+crates/bp-common/src/rng.rs:
+crates/bp-common/src/stats.rs:

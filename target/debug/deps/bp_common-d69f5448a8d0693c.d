@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bp_common-d69f5448a8d0693c.d: crates/bp-common/src/lib.rs crates/bp-common/src/check.rs crates/bp-common/src/error.rs crates/bp-common/src/history.rs crates/bp-common/src/rng.rs crates/bp-common/src/stats.rs
+
+/root/repo/target/debug/deps/bp_common-d69f5448a8d0693c: crates/bp-common/src/lib.rs crates/bp-common/src/check.rs crates/bp-common/src/error.rs crates/bp-common/src/history.rs crates/bp-common/src/rng.rs crates/bp-common/src/stats.rs
+
+crates/bp-common/src/lib.rs:
+crates/bp-common/src/check.rs:
+crates/bp-common/src/error.rs:
+crates/bp-common/src/history.rs:
+crates/bp-common/src/rng.rs:
+crates/bp-common/src/stats.rs:

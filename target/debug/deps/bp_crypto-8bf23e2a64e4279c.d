@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bp_crypto-8bf23e2a64e4279c.d: crates/bp-crypto/src/lib.rs crates/bp-crypto/src/keys.rs crates/bp-crypto/src/llbc.rs crates/bp-crypto/src/prince.rs crates/bp-crypto/src/qarma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbp_crypto-8bf23e2a64e4279c.rmeta: crates/bp-crypto/src/lib.rs crates/bp-crypto/src/keys.rs crates/bp-crypto/src/llbc.rs crates/bp-crypto/src/prince.rs crates/bp-crypto/src/qarma.rs Cargo.toml
+
+crates/bp-crypto/src/lib.rs:
+crates/bp-crypto/src/keys.rs:
+crates/bp-crypto/src/llbc.rs:
+crates/bp-crypto/src/prince.rs:
+crates/bp-crypto/src/qarma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

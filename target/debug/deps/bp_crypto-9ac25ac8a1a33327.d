@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bp_crypto-9ac25ac8a1a33327.d: crates/bp-crypto/src/lib.rs crates/bp-crypto/src/keys.rs crates/bp-crypto/src/llbc.rs crates/bp-crypto/src/prince.rs crates/bp-crypto/src/qarma.rs
+
+/root/repo/target/debug/deps/bp_crypto-9ac25ac8a1a33327: crates/bp-crypto/src/lib.rs crates/bp-crypto/src/keys.rs crates/bp-crypto/src/llbc.rs crates/bp-crypto/src/prince.rs crates/bp-crypto/src/qarma.rs
+
+crates/bp-crypto/src/lib.rs:
+crates/bp-crypto/src/keys.rs:
+crates/bp-crypto/src/llbc.rs:
+crates/bp-crypto/src/prince.rs:
+crates/bp-crypto/src/qarma.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bp_crypto-e1b8b33d6b6f9e3a.d: crates/bp-crypto/src/lib.rs crates/bp-crypto/src/keys.rs crates/bp-crypto/src/llbc.rs crates/bp-crypto/src/prince.rs crates/bp-crypto/src/qarma.rs
+
+/root/repo/target/debug/deps/libbp_crypto-e1b8b33d6b6f9e3a.rlib: crates/bp-crypto/src/lib.rs crates/bp-crypto/src/keys.rs crates/bp-crypto/src/llbc.rs crates/bp-crypto/src/prince.rs crates/bp-crypto/src/qarma.rs
+
+/root/repo/target/debug/deps/libbp_crypto-e1b8b33d6b6f9e3a.rmeta: crates/bp-crypto/src/lib.rs crates/bp-crypto/src/keys.rs crates/bp-crypto/src/llbc.rs crates/bp-crypto/src/prince.rs crates/bp-crypto/src/qarma.rs
+
+crates/bp-crypto/src/lib.rs:
+crates/bp-crypto/src/keys.rs:
+crates/bp-crypto/src/llbc.rs:
+crates/bp-crypto/src/prince.rs:
+crates/bp-crypto/src/qarma.rs:

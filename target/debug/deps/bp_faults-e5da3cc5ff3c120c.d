@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bp_faults-e5da3cc5ff3c120c.d: crates/bp-faults/src/lib.rs
+
+/root/repo/target/debug/deps/libbp_faults-e5da3cc5ff3c120c.rlib: crates/bp-faults/src/lib.rs
+
+/root/repo/target/debug/deps/libbp_faults-e5da3cc5ff3c120c.rmeta: crates/bp-faults/src/lib.rs
+
+crates/bp-faults/src/lib.rs:

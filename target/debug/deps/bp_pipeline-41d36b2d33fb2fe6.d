@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bp_pipeline-41d36b2d33fb2fe6.d: crates/bp-pipeline/src/lib.rs crates/bp-pipeline/src/config.rs crates/bp-pipeline/src/error.rs crates/bp-pipeline/src/metrics.rs crates/bp-pipeline/src/sim.rs
+
+/root/repo/target/debug/deps/libbp_pipeline-41d36b2d33fb2fe6.rlib: crates/bp-pipeline/src/lib.rs crates/bp-pipeline/src/config.rs crates/bp-pipeline/src/error.rs crates/bp-pipeline/src/metrics.rs crates/bp-pipeline/src/sim.rs
+
+/root/repo/target/debug/deps/libbp_pipeline-41d36b2d33fb2fe6.rmeta: crates/bp-pipeline/src/lib.rs crates/bp-pipeline/src/config.rs crates/bp-pipeline/src/error.rs crates/bp-pipeline/src/metrics.rs crates/bp-pipeline/src/sim.rs
+
+crates/bp-pipeline/src/lib.rs:
+crates/bp-pipeline/src/config.rs:
+crates/bp-pipeline/src/error.rs:
+crates/bp-pipeline/src/metrics.rs:
+crates/bp-pipeline/src/sim.rs:

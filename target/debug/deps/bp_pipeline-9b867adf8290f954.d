@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bp_pipeline-9b867adf8290f954.d: crates/bp-pipeline/src/lib.rs crates/bp-pipeline/src/config.rs crates/bp-pipeline/src/error.rs crates/bp-pipeline/src/metrics.rs crates/bp-pipeline/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbp_pipeline-9b867adf8290f954.rmeta: crates/bp-pipeline/src/lib.rs crates/bp-pipeline/src/config.rs crates/bp-pipeline/src/error.rs crates/bp-pipeline/src/metrics.rs crates/bp-pipeline/src/sim.rs Cargo.toml
+
+crates/bp-pipeline/src/lib.rs:
+crates/bp-pipeline/src/config.rs:
+crates/bp-pipeline/src/error.rs:
+crates/bp-pipeline/src/metrics.rs:
+crates/bp-pipeline/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bp_pipeline-af232f1dc7325907.d: crates/bp-pipeline/src/lib.rs crates/bp-pipeline/src/config.rs crates/bp-pipeline/src/error.rs crates/bp-pipeline/src/metrics.rs crates/bp-pipeline/src/sim.rs
+
+/root/repo/target/debug/deps/bp_pipeline-af232f1dc7325907: crates/bp-pipeline/src/lib.rs crates/bp-pipeline/src/config.rs crates/bp-pipeline/src/error.rs crates/bp-pipeline/src/metrics.rs crates/bp-pipeline/src/sim.rs
+
+crates/bp-pipeline/src/lib.rs:
+crates/bp-pipeline/src/config.rs:
+crates/bp-pipeline/src/error.rs:
+crates/bp-pipeline/src/metrics.rs:
+crates/bp-pipeline/src/sim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bp_predictors-26a8b227333fa838.d: crates/bp-predictors/src/lib.rs crates/bp-predictors/src/bimodal.rs crates/bp-predictors/src/btb.rs crates/bp-predictors/src/codec.rs crates/bp-predictors/src/loop_pred.rs crates/bp-predictors/src/ras.rs crates/bp-predictors/src/sc.rs crates/bp-predictors/src/tage.rs crates/bp-predictors/src/tage_scl.rs crates/bp-predictors/src/tournament.rs
+
+/root/repo/target/debug/deps/bp_predictors-26a8b227333fa838: crates/bp-predictors/src/lib.rs crates/bp-predictors/src/bimodal.rs crates/bp-predictors/src/btb.rs crates/bp-predictors/src/codec.rs crates/bp-predictors/src/loop_pred.rs crates/bp-predictors/src/ras.rs crates/bp-predictors/src/sc.rs crates/bp-predictors/src/tage.rs crates/bp-predictors/src/tage_scl.rs crates/bp-predictors/src/tournament.rs
+
+crates/bp-predictors/src/lib.rs:
+crates/bp-predictors/src/bimodal.rs:
+crates/bp-predictors/src/btb.rs:
+crates/bp-predictors/src/codec.rs:
+crates/bp-predictors/src/loop_pred.rs:
+crates/bp-predictors/src/ras.rs:
+crates/bp-predictors/src/sc.rs:
+crates/bp-predictors/src/tage.rs:
+crates/bp-predictors/src/tage_scl.rs:
+crates/bp-predictors/src/tournament.rs:

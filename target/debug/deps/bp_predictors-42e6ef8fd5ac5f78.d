@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bp_predictors-42e6ef8fd5ac5f78.d: crates/bp-predictors/src/lib.rs crates/bp-predictors/src/bimodal.rs crates/bp-predictors/src/btb.rs crates/bp-predictors/src/codec.rs crates/bp-predictors/src/loop_pred.rs crates/bp-predictors/src/ras.rs crates/bp-predictors/src/sc.rs crates/bp-predictors/src/tage.rs crates/bp-predictors/src/tage_scl.rs crates/bp-predictors/src/tournament.rs
+
+/root/repo/target/debug/deps/libbp_predictors-42e6ef8fd5ac5f78.rlib: crates/bp-predictors/src/lib.rs crates/bp-predictors/src/bimodal.rs crates/bp-predictors/src/btb.rs crates/bp-predictors/src/codec.rs crates/bp-predictors/src/loop_pred.rs crates/bp-predictors/src/ras.rs crates/bp-predictors/src/sc.rs crates/bp-predictors/src/tage.rs crates/bp-predictors/src/tage_scl.rs crates/bp-predictors/src/tournament.rs
+
+/root/repo/target/debug/deps/libbp_predictors-42e6ef8fd5ac5f78.rmeta: crates/bp-predictors/src/lib.rs crates/bp-predictors/src/bimodal.rs crates/bp-predictors/src/btb.rs crates/bp-predictors/src/codec.rs crates/bp-predictors/src/loop_pred.rs crates/bp-predictors/src/ras.rs crates/bp-predictors/src/sc.rs crates/bp-predictors/src/tage.rs crates/bp-predictors/src/tage_scl.rs crates/bp-predictors/src/tournament.rs
+
+crates/bp-predictors/src/lib.rs:
+crates/bp-predictors/src/bimodal.rs:
+crates/bp-predictors/src/btb.rs:
+crates/bp-predictors/src/codec.rs:
+crates/bp-predictors/src/loop_pred.rs:
+crates/bp-predictors/src/ras.rs:
+crates/bp-predictors/src/sc.rs:
+crates/bp-predictors/src/tage.rs:
+crates/bp-predictors/src/tage_scl.rs:
+crates/bp-predictors/src/tournament.rs:

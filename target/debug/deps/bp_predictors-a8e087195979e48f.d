@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bp_predictors-a8e087195979e48f.d: crates/bp-predictors/src/lib.rs crates/bp-predictors/src/bimodal.rs crates/bp-predictors/src/btb.rs crates/bp-predictors/src/codec.rs crates/bp-predictors/src/loop_pred.rs crates/bp-predictors/src/ras.rs crates/bp-predictors/src/sc.rs crates/bp-predictors/src/tage.rs crates/bp-predictors/src/tage_scl.rs crates/bp-predictors/src/tournament.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbp_predictors-a8e087195979e48f.rmeta: crates/bp-predictors/src/lib.rs crates/bp-predictors/src/bimodal.rs crates/bp-predictors/src/btb.rs crates/bp-predictors/src/codec.rs crates/bp-predictors/src/loop_pred.rs crates/bp-predictors/src/ras.rs crates/bp-predictors/src/sc.rs crates/bp-predictors/src/tage.rs crates/bp-predictors/src/tage_scl.rs crates/bp-predictors/src/tournament.rs Cargo.toml
+
+crates/bp-predictors/src/lib.rs:
+crates/bp-predictors/src/bimodal.rs:
+crates/bp-predictors/src/btb.rs:
+crates/bp-predictors/src/codec.rs:
+crates/bp-predictors/src/loop_pred.rs:
+crates/bp-predictors/src/ras.rs:
+crates/bp-predictors/src/sc.rs:
+crates/bp-predictors/src/tage.rs:
+crates/bp-predictors/src/tage_scl.rs:
+crates/bp-predictors/src/tournament.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

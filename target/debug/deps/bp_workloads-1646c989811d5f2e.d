@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bp_workloads-1646c989811d5f2e.d: crates/bp-workloads/src/lib.rs crates/bp-workloads/src/generator.rs crates/bp-workloads/src/mixes.rs crates/bp-workloads/src/profile.rs crates/bp-workloads/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbp_workloads-1646c989811d5f2e.rmeta: crates/bp-workloads/src/lib.rs crates/bp-workloads/src/generator.rs crates/bp-workloads/src/mixes.rs crates/bp-workloads/src/profile.rs crates/bp-workloads/src/trace.rs Cargo.toml
+
+crates/bp-workloads/src/lib.rs:
+crates/bp-workloads/src/generator.rs:
+crates/bp-workloads/src/mixes.rs:
+crates/bp-workloads/src/profile.rs:
+crates/bp-workloads/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bp_workloads-3f12fe02fa470982.d: crates/bp-workloads/src/lib.rs crates/bp-workloads/src/generator.rs crates/bp-workloads/src/mixes.rs crates/bp-workloads/src/profile.rs crates/bp-workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libbp_workloads-3f12fe02fa470982.rlib: crates/bp-workloads/src/lib.rs crates/bp-workloads/src/generator.rs crates/bp-workloads/src/mixes.rs crates/bp-workloads/src/profile.rs crates/bp-workloads/src/trace.rs
+
+/root/repo/target/debug/deps/libbp_workloads-3f12fe02fa470982.rmeta: crates/bp-workloads/src/lib.rs crates/bp-workloads/src/generator.rs crates/bp-workloads/src/mixes.rs crates/bp-workloads/src/profile.rs crates/bp-workloads/src/trace.rs
+
+crates/bp-workloads/src/lib.rs:
+crates/bp-workloads/src/generator.rs:
+crates/bp-workloads/src/mixes.rs:
+crates/bp-workloads/src/profile.rs:
+crates/bp-workloads/src/trace.rs:

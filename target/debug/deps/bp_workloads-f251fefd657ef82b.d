@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bp_workloads-f251fefd657ef82b.d: crates/bp-workloads/src/lib.rs crates/bp-workloads/src/generator.rs crates/bp-workloads/src/mixes.rs crates/bp-workloads/src/profile.rs crates/bp-workloads/src/trace.rs
+
+/root/repo/target/debug/deps/bp_workloads-f251fefd657ef82b: crates/bp-workloads/src/lib.rs crates/bp-workloads/src/generator.rs crates/bp-workloads/src/mixes.rs crates/bp-workloads/src/profile.rs crates/bp-workloads/src/trace.rs
+
+crates/bp-workloads/src/lib.rs:
+crates/bp-workloads/src/generator.rs:
+crates/bp-workloads/src/mixes.rs:
+crates/bp-workloads/src/profile.rs:
+crates/bp-workloads/src/trace.rs:

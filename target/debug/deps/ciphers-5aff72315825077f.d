@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ciphers-5aff72315825077f.d: crates/bench/benches/ciphers.rs
+
+/root/repo/target/debug/deps/ciphers-5aff72315825077f: crates/bench/benches/ciphers.rs
+
+crates/bench/benches/ciphers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ciphers-924c69d4dc156e07.d: crates/bench/benches/ciphers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libciphers-924c69d4dc156e07.rmeta: crates/bench/benches/ciphers.rs Cargo.toml
+
+crates/bench/benches/ciphers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-4b1af865fae81287.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-4b1af865fae81287: tests/fault_injection.rs
+
+tests/fault_injection.rs:

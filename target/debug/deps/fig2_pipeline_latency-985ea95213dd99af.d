@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_pipeline_latency-985ea95213dd99af.d: crates/bench/src/bin/fig2_pipeline_latency.rs
+
+/root/repo/target/debug/deps/fig2_pipeline_latency-985ea95213dd99af: crates/bench/src/bin/fig2_pipeline_latency.rs
+
+crates/bench/src/bin/fig2_pipeline_latency.rs:

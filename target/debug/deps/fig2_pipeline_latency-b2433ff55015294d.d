@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_pipeline_latency-b2433ff55015294d.d: crates/bench/src/bin/fig2_pipeline_latency.rs
+
+/root/repo/target/debug/deps/fig2_pipeline_latency-b2433ff55015294d: crates/bench/src/bin/fig2_pipeline_latency.rs
+
+crates/bench/src/bin/fig2_pipeline_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_pipeline_latency-c6e77733f6352c75.d: crates/bench/src/bin/fig2_pipeline_latency.rs
+
+/root/repo/target/debug/deps/fig2_pipeline_latency-c6e77733f6352c75: crates/bench/src/bin/fig2_pipeline_latency.rs
+
+crates/bench/src/bin/fig2_pipeline_latency.rs:

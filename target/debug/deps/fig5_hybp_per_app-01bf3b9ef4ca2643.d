@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_hybp_per_app-01bf3b9ef4ca2643.d: crates/bench/src/bin/fig5_hybp_per_app.rs
+
+/root/repo/target/debug/deps/fig5_hybp_per_app-01bf3b9ef4ca2643: crates/bench/src/bin/fig5_hybp_per_app.rs
+
+crates/bench/src/bin/fig5_hybp_per_app.rs:

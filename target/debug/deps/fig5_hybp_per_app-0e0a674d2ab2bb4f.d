@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_hybp_per_app-0e0a674d2ab2bb4f.d: crates/bench/src/bin/fig5_hybp_per_app.rs
+
+/root/repo/target/debug/deps/fig5_hybp_per_app-0e0a674d2ab2bb4f: crates/bench/src/bin/fig5_hybp_per_app.rs
+
+crates/bench/src/bin/fig5_hybp_per_app.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_hybp_per_app-3f64631a6211330c.d: crates/bench/src/bin/fig5_hybp_per_app.rs
+
+/root/repo/target/debug/deps/fig5_hybp_per_app-3f64631a6211330c: crates/bench/src/bin/fig5_hybp_per_app.rs
+
+crates/bench/src/bin/fig5_hybp_per_app.rs:

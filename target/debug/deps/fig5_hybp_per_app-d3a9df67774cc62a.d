@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_hybp_per_app-d3a9df67774cc62a.d: crates/bench/src/bin/fig5_hybp_per_app.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_hybp_per_app-d3a9df67774cc62a.rmeta: crates/bench/src/bin/fig5_hybp_per_app.rs Cargo.toml
+
+crates/bench/src/bin/fig5_hybp_per_app.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

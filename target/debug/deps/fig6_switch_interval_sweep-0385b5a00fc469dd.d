@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_switch_interval_sweep-0385b5a00fc469dd.d: crates/bench/src/bin/fig6_switch_interval_sweep.rs
+
+/root/repo/target/debug/deps/fig6_switch_interval_sweep-0385b5a00fc469dd: crates/bench/src/bin/fig6_switch_interval_sweep.rs
+
+crates/bench/src/bin/fig6_switch_interval_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_switch_interval_sweep-167deddd4adbc158.d: crates/bench/src/bin/fig6_switch_interval_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_switch_interval_sweep-167deddd4adbc158.rmeta: crates/bench/src/bin/fig6_switch_interval_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig6_switch_interval_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_switch_interval_sweep-2ed5f088569ad601.d: crates/bench/src/bin/fig6_switch_interval_sweep.rs
+
+/root/repo/target/debug/deps/fig6_switch_interval_sweep-2ed5f088569ad601: crates/bench/src/bin/fig6_switch_interval_sweep.rs
+
+crates/bench/src/bin/fig6_switch_interval_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_switch_interval_sweep-d14c0d992e35efdb.d: crates/bench/src/bin/fig6_switch_interval_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_switch_interval_sweep-d14c0d992e35efdb.rmeta: crates/bench/src/bin/fig6_switch_interval_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig6_switch_interval_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_smt_mixes-0a1c79e103cd197c.d: crates/bench/src/bin/fig7_smt_mixes.rs
+
+/root/repo/target/debug/deps/fig7_smt_mixes-0a1c79e103cd197c: crates/bench/src/bin/fig7_smt_mixes.rs
+
+crates/bench/src/bin/fig7_smt_mixes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_smt_mixes-106dc7f5698a8e32.d: crates/bench/src/bin/fig7_smt_mixes.rs
+
+/root/repo/target/debug/deps/fig7_smt_mixes-106dc7f5698a8e32: crates/bench/src/bin/fig7_smt_mixes.rs
+
+crates/bench/src/bin/fig7_smt_mixes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_smt_mixes-76420235150a4b1f.d: crates/bench/src/bin/fig7_smt_mixes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_smt_mixes-76420235150a4b1f.rmeta: crates/bench/src/bin/fig7_smt_mixes.rs Cargo.toml
+
+crates/bench/src/bin/fig7_smt_mixes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_smt_mixes-95c3445b48aef6ae.d: crates/bench/src/bin/fig7_smt_mixes.rs
+
+/root/repo/target/debug/deps/fig7_smt_mixes-95c3445b48aef6ae: crates/bench/src/bin/fig7_smt_mixes.rs
+
+crates/bench/src/bin/fig7_smt_mixes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_smt_mixes-af86369db70093c5.d: crates/bench/src/bin/fig7_smt_mixes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_smt_mixes-af86369db70093c5.rmeta: crates/bench/src/bin/fig7_smt_mixes.rs Cargo.toml
+
+crates/bench/src/bin/fig7_smt_mixes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

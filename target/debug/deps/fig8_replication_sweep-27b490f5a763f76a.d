@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_replication_sweep-27b490f5a763f76a.d: crates/bench/src/bin/fig8_replication_sweep.rs
+
+/root/repo/target/debug/deps/fig8_replication_sweep-27b490f5a763f76a: crates/bench/src/bin/fig8_replication_sweep.rs
+
+crates/bench/src/bin/fig8_replication_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_replication_sweep-3457247aa9758c11.d: crates/bench/src/bin/fig8_replication_sweep.rs
+
+/root/repo/target/debug/deps/fig8_replication_sweep-3457247aa9758c11: crates/bench/src/bin/fig8_replication_sweep.rs
+
+crates/bench/src/bin/fig8_replication_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_replication_sweep-9ed784ab9c90f5f7.d: crates/bench/src/bin/fig8_replication_sweep.rs
+
+/root/repo/target/debug/deps/fig8_replication_sweep-9ed784ab9c90f5f7: crates/bench/src/bin/fig8_replication_sweep.rs
+
+crates/bench/src/bin/fig8_replication_sweep.rs:

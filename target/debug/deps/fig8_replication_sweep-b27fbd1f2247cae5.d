@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_replication_sweep-b27fbd1f2247cae5.d: crates/bench/src/bin/fig8_replication_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_replication_sweep-b27fbd1f2247cae5.rmeta: crates/bench/src/bin/fig8_replication_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig8_replication_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybp-569c0c22062d11a3.d: crates/hybp/src/lib.rs crates/hybp/src/bpu.rs crates/hybp/src/codec.rs crates/hybp/src/cost.rs crates/hybp/src/mechanism.rs
+
+/root/repo/target/debug/deps/hybp-569c0c22062d11a3: crates/hybp/src/lib.rs crates/hybp/src/bpu.rs crates/hybp/src/codec.rs crates/hybp/src/cost.rs crates/hybp/src/mechanism.rs
+
+crates/hybp/src/lib.rs:
+crates/hybp/src/bpu.rs:
+crates/hybp/src/codec.rs:
+crates/hybp/src/cost.rs:
+crates/hybp/src/mechanism.rs:

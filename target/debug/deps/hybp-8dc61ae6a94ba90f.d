@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hybp-8dc61ae6a94ba90f.d: crates/hybp/src/lib.rs crates/hybp/src/bpu.rs crates/hybp/src/codec.rs crates/hybp/src/cost.rs crates/hybp/src/mechanism.rs
+
+/root/repo/target/debug/deps/libhybp-8dc61ae6a94ba90f.rlib: crates/hybp/src/lib.rs crates/hybp/src/bpu.rs crates/hybp/src/codec.rs crates/hybp/src/cost.rs crates/hybp/src/mechanism.rs
+
+/root/repo/target/debug/deps/libhybp-8dc61ae6a94ba90f.rmeta: crates/hybp/src/lib.rs crates/hybp/src/bpu.rs crates/hybp/src/codec.rs crates/hybp/src/cost.rs crates/hybp/src/mechanism.rs
+
+crates/hybp/src/lib.rs:
+crates/hybp/src/bpu.rs:
+crates/hybp/src/codec.rs:
+crates/hybp/src/cost.rs:
+crates/hybp/src/mechanism.rs:

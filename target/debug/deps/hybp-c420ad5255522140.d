@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hybp-c420ad5255522140.d: crates/hybp/src/lib.rs crates/hybp/src/bpu.rs crates/hybp/src/codec.rs crates/hybp/src/cost.rs crates/hybp/src/mechanism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybp-c420ad5255522140.rmeta: crates/hybp/src/lib.rs crates/hybp/src/bpu.rs crates/hybp/src/codec.rs crates/hybp/src/cost.rs crates/hybp/src/mechanism.rs Cargo.toml
+
+crates/hybp/src/lib.rs:
+crates/hybp/src/bpu.rs:
+crates/hybp/src/codec.rs:
+crates/hybp/src/cost.rs:
+crates/hybp/src/mechanism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybp_repro-5339ac88076d8b0d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybp_repro-5339ac88076d8b0d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybp_repro-8cd3ecd25e9f04d7.d: src/lib.rs
+
+/root/repo/target/debug/deps/hybp_repro-8cd3ecd25e9f04d7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hybp_repro-a37b60bce125c13f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhybp_repro-a37b60bce125c13f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhybp_repro-a37b60bce125c13f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/keys_table-225a4780d1ffa815.d: crates/bench/benches/keys_table.rs
+
+/root/repo/target/debug/deps/keys_table-225a4780d1ffa815: crates/bench/benches/keys_table.rs
+
+crates/bench/benches/keys_table.rs:

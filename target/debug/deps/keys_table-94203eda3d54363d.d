@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/keys_table-94203eda3d54363d.d: crates/bench/benches/keys_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkeys_table-94203eda3d54363d.rmeta: crates/bench/benches/keys_table.rs Cargo.toml
+
+crates/bench/benches/keys_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mechanism_matrix-1a1204e63d5c61ef.d: tests/mechanism_matrix.rs
+
+/root/repo/target/debug/deps/mechanism_matrix-1a1204e63d5c61ef: tests/mechanism_matrix.rs
+
+tests/mechanism_matrix.rs:

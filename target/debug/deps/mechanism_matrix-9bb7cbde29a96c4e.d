@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mechanism_matrix-9bb7cbde29a96c4e.d: tests/mechanism_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmechanism_matrix-9bb7cbde29a96c4e.rmeta: tests/mechanism_matrix.rs Cargo.toml
+
+tests/mechanism_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predictors-fed796d0372e82f3.d: crates/bench/benches/predictors.rs
+
+/root/repo/target/debug/deps/predictors-fed796d0372e82f3: crates/bench/benches/predictors.rs
+
+crates/bench/benches/predictors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-37bb2047fb82dde6.d: crates/hybp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-37bb2047fb82dde6: crates/hybp/tests/proptests.rs
+
+crates/hybp/tests/proptests.rs:

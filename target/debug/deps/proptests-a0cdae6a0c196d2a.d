@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a0cdae6a0c196d2a.d: crates/bp-predictors/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a0cdae6a0c196d2a: crates/bp-predictors/tests/proptests.rs
+
+crates/bp-predictors/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e6f2bbe884f1d067.d: crates/bp-crypto/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e6f2bbe884f1d067: crates/bp-crypto/tests/proptests.rs
+
+crates/bp-crypto/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f872aeb5ed663354.d: crates/bp-common/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f872aeb5ed663354: crates/bp-common/tests/proptests.rs
+
+crates/bp-common/tests/proptests.rs:

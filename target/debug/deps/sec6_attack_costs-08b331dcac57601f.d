@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec6_attack_costs-08b331dcac57601f.d: crates/bench/src/bin/sec6_attack_costs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec6_attack_costs-08b331dcac57601f.rmeta: crates/bench/src/bin/sec6_attack_costs.rs Cargo.toml
+
+crates/bench/src/bin/sec6_attack_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

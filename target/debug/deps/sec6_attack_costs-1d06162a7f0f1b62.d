@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_attack_costs-1d06162a7f0f1b62.d: crates/bench/src/bin/sec6_attack_costs.rs
+
+/root/repo/target/debug/deps/sec6_attack_costs-1d06162a7f0f1b62: crates/bench/src/bin/sec6_attack_costs.rs
+
+crates/bench/src/bin/sec6_attack_costs.rs:

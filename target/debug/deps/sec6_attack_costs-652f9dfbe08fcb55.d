@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_attack_costs-652f9dfbe08fcb55.d: crates/bench/src/bin/sec6_attack_costs.rs
+
+/root/repo/target/debug/deps/sec6_attack_costs-652f9dfbe08fcb55: crates/bench/src/bin/sec6_attack_costs.rs
+
+crates/bench/src/bin/sec6_attack_costs.rs:

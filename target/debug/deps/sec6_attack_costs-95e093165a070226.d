@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_attack_costs-95e093165a070226.d: crates/bench/src/bin/sec6_attack_costs.rs
+
+/root/repo/target/debug/deps/sec6_attack_costs-95e093165a070226: crates/bench/src/bin/sec6_attack_costs.rs
+
+crates/bench/src/bin/sec6_attack_costs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec6_poc_training-12e526500c405d2f.d: crates/bench/src/bin/sec6_poc_training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec6_poc_training-12e526500c405d2f.rmeta: crates/bench/src/bin/sec6_poc_training.rs Cargo.toml
+
+crates/bench/src/bin/sec6_poc_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_poc_training-3953c755357d20a0.d: crates/bench/src/bin/sec6_poc_training.rs
+
+/root/repo/target/debug/deps/sec6_poc_training-3953c755357d20a0: crates/bench/src/bin/sec6_poc_training.rs
+
+crates/bench/src/bin/sec6_poc_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_poc_training-d3f1b2d1a8735956.d: crates/bench/src/bin/sec6_poc_training.rs
+
+/root/repo/target/debug/deps/sec6_poc_training-d3f1b2d1a8735956: crates/bench/src/bin/sec6_poc_training.rs
+
+crates/bench/src/bin/sec6_poc_training.rs:

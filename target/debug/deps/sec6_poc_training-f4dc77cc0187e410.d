@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_poc_training-f4dc77cc0187e410.d: crates/bench/src/bin/sec6_poc_training.rs
+
+/root/repo/target/debug/deps/sec6_poc_training-f4dc77cc0187e410: crates/bench/src/bin/sec6_poc_training.rs
+
+crates/bench/src/bin/sec6_poc_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec7f_tage_vs_tournament-0f49971d14b0f68b.d: crates/bench/src/bin/sec7f_tage_vs_tournament.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec7f_tage_vs_tournament-0f49971d14b0f68b.rmeta: crates/bench/src/bin/sec7f_tage_vs_tournament.rs Cargo.toml
+
+crates/bench/src/bin/sec7f_tage_vs_tournament.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec7f_tage_vs_tournament-407d0be7fdeb96a2.d: crates/bench/src/bin/sec7f_tage_vs_tournament.rs
+
+/root/repo/target/debug/deps/sec7f_tage_vs_tournament-407d0be7fdeb96a2: crates/bench/src/bin/sec7f_tage_vs_tournament.rs
+
+crates/bench/src/bin/sec7f_tage_vs_tournament.rs:

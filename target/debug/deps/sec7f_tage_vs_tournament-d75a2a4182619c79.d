@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec7f_tage_vs_tournament-d75a2a4182619c79.d: crates/bench/src/bin/sec7f_tage_vs_tournament.rs
+
+/root/repo/target/debug/deps/sec7f_tage_vs_tournament-d75a2a4182619c79: crates/bench/src/bin/sec7f_tage_vs_tournament.rs
+
+crates/bench/src/bin/sec7f_tage_vs_tournament.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec_fault_matrix-51c9c87cb73678db.d: crates/bench/src/bin/sec_fault_matrix.rs
+
+/root/repo/target/debug/deps/sec_fault_matrix-51c9c87cb73678db: crates/bench/src/bin/sec_fault_matrix.rs
+
+crates/bench/src/bin/sec_fault_matrix.rs:

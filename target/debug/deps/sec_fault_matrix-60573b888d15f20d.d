@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec_fault_matrix-60573b888d15f20d.d: crates/bench/src/bin/sec_fault_matrix.rs
+
+/root/repo/target/debug/deps/sec_fault_matrix-60573b888d15f20d: crates/bench/src/bin/sec_fault_matrix.rs
+
+crates/bench/src/bin/sec_fault_matrix.rs:

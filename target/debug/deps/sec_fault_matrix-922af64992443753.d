@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec_fault_matrix-922af64992443753.d: crates/bench/src/bin/sec_fault_matrix.rs
+
+/root/repo/target/debug/deps/sec_fault_matrix-922af64992443753: crates/bench/src/bin/sec_fault_matrix.rs
+
+crates/bench/src/bin/sec_fault_matrix.rs:

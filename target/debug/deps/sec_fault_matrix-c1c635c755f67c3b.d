@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec_fault_matrix-c1c635c755f67c3b.d: crates/bench/src/bin/sec_fault_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec_fault_matrix-c1c635c755f67c3b.rmeta: crates/bench/src/bin/sec_fault_matrix.rs Cargo.toml
+
+crates/bench/src/bin/sec_fault_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

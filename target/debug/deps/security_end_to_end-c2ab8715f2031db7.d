@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_end_to_end-c2ab8715f2031db7.d: tests/security_end_to_end.rs
+
+/root/repo/target/debug/deps/security_end_to_end-c2ab8715f2031db7: tests/security_end_to_end.rs
+
+tests/security_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_behavior-14e95772e3f3b50c.d: crates/bp-pipeline/tests/sim_behavior.rs
+
+/root/repo/target/debug/deps/sim_behavior-14e95772e3f3b50c: crates/bp-pipeline/tests/sim_behavior.rs
+
+crates/bp-pipeline/tests/sim_behavior.rs:

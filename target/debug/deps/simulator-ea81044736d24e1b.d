@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-ea81044736d24e1b.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-ea81044736d24e1b: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_comparison-2dd3898bc6d0b445.d: crates/bench/src/bin/table1_comparison.rs
+
+/root/repo/target/debug/deps/table1_comparison-2dd3898bc6d0b445: crates/bench/src/bin/table1_comparison.rs
+
+crates/bench/src/bin/table1_comparison.rs:

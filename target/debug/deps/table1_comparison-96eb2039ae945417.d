@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_comparison-96eb2039ae945417.d: crates/bench/src/bin/table1_comparison.rs
+
+/root/repo/target/debug/deps/table1_comparison-96eb2039ae945417: crates/bench/src/bin/table1_comparison.rs
+
+crates/bench/src/bin/table1_comparison.rs:

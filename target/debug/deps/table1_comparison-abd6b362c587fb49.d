@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_comparison-abd6b362c587fb49.d: crates/bench/src/bin/table1_comparison.rs
+
+/root/repo/target/debug/deps/table1_comparison-abd6b362c587fb49: crates/bench/src/bin/table1_comparison.rs
+
+crates/bench/src/bin/table1_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_comparison-fdac988cc25c5d31.d: crates/bench/src/bin/table1_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_comparison-fdac988cc25c5d31.rmeta: crates/bench/src/bin/table1_comparison.rs Cargo.toml
+
+crates/bench/src/bin/table1_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

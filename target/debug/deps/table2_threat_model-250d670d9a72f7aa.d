@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_threat_model-250d670d9a72f7aa.d: crates/bench/src/bin/table2_threat_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_threat_model-250d670d9a72f7aa.rmeta: crates/bench/src/bin/table2_threat_model.rs Cargo.toml
+
+crates/bench/src/bin/table2_threat_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_threat_model-96eb25062fed127c.d: crates/bench/src/bin/table2_threat_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_threat_model-96eb25062fed127c.rmeta: crates/bench/src/bin/table2_threat_model.rs Cargo.toml
+
+crates/bench/src/bin/table2_threat_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_threat_model-c4aa97a88a489fd0.d: crates/bench/src/bin/table2_threat_model.rs
+
+/root/repo/target/debug/deps/table2_threat_model-c4aa97a88a489fd0: crates/bench/src/bin/table2_threat_model.rs
+
+crates/bench/src/bin/table2_threat_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_threat_model-e96c8ea1bd983d82.d: crates/bench/src/bin/table2_threat_model.rs
+
+/root/repo/target/debug/deps/table2_threat_model-e96c8ea1bd983d82: crates/bench/src/bin/table2_threat_model.rs
+
+crates/bench/src/bin/table2_threat_model.rs:

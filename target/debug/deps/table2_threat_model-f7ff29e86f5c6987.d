@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_threat_model-f7ff29e86f5c6987.d: crates/bench/src/bin/table2_threat_model.rs
+
+/root/repo/target/debug/deps/table2_threat_model-f7ff29e86f5c6987: crates/bench/src/bin/table2_threat_model.rs
+
+crates/bench/src/bin/table2_threat_model.rs:

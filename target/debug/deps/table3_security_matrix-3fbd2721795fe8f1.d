@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_security_matrix-3fbd2721795fe8f1.d: crates/bench/src/bin/table3_security_matrix.rs
+
+/root/repo/target/debug/deps/table3_security_matrix-3fbd2721795fe8f1: crates/bench/src/bin/table3_security_matrix.rs
+
+crates/bench/src/bin/table3_security_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_security_matrix-7a102094d557a306.d: crates/bench/src/bin/table3_security_matrix.rs
+
+/root/repo/target/debug/deps/table3_security_matrix-7a102094d557a306: crates/bench/src/bin/table3_security_matrix.rs
+
+crates/bench/src/bin/table3_security_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_security_matrix-d4fed0ed4ebf4eb7.d: crates/bench/src/bin/table3_security_matrix.rs
+
+/root/repo/target/debug/deps/table3_security_matrix-d4fed0ed4ebf4eb7: crates/bench/src/bin/table3_security_matrix.rs
+
+crates/bench/src/bin/table3_security_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_security_matrix-dc5edafbda5233c6.d: crates/bench/src/bin/table3_security_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_security_matrix-dc5edafbda5233c6.rmeta: crates/bench/src/bin/table3_security_matrix.rs Cargo.toml
+
+crates/bench/src/bin/table3_security_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_keys_table_sensitivity-6cb7725f67d28a9f.d: crates/bench/src/bin/table6_keys_table_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_keys_table_sensitivity-6cb7725f67d28a9f.rmeta: crates/bench/src/bin/table6_keys_table_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/table6_keys_table_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_keys_table_sensitivity-83c1e921ab44752d.d: crates/bench/src/bin/table6_keys_table_sensitivity.rs
+
+/root/repo/target/debug/deps/table6_keys_table_sensitivity-83c1e921ab44752d: crates/bench/src/bin/table6_keys_table_sensitivity.rs
+
+crates/bench/src/bin/table6_keys_table_sensitivity.rs:

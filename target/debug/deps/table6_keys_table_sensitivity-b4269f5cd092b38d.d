@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_keys_table_sensitivity-b4269f5cd092b38d.d: crates/bench/src/bin/table6_keys_table_sensitivity.rs
+
+/root/repo/target/debug/deps/table6_keys_table_sensitivity-b4269f5cd092b38d: crates/bench/src/bin/table6_keys_table_sensitivity.rs
+
+crates/bench/src/bin/table6_keys_table_sensitivity.rs:

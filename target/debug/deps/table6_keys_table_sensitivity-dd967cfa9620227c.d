@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_keys_table_sensitivity-dd967cfa9620227c.d: crates/bench/src/bin/table6_keys_table_sensitivity.rs
+
+/root/repo/target/debug/deps/table6_keys_table_sensitivity-dd967cfa9620227c: crates/bench/src/bin/table6_keys_table_sensitivity.rs
+
+crates/bench/src/bin/table6_keys_table_sensitivity.rs:

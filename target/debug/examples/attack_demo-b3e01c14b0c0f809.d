@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_demo-b3e01c14b0c0f809.d: examples/attack_demo.rs
+
+/root/repo/target/debug/examples/attack_demo-b3e01c14b0c0f809: examples/attack_demo.rs
+
+examples/attack_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-43f6eb69a0b50d2d.d: crates/bp-workloads/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-43f6eb69a0b50d2d: crates/bp-workloads/examples/calibrate.rs
+
+crates/bp-workloads/examples/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/key_refresh-18c5bbeb7225fb12.d: examples/key_refresh.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkey_refresh-18c5bbeb7225fb12.rmeta: examples/key_refresh.rs Cargo.toml
+
+examples/key_refresh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/key_refresh-52000af93f54931c.d: examples/key_refresh.rs
+
+/root/repo/target/debug/examples/key_refresh-52000af93f54931c: examples/key_refresh.rs
+
+examples/key_refresh.rs:

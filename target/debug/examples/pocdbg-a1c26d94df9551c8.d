@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pocdbg-a1c26d94df9551c8.d: crates/bp-attacks/examples/pocdbg.rs
+
+/root/repo/target/debug/examples/pocdbg-a1c26d94df9551c8: crates/bp-attacks/examples/pocdbg.rs
+
+crates/bp-attacks/examples/pocdbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d26ebe5942cdef3d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d26ebe5942cdef3d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smt_mix-3e1b6ea63a644c52.d: examples/smt_mix.rs
+
+/root/repo/target/debug/examples/smt_mix-3e1b6ea63a644c52: examples/smt_mix.rs
+
+examples/smt_mix.rs:

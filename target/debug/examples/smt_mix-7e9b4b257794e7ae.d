@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smt_mix-7e9b4b257794e7ae.d: examples/smt_mix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmt_mix-7e9b4b257794e7ae.rmeta: examples/smt_mix.rs Cargo.toml
+
+examples/smt_mix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ciphers-4bbf1c85269d41e9.d: crates/bench/src/bin/ablation_ciphers.rs
+
+/root/repo/target/release/deps/ablation_ciphers-4bbf1c85269d41e9: crates/bench/src/bin/ablation_ciphers.rs
+
+crates/bench/src/bin/ablation_ciphers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_filtering-ab10804099569c0f.d: crates/bench/src/bin/ablation_filtering.rs
+
+/root/repo/target/release/deps/ablation_filtering-ab10804099569c0f: crates/bench/src/bin/ablation_filtering.rs
+
+crates/bench/src/bin/ablation_filtering.rs:

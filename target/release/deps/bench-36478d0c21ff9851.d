@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-36478d0c21ff9851.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench-36478d0c21ff9851.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench-36478d0c21ff9851.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

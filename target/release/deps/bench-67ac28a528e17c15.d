@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-67ac28a528e17c15.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench-67ac28a528e17c15.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbench-67ac28a528e17c15.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

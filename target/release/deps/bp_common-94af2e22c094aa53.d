@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bp_common-94af2e22c094aa53.d: crates/bp-common/src/lib.rs crates/bp-common/src/check.rs crates/bp-common/src/error.rs crates/bp-common/src/history.rs crates/bp-common/src/rng.rs crates/bp-common/src/stats.rs
+
+/root/repo/target/release/deps/libbp_common-94af2e22c094aa53.rlib: crates/bp-common/src/lib.rs crates/bp-common/src/check.rs crates/bp-common/src/error.rs crates/bp-common/src/history.rs crates/bp-common/src/rng.rs crates/bp-common/src/stats.rs
+
+/root/repo/target/release/deps/libbp_common-94af2e22c094aa53.rmeta: crates/bp-common/src/lib.rs crates/bp-common/src/check.rs crates/bp-common/src/error.rs crates/bp-common/src/history.rs crates/bp-common/src/rng.rs crates/bp-common/src/stats.rs
+
+crates/bp-common/src/lib.rs:
+crates/bp-common/src/check.rs:
+crates/bp-common/src/error.rs:
+crates/bp-common/src/history.rs:
+crates/bp-common/src/rng.rs:
+crates/bp-common/src/stats.rs:

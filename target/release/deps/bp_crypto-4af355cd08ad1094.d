@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bp_crypto-4af355cd08ad1094.d: crates/bp-crypto/src/lib.rs crates/bp-crypto/src/keys.rs crates/bp-crypto/src/llbc.rs crates/bp-crypto/src/prince.rs crates/bp-crypto/src/qarma.rs
+
+/root/repo/target/release/deps/libbp_crypto-4af355cd08ad1094.rlib: crates/bp-crypto/src/lib.rs crates/bp-crypto/src/keys.rs crates/bp-crypto/src/llbc.rs crates/bp-crypto/src/prince.rs crates/bp-crypto/src/qarma.rs
+
+/root/repo/target/release/deps/libbp_crypto-4af355cd08ad1094.rmeta: crates/bp-crypto/src/lib.rs crates/bp-crypto/src/keys.rs crates/bp-crypto/src/llbc.rs crates/bp-crypto/src/prince.rs crates/bp-crypto/src/qarma.rs
+
+crates/bp-crypto/src/lib.rs:
+crates/bp-crypto/src/keys.rs:
+crates/bp-crypto/src/llbc.rs:
+crates/bp-crypto/src/prince.rs:
+crates/bp-crypto/src/qarma.rs:

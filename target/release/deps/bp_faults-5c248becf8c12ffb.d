@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bp_faults-5c248becf8c12ffb.d: crates/bp-faults/src/lib.rs
+
+/root/repo/target/release/deps/libbp_faults-5c248becf8c12ffb.rlib: crates/bp-faults/src/lib.rs
+
+/root/repo/target/release/deps/libbp_faults-5c248becf8c12ffb.rmeta: crates/bp-faults/src/lib.rs
+
+crates/bp-faults/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bp_pipeline-df3678238148a791.d: crates/bp-pipeline/src/lib.rs crates/bp-pipeline/src/config.rs crates/bp-pipeline/src/error.rs crates/bp-pipeline/src/metrics.rs crates/bp-pipeline/src/sim.rs
+
+/root/repo/target/release/deps/libbp_pipeline-df3678238148a791.rlib: crates/bp-pipeline/src/lib.rs crates/bp-pipeline/src/config.rs crates/bp-pipeline/src/error.rs crates/bp-pipeline/src/metrics.rs crates/bp-pipeline/src/sim.rs
+
+/root/repo/target/release/deps/libbp_pipeline-df3678238148a791.rmeta: crates/bp-pipeline/src/lib.rs crates/bp-pipeline/src/config.rs crates/bp-pipeline/src/error.rs crates/bp-pipeline/src/metrics.rs crates/bp-pipeline/src/sim.rs
+
+crates/bp-pipeline/src/lib.rs:
+crates/bp-pipeline/src/config.rs:
+crates/bp-pipeline/src/error.rs:
+crates/bp-pipeline/src/metrics.rs:
+crates/bp-pipeline/src/sim.rs:

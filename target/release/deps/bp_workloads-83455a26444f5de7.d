@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bp_workloads-83455a26444f5de7.d: crates/bp-workloads/src/lib.rs crates/bp-workloads/src/generator.rs crates/bp-workloads/src/mixes.rs crates/bp-workloads/src/profile.rs crates/bp-workloads/src/trace.rs
+
+/root/repo/target/release/deps/libbp_workloads-83455a26444f5de7.rlib: crates/bp-workloads/src/lib.rs crates/bp-workloads/src/generator.rs crates/bp-workloads/src/mixes.rs crates/bp-workloads/src/profile.rs crates/bp-workloads/src/trace.rs
+
+/root/repo/target/release/deps/libbp_workloads-83455a26444f5de7.rmeta: crates/bp-workloads/src/lib.rs crates/bp-workloads/src/generator.rs crates/bp-workloads/src/mixes.rs crates/bp-workloads/src/profile.rs crates/bp-workloads/src/trace.rs
+
+crates/bp-workloads/src/lib.rs:
+crates/bp-workloads/src/generator.rs:
+crates/bp-workloads/src/mixes.rs:
+crates/bp-workloads/src/profile.rs:
+crates/bp-workloads/src/trace.rs:

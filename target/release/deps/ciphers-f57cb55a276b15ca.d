@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ciphers-f57cb55a276b15ca.d: crates/bench/benches/ciphers.rs
+
+/root/repo/target/release/deps/ciphers-f57cb55a276b15ca: crates/bench/benches/ciphers.rs
+
+crates/bench/benches/ciphers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_pipeline_latency-e6476ca57db68031.d: crates/bench/src/bin/fig2_pipeline_latency.rs
+
+/root/repo/target/release/deps/fig2_pipeline_latency-e6476ca57db68031: crates/bench/src/bin/fig2_pipeline_latency.rs
+
+crates/bench/src/bin/fig2_pipeline_latency.rs:

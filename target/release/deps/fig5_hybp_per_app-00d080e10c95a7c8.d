@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_hybp_per_app-00d080e10c95a7c8.d: crates/bench/src/bin/fig5_hybp_per_app.rs
+
+/root/repo/target/release/deps/fig5_hybp_per_app-00d080e10c95a7c8: crates/bench/src/bin/fig5_hybp_per_app.rs
+
+crates/bench/src/bin/fig5_hybp_per_app.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_switch_interval_sweep-b569adde2c5005c5.d: crates/bench/src/bin/fig6_switch_interval_sweep.rs
+
+/root/repo/target/release/deps/fig6_switch_interval_sweep-b569adde2c5005c5: crates/bench/src/bin/fig6_switch_interval_sweep.rs
+
+crates/bench/src/bin/fig6_switch_interval_sweep.rs:

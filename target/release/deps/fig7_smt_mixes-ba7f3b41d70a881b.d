@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_smt_mixes-ba7f3b41d70a881b.d: crates/bench/src/bin/fig7_smt_mixes.rs
+
+/root/repo/target/release/deps/fig7_smt_mixes-ba7f3b41d70a881b: crates/bench/src/bin/fig7_smt_mixes.rs
+
+crates/bench/src/bin/fig7_smt_mixes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_replication_sweep-f19a368c8355c90a.d: crates/bench/src/bin/fig8_replication_sweep.rs
+
+/root/repo/target/release/deps/fig8_replication_sweep-f19a368c8355c90a: crates/bench/src/bin/fig8_replication_sweep.rs
+
+crates/bench/src/bin/fig8_replication_sweep.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hybp-a0b0671165a958f0.d: crates/hybp/src/lib.rs crates/hybp/src/bpu.rs crates/hybp/src/codec.rs crates/hybp/src/cost.rs crates/hybp/src/mechanism.rs
+
+/root/repo/target/release/deps/libhybp-a0b0671165a958f0.rlib: crates/hybp/src/lib.rs crates/hybp/src/bpu.rs crates/hybp/src/codec.rs crates/hybp/src/cost.rs crates/hybp/src/mechanism.rs
+
+/root/repo/target/release/deps/libhybp-a0b0671165a958f0.rmeta: crates/hybp/src/lib.rs crates/hybp/src/bpu.rs crates/hybp/src/codec.rs crates/hybp/src/cost.rs crates/hybp/src/mechanism.rs
+
+crates/hybp/src/lib.rs:
+crates/hybp/src/bpu.rs:
+crates/hybp/src/codec.rs:
+crates/hybp/src/cost.rs:
+crates/hybp/src/mechanism.rs:

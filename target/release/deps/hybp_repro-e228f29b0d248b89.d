@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hybp_repro-e228f29b0d248b89.d: src/lib.rs
+
+/root/repo/target/release/deps/libhybp_repro-e228f29b0d248b89.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhybp_repro-e228f29b0d248b89.rmeta: src/lib.rs
+
+src/lib.rs:

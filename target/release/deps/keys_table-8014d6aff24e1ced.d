@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/keys_table-8014d6aff24e1ced.d: crates/bench/benches/keys_table.rs
+
+/root/repo/target/release/deps/keys_table-8014d6aff24e1ced: crates/bench/benches/keys_table.rs
+
+crates/bench/benches/keys_table.rs:

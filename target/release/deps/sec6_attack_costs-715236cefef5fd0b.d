@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec6_attack_costs-715236cefef5fd0b.d: crates/bench/src/bin/sec6_attack_costs.rs
+
+/root/repo/target/release/deps/sec6_attack_costs-715236cefef5fd0b: crates/bench/src/bin/sec6_attack_costs.rs
+
+crates/bench/src/bin/sec6_attack_costs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec6_poc_training-dc7f47f31cee1d1c.d: crates/bench/src/bin/sec6_poc_training.rs
+
+/root/repo/target/release/deps/sec6_poc_training-dc7f47f31cee1d1c: crates/bench/src/bin/sec6_poc_training.rs
+
+crates/bench/src/bin/sec6_poc_training.rs:

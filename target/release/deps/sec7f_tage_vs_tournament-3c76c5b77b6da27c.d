@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec7f_tage_vs_tournament-3c76c5b77b6da27c.d: crates/bench/src/bin/sec7f_tage_vs_tournament.rs
+
+/root/repo/target/release/deps/sec7f_tage_vs_tournament-3c76c5b77b6da27c: crates/bench/src/bin/sec7f_tage_vs_tournament.rs
+
+crates/bench/src/bin/sec7f_tage_vs_tournament.rs:

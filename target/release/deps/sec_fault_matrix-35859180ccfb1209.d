@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec_fault_matrix-35859180ccfb1209.d: crates/bench/src/bin/sec_fault_matrix.rs
+
+/root/repo/target/release/deps/sec_fault_matrix-35859180ccfb1209: crates/bench/src/bin/sec_fault_matrix.rs
+
+crates/bench/src/bin/sec_fault_matrix.rs:

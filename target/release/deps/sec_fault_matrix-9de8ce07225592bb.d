@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec_fault_matrix-9de8ce07225592bb.d: crates/bench/src/bin/sec_fault_matrix.rs
+
+/root/repo/target/release/deps/sec_fault_matrix-9de8ce07225592bb: crates/bench/src/bin/sec_fault_matrix.rs
+
+crates/bench/src/bin/sec_fault_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_comparison-1820bbfca453bbce.d: crates/bench/src/bin/table1_comparison.rs
+
+/root/repo/target/release/deps/table1_comparison-1820bbfca453bbce: crates/bench/src/bin/table1_comparison.rs
+
+crates/bench/src/bin/table1_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_threat_model-b2af94b695cfd4d1.d: crates/bench/src/bin/table2_threat_model.rs
+
+/root/repo/target/release/deps/table2_threat_model-b2af94b695cfd4d1: crates/bench/src/bin/table2_threat_model.rs
+
+crates/bench/src/bin/table2_threat_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_security_matrix-8faf55672bf43182.d: crates/bench/src/bin/table3_security_matrix.rs
+
+/root/repo/target/release/deps/table3_security_matrix-8faf55672bf43182: crates/bench/src/bin/table3_security_matrix.rs
+
+crates/bench/src/bin/table3_security_matrix.rs:

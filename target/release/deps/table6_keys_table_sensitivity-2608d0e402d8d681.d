@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_keys_table_sensitivity-2608d0e402d8d681.d: crates/bench/src/bin/table6_keys_table_sensitivity.rs
+
+/root/repo/target/release/deps/table6_keys_table_sensitivity-2608d0e402d8d681: crates/bench/src/bin/table6_keys_table_sensitivity.rs
+
+crates/bench/src/bin/table6_keys_table_sensitivity.rs:

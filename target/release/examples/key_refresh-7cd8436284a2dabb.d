@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/key_refresh-7cd8436284a2dabb.d: examples/key_refresh.rs
+
+/root/repo/target/release/examples/key_refresh-7cd8436284a2dabb: examples/key_refresh.rs
+
+examples/key_refresh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fbd50ce2dfbd7c05.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fbd50ce2dfbd7c05: examples/quickstart.rs
+
+examples/quickstart.rs:

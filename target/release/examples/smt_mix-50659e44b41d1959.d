@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smt_mix-50659e44b41d1959.d: examples/smt_mix.rs
+
+/root/repo/target/release/examples/smt_mix-50659e44b41d1959: examples/smt_mix.rs
+
+examples/smt_mix.rs:

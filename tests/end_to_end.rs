@@ -24,7 +24,9 @@ fn every_mechanism_completes_a_single_thread_run() {
         Mechanism::hybp_default(),
         Mechanism::TournamentBaseline,
     ] {
-        let m = Simulation::single_thread(mech, SpecBenchmark::Xz, quick()).run();
+        let m = Simulation::single_thread(mech, SpecBenchmark::Xz, quick())
+            .expect("valid config")
+            .run();
         assert!(
             m.threads[0].ipc() > 0.3 && m.threads[0].ipc() < 8.0,
             "{mech}: ipc {}",
@@ -37,7 +39,9 @@ fn every_mechanism_completes_a_single_thread_run() {
 #[test]
 fn every_mix_completes_an_smt_run_under_hybp() {
     for mix in &TABLE_V_MIXES[..4] {
-        let m = Simulation::smt(Mechanism::hybp_default(), mix.pair, quick()).run();
+        let m = Simulation::smt(Mechanism::hybp_default(), mix.pair, quick())
+            .expect("valid config")
+            .run();
         assert_eq!(m.threads.len(), 2, "{}", mix.label());
         for t in &m.threads {
             assert!(t.ipc() > 0.2, "{}: ipc {}", mix.label(), t.ipc());
@@ -53,7 +57,11 @@ fn hybp_overhead_is_far_below_flush_and_partition() {
     cfg.measure_instructions = 1_200_000;
     let bench = SpecBenchmark::Deepsjeng;
     let ipc = |mech| {
-        Simulation::single_thread(mech, bench, cfg).run().threads[0].ipc()
+        Simulation::single_thread(mech, bench, cfg)
+            .expect("valid config")
+            .run()
+            .threads[0]
+            .ipc()
     };
     let base = ipc(Mechanism::Baseline);
     let hybp = ipc(Mechanism::hybp_default());
@@ -79,9 +87,11 @@ fn smt_beats_disable_smt_in_throughput() {
     // Table I's Disable-SMT row: turning SMT off costs throughput.
     let mix = TABLE_V_MIXES[6]; // wrf + mcf
     let smt = Simulation::smt(Mechanism::Baseline, mix.pair, quick())
+        .expect("valid config")
         .run()
         .throughput();
     let solo = Simulation::single_thread(Mechanism::Baseline, mix.pair[0], quick())
+        .expect("valid config")
         .run()
         .throughput();
     assert!(smt > solo, "smt {smt} vs solo {solo}");
@@ -91,7 +101,7 @@ fn smt_beats_disable_smt_in_throughput() {
 fn hardware_cost_is_consistent_with_bpu_storage() {
     // The cost model's baseline must match the assembled baseline BPU's
     // table storage within rounding.
-    let bpu = hybp_repro::hybp::SecureBpu::new(Mechanism::Baseline, 1, 1);
+    let bpu = hybp_repro::hybp::SecureBpu::new(Mechanism::Baseline, 1, 1).expect("valid mechanism");
     let model = cost::baseline_bpu_bytes();
     let actual = bpu.storage_bits().div_ceil(8);
     let ratio = actual as f64 / model as f64;
@@ -111,22 +121,29 @@ fn keys_table_size_increases_hybp_cost_but_not_accuracy_much() {
     );
     // Without context switches the table size is performance-neutral.
     let ipc_small = Simulation::single_thread(small, SpecBenchmark::Wrf, quick())
+        .expect("valid config")
         .run()
         .threads[0]
         .ipc();
     let ipc_large = Simulation::single_thread(large, SpecBenchmark::Wrf, quick())
+        .expect("valid config")
         .run()
         .threads[0]
         .ipc();
     let delta = (ipc_small - ipc_large).abs() / ipc_small;
-    assert!(delta < 0.02, "keys-table size changed steady-state IPC by {delta}");
+    assert!(
+        delta < 0.02,
+        "keys-table size changed steady-state IPC by {delta}"
+    );
 }
 
 #[test]
 fn deterministic_given_seed() {
     let a = Simulation::single_thread(Mechanism::hybp_default(), SpecBenchmark::Cam4, quick())
+        .expect("valid config")
         .run();
     let b = Simulation::single_thread(Mechanism::hybp_default(), SpecBenchmark::Cam4, quick())
+        .expect("valid config")
         .run();
     assert_eq!(a.threads[0].retired, b.threads[0].retired);
     assert_eq!(a.cycles, b.cycles);

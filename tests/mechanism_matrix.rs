@@ -12,9 +12,15 @@ fn all_mechanisms() -> Vec<Mechanism> {
         Mechanism::Baseline,
         Mechanism::Flush,
         Mechanism::Partition,
-        Mechanism::Replication { extra_storage_pct: 0 },
-        Mechanism::Replication { extra_storage_pct: 100 },
-        Mechanism::Replication { extra_storage_pct: 300 },
+        Mechanism::Replication {
+            extra_storage_pct: 0,
+        },
+        Mechanism::Replication {
+            extra_storage_pct: 100,
+        },
+        Mechanism::Replication {
+            extra_storage_pct: 300,
+        },
         Mechanism::DisableSmt,
         Mechanism::hybp_default(),
         Mechanism::HyBp(HybpConfig::randomization_only()),
@@ -28,7 +34,7 @@ fn every_mechanism_survives_event_storms() {
     // Rapid-fire context switches and privilege flips must never corrupt
     // state or panic, for any mechanism.
     for mech in all_mechanisms() {
-        let mut bpu = SecureBpu::new(mech, 2, 99);
+        let mut bpu = SecureBpu::new(mech, 2, 99).expect("valid mechanism");
         let mut now = 0u64;
         for round in 0..50u64 {
             for t in 0..2u8 {
@@ -54,13 +60,18 @@ fn every_mechanism_survives_event_storms() {
 #[test]
 fn every_mechanism_handles_every_branch_kind() {
     for mech in all_mechanisms() {
-        let mut bpu = SecureBpu::new(mech, 1, 7);
+        let mut bpu = SecureBpu::new(mech, 1, 7).expect("valid mechanism");
         let hw = HwThreadId::new(0);
         let records = [
             BranchRecord::conditional(Addr::new(0x100), Addr::new(0x200), true, 2),
             BranchRecord::conditional(Addr::new(0x104), Addr::new(0x200), false, 2),
             BranchRecord::unconditional(Addr::new(0x108), BranchKind::Direct, Addr::new(0x300), 2),
-            BranchRecord::unconditional(Addr::new(0x10C), BranchKind::Indirect, Addr::new(0x400), 2),
+            BranchRecord::unconditional(
+                Addr::new(0x10C),
+                BranchKind::Indirect,
+                Addr::new(0x400),
+                2,
+            ),
             BranchRecord::unconditional(Addr::new(0x110), BranchKind::Call, Addr::new(0x500), 2),
             BranchRecord::unconditional(Addr::new(0x520), BranchKind::Return, Addr::new(0x114), 2),
         ];
@@ -81,10 +92,13 @@ fn replication_sweep_is_monotone_in_capacity() {
     cfg.measure_instructions = 500_000;
     let ipc = |pct: u32| {
         Simulation::single_thread(
-            Mechanism::Replication { extra_storage_pct: pct },
+            Mechanism::Replication {
+                extra_storage_pct: pct,
+            },
             SpecBenchmark::Xz,
             cfg,
         )
+        .expect("valid config")
         .run()
         .threads[0]
             .ipc()
@@ -104,9 +118,11 @@ fn smt_derate_caps_scaling() {
     cfg.warmup_instructions = 80_000;
     cfg.measure_instructions = 300_000;
     let solo_a = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Wrf, cfg)
+        .expect("valid config")
         .run()
         .throughput();
     let solo_b = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Namd, cfg)
+        .expect("valid config")
         .run()
         .throughput();
     let smt = Simulation::smt(
@@ -114,9 +130,13 @@ fn smt_derate_caps_scaling() {
         [SpecBenchmark::Wrf, SpecBenchmark::Namd],
         cfg,
     )
+    .expect("valid config")
     .run()
     .throughput();
-    assert!(smt > solo_a.max(solo_b) * 1.02, "smt {smt} vs solos {solo_a}/{solo_b}");
+    assert!(
+        smt > solo_a.max(solo_b) * 1.02,
+        "smt {smt} vs solos {solo_a}/{solo_b}"
+    );
     assert!(
         smt < (solo_a + solo_b) * 0.95,
         "smt scaling unrealistically additive: {smt} vs {solo_a}+{solo_b}"
@@ -129,11 +149,13 @@ fn tournament_baseline_is_slower_than_tage() {
     cfg.warmup_instructions = 100_000;
     cfg.measure_instructions = 400_000;
     let tage = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Deepsjeng, cfg)
+        .expect("valid config")
         .run()
         .threads[0]
         .ipc();
     let tourney =
         Simulation::single_thread(Mechanism::TournamentBaseline, SpecBenchmark::Deepsjeng, cfg)
+            .expect("valid config")
             .run()
             .threads[0]
             .ipc();

@@ -1,7 +1,9 @@
 //! Cross-crate security integration tests: the attack harness against the
 //! assembled system, checking the paper's Table III conclusions end to end.
 
-use hybp_repro::bp_attacks::poc::{btb_training, pht_training, pht_training_topo, CoResidency, PocParams};
+use hybp_repro::bp_attacks::poc::{
+    btb_training, pht_training, pht_training_topo, CoResidency, PocParams,
+};
 use hybp_repro::bp_attacks::{blind, pht_analysis};
 use hybp_repro::hybp::Mechanism;
 
@@ -47,12 +49,7 @@ fn table_iii_pht_row() {
     assert!(hybp.training_accuracy() < 0.1, "hybp defends PHT");
     // And on a single core (the paper's PoC), baseline training is near
     // certain while HyBP collapses.
-    let base_sc = pht_training_topo(
-        Mechanism::Baseline,
-        CoResidency::SingleCore,
-        params(),
-        34,
-    );
+    let base_sc = pht_training_topo(Mechanism::Baseline, CoResidency::SingleCore, params(), 34);
     let hybp_sc = pht_training_topo(
         Mechanism::hybp_default(),
         CoResidency::SingleCore,
