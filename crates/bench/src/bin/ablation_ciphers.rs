@@ -1,82 +1,9 @@
-//! Ablation: the cipher behind the code book, and code book vs inline.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::ablation_ciphers` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! Three design questions the paper answers qualitatively, quantified here:
-//!
-//! 1. With the code book, does the cipher choice cost performance? (No —
-//!    the fill happens off the critical path.)
-//! 2. What would inlining each cipher cost? (Its latency, per redirect —
-//!    ruinous for QARMA/PRINCE, cheap for LLBC/XOR.)
-//! 3. Which ciphers survive cryptanalysis? (Only the non-linear ones.)
-//!
-//! Usage: `ablation_ciphers [--scale quick|default|full]`
-
-use bench::{degradation, no_switch_config, Csv, Scale};
-use bp_attacks::linear::break_affine;
-use bp_pipeline::Simulation;
-use bp_workloads::profile::SpecBenchmark;
-use hybp::{CipherKind, HybpConfig, Mechanism};
+//! Usage: `ablation_ciphers [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let mut csv = Csv::new(
-        "ablation_ciphers.csv",
-        "cipher,codebook_loss,inline_loss,linear_break",
-    );
-    let bench = SpecBenchmark::Deepsjeng;
-    let base = Simulation::single_thread(Mechanism::Baseline, bench, no_switch_config(scale))
-        .expect("valid config")
-        .run()
-        .threads[0]
-        .ipc();
-    println!(
-        "Cipher ablation on {} (vs baseline IPC {:.3})",
-        bench.name(),
-        base
-    );
-    println!(
-        "{:<10} {:>15} {:>13} {:>14}",
-        "cipher", "code-book loss", "inline loss", "cryptanalysis"
-    );
-    for cipher in [
-        CipherKind::Qarma,
-        CipherKind::Prince,
-        CipherKind::Llbc,
-        CipherKind::Xor,
-    ] {
-        let mut cfg = HybpConfig::paper_default();
-        cfg.cipher = cipher;
-        let codebook =
-            Simulation::single_thread(Mechanism::HyBp(cfg), bench, no_switch_config(scale))
-                .expect("valid config")
-                .run()
-                .threads[0]
-                .ipc();
-        cfg.inline_cipher = true;
-        let inline =
-            Simulation::single_thread(Mechanism::HyBp(cfg), bench, no_switch_config(scale))
-                .expect("valid config")
-                .run()
-                .threads[0]
-                .ipc();
-        let broken = break_affine(cipher.build(7).as_ref(), 0, 100, 1).is_some();
-        println!(
-            "{:<10} {:>14.2}% {:>12.2}% {:>14}",
-            cipher.to_string(),
-            degradation(codebook, base) * 100.0,
-            degradation(inline, base) * 100.0,
-            if broken { "BROKEN (affine)" } else { "resists" }
-        );
-        csv.row(format_args!(
-            "{},{:.5},{:.5},{}",
-            cipher,
-            degradation(codebook, base),
-            degradation(inline, base),
-            broken
-        ));
-    }
-    println!();
-    println!("The design point: only the code book lets a *strong* cipher ride along at");
-    println!("zero front-end cost; every inline option either costs cycles or security.");
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
+    bench::exp_main(bench::experiments::ablation_ciphers::run);
 }

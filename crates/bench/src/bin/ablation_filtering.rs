@@ -1,76 +1,9 @@
-//! Ablation: the upper-level filtering effect (§V-B).
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::ablation_filtering` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! The paper's "surprising" claim: physically isolating L0/L1 doesn't just
-//! protect those tables — it also *filters* the information flow into the
-//! shared L2, multiplying contention-attack costs. This ablation compares
-//! full HyBP against randomization-only (shared upper levels) on:
-//!
-//! * the share of victim BTB traffic absorbed by the upper levels (the
-//!   paper's `m` factor),
-//! * Algorithm 1's success rate,
-//! * the malicious-training PoC.
-//!
-//! Usage: `ablation_filtering [--scale quick|default|full]`
-
-use bench::{no_switch_config, Csv, Scale};
-use bp_attacks::poc::{btb_training, PocParams};
-use bp_attacks::ppp::{campaign, PppParams};
-use bp_pipeline::Simulation;
-use bp_workloads::profile::SpecBenchmark;
-use hybp::{HybpConfig, Mechanism};
+//! Usage: `ablation_filtering [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let runs = match scale {
-        Scale::Quick => 6,
-        Scale::Default => 16,
-        Scale::Full => 48,
-    };
-    let mut csv = Csv::new(
-        "ablation_filtering.csv",
-        "variant,upper_hit_share,ppp_success,btb_training_accuracy",
-    );
-    println!("Filtering ablation: full HyBP vs randomization-only");
-    println!(
-        "{:<22} {:>16} {:>12} {:>18}",
-        "variant", "L0/L1 hit share", "PPP success", "training accuracy"
-    );
-    for (name, cfg) in [
-        ("HyBP (full)", HybpConfig::paper_default()),
-        ("randomization-only", HybpConfig::randomization_only()),
-    ] {
-        let mech = Mechanism::HyBp(cfg);
-        // Upper-level filtering measured on a real workload: the fraction of
-        // BTB hits served by L0/L1 is the traffic the shared L2 never sees.
-        let m = Simulation::single_thread(mech, SpecBenchmark::Xz, no_switch_config(scale))
-            .expect("valid config")
-            .run()
-            .bpu;
-        let upper = (m.btb_hits[0] + m.btb_hits[1]) as f64;
-        let total = upper + m.btb_hits[2] as f64 + m.btb_misses as f64;
-        let upper_share = upper / total;
-        let ppp = campaign(mech, &PppParams::quick(), runs, 9);
-        let poc = btb_training(mech, PocParams::quick(), 31);
-        println!(
-            "{:<22} {:>15.1}% {:>9}/{:<3} {:>17.1}%",
-            name,
-            upper_share * 100.0,
-            ppp.successes,
-            ppp.runs,
-            poc.training_accuracy() * 100.0
-        );
-        csv.row(format_args!(
-            "{},{:.4},{:.4},{:.4}",
-            name,
-            upper_share,
-            ppp.success_rate(),
-            poc.training_accuracy()
-        ));
-    }
-    println!();
-    println!("Full HyBP should show a high upper-level hit share (the m filter) and the");
-    println!("lowest attack rates; randomization-only loses the filter and the training");
-    println!("protection for anything resident in the shared upper levels.");
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
+    bench::exp_main(bench::experiments::ablation_filtering::run);
 }

@@ -1,0 +1,161 @@
+//! `bench_all`: run the entire experiment suite — every table, figure and
+//! security campaign — in one process with a shared worker pool and a
+//! shared on-disk model cache, then print a per-experiment wall-clock
+//! table and record the perf baseline in `results/bench_speed.json`.
+//!
+//! Experiments run one after another (each is internally parallel across
+//! its sweep grid, which is where the work is), so stdout stays readable
+//! and CSVs are byte-identical to the standalone binaries at any
+//! `--threads` value. A panicking or failing experiment is reported and
+//! the suite continues; the process exits non-zero if anything failed or
+//! an expected CSV is missing.
+//!
+//! Usage: `bench_all [--scale quick|default|full] [--threads N] [--no-cache]`
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::time::Instant;
+
+use bench::experiments;
+use bench::Ctx;
+
+/// Outcome of one experiment in the suite.
+struct Outcome {
+    name: &'static str,
+    seconds: f64,
+    /// `None` = ran clean; `Some(reason)` = failed.
+    failure: Option<String>,
+}
+
+fn main() {
+    let ctx = Ctx::from_cli();
+    let exps = experiments::all();
+    println!(
+        "bench_all: {} experiments, scale {}, {} worker thread(s), cache {}",
+        exps.len(),
+        ctx.scale.name(),
+        ctx.pool.threads(),
+        if ctx.cache.is_enabled() {
+            "on"
+        } else {
+            "off (--no-cache)"
+        }
+    );
+
+    let suite_start = Instant::now();
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    for exp in &exps {
+        println!();
+        println!("=== {} ===", exp.name);
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| (exp.run)(&ctx)));
+        let seconds = start.elapsed().as_secs_f64();
+        let failure = match result {
+            Ok(Ok(())) => match exp.csv {
+                Some(csv) if !Path::new("results").join(csv).is_file() => {
+                    Some(format!("did not write results/{csv}"))
+                }
+                _ => None,
+            },
+            Ok(Err(e)) => Some(e.to_string()),
+            Err(_) => Some("panicked".to_string()),
+        };
+        outcomes.push(Outcome {
+            name: exp.name,
+            seconds,
+            failure,
+        });
+    }
+    let total_seconds = suite_start.elapsed().as_secs_f64();
+    let cache = ctx.cache.stats();
+
+    println!();
+    println!("=== suite summary ===");
+    println!("{:<32} {:>9}  {}", "experiment", "seconds", "status");
+    for o in &outcomes {
+        println!(
+            "{:<32} {:>9.2}  {}",
+            o.name,
+            o.seconds,
+            match &o.failure {
+                None => "ok",
+                Some(reason) => reason.as_str(),
+            }
+        );
+    }
+    println!(
+        "{:<32} {:>9.2}  ({} threads, cache {} hits / {} misses, {:.0}% hit rate)",
+        "total",
+        total_seconds,
+        ctx.pool.threads(),
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
+
+    match write_speed_json(&ctx, &outcomes, total_seconds) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write results/bench_speed.json: {e}"),
+    }
+
+    let failures = outcomes.iter().filter(|o| o.failure.is_some()).count();
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}
+
+/// Emits the perf baseline: suite and per-experiment wall-clock, thread
+/// count, and cache hit rate. Hand-rolled JSON — every value is a number,
+/// a bool, or a name under our control (plus `reason` strings, which get
+/// minimal escaping).
+fn write_speed_json(
+    ctx: &Ctx,
+    outcomes: &[Outcome],
+    total_seconds: f64,
+) -> std::io::Result<String> {
+    let cache = ctx.cache.stats();
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"scale\": \"{}\",", ctx.scale.name());
+    let _ = writeln!(s, "  \"threads\": {},", ctx.pool.threads());
+    let _ = writeln!(s, "  \"cache_enabled\": {},", ctx.cache.is_enabled());
+    let _ = writeln!(
+        s,
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate()
+    );
+    let _ = writeln!(s, "  \"total_seconds\": {total_seconds:.3},");
+    let _ = writeln!(s, "  \"experiments\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        let comma = if i + 1 < outcomes.len() { "," } else { "" };
+        match &o.failure {
+            None => {
+                let _ = writeln!(
+                    s,
+                    "    {{ \"name\": \"{}\", \"seconds\": {:.3}, \"ok\": true }}{comma}",
+                    o.name, o.seconds
+                );
+            }
+            Some(reason) => {
+                let escaped = reason.replace('\\', "\\\\").replace('"', "\\\"");
+                let _ = writeln!(
+                    s,
+                    "    {{ \"name\": \"{}\", \"seconds\": {:.3}, \"ok\": false, \
+                     \"reason\": \"{escaped}\" }}{comma}",
+                    o.name, o.seconds
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    std::fs::create_dir_all("results")?;
+    let path = "results/bench_speed.json";
+    std::fs::write(path, s)?;
+    Ok(path.to_string())
+}

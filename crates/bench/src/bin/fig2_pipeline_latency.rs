@@ -1,77 +1,9 @@
-//! Figure 2: IPC loss when the front-end pipeline grows by +2/+4/+8 cycles
-//! (the cost of putting an encryption engine on the prediction critical
-//! path), per benchmark, with each benchmark's prediction accuracy.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::fig2` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! Usage: `fig2_pipeline_latency [--scale quick|default|full]`
-
-use bench::{all_benchmarks, degradation, no_switch_config, pct, Csv, Scale};
-use bp_pipeline::Simulation;
-use hybp::Mechanism;
+//! Usage: `fig2_pipeline_latency [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let mut csv = Csv::new(
-        "fig2_pipeline_latency.csv",
-        "benchmark,accuracy,loss_plus2,loss_plus4,loss_plus8",
-    );
-    println!("Figure 2: performance impact of extra front-end latency");
-    println!(
-        "{:<14} {:>9} {:>8} {:>8} {:>8}",
-        "benchmark", "accuracy", "+2cyc", "+4cyc", "+8cyc"
-    );
-    let mut avgs = [Vec::new(), Vec::new(), Vec::new()];
-    for bench in all_benchmarks() {
-        let base_cfg = no_switch_config(scale);
-        let base_run = Simulation::single_thread(Mechanism::Baseline, bench, base_cfg)
-            .expect("valid config")
-            .run();
-        let base_ipc = base_run.threads[0].ipc();
-        let accuracy = base_run.bpu.direction_accuracy();
-        let mut losses = [0.0f64; 3];
-        for (k, extra) in [2u32, 4, 8].iter().enumerate() {
-            let mut cfg = no_switch_config(scale);
-            cfg.core.extra_frontend_cycles = *extra;
-            let ipc = Simulation::single_thread(Mechanism::Baseline, bench, cfg)
-                .expect("valid config")
-                .run()
-                .threads[0]
-                .ipc();
-            losses[k] = degradation(ipc, base_ipc);
-            avgs[k].push(losses[k]);
-        }
-        println!(
-            "{:<14} {:>8.1}% {:>8} {:>8} {:>8}",
-            bench.name(),
-            accuracy * 100.0,
-            pct(losses[0]),
-            pct(losses[1]),
-            pct(losses[2])
-        );
-        csv.row(format_args!(
-            "{},{:.4},{:.4},{:.4},{:.4}",
-            bench.name(),
-            accuracy,
-            losses[0],
-            losses[1],
-            losses[2]
-        ));
-    }
-    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
-    println!(
-        "{:<14} {:>9} {:>8} {:>8} {:>8}",
-        "average",
-        "",
-        pct(mean(&avgs[0])),
-        pct(mean(&avgs[1])),
-        pct(mean(&avgs[2]))
-    );
-    csv.row(format_args!(
-        "average,,{:.4},{:.4},{:.4}",
-        mean(&avgs[0]),
-        mean(&avgs[1]),
-        mean(&avgs[2])
-    ));
-    let path = csv.finish().expect("write results");
-    println!("(paper: up to 19.5% at +8 cycles; ~7.8% average at +8)");
-    println!("wrote {path}");
+    bench::exp_main(bench::experiments::fig2::run);
 }

@@ -1,62 +1,9 @@
-//! Figure 5: normalized IPC of HyBP per application across context-switch
-//! intervals (256K..16M cycles).
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::fig5` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! Usage: `fig5_hybp_per_app [--scale quick|default|full]`
-
-use bench::{all_benchmarks, single_thread_ipc_at, single_thread_model, Csv, Scale, INTERVALS};
-use hybp::Mechanism;
+//! Usage: `fig5_hybp_per_app [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let mut csv = Csv::new(
-        "fig5_hybp_per_app.csv",
-        "benchmark,interval_cycles,normalized_ipc,method",
-    );
-    println!("Figure 5: normalized IPC of HyBP under different context-switch intervals");
-    print!("{:<14}", "benchmark");
-    for i in INTERVALS {
-        print!(" {:>9}", format_interval(i));
-    }
-    println!();
-    let mut per_interval_sum = vec![0.0f64; INTERVALS.len()];
-    for bench in all_benchmarks() {
-        let base = single_thread_model(Mechanism::Baseline, bench, scale);
-        let hybp = single_thread_model(Mechanism::hybp_default(), bench, scale);
-        print!("{:<14}", bench.name());
-        for (k, &interval) in INTERVALS.iter().enumerate() {
-            let (b, _) = single_thread_ipc_at(Mechanism::Baseline, bench, interval, &base, scale);
-            let (h, method) =
-                single_thread_ipc_at(Mechanism::hybp_default(), bench, interval, &hybp, scale);
-            let norm = h / b;
-            per_interval_sum[k] += norm;
-            print!(" {:>9.4}", norm);
-            csv.row(format_args!(
-                "{},{},{:.5},{}",
-                bench.name(),
-                interval,
-                norm,
-                method
-            ));
-        }
-        println!();
-    }
-    print!("{:<14}", "average");
-    for (k, &interval) in INTERVALS.iter().enumerate() {
-        let avg = per_interval_sum[k] / all_benchmarks().len() as f64;
-        print!(" {:>9.4}", avg);
-        csv.row(format_args!("average,{},{:.5},", interval, avg));
-    }
-    println!();
-    println!("(paper: ≥ 0.995 average at the 16M default; down to ~0.79 for the most");
-    println!(" switch-sensitive applications at 256K)");
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
-}
-
-fn format_interval(i: u64) -> String {
-    if i >= 1_000_000 {
-        format!("{}M", i / 1_000_000)
-    } else {
-        format!("{}K", i / 1_000)
-    }
+    bench::exp_main(bench::experiments::fig5::run);
 }

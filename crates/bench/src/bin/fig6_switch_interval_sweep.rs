@@ -1,135 +1,9 @@
-//! Figure 6: average performance degradation of Flush, Partition and HyBP
-//! on a single-threaded core across context-switch intervals, with Flush's
-//! loss decomposed into its context-switch and privilege-change parts.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::fig6` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! The decomposition runs Flush twice: once with privilege-change flushes
-//! (the real mechanism) and once with kernel episodes disabled (isolating
-//! the context-switch share).
-//!
-//! Usage: `fig6_switch_interval_sweep [--scale quick|default|full]`
-
-use bench::{
-    all_benchmarks, degradation, single_thread_ipc_at, single_thread_model, Csv, Scale, INTERVALS,
-};
-use bp_workloads::profile::SpecBenchmark;
-use hybp::Mechanism;
+//! Usage: `fig6_switch_interval_sweep [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let mut csv = Csv::new(
-        "fig6_switch_interval_sweep.csv",
-        "mechanism,interval_cycles,avg_degradation,method",
-    );
-    println!("Figure 6: average degradation vs context-switch interval (single-threaded core)");
-    println!(
-        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "mechanism", "256K", "512K", "1M", "4M", "16M"
-    );
-    let mechanisms = [
-        Mechanism::Flush,
-        Mechanism::Partition,
-        Mechanism::hybp_default(),
-    ];
-    let benches = all_benchmarks();
-    // Cache baseline models.
-    let base_models: Vec<_> = benches
-        .iter()
-        .map(|&b| single_thread_model(Mechanism::Baseline, b, scale))
-        .collect();
-    for mech in mechanisms {
-        let models: Vec<_> = benches
-            .iter()
-            .map(|&b| single_thread_model(mech, b, scale))
-            .collect();
-        print!("{:<12}", mech.to_string());
-        for &interval in &INTERVALS {
-            let mut losses = Vec::new();
-            let mut method = "model";
-            for (i, &bench) in benches.iter().enumerate() {
-                let (b, _) = single_thread_ipc_at(
-                    Mechanism::Baseline,
-                    bench,
-                    interval,
-                    &base_models[i],
-                    scale,
-                );
-                let (m, me) = single_thread_ipc_at(mech, bench, interval, &models[i], scale);
-                method = me;
-                losses.push(degradation(m, b));
-            }
-            let avg = losses.iter().sum::<f64>() / losses.len() as f64;
-            print!(" {:>8.2}%", avg * 100.0);
-            csv.row(format_args!("{},{},{:.5},{}", mech, interval, avg, method));
-        }
-        println!();
-    }
-
-    // Flush decomposition at the default interval: share attributable to
-    // privilege-change flushing (timer kernel episodes) vs context switches.
-    println!();
-    println!("Flush decomposition (share of loss from privilege-change flushing):");
-    decompose_flush(&mut csv, scale);
-    println!();
-    println!("(paper at 16M: Flush 5.1%, Partition 6.3%, HyBP 0.5%; Partition worst cases");
-    println!(" fotonik3d 18.2% / xz 19.4%)");
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
-}
-
-fn decompose_flush(csv: &mut Csv, scale: Scale) {
-    use bench::no_switch_config;
-    use bp_pipeline::Simulation;
-    // At very large intervals Flush's remaining loss is purely the
-    // privilege-change part; compare against a run with kernel episodes
-    // pushed out of the measurement window.
-    let mut priv_losses = Vec::new();
-    for bench in [
-        SpecBenchmark::Deepsjeng,
-        SpecBenchmark::Xz,
-        SpecBenchmark::Wrf,
-    ] {
-        let cfg = no_switch_config(scale);
-        let base = Simulation::single_thread(Mechanism::Baseline, bench, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
-        let flush = Simulation::single_thread(Mechanism::Flush, bench, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
-        let mut no_kernel = cfg;
-        no_kernel.kernel_timer_interval = u64::MAX / 4;
-        let base_nk = Simulation::single_thread(Mechanism::Baseline, bench, no_kernel)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
-        let flush_nk = Simulation::single_thread(Mechanism::Flush, bench, no_kernel)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
-        let total = degradation(flush, base);
-        let ctx_only = degradation(flush_nk, base_nk);
-        let priv_share = if total > 1e-6 {
-            ((total - ctx_only) / total).clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
-        println!(
-            "  {:<14} total {:>6.2}%  privilege part {:>5.1}%",
-            bench.name(),
-            total * 100.0,
-            priv_share * 100.0
-        );
-        csv.row(format_args!(
-            "Flush-priv-share-{},{},{:.4},direct",
-            bench.name(),
-            u64::MAX / 4,
-            priv_share
-        ));
-        priv_losses.push(priv_share);
-    }
+    bench::exp_main(bench::experiments::fig6::run);
 }

@@ -1,135 +1,9 @@
-//! Figure 7: throughput (a) and Hmean fairness (b) degradation of the
-//! isolation mechanisms on an SMT-2 core, per Table V mix.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::fig7` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! Usage: `fig7_smt_mixes [--scale quick|default|full]`
-
-use std::collections::HashMap;
-
-use bench::{degradation, no_switch_config, Csv, Scale};
-use bp_pipeline::Simulation;
-use bp_workloads::profile::SpecBenchmark;
-use bp_workloads::TABLE_V_MIXES;
-use hybp::Mechanism;
+//! Usage: `fig7_smt_mixes [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let mut csv = Csv::new(
-        "fig7_smt_mixes.csv",
-        "mix,class,mechanism,throughput_degradation,hmean_degradation",
-    );
-    let mechanisms = [
-        Mechanism::Baseline,
-        Mechanism::Partition,
-        Mechanism::replication_default(),
-        Mechanism::hybp_default(),
-    ];
-
-    // Solo IPCs per (mechanism, benchmark), cached.
-    let mut solo: HashMap<(String, SpecBenchmark), f64> = HashMap::new();
-    let mut solo_ipc = |mech: Mechanism, b: SpecBenchmark, scale: Scale| -> f64 {
-        *solo.entry((mech.to_string(), b)).or_insert_with(|| {
-            Simulation::single_thread(mech, b, no_switch_config(scale))
-                .expect("valid config")
-                .run()
-                .threads[0]
-                .ipc()
-        })
-    };
-
-    println!("Figure 7: SMT throughput and Hmean fairness degradation per mix");
-    println!(
-        "{:<28} {:<7} {:>22} {:>22}",
-        "mix", "class", "throughput degradation", "hmean degradation"
-    );
-    let mut agg: HashMap<String, (Vec<f64>, Vec<f64>)> = HashMap::new();
-    for mix in TABLE_V_MIXES {
-        // Baseline reference for this mix.
-        let base = Simulation::smt(Mechanism::Baseline, mix.pair, no_switch_config(scale))
-            .expect("valid config")
-            .run();
-        let base_thr = base.throughput();
-        let base_solo: Vec<f64> = mix
-            .pair
-            .iter()
-            .map(|&b| solo_ipc(Mechanism::Baseline, b, scale))
-            .collect();
-        let base_hmean = match base.hmean_fairness(&base_solo) {
-            Ok(h) => h,
-            Err(e) => {
-                eprintln!(
-                    "skipping mix {}: baseline fairness unavailable ({e})",
-                    mix.label()
-                );
-                continue;
-            }
-        };
-        for mech in mechanisms.iter().skip(1) {
-            let run = Simulation::smt(*mech, mix.pair, no_switch_config(scale))
-                .expect("valid config")
-                .run();
-            let thr_deg = degradation(run.throughput(), base_thr);
-            let mech_solo: Vec<f64> = mix
-                .pair
-                .iter()
-                .map(|&b| solo_ipc(*mech, b, scale))
-                .collect();
-            let hmean = match run.hmean_fairness(&mech_solo) {
-                Ok(h) => h,
-                Err(e) => {
-                    eprintln!(
-                        "skipping {} on mix {}: fairness unavailable ({e})",
-                        mech.name(),
-                        mix.label()
-                    );
-                    continue;
-                }
-            };
-            let hmean_deg = degradation(hmean, base_hmean);
-            println!(
-                "{:<28} {:<7} {:>11} ({:<9}) {:>11} ({:<9})",
-                mix.label(),
-                mix.class().to_string(),
-                format!("{:+.2}%", thr_deg * 100.0),
-                mech.name(),
-                format!("{:+.2}%", hmean_deg * 100.0),
-                mech.name()
-            );
-            csv.row(format_args!(
-                "{},{},{},{:.5},{:.5}",
-                mix,
-                mix.class(),
-                mech,
-                thr_deg,
-                hmean_deg
-            ));
-            let e = agg.entry(mech.to_string()).or_default();
-            e.0.push(thr_deg);
-            e.1.push(hmean_deg);
-        }
-    }
-    println!();
-    for mech in mechanisms.iter().skip(1) {
-        let (thr, hm) = &agg[&mech.to_string()];
-        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
-        let max = |v: &Vec<f64>| v.iter().cloned().fold(f64::MIN, f64::max);
-        println!(
-            "{:<22} avg throughput loss {:>6.2}% (max {:>6.2}%), avg hmean loss {:>6.2}% (max {:>6.2}%)",
-            mech.to_string(),
-            mean(thr) * 100.0,
-            max(thr) * 100.0,
-            mean(hm) * 100.0,
-            max(hm) * 100.0
-        );
-        csv.row(format_args!(
-            "average,,{},{:.5},{:.5}",
-            mech,
-            mean(thr),
-            mean(hm)
-        ));
-    }
-    println!();
-    println!("(paper: HyBP avg 0.2% / max 3.8% throughput loss vs Partition avg 4.4% /");
-    println!(" max 12.6%; Partition Hmean up to ~17% on H-ILP mixes, HyBP ≤ 2.3%)");
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
+    bench::exp_main(bench::experiments::fig7::run);
 }

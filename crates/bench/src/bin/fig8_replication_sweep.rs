@@ -1,64 +1,9 @@
-//! Figure 8: performance loss of the Replication mechanism as branch
-//! predictor storage scales from +0% to +300%, against HyBP's fixed
-//! (0.5% loss, 21.1% storage) point — the crossover the paper places at
-//! ≈ +240%.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::fig8` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! Usage: `fig8_replication_sweep [--scale quick|default|full]`
-
-use bench::{degradation, no_switch_config, Csv, Scale};
-use bp_pipeline::Simulation;
-use bp_workloads::TABLE_V_MIXES;
-use hybp::cost::mechanism_cost;
-use hybp::Mechanism;
-
-fn throughput(mech: Mechanism, scale: Scale) -> f64 {
-    let mut total = 0.0;
-    for mix in TABLE_V_MIXES {
-        total += Simulation::smt(mech, mix.pair, no_switch_config(scale))
-            .expect("valid config")
-            .run()
-            .throughput();
-    }
-    total / TABLE_V_MIXES.len() as f64
-}
+//! Usage: `fig8_replication_sweep [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let mut csv = Csv::new(
-        "fig8_replication_sweep.csv",
-        "mechanism,extra_storage_pct,perf_loss",
-    );
-    println!("Figure 8: Replication storage sweep vs HyBP (SMT-2, Table V mixes)");
-    let baseline = throughput(Mechanism::Baseline, scale);
-    let hybp_loss = degradation(throughput(Mechanism::hybp_default(), scale), baseline);
-    let hybp_cost = mechanism_cost(&Mechanism::hybp_default(), 2).overhead_fraction();
-    println!(
-        "HyBP reference point: {:.2}% loss at {:.1}% storage overhead",
-        hybp_loss * 100.0,
-        hybp_cost * 100.0
-    );
-    csv.row(format_args!(
-        "HyBP,{:.1},{:.5}",
-        hybp_cost * 100.0,
-        hybp_loss
-    ));
-    println!("{:>14} {:>10}", "extra storage", "perf loss");
-    let mut crossover: Option<u32> = None;
-    for pct in [0u32, 40, 80, 120, 160, 200, 240, 300] {
-        let mech = Mechanism::Replication {
-            extra_storage_pct: pct,
-        };
-        let loss = degradation(throughput(mech, scale), baseline);
-        println!("{:>13}% {:>9.2}%", pct, loss * 100.0);
-        csv.row(format_args!("Replication,{},{:.5}", pct, loss));
-        if crossover.is_none() && loss <= hybp_loss {
-            crossover = Some(pct);
-        }
-    }
-    match crossover {
-        Some(p) => println!("Replication matches HyBP's loss at ≈ +{p}% storage (paper: ≈ +240%)"),
-        None => println!("Replication never reaches HyBP's loss within the sweep (paper: ≈ +240%)"),
-    }
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
+    bench::exp_main(bench::experiments::fig8::run);
 }

@@ -1,174 +1,9 @@
-//! §VI security analysis numbers: PPP campaign (Algorithm 1), blind
-//! contention (Equation 1), PHT reuse cost (Equation 2), GEM re-key bound,
-//! and the linear-cipher break.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::sec6_attack_costs` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! Usage: `sec6_attack_costs [--scale quick|default|full]`
-
-use bench::{Csv, Scale};
-use bp_attacks::linear::break_affine;
-use bp_attacks::ppp::{campaign, PppParams};
-use bp_attacks::{blind, gem, pht_analysis};
-use bp_crypto::{Llbc, Qarma64};
-use hybp::Mechanism;
+//! Usage: `sec6_attack_costs [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let runs = match scale {
-        Scale::Quick => 8,
-        Scale::Default => 24,
-        Scale::Full => 100,
-    };
-    let mut csv = Csv::new("sec6_attack_costs.csv", "experiment,quantity,value");
-
-    println!("=== Algorithm 1 (PPP-style eviction-set construction) ===");
-    let params = PppParams::quick();
-    let scaling_bits = (1024.0 / params.subsets as f64).log2();
-    for (name, mech) in [
-        ("Baseline", Mechanism::Baseline),
-        ("HyBP", Mechanism::hybp_default()),
-    ] {
-        let c = campaign(mech, &params, runs, 11);
-        let per_run = c.total_accesses as f64 / f64::from(c.runs);
-        let cost = c.expected_accesses_to_success();
-        let cost_str = if cost.is_finite() {
-            format!(
-                "{:.2e} to success (2^{:.1} + {scaling_bits:.0} geometry bits)",
-                cost,
-                cost.log2()
-            )
-        } else {
-            // Censored: no success observed — the campaign total is a lower
-            // bound on the cost.
-            format!(
-                "> {:.2e} (censored; 2^{:.1}+)",
-                c.total_accesses as f64,
-                (c.total_accesses as f64).log2()
-            )
-        };
-        println!(
-            "{name:<9} success {:>2}/{:<3} ({:>5.1}%), {:>10.0} accesses/run, extrapolated {}",
-            c.successes,
-            c.runs,
-            c.success_rate() * 100.0,
-            per_run,
-            cost_str
-        );
-        csv.row(format_args!(
-            "ppp_{name},success_rate,{:.4}",
-            c.success_rate()
-        ));
-        csv.row(format_args!(
-            "ppp_{name},accesses_per_run_log2,{:.2}",
-            per_run.log2()
-        ));
-    }
-    println!("(paper: ~1% success per attempt under HyBP, ≈ 2^27 accesses to one expected");
-    println!(
-        " success; our runs sample {} of 1024 candidate subsets, so the full-geometry",
-        params.subsets
-    );
-    println!(" cost adds ≈ {scaling_bits:.0} bits on top of the extrapolation)");
-    println!();
-
-    println!("=== Blind contention (Equation 1) ===");
-    let p_1140 = blind::valid_conflict_probability(1140, 1024, 7);
-    let (n_opt, p_opt) = blind::optimal_n(1024, 7);
-    let hybrid = blind::expected_accesses_hybrid(1140, 1024, 7, 16, 512);
-    let mc = blind::monte_carlo_conflict_probability(1140, 1024, 7, 20_000, 7);
-    println!(
-        "P(n=1140, S=1024, W=7)          = {:.4}  (paper: ≈ 0.12)",
-        p_1140
-    );
-    println!(
-        "literal optimum of Eq.(1)        = {:.4} at n = {}",
-        p_opt, n_opt
-    );
-    println!("Monte Carlo check of P(1140)     = {:.4}", mc);
-    println!(
-        "hybrid cost n·L0·L1/P            = {:.3e} accesses (2^{:.1}; paper: ≥ 2^28)",
-        hybrid,
-        hybrid.log2()
-    );
-    let secret32 = blind::multi_bit_success(p_1140, 32);
-    println!(
-        "32-bit secret success            = {:.2e} (paper: < 1e-6)",
-        secret32
-    );
-    csv.row(format_args!("blind,P_1140,{:.5}", p_1140));
-    csv.row(format_args!(
-        "blind,hybrid_accesses_log2,{:.2}",
-        hybrid.log2()
-    ));
-    csv.row(format_args!("blind,secret32_success,{:.3e}", secret32));
-    println!();
-
-    println!("=== PHT reuse cost (Equation 2) ===");
-    let paper = pht_analysis::PhtAttackParams::paper();
-    println!(
-        "2^(I+T)·(2^C+2^U+1) with (13,12,2,1) = 2^{:.2} accesses (paper: ≈ 2^28)",
-        paper.log2_accesses()
-    );
-    csv.row(format_args!(
-        "pht_eq2,log2_accesses,{:.2}",
-        paper.log2_accesses()
-    ));
-    println!();
-
-    println!("=== GEM re-key bound (§III-C) ===");
-    let est = gem::rekey_interval_estimate(7 * 1024);
-    println!(
-        "randomization-only re-key interval ≈ {est} accesses (2^{:.1}; paper: ≈ 2^16)",
-        (est as f64).log2()
-    );
-    csv.row(format_args!(
-        "gem,rekey_accesses_log2,{:.2}",
-        (est as f64).log2()
-    ));
-    println!();
-
-    println!("=== Jump-over-ASLR set inference (§VI-A2 contention) ===");
-    {
-        use bp_attacks::contention::set_inference;
-        let trials = match scale {
-            Scale::Quick => 10,
-            Scale::Default => 30,
-            Scale::Full => 100,
-        };
-        for (name, mech) in [
-            ("Baseline", Mechanism::Baseline),
-            ("HyBP", Mechanism::hybp_default()),
-        ] {
-            let r = set_inference(mech, trials, 16, 21);
-            println!(
-                "{name:<9} recovers the victim's set in {:>5.1}% of trials (signal rate {:>5.1}%)",
-                r.accuracy() * 100.0,
-                r.signal_rate() * 100.0
-            );
-            csv.row(format_args!(
-                "jump_aslr_{name},inference_accuracy,{:.4}",
-                r.accuracy()
-            ));
-        }
-        println!("(paper: without the victim's key the attacker can no longer infer the");
-        println!(" branch address from observed evictions)");
-    }
-    println!();
-
-    println!("=== Linear cipher break (§III-A) ===");
-    let llbc_broken = break_affine(&Llbc::from_seed(5), 0, 200, 1).is_some();
-    let qarma_broken = break_affine(&Qarma64::from_seed(5), 0, 200, 2).is_some();
-    println!(
-        "LLBC affine-model recovery (65 queries): {}",
-        if llbc_broken { "BROKEN" } else { "resisted" }
-    );
-    println!(
-        "QARMA-64 affine-model recovery:          {}",
-        if qarma_broken { "BROKEN" } else { "resisted" }
-    );
-    csv.row(format_args!("linear,llbc_broken,{}", llbc_broken));
-    csv.row(format_args!("linear,qarma_broken,{}", qarma_broken));
-
-    let path = csv.finish().expect("write results");
-    println!();
-    println!("wrote {path}");
+    bench::exp_main(bench::experiments::sec6_attack_costs::run);
 }

@@ -1,80 +1,9 @@
-//! §VI-D proof-of-concept: malicious training of BTB and PHT, baseline vs
-//! HyBP, with the paper's iteration/threshold protocol.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::sec6_poc_training` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! Usage: `sec6_poc_training [--scale quick|default|full]`
-//! (`full` runs the paper's 10 000 iterations.)
-
-use bench::{Csv, Scale};
-use bp_attacks::poc::{btb_training_topo, pht_training_topo, CoResidency, PocParams};
-use hybp::Mechanism;
+//! Usage: `sec6_poc_training [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let params = match scale {
-        Scale::Quick => PocParams {
-            iterations: 100,
-            rounds_per_iteration: 100,
-            success_threshold: 90,
-            trainings_per_round: 8,
-        },
-        Scale::Default => PocParams {
-            iterations: 1_000,
-            rounds_per_iteration: 100,
-            success_threshold: 90,
-            trainings_per_round: 8,
-        },
-        Scale::Full => PocParams::paper(),
-    };
-    let mut csv = Csv::new(
-        "sec6_poc_training.csv",
-        "unit,mechanism,training_accuracy,iteration_success_rate",
-    );
-    println!(
-        "§VI-D PoC: {} iterations x {} rounds, success at ≥{} trained rounds",
-        params.iterations, params.rounds_per_iteration, params.success_threshold
-    );
-    println!(
-        "{:<5} {:<10} {:>18} {:>24}",
-        "unit", "mechanism", "training accuracy", "iteration success rate"
-    );
-    // The paper's PoC topology: attacker and victim time-share one core.
-    for (name, mech) in [
-        ("Baseline", Mechanism::Baseline),
-        ("HyBP", Mechanism::hybp_default()),
-    ] {
-        let btb = btb_training_topo(mech, CoResidency::SingleCore, params, 3);
-        let pht = pht_training_topo(mech, CoResidency::SingleCore, params, 5);
-        println!(
-            "{:<5} {:<10} {:>17.1}% {:>23.1}%",
-            "BTB",
-            name,
-            btb.training_accuracy() * 100.0,
-            btb.success_rate() * 100.0
-        );
-        println!(
-            "{:<5} {:<10} {:>17.1}% {:>23.1}%",
-            "PHT",
-            name,
-            pht.training_accuracy() * 100.0,
-            pht.success_rate() * 100.0
-        );
-        csv.row(format_args!(
-            "BTB,{},{:.4},{:.4}",
-            name,
-            btb.training_accuracy(),
-            btb.success_rate()
-        ));
-        csv.row(format_args!(
-            "PHT,{},{:.4},{:.4}",
-            name,
-            pht.training_accuracy(),
-            pht.success_rate()
-        ));
-    }
-    println!();
-    println!("(paper, on a plain-TAGE FPGA platform: baseline 96.5% BTB / 97.2% PHT;");
-    println!(" < 1% under the hybrid protection. Our baseline PHT number is lower because");
-    println!(" TAGE-SC-L's corrector partially resists training — see EXPERIMENTS.md.)");
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
+    bench::exp_main(bench::experiments::sec6_poc_training::run);
 }

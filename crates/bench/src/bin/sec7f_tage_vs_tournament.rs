@@ -1,66 +1,9 @@
-//! §VII-F context: the performance value of modern branch prediction —
-//! TAGE-SC-L versus a decades-old tournament predictor on the same core.
-//! The paper quotes ≈ 5.4% in its setup, arguing that single-digit
-//! protection overheads squander real generational gains.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::sec7f` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! Usage: `sec7f_tage_vs_tournament [--scale quick|default|full]`
-
-use bench::{all_benchmarks, degradation, no_switch_config, Csv, Scale};
-use bp_pipeline::Simulation;
-use hybp::Mechanism;
+//! Usage: `sec7f_tage_vs_tournament [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let mut csv = Csv::new(
-        "sec7f_tage_vs_tournament.csv",
-        "benchmark,tage_ipc,tournament_ipc,tage_gain",
-    );
-    println!("§VII-F: TAGE-SC-L vs tournament predictor (unprotected baseline core)");
-    println!(
-        "{:<14} {:>10} {:>12} {:>10}",
-        "benchmark", "TAGE IPC", "tourney IPC", "TAGE gain"
-    );
-    let mut gains = Vec::new();
-    for bench in all_benchmarks() {
-        let cfg = no_switch_config(scale);
-        let tage = Simulation::single_thread(Mechanism::Baseline, bench, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
-        let tourney = Simulation::single_thread(Mechanism::TournamentBaseline, bench, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
-        let gain = -degradation(tage, tourney); // positive = TAGE faster
-        gains.push(gain);
-        println!(
-            "{:<14} {:>10.3} {:>12.3} {:>9.2}%",
-            bench.name(),
-            tage,
-            tourney,
-            gain * 100.0
-        );
-        csv.row(format_args!(
-            "{},{:.4},{:.4},{:.5}",
-            bench.name(),
-            tage,
-            tourney,
-            gain
-        ));
-    }
-    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
-    println!(
-        "{:<14} {:>10} {:>12} {:>9.2}%",
-        "average",
-        "",
-        "",
-        avg * 100.0
-    );
-    csv.row(format_args!("average,,,{:.5}", avg));
-    println!();
-    println!("(paper: ≈ 5.4% average gain from TAGE-SC-L over the tournament predictor)");
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
+    bench::exp_main(bench::experiments::sec7f::run);
 }

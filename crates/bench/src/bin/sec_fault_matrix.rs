@@ -1,196 +1,9 @@
-//! Robustness matrix: every protection mechanism under every fault class.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::sec_fault_matrix` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! For each (mechanism × fault class) pair this runs a clean and a faulted
-//! simulation of the same configuration and reports whether the paper's
-//! "stale keys cost accuracy, never correctness" claim holds under
-//! adversarial disturbance: identical architectural branch streams, full
-//! retirement, bounded direction-accuracy loss, and the fault actually
-//! firing where it applies.
-//!
-//! Usage: `sec_fault_matrix [--scale quick|default|full]`
-
-use bench::{Csv, Scale};
-use bp_faults::{FaultInjector, FaultPlan, FaultStats};
-use bp_pipeline::{RunMetrics, SimConfig, Simulation};
-use bp_workloads::profile::SpecBenchmark;
-use hybp::{HybpConfig, Mechanism};
-
-const BENCH: SpecBenchmark = SpecBenchmark::Deepsjeng;
-const MAX_ACCURACY_LOSS: f64 = 0.25;
-
-fn all_mechanisms() -> Vec<Mechanism> {
-    vec![
-        Mechanism::Baseline,
-        Mechanism::Flush,
-        Mechanism::Partition,
-        Mechanism::Replication {
-            extra_storage_pct: 100,
-        },
-        Mechanism::DisableSmt,
-        Mechanism::hybp_default(),
-        Mechanism::HyBp(HybpConfig::randomization_only()),
-        Mechanism::TournamentBaseline,
-    ]
-}
-
-struct FaultClass {
-    name: &'static str,
-    hybp_only: bool,
-    plan: fn() -> FaultPlan,
-    fired: fn(&FaultStats) -> u64,
-}
-
-fn fault_classes() -> Vec<FaultClass> {
-    vec![
-        FaultClass {
-            name: "sram-key-flips",
-            hybp_only: true,
-            plan: || FaultPlan::new(0xFA01).with_key_bit_flips(97),
-            fired: |s| s.key_bit_flips,
-        },
-        FaultClass {
-            name: "btb-payload-flips",
-            hybp_only: false,
-            plan: || FaultPlan::new(0xFA02).with_btb_target_flips(53),
-            fired: |s| s.btb_target_flips,
-        },
-        FaultClass {
-            name: "direction-flips",
-            hybp_only: false,
-            plan: || FaultPlan::new(0xFA03).with_direction_flips(101),
-            fired: |s| s.direction_flips,
-        },
-        FaultClass {
-            name: "refresh-disturbance",
-            hybp_only: true,
-            plan: || {
-                FaultPlan::new(0xFA04)
-                    .with_forced_context_switches(6_000)
-                    .with_refresh_delays(2, 37)
-                    .with_refresh_drops(3)
-            },
-            fired: |s| s.refreshes_delayed + s.refreshes_dropped,
-        },
-        FaultClass {
-            name: "trace-anomalies",
-            hybp_only: false,
-            plan: || {
-                FaultPlan::new(0xFA05)
-                    .with_record_drops(211)
-                    .with_record_duplicates(223)
-            },
-            fired: |s| s.records_dropped + s.records_duplicated,
-        },
-        FaultClass {
-            name: "os-disturbance",
-            hybp_only: false,
-            plan: || {
-                FaultPlan::new(0xFA06)
-                    .with_forced_context_switches(7_000)
-                    .with_forced_timers(5_000)
-            },
-            fired: |s| s.forced_context_switches + s.forced_timers,
-        },
-        FaultClass {
-            name: "counter-saturation",
-            hybp_only: true,
-            plan: || FaultPlan::new(0xFA07).with_counter_saturation(5_000),
-            fired: |s| s.counters_saturated,
-        },
-    ]
-}
-
-fn fault_cfg(scale: Scale) -> SimConfig {
-    let mut cfg = SimConfig::quick_test();
-    cfg.warmup_instructions = scale.warmup_instructions() / 4;
-    cfg.measure_instructions = scale.fixed_instructions() / 4;
-    cfg.ctx_switch_interval = 25_000;
-    cfg
-}
-
-fn run_one(mech: Mechanism, cfg: SimConfig, plan: Option<FaultPlan>) -> (RunMetrics, FaultStats) {
-    let mut sim = Simulation::single_thread(mech, BENCH, cfg).expect("valid config");
-    let injector = plan.map(FaultInjector::from_plan);
-    sim.set_fault_injector(injector.clone());
-    let metrics = sim.run();
-    let stats = injector.map(|i| i.stats()).unwrap_or_default();
-    (metrics, stats)
-}
+//! Usage: `sec_fault_matrix [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let cfg = fault_cfg(scale);
-    let mut csv = Csv::new(
-        "sec_fault_matrix.csv",
-        "fault_class,mechanism,streams_agree,retired_ok,clean_accuracy,faulted_accuracy,\
-         accuracy_delta,faults_fired,verdict",
-    );
-
-    println!("Robustness matrix: accuracy under faults, correctness never ({BENCH:?})");
-    println!(
-        "{:<20} {:<22} {:>7} {:>7} {:>8} {:>7} {:>8}",
-        "fault class", "mechanism", "clean%", "fault%", "delta", "fired", "verdict"
-    );
-
-    let clean: Vec<(Mechanism, RunMetrics)> = all_mechanisms()
-        .into_iter()
-        .map(|m| (m, run_one(m, cfg, None).0))
-        .collect();
-
-    let mut failures = 0u32;
-    for class in fault_classes() {
-        for (mech, clean_run) in &clean {
-            let (faulted, stats) = run_one(*mech, cfg, Some((class.plan)()));
-            let agree = faulted.streams_agree_with(clean_run);
-            let retired_ok = faulted
-                .threads
-                .iter()
-                .all(|t| t.retired >= cfg.measure_instructions);
-            let clean_acc = clean_run.bpu.direction_accuracy();
-            let faulted_acc = faulted.bpu.direction_accuracy();
-            let delta = faulted_acc - clean_acc;
-            let fired = (class.fired)(&stats);
-            let applies = !class.hybp_only || matches!(mech, Mechanism::HyBp(_));
-            let ok = agree
-                && retired_ok
-                && faulted_acc >= clean_acc - MAX_ACCURACY_LOSS
-                && faulted_acc > 0.5
-                && (!applies || fired > 0);
-            if !ok {
-                failures += 1;
-            }
-            println!(
-                "{:<20} {:<22} {:>6.2}% {:>6.2}% {:>+7.2}% {:>7} {:>8}",
-                class.name,
-                mech.to_string(),
-                clean_acc * 100.0,
-                faulted_acc * 100.0,
-                delta * 100.0,
-                fired,
-                if ok { "ok" } else { "FAIL" }
-            );
-            csv.row(format_args!(
-                "{},{},{},{},{:.5},{:.5},{:+.5},{},{}",
-                class.name,
-                mech,
-                agree,
-                retired_ok,
-                clean_acc,
-                faulted_acc,
-                delta,
-                fired,
-                if ok { "ok" } else { "fail" }
-            ));
-        }
-        println!();
-    }
-
-    println!("(invariant: streams identical, quota retired, accuracy loss bounded by");
-    println!(" {MAX_ACCURACY_LOSS} absolute — faults degrade prediction, never execution)");
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
-    if failures > 0 {
-        eprintln!("{failures} matrix cells violated the robustness invariant");
-        std::process::exit(1);
-    }
+    bench::exp_main(bench::experiments::sec_fault_matrix::run);
 }

@@ -1,93 +1,9 @@
-//! Table I: performance overhead, hardware cost and security coverage of
-//! every defense mechanism, at the default Linux-time-slice context-switch
-//! interval on an SMT-2 core.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::table1` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! Usage: `table1_comparison [--scale quick|default|full]`
-
-use bench::{degradation, no_switch_config, Csv, Scale, DEFAULT_INTERVAL};
-use bp_pipeline::Simulation;
-use bp_workloads::TABLE_V_MIXES;
-use hybp::cost::mechanism_cost;
-use hybp::Mechanism;
-
-/// SMT throughput under `mech` across all Table V mixes (no-switch runs;
-/// context-switch effects at 16M are folded in via the single-thread model
-/// which the fig5/fig6 binaries quantify — at 16M they are < 1% for every
-/// mechanism except via their fixed parts, which these runs capture).
-fn smt_throughput(mech: Mechanism, scale: Scale) -> f64 {
-    let mut total = 0.0;
-    for mix in TABLE_V_MIXES {
-        let cfg = no_switch_config(scale);
-        let m = Simulation::smt(mech, mix.pair, cfg)
-            .expect("valid config")
-            .run();
-        total += m.throughput();
-    }
-    total / TABLE_V_MIXES.len() as f64
-}
+//! Usage: `table1_comparison [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let mut csv = Csv::new(
-        "table1_comparison.csv",
-        "mechanism,perf_overhead,hw_cost_pct,single_thread_secure,smt_secure",
-    );
-    println!("Table I: comparison of security mechanisms (SMT-2, {DEFAULT_INTERVAL}-cycle slices)");
-    println!(
-        "{:<18} {:>10} {:>9} {:>14} {:>6}",
-        "mechanism", "perf ovh", "hw cost", "single-thread", "SMT"
-    );
-    let baseline_thr = smt_throughput(Mechanism::Baseline, scale);
-    let solo_thr = {
-        // Disable-SMT: only the first member of each mix runs.
-        let mut total = 0.0;
-        for mix in TABLE_V_MIXES {
-            let cfg = no_switch_config(scale);
-            let m = Simulation::single_thread(Mechanism::Baseline, mix.pair[0], cfg)
-                .expect("valid config")
-                .run();
-            total += m.throughput();
-        }
-        total / TABLE_V_MIXES.len() as f64
-    };
-    let rows: [(Mechanism, &str, &str); 5] = [
-        (Mechanism::Flush, "yes", "NO"),
-        (Mechanism::Partition, "yes", "yes"),
-        (Mechanism::replication_default(), "yes", "yes"),
-        (Mechanism::DisableSmt, "-", "yes"),
-        (Mechanism::hybp_default(), "yes", "yes"),
-    ];
-    println!(
-        "{:<18} {:>10} {:>9} {:>14} {:>6}   (baseline throughput {:.3})",
-        "Baseline", "0.0%", "0%", "NO", "NO", baseline_thr
-    );
-    for (mech, st_sec, smt_sec) in rows {
-        let thr = match mech {
-            Mechanism::DisableSmt => solo_thr,
-            m => smt_throughput(m, scale),
-        };
-        let overhead = degradation(thr, baseline_thr);
-        let cost = mechanism_cost(&mech, 2);
-        println!(
-            "{:<18} {:>9.1}% {:>8.1}% {:>14} {:>6}",
-            mech.to_string(),
-            overhead * 100.0,
-            cost.overhead_fraction() * 100.0,
-            st_sec,
-            smt_sec
-        );
-        csv.row(format_args!(
-            "{},{:.4},{:.4},{},{}",
-            mech,
-            overhead,
-            cost.overhead_fraction(),
-            st_sec,
-            smt_sec
-        ));
-    }
-    println!();
-    println!("(paper: Flush 5.1%/0, Partition 6.3%/0, Replication 2.1%/100%,");
-    println!(" DisableSMT 18%/0, HyBP 0.5%/21.1%)");
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
+    bench::exp_main(bench::experiments::table1::run);
 }

@@ -1,18 +1,9 @@
-//! Table II: the threat-model classification matrix.
-
-use bp_attacks::threat_model::{table_ii, Scenario};
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::table2` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
+//!
+//! Usage: `table2_threat_model [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    println!("Table II: classification of threat models (✓ in scope, ○ not considered)");
-    print!("{:<18}", "");
-    for s in Scenario::ALL {
-        print!(" {:>22}", s.to_string());
-    }
-    println!();
-    for row in table_ii() {
-        println!("{row}");
-    }
-    println!();
-    println!("HyBP defends all in-scope combinations; same-thread/same-privilege attacks");
-    println!("(e.g. Spectre V1) are out of scope per the paper's §IV argument.");
+    bench::exp_main(bench::experiments::table2::run);
 }

@@ -1,73 +1,9 @@
-//! Table III: Defend / No-Protection matrix, derived by actually running
-//! the PoC attacks against each mechanism on single-threaded and SMT
-//! configurations.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::table3` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! * BTB rows use the malicious-target-training PoC (reuse) and the
-//!   PPP/eviction experiments (contention).
-//! * PHT rows use the direction-training PoC (reuse); PHT contention is
-//!   covered by the physically isolated base predictor argument, checked
-//!   through the cross-thread training collapse.
-//!
-//! "Single-threaded core" attacks run across context switches (attacker and
-//! victim time-share); "SMT" attacks run concurrently. A mechanism defends
-//! when the attack's success collapses.
-//!
-//! Usage: `table3_security_matrix [--scale quick|default|full]`
-
-use bp_attacks::poc::{btb_training_topo, pht_training_topo, CoResidency, PocParams};
-use hybp::Mechanism;
-
-/// Attack succeeds ⇒ "No Protection"; collapse ⇒ "Defend".
-fn verdict(training_accuracy: f64) -> &'static str {
-    if training_accuracy < 0.10 {
-        "Defend"
-    } else {
-        "No Protection"
-    }
-}
+//! Usage: `table3_security_matrix [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let params = PocParams {
-        iterations: 120,
-        rounds_per_iteration: 60,
-        success_threshold: 54,
-        trainings_per_round: 8,
-    };
-    println!("Table III: protections summary (derived from live PoC runs)");
-    println!(
-        "{:<6} {:<20} {:>24} {:>24}",
-        "unit", "mechanism", "single-threaded core", "SMT core"
-    );
-    let mechanisms = [
-        ("Flush", Mechanism::Flush),
-        ("Physical Isolation", Mechanism::Partition),
-        ("HyBP", Mechanism::hybp_default()),
-    ];
-    for (name, mech) in mechanisms {
-        let btb_st = btb_training_topo(mech, CoResidency::SingleCore, params, 11);
-        let btb_smt = btb_training_topo(mech, CoResidency::Smt, params, 12);
-        let pht_st = pht_training_topo(mech, CoResidency::SingleCore, params, 13);
-        let pht_smt = pht_training_topo(mech, CoResidency::Smt, params, 14);
-        println!(
-            "{:<6} {:<20} {:>14} ({:>5.1}%) {:>14} ({:>5.1}%)",
-            "BTB",
-            name,
-            verdict(btb_st.training_accuracy()),
-            btb_st.training_accuracy() * 100.0,
-            verdict(btb_smt.training_accuracy()),
-            btb_smt.training_accuracy() * 100.0
-        );
-        println!(
-            "{:<6} {:<20} {:>14} ({:>5.1}%) {:>14} ({:>5.1}%)",
-            "PHT",
-            name,
-            verdict(pht_st.training_accuracy()),
-            pht_st.training_accuracy() * 100.0,
-            verdict(pht_smt.training_accuracy()),
-            pht_smt.training_accuracy() * 100.0
-        );
-    }
-    println!();
-    println!("(paper Table III: Flush rows 'No Protection' under SMT; Physical Isolation");
-    println!(" and HyBP defend everywhere)");
+    bench::exp_main(bench::experiments::table3::run);
 }

@@ -1,61 +1,9 @@
-//! Table VI: HyBP performance overhead as the randomized index keys table
-//! grows from 1K to 32K entries, at 4M- and 16M-cycle context-switch
-//! intervals. Bigger tables take longer to refresh, so branches run on
-//! stale keys (pure accuracy cost) for longer after each switch.
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::table6` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
 //!
-//! Usage: `table6_keys_table_sensitivity [--scale quick|default|full]`
-
-use bench::{all_benchmarks, degradation, single_thread_ipc_at, single_thread_model, Csv, Scale};
-use hybp::{HybpConfig, Mechanism};
+//! Usage: `table6_keys_table_sensitivity [--scale quick|default|full] [--threads N] [--no-cache]`
 
 fn main() {
-    let scale = Scale::from_args();
-    let mut csv = Csv::new(
-        "table6_keys_table_sensitivity.csv",
-        "keys_entries,interval_cycles,avg_overhead",
-    );
-    let sizes = [1024usize, 2048, 4096, 16 * 1024, 32 * 1024];
-    let intervals = [4_000_000u64, 16_000_000];
-    // A representative benchmark subset keeps the run laptop-sized; the
-    // effect being measured (stale-key window length) is workload-light.
-    let benches = &all_benchmarks()[..6];
-    println!("Table VI: overhead vs randomized index keys table size");
-    println!(
-        "{:>9} {:>12} {:>12}",
-        "entries", "4M interval", "16M interval"
-    );
-    let base_models: Vec<_> = benches
-        .iter()
-        .map(|&b| single_thread_model(Mechanism::Baseline, b, scale))
-        .collect();
-    for &entries in &sizes {
-        let mech = Mechanism::HyBp(HybpConfig::with_keys_entries(entries));
-        let models: Vec<_> = benches
-            .iter()
-            .map(|&b| single_thread_model(mech, b, scale))
-            .collect();
-        print!("{:>9}", entries);
-        for &interval in &intervals {
-            let mut losses = Vec::new();
-            for (i, &bench) in benches.iter().enumerate() {
-                let (b, _) = single_thread_ipc_at(
-                    Mechanism::Baseline,
-                    bench,
-                    interval,
-                    &base_models[i],
-                    scale,
-                );
-                let (h, _) = single_thread_ipc_at(mech, bench, interval, &models[i], scale);
-                losses.push(degradation(h, b));
-            }
-            let avg = losses.iter().sum::<f64>() / losses.len() as f64;
-            print!(" {:>11.2}%", avg * 100.0);
-            csv.row(format_args!("{},{},{:.5}", entries, interval, avg));
-        }
-        println!();
-    }
-    println!();
-    println!("(paper: 1.4%..1.9% at 4M and 0.5%..0.9% at 16M as tables grow 1K→32K)");
-    let path = csv.finish().expect("write results");
-    println!("wrote {path}");
+    bench::exp_main(bench::experiments::table6::run);
 }

@@ -1,0 +1,209 @@
+//! Shared command-line handling and run context for the experiment
+//! binaries.
+//!
+//! Every binary accepts the same three options:
+//!
+//! * `--scale quick|default|full` — run-length preset ([`Scale`]),
+//! * `--threads N` — worker count for the parallel sweeps (default: the
+//!   `HYBP_THREADS` environment variable, else
+//!   [`std::thread::available_parallelism`]),
+//! * `--no-cache` — bypass the on-disk model cache entirely.
+//!
+//! Unknown options and malformed values are fatal usage errors (exit
+//! code 2) with a message listing what is valid — a typo must never
+//! silently fall back to a default and quietly measure the wrong thing.
+
+use bp_common::pool::Pool;
+
+use crate::cache::ModelCache;
+use crate::{ExpResult, Scale};
+
+/// Option summary printed with every usage error.
+pub const USAGE: &str = "options: [--scale quick|default|full] [--threads N] [--no-cache]";
+
+/// Parsed command-line options, before any pool/cache is constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Run-length preset.
+    pub scale: Scale,
+    /// Worker count (≥ 1, already resolved against the environment).
+    pub threads: usize,
+    /// Whether `--no-cache` was given.
+    pub no_cache: bool,
+}
+
+/// Parses a `--threads`/`HYBP_THREADS` value.
+///
+/// # Errors
+///
+/// Rejects anything that is not a positive integer, with a message
+/// naming the offending value.
+pub fn parse_threads(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "invalid thread count '{v}': expected a positive integer"
+        )),
+    }
+}
+
+/// Resolves the worker count when `--threads` is absent: a set
+/// `HYBP_THREADS` must parse (same strictness as the flag), otherwise the
+/// machine's available parallelism is used.
+fn threads_from_env() -> Result<usize, String> {
+    match std::env::var("HYBP_THREADS") {
+        Ok(v) => parse_threads(&v).map_err(|e| format!("HYBP_THREADS: {e}")),
+        Err(_) => Ok(Pool::machine_sized().threads()),
+    }
+}
+
+/// Parses the shared options from `args` (argv without the program name).
+///
+/// # Errors
+///
+/// Returns a usage message on any unknown option, missing value, unknown
+/// scale, or non-positive thread count.
+pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+    let mut scale = Scale::Default;
+    let mut threads: Option<usize> = None;
+    let mut no_cache = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--scale needs a value; {USAGE}"))?;
+                scale = Scale::parse(v)?;
+                i += 2;
+            }
+            "--threads" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--threads needs a value; {USAGE}"))?;
+                threads = Some(parse_threads(v)?);
+                i += 2;
+            }
+            "--no-cache" => {
+                no_cache = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown option '{other}'; {USAGE}")),
+        }
+    }
+    let threads = match threads {
+        Some(t) => t,
+        None => threads_from_env()?,
+    };
+    Ok(CliOptions {
+        scale,
+        threads,
+        no_cache,
+    })
+}
+
+/// Everything an experiment body needs: the scale preset, the worker
+/// pool, and the shared on-disk model cache. One `Ctx` serves a whole
+/// `bench_all` suite run, so cache statistics aggregate across
+/// experiments.
+#[derive(Debug)]
+pub struct Ctx {
+    /// Run-length preset.
+    pub scale: Scale,
+    /// Worker pool for the sweep grids.
+    pub pool: Pool,
+    /// Shared model cache.
+    pub cache: ModelCache,
+}
+
+impl Ctx {
+    /// A context from explicit options, using the standard cache
+    /// directory.
+    pub fn from_options(opts: CliOptions) -> Ctx {
+        Ctx {
+            scale: opts.scale,
+            pool: Pool::new(opts.threads),
+            cache: ModelCache::standard(!opts.no_cache),
+        }
+    }
+
+    /// A context from the process arguments; usage errors are fatal
+    /// (exit code 2).
+    pub fn from_cli() -> Ctx {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match parse(&args) {
+            Ok(opts) => Ctx::from_options(opts),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// A serial, cache-disabled context — what tests and library callers
+    /// use when they want the plain deterministic path.
+    pub fn serial_uncached(scale: Scale) -> Ctx {
+        Ctx {
+            scale,
+            pool: Pool::serial(),
+            cache: ModelCache::standard(false),
+        }
+    }
+}
+
+/// Standard `main` body for a single-experiment binary: build the context
+/// from argv, run the experiment, exit non-zero on failure.
+pub fn exp_main(run: fn(&Ctx) -> ExpResult) {
+    let ctx = Ctx::from_cli();
+    if let Err(e) = run(&ctx) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&s(&["--scale", "quick", "--threads", "3", "--no-cache"])).unwrap();
+        assert_eq!(o.scale, Scale::Quick);
+        assert_eq!(o.threads, 3);
+        assert!(o.no_cache);
+    }
+
+    #[test]
+    fn rejects_scale_typo_with_options_listed() {
+        let e = parse(&s(&["--scale", "ful"])).unwrap_err();
+        assert!(e.contains("ful"), "{e}");
+        assert!(e.contains("quick, default, full"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_thread_counts() {
+        for bad in ["0", "-2", "two", "1.5", ""] {
+            assert!(parse_threads(bad).is_err(), "{bad:?} accepted");
+        }
+        assert_eq!(parse_threads("8"), Ok(8));
+    }
+
+    #[test]
+    fn rejects_unknown_options_and_missing_values() {
+        assert!(parse(&s(&["--scael", "quick"])).is_err());
+        assert!(parse(&s(&["--scale"])).is_err());
+        assert!(parse(&s(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scale, Scale::Default);
+        assert!(o.threads >= 1);
+        assert!(!o.no_cache);
+    }
+}

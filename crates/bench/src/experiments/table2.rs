@@ -1,0 +1,20 @@
+//! Table II: the threat-model classification matrix.
+
+use crate::{Ctx, ExpResult};
+use bp_attacks::threat_model::{table_ii, Scenario};
+
+pub fn run(_ctx: &Ctx) -> ExpResult {
+    println!("Table II: classification of threat models (✓ in scope, ○ not considered)");
+    print!("{:<18}", "");
+    for s in Scenario::ALL {
+        print!(" {:>22}", s.to_string());
+    }
+    println!();
+    for row in table_ii() {
+        println!("{row}");
+    }
+    println!();
+    println!("HyBP defends all in-scope combinations; same-thread/same-privilege attacks");
+    println!("(e.g. Spectre V1) are out of scope per the paper's §IV argument.");
+    Ok(())
+}

@@ -27,7 +27,17 @@ use bp_pipeline::{SimConfig, Simulation};
 use bp_workloads::profile::SpecBenchmark;
 use hybp::Mechanism;
 
+pub mod cache;
+pub mod cli;
+pub mod experiments;
 pub mod timing;
+
+pub use cache::{CacheKey, ModelCache};
+pub use cli::{exp_main, Ctx};
+
+/// What an experiment body returns: `Ok(())` or a printable failure (a
+/// violated invariant, an unwritable CSV, …).
+pub type ExpResult = Result<(), Box<dyn std::error::Error>>;
 
 /// Run-length preset, selectable with `--scale quick|default|full`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,16 +51,48 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--scale <v>` from argv, defaulting to [`Scale::Default`].
+    /// Parses one scale value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid options when `v` is not one of
+    /// them — a typo like `ful` must never silently run at a different
+    /// scale.
+    pub fn parse(v: &str) -> Result<Scale, String> {
+        match v {
+            "quick" => Ok(Scale::Quick),
+            "default" => Ok(Scale::Default),
+            "full" => Ok(Scale::Full),
+            other => Err(format!(
+                "invalid scale '{other}': valid values are quick, default, full"
+            )),
+        }
+    }
+
+    /// The value accepted by [`Scale::parse`] for this scale.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses `--scale <v>` from argv, defaulting to [`Scale::Default`]
+    /// when the flag is absent. An unknown value is a fatal usage error
+    /// (exit code 2), not a silent fallback.
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         for i in 0..args.len() {
             if args[i] == "--scale" {
-                return match args.get(i + 1).map(String::as_str) {
-                    Some("quick") => Scale::Quick,
-                    Some("full") => Scale::Full,
-                    _ => Scale::Default,
-                };
+                let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+                match Scale::parse(v) {
+                    Ok(s) => return s,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
         }
         Scale::Default
@@ -183,6 +225,139 @@ pub fn single_thread_ipc_at(
 /// Relative performance degradation of `ipc` versus `baseline_ipc`.
 pub fn degradation(ipc: f64, baseline_ipc: f64) -> f64 {
     (baseline_ipc - ipc) / baseline_ipc
+}
+
+/// Cache key for a simulation-derived point: folds in the mechanism
+/// (including its embedded config), the workload description, the scale
+/// and the *exact* simulation parameters, so no two distinct points can
+/// alias and any config change misses cleanly.
+fn sim_key(
+    kind: &'static str,
+    mechanism: Mechanism,
+    workload: &str,
+    scale: Scale,
+    cfg: &SimConfig,
+) -> CacheKey {
+    CacheKey::new(kind)
+        .with("mech", format_args!("{mechanism:?}"))
+        .with("workload", format_args!("{workload}"))
+        .with("scale", format_args!("{}", scale.name()))
+        .with("cfg", format_args!("{cfg:?}"))
+}
+
+/// [`single_thread_model`] through the context's on-disk cache: the two
+/// model parameters are stored bit-exactly, so a warm run reproduces the
+/// cold run's numbers to the last bit.
+pub fn model_cached(ctx: &Ctx, mechanism: Mechanism, bench: SpecBenchmark) -> OverheadModel {
+    let cal_cfg = direct_config(
+        ctx.scale,
+        CALIBRATION_INTERVAL,
+        ctx.scale.calibration_switches(),
+        bench.profile().base_ipc,
+    );
+    let key = sim_key(
+        "model",
+        mechanism,
+        bench.name(),
+        ctx.scale,
+        &no_switch_config(ctx.scale),
+    )
+    .with("cal_cfg", format_args!("{cal_cfg:?}"));
+    let v = ctx.cache.get_or_compute(&key, || {
+        let m = single_thread_model(mechanism, bench, ctx.scale);
+        vec![m.ipc_fixed, m.per_switch_cycles]
+    });
+    if v.len() != 2 {
+        // Malformed payload despite a matching key: fall back to compute.
+        return single_thread_model(mechanism, bench, ctx.scale);
+    }
+    OverheadModel {
+        ipc_fixed: v[0],
+        per_switch_cycles: v[1],
+    }
+}
+
+/// [`single_thread_ipc_at`] with direct-measurement points served from the
+/// context's cache (modeled points are free — they are pure arithmetic on
+/// the already-cached model).
+pub fn ipc_at_cached(
+    ctx: &Ctx,
+    mechanism: Mechanism,
+    bench: SpecBenchmark,
+    interval: Cycle,
+    model: &OverheadModel,
+) -> (f64, &'static str) {
+    if interval <= CALIBRATION_INTERVAL {
+        let cfg = direct_config(ctx.scale, interval, 4, bench.profile().base_ipc);
+        let key = sim_key("direct", mechanism, bench.name(), ctx.scale, &cfg);
+        let ipc = ctx.cache.get_or_compute_one(&key, || {
+            Simulation::single_thread(mechanism, bench, cfg)
+                .expect("valid config")
+                .run()
+                .threads[0]
+                .ipc()
+        });
+        (ipc, "direct")
+    } else {
+        (model.ipc_at(interval), "model")
+    }
+}
+
+/// Cached single-thread point under an arbitrary config: returns
+/// `(ipc, direction_accuracy)`.
+pub fn st_point_cached(
+    ctx: &Ctx,
+    mechanism: Mechanism,
+    bench: SpecBenchmark,
+    cfg: SimConfig,
+) -> (f64, f64) {
+    let key = sim_key("st_point", mechanism, bench.name(), ctx.scale, &cfg);
+    let v = ctx.cache.get_or_compute(&key, || {
+        let m = Simulation::single_thread(mechanism, bench, cfg)
+            .expect("valid config")
+            .run();
+        vec![m.threads[0].ipc(), m.bpu.direction_accuracy()]
+    });
+    if v.len() != 2 {
+        let m = Simulation::single_thread(mechanism, bench, cfg)
+            .expect("valid config")
+            .run();
+        return (m.threads[0].ipc(), m.bpu.direction_accuracy());
+    }
+    (v[0], v[1])
+}
+
+/// Cached no-switch single-thread IPC (the most shared point of all: every
+/// baseline comparison starts here).
+pub fn no_switch_ipc_cached(ctx: &Ctx, mechanism: Mechanism, bench: SpecBenchmark) -> f64 {
+    st_point_cached(ctx, mechanism, bench, no_switch_config(ctx.scale)).0
+}
+
+/// Cached SMT point for one co-running pair: returns
+/// `(throughput, per-thread IPCs)`.
+pub fn smt_point_cached(
+    ctx: &Ctx,
+    mechanism: Mechanism,
+    pair: [SpecBenchmark; 2],
+    cfg: SimConfig,
+) -> (f64, Vec<f64>) {
+    let workload = format!("{}+{}", pair[0].name(), pair[1].name());
+    let key = sim_key("smt_point", mechanism, &workload, ctx.scale, &cfg);
+    let v = ctx.cache.get_or_compute(&key, || {
+        let m = Simulation::smt(mechanism, pair, cfg)
+            .expect("valid config")
+            .run();
+        let mut out = vec![m.throughput()];
+        out.extend(m.ipcs());
+        out
+    });
+    if v.len() < 2 {
+        let m = Simulation::smt(mechanism, pair, cfg)
+            .expect("valid config")
+            .run();
+        return (m.throughput(), m.ipcs());
+    }
+    (v[0], v[1..].to_vec())
 }
 
 /// Simple CSV accumulator writing into `results/`.

@@ -1,0 +1,157 @@
+//! Determinism guarantees of the parallel sweep executor and the model
+//! cache: worker count must never change a number, and a cache round-trip
+//! (including through corruption) must reproduce cold-run values
+//! bit-exactly.
+
+use bench::cache::{CacheKey, ModelCache};
+use bench::{model_cached, no_switch_config, no_switch_ipc_cached, Ctx, Scale};
+use bp_common::pool::Pool;
+use bp_pipeline::{SimConfig, Simulation};
+use bp_workloads::profile::SpecBenchmark;
+use hybp::Mechanism;
+
+/// A context whose cache lives in a fresh temp directory.
+fn tmp_ctx(tag: &str, threads: usize, enabled: bool) -> Ctx {
+    let dir = std::env::temp_dir().join(format!("hybp-determinism-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Ctx {
+        scale: Scale::Quick,
+        pool: Pool::new(threads),
+        cache: ModelCache::at_dir(dir, enabled),
+    }
+}
+
+fn cleanup(ctx: &Ctx) {
+    let _ = std::fs::remove_dir_all(ctx.cache.dir());
+}
+
+/// A short real simulation — heavy enough to exercise the whole stack,
+/// light enough for a debug-mode test.
+fn tiny_ipc(mech: Mechanism, bench: SpecBenchmark) -> f64 {
+    Simulation::single_thread(mech, bench, SimConfig::quick_test())
+        .expect("valid config")
+        .run()
+        .threads[0]
+        .ipc()
+}
+
+#[test]
+fn par_map_equals_serial_map_for_1_2_8_workers() {
+    let benches = [
+        SpecBenchmark::Deepsjeng,
+        SpecBenchmark::Xz,
+        SpecBenchmark::Wrf,
+        SpecBenchmark::Mcf,
+    ];
+    let serial: Vec<f64> = benches
+        .iter()
+        .map(|&b| tiny_ipc(Mechanism::Baseline, b))
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let parallel = Pool::new(workers).par_map(&benches, |&b| tiny_ipc(Mechanism::Baseline, b));
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parallel.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "par_map with {workers} workers diverged from the serial map"
+        );
+    }
+}
+
+#[test]
+fn par_map_output_is_input_ordered_not_completion_ordered() {
+    // Items with wildly uneven costs: completion order differs from input
+    // order, output must not.
+    let pool = Pool::new(4);
+    let got = pool.par_map_indices(16, |i| {
+        if i % 4 == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        i * 3
+    });
+    assert_eq!(got, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+}
+
+#[test]
+fn cache_round_trip_reproduces_cold_run_bits() {
+    let ctx = tmp_ctx("roundtrip", 1, true);
+    let mech = Mechanism::hybp_default();
+    let bench = SpecBenchmark::Xalancbmk;
+    let key = CacheKey::new("test_ipc")
+        .with("mech", format_args!("{mech:?}"))
+        .with("bench", format_args!("{bench:?}"));
+
+    // Cold run: computes and writes the entry.
+    let cold = ctx.cache.get_or_compute_one(&key, || tiny_ipc(mech, bench));
+    assert_eq!(ctx.cache.stats().misses, 1);
+
+    // Warm reload must be a hit and bit-identical.
+    let warm = ctx
+        .cache
+        .get_or_compute_one(&key, || panic!("warm lookup must not recompute"));
+    assert_eq!(cold.to_bits(), warm.to_bits());
+    assert_eq!(ctx.cache.stats().hits, 1);
+
+    // Corrupt every cache file, then reload: must recompute and land on
+    // the exact cold-run value again — a bad cache file means recompute,
+    // never a wrong number.
+    for entry in std::fs::read_dir(ctx.cache.dir()).unwrap() {
+        std::fs::write(entry.unwrap().path(), b"\x00garbage\xff").unwrap();
+    }
+    let recomputed = ctx.cache.get_or_compute_one(&key, || tiny_ipc(mech, bench));
+    assert_eq!(cold.to_bits(), recomputed.to_bits());
+    assert_eq!(ctx.cache.stats().misses, 2);
+    cleanup(&ctx);
+}
+
+#[test]
+fn cached_model_matches_uncached_model_bitwise() {
+    let ctx = tmp_ctx("model", 2, true);
+    let mech = Mechanism::Baseline;
+    let bench = SpecBenchmark::Exchange2;
+    // The plain (uncached) IPC point and the cached one must agree on a
+    // cold cache, and again on a warm one.
+    let direct = Simulation::single_thread(mech, bench, no_switch_config(ctx.scale))
+        .expect("valid config")
+        .run()
+        .threads[0]
+        .ipc();
+    let cold = no_switch_ipc_cached(&ctx, mech, bench);
+    let warm = no_switch_ipc_cached(&ctx, mech, bench);
+    assert_eq!(direct.to_bits(), cold.to_bits());
+    assert_eq!(cold.to_bits(), warm.to_bits());
+    let stats = ctx.cache.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    cleanup(&ctx);
+}
+
+#[test]
+fn overhead_model_survives_cache_and_thread_count() {
+    let ctx1 = tmp_ctx("model-t1", 1, true);
+    let m_cold = model_cached(&ctx1, Mechanism::Baseline, SpecBenchmark::Lbm);
+    let m_warm = model_cached(&ctx1, Mechanism::Baseline, SpecBenchmark::Lbm);
+    assert_eq!(m_cold.ipc_fixed.to_bits(), m_warm.ipc_fixed.to_bits());
+    assert_eq!(
+        m_cold.per_switch_cycles.to_bits(),
+        m_warm.per_switch_cycles.to_bits()
+    );
+
+    let ctx8 = tmp_ctx("model-t8", 8, true);
+    let m8 = model_cached(&ctx8, Mechanism::Baseline, SpecBenchmark::Lbm);
+    assert_eq!(m_cold.ipc_fixed.to_bits(), m8.ipc_fixed.to_bits());
+    assert_eq!(
+        m_cold.per_switch_cycles.to_bits(),
+        m8.per_switch_cycles.to_bits()
+    );
+    cleanup(&ctx1);
+    cleanup(&ctx8);
+}
+
+#[test]
+fn disabled_cache_still_computes_correctly() {
+    let ctx = tmp_ctx("disabled", 2, false);
+    let a = no_switch_ipc_cached(&ctx, Mechanism::Baseline, SpecBenchmark::Roms);
+    let b = no_switch_ipc_cached(&ctx, Mechanism::Baseline, SpecBenchmark::Roms);
+    assert_eq!(a.to_bits(), b.to_bits());
+    assert_eq!(ctx.cache.stats().hits, 0);
+    assert!(!ctx.cache.dir().exists());
+}

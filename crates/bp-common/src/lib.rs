@@ -10,7 +10,9 @@
 //! * branch-history registers ([`history::GlobalHistory`], [`history::PathHistory`]),
 //! * statistics helpers ([`stats`]),
 //! * typed configuration errors ([`error::ConfigError`]),
-//! * a deterministic, dependency-free property-check harness ([`check`]).
+//! * a deterministic, dependency-free property-check harness ([`check`]),
+//! * a scoped worker pool with an order-preserving `par_map`
+//!   ([`pool::Pool`]).
 //!
 //! # Examples
 //!
@@ -26,6 +28,7 @@
 pub mod check;
 pub mod error;
 pub mod history;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 

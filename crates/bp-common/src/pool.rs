@@ -1,0 +1,202 @@
+//! A scoped worker pool with a deterministic, order-preserving `par_map`.
+//!
+//! The experiment grid (mechanism × benchmark × scale) is embarrassingly
+//! parallel, but every aggregation step in the bench layer must stay
+//! bit-identical to a serial run so that reproduction verdicts do not
+//! depend on the machine's core count. [`Pool::par_map`] therefore
+//! guarantees that the output vector is in *input order* regardless of
+//! which worker computed which element or in what order workers finished;
+//! the only thing parallelism may change is wall-clock time.
+//!
+//! The pool is std-only ([`std::thread::scope`] plus an atomic work
+//! index) — the workspace builds fully offline and takes no external
+//! dependencies for this.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_common::pool::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4, 5], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width worker pool. Cheap to construct: threads are scoped per
+/// [`Pool::par_map`] call, not kept alive between calls, so a `Pool` is
+/// really just a validated thread count plus the mapping machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool running `threads` workers. Zero is clamped to one: a pool
+    /// that cannot make progress is never what the caller meant.
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A serial pool (one worker, runs inline on the calling thread).
+    pub fn serial() -> Pool {
+        Pool::new(1)
+    }
+
+    /// A pool sized to the machine: [`std::thread::available_parallelism`],
+    /// falling back to one worker when the capacity cannot be queried.
+    pub fn machine_sized() -> Pool {
+        Pool::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on the pool's workers and returns the results
+    /// **in input order**.
+    ///
+    /// Work is distributed dynamically (each worker grabs the next
+    /// unclaimed index), so uneven item costs cannot stall the pool, and
+    /// the result vector is assembled by index, so the output is
+    /// bit-identical to `items.iter().map(f).collect()` for any worker
+    /// count. With one worker (or fewer than two items) the map runs
+    /// inline on the calling thread — no threads are spawned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` panics on any item (the panic is propagated to the
+    /// caller once all workers have been joined).
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() < 2 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let r = f(&items[i]);
+                        *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    })
+                })
+                .collect();
+            // Join explicitly so a worker panic surfaces with its original
+            // payload (the scope's implicit join would replace it with the
+            // generic "a scoped thread panicked").
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    }
+
+    /// Like [`Pool::par_map`] but over an index range; convenient when the
+    /// "items" are cheap to describe by position.
+    pub fn par_map_indices<R, F>(&self, count: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let indices: Vec<usize> = (0..count).collect();
+        self.par_map(&indices, |&i| f(i))
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::machine_sized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn machine_sized_is_positive() {
+        assert!(Pool::machine_sized().threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x.wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = Pool::new(threads).par_map(&items, |x| x.wrapping_mul(0x9E37));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single_inputs() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.par_map(&[] as &[u8], |&b| b), Vec::<u8>::new());
+        assert_eq!(pool.par_map(&[7u8], |&b| b + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_indices_matches_serial() {
+        let pool = Pool::new(4);
+        let got = pool.par_map_indices(10, |i| i * i);
+        assert_eq!(got, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        // Early items sleep longest, so a naive push-as-you-finish scheme
+        // would reverse them.
+        let pool = Pool::new(4);
+        let got = pool.par_map_indices(8, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((8 - i) as u64));
+            i
+        });
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        Pool::new(2).par_map_indices(4, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}
