@@ -6,33 +6,166 @@
 //! Experiments run one after another (each is internally parallel across
 //! its sweep grid, which is where the work is), so stdout stays readable
 //! and CSVs are byte-identical to the standalone binaries at any
-//! `--threads` value. A panicking or failing experiment is reported and
-//! the suite continues; the process exits non-zero if anything failed or
-//! an expected CSV is missing.
+//! `--threads` value. The suite is crash-safe and self-describing:
 //!
-//! Usage: `bench_all [--scale quick|default|full] [--threads N] [--no-cache]`
+//! * every experiment runs under `catch_unwind` and (optionally) a
+//!   `--deadline-secs` watchdog, so one wedged or panicking experiment
+//!   costs that experiment, never the suite;
+//! * after *each* experiment the driver journals
+//!   `results/run_report.json` (atomically, via tmp + rename) with the
+//!   per-experiment status, every lost sweep point, retry counts, and
+//!   cache quarantine/store-failure deltas — a crash mid-suite leaves a
+//!   valid report covering everything finished so far;
+//! * `--resume` skips experiments the previous report (same scale)
+//!   recorded as clean and whose CSV is still present and not partial,
+//!   so an interrupted suite run finishes by re-running only what it
+//!   must.
+//!
+//! The process exits non-zero if anything failed, panicked, timed out,
+//! degraded (lost sweep points), or did not write its expected CSV.
+//!
+//! Usage: `bench_all [--scale quick|default|full] [--threads N]
+//! [--no-cache] [--resume] [--deadline-secs N]`
 
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
-use std::time::Instant;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use bench::experiments;
-use bench::Ctx;
+use bench::cache::CacheStats;
+use bench::{cli, experiments, Ctx, SweepReport};
 
-/// Outcome of one experiment in the suite.
+/// Option summary for the suite driver (the shared options plus the
+/// suite-only ones).
+const SUITE_USAGE: &str = "options: [--scale quick|default|full] [--threads N] [--no-cache] \
+     [--resume] [--deadline-secs N]";
+
+/// Journal location, relative to the working directory.
+const REPORT_PATH: &str = "results/run_report.json";
+
+/// Terminal status of one experiment in the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Ran clean and wrote its CSV.
+    Ok,
+    /// Ran to completion but lost sweep points; its CSV is partial.
+    Degraded,
+    /// Returned an error (or did not write its expected CSV).
+    Failed,
+    /// Panicked outside any supervised sweep.
+    Panicked,
+    /// Exceeded `--deadline-secs`; its worker thread was abandoned.
+    Deadline,
+    /// Skipped by `--resume` (clean in the previous report, CSV intact).
+    Skipped,
+}
+
+impl Status {
+    fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Degraded => "degraded",
+            Status::Failed => "failed",
+            Status::Panicked => "panicked",
+            Status::Deadline => "deadline",
+            Status::Skipped => "skipped",
+        }
+    }
+
+    /// Whether this status makes the suite exit non-zero.
+    fn is_failure(self) -> bool {
+        !matches!(self, Status::Ok | Status::Skipped)
+    }
+}
+
+/// Outcome of one experiment, journal-ready.
 struct Outcome {
     name: &'static str,
     seconds: f64,
-    /// `None` = ran clean; `Some(reason)` = failed.
-    failure: Option<String>,
+    status: Status,
+    /// Human-readable cause for non-ok statuses.
+    reason: Option<String>,
+    /// Sweep reports drained from the supervisor for this experiment.
+    sweeps: Vec<SweepReport>,
+    /// Cache-counter movement during this experiment.
+    quarantined: u64,
+    store_failures: u64,
+}
+
+impl Outcome {
+    fn retried_attempts(&self) -> u32 {
+        self.sweeps.iter().map(|s| s.retried_attempts).sum()
+    }
+
+    fn recovered(&self) -> usize {
+        self.sweeps.iter().map(|s| s.recovered).sum()
+    }
+}
+
+/// Suite-only options, stripped from argv before the shared parser runs.
+struct SuiteOptions {
+    resume: bool,
+    deadline: Option<Duration>,
+}
+
+/// Splits argv into suite-only options and the remainder for
+/// [`cli::parse`].
+fn split_args(args: &[String]) -> Result<(SuiteOptions, Vec<String>), String> {
+    let mut resume = false;
+    let mut deadline = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--resume" => {
+                resume = true;
+                i += 1;
+            }
+            "--deadline-secs" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--deadline-secs needs a value; {SUITE_USAGE}"))?;
+                let secs = v.parse::<u64>().ok().filter(|&s| s >= 1).ok_or_else(|| {
+                    format!("invalid deadline '{v}': expected a positive whole number of seconds")
+                })?;
+                deadline = Some(Duration::from_secs(secs));
+                i += 2;
+            }
+            other => {
+                rest.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    Ok((SuiteOptions { resume, deadline }, rest))
 }
 
 fn main() {
-    let ctx = Ctx::from_cli();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (suite, rest) = match split_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let opts = match cli::parse(&rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}; suite {SUITE_USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let ctx = Arc::new(Ctx::from_options(opts));
     let exps = experiments::all();
+    let prior_report = if suite.resume {
+        std::fs::read_to_string(REPORT_PATH).ok()
+    } else {
+        None
+    };
     println!(
-        "bench_all: {} experiments, scale {}, {} worker thread(s), cache {}",
+        "bench_all: {} experiments, scale {}, {} worker thread(s), cache {}{}{}",
         exps.len(),
         ctx.scale.name(),
         ctx.pool.threads(),
@@ -40,32 +173,93 @@ fn main() {
             "on"
         } else {
             "off (--no-cache)"
+        },
+        match suite.deadline {
+            Some(d) => format!(", deadline {}s/experiment", d.as_secs()),
+            None => String::new(),
+        },
+        if suite.resume {
+            if prior_report.is_some() {
+                ", resuming from results/run_report.json"
+            } else {
+                ", --resume with no previous report (running everything)"
+            }
+        } else {
+            ""
         }
     );
+    if !ctx.fault_points.is_empty() {
+        println!(
+            "fault injection: {} harness point fault(s) armed via HYBP_FAULT_POINTS",
+            ctx.fault_points.entries().len()
+        );
+    }
 
     let suite_start = Instant::now();
     let mut outcomes: Vec<Outcome> = Vec::new();
     for exp in &exps {
         println!();
         println!("=== {} ===", exp.name);
+        if let Some(report) = &prior_report {
+            if can_skip(report, exp.name, ctx.scale.name(), exp.csv, &ctx) {
+                println!("(clean in previous run, CSV intact — skipped; rerun without --resume)");
+                outcomes.push(Outcome {
+                    name: exp.name,
+                    seconds: 0.0,
+                    status: Status::Skipped,
+                    reason: None,
+                    sweeps: Vec::new(),
+                    quarantined: 0,
+                    store_failures: 0,
+                });
+                journal(&ctx, &outcomes, exps.len());
+                continue;
+            }
+        }
+        // Discard any sweep reports recorded by a worker thread abandoned
+        // at a previous experiment's deadline — they belong to nobody.
+        let _ = ctx.supervisor.drain();
+        let cache_before = ctx.cache.stats();
         let start = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| (exp.run)(&ctx)));
+        let result = run_guarded(&ctx, exp.run, suite.deadline);
         let seconds = start.elapsed().as_secs_f64();
-        let failure = match result {
-            Ok(Ok(())) => match exp.csv {
-                Some(csv) if !Path::new("results").join(csv).is_file() => {
-                    Some(format!("did not write results/{csv}"))
+        let sweeps = ctx.supervisor.drain();
+        let lost: usize = sweeps.iter().map(SweepReport::lost).sum();
+        let (status, reason) = match result {
+            Guarded::Done(Ok(())) => match exp.csv {
+                Some(csv) if !ctx.results_dir.join(csv).is_file() => {
+                    (Status::Failed, Some(format!("did not write results/{csv}")))
                 }
-                _ => None,
+                _ => (Status::Ok, None),
             },
-            Ok(Err(e)) => Some(e.to_string()),
-            Err(_) => Some("panicked".to_string()),
+            Guarded::Done(Err(e)) if lost > 0 => (Status::Degraded, Some(e.to_string())),
+            Guarded::Done(Err(e)) => (Status::Failed, Some(e.to_string())),
+            Guarded::Panicked => (
+                Status::Panicked,
+                Some("panicked outside any supervised sweep".to_string()),
+            ),
+            Guarded::TimedOut => (
+                Status::Deadline,
+                Some(format!(
+                    "exceeded the {}s deadline; worker thread abandoned",
+                    suite.deadline.map(|d| d.as_secs()).unwrap_or(0)
+                )),
+            ),
         };
+        if let Some(r) = &reason {
+            eprintln!("{}: {} — {}", exp.name, status.as_str(), r);
+        }
+        let cache_after = ctx.cache.stats();
         outcomes.push(Outcome {
             name: exp.name,
             seconds,
-            failure,
+            status,
+            reason,
+            sweeps,
+            quarantined: cache_after.quarantined - cache_before.quarantined,
+            store_failures: cache_after.store_failures - cache_before.store_failures,
         });
+        journal(&ctx, &outcomes, exps.len());
     }
     let total_seconds = suite_start.elapsed().as_secs_f64();
     let cache = ctx.cache.stats();
@@ -75,12 +269,13 @@ fn main() {
     println!("{:<32} {:>9}  {}", "experiment", "seconds", "status");
     for o in &outcomes {
         println!(
-            "{:<32} {:>9.2}  {}",
+            "{:<32} {:>9.2}  {}{}",
             o.name,
             o.seconds,
-            match &o.failure {
-                None => "ok",
-                Some(reason) => reason.as_str(),
+            o.status.as_str(),
+            match &o.reason {
+                Some(r) => format!(": {r}"),
+                None => String::new(),
             }
         );
     }
@@ -93,17 +288,199 @@ fn main() {
         cache.misses,
         cache.hit_rate() * 100.0
     );
+    report_cache_health(&cache);
 
     match write_speed_json(&ctx, &outcomes, total_seconds) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write results/bench_speed.json: {e}"),
     }
+    println!("journal at {REPORT_PATH}");
 
-    let failures = outcomes.iter().filter(|o| o.failure.is_some()).count();
+    let failures = outcomes.iter().filter(|o| o.status.is_failure()).count();
     if failures > 0 {
-        eprintln!("{failures} experiment(s) failed");
+        eprintln!("{failures} experiment(s) did not run clean (see {REPORT_PATH})");
         std::process::exit(1);
     }
+}
+
+/// What the guarded runner observed.
+enum Guarded {
+    Done(bench::ExpResult),
+    Panicked,
+    TimedOut,
+}
+
+/// Runs one experiment under `catch_unwind`, optionally racing a
+/// deadline. With a deadline the experiment runs on its own thread; on
+/// timeout that thread is *abandoned* (it keeps the suite process alive
+/// no longer than the remaining experiments, and any sweep reports it
+/// records late are discarded before the next experiment starts).
+fn run_guarded(
+    ctx: &Arc<Ctx>,
+    run: fn(&Ctx) -> bench::ExpResult,
+    deadline: Option<Duration>,
+) -> Guarded {
+    let Some(deadline) = deadline else {
+        return match catch_unwind(AssertUnwindSafe(|| run(ctx))) {
+            Ok(r) => Guarded::Done(r),
+            Err(_) => Guarded::Panicked,
+        };
+    };
+    let (tx, rx) = mpsc::channel();
+    let ctx2 = Arc::clone(ctx);
+    std::thread::spawn(move || {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run(&ctx2))) {
+            Ok(r) => Guarded::Done(r),
+            Err(_) => Guarded::Panicked,
+        };
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(outcome) => outcome,
+        Err(_) => Guarded::TimedOut,
+    }
+}
+
+/// Whether `--resume` may skip this experiment: the previous report must
+/// be for the same scale and record the experiment as clean (ok, or
+/// already skipped by an earlier resume), and the expected CSV must still
+/// exist and not carry a `# partial:` header.
+///
+/// The report is our own hand-rolled JSON with one experiment per line,
+/// so a line-based scan is exact, not heuristic.
+fn can_skip(report: &str, name: &str, scale: &str, csv: Option<&str>, ctx: &Ctx) -> bool {
+    if !report.contains(&format!("\"scale\": \"{scale}\"")) {
+        return false;
+    }
+    let name_tag = format!("\"name\": \"{name}\"");
+    let clean = report.lines().any(|line| {
+        line.contains(&name_tag)
+            && (line.contains("\"status\": \"ok\"") || line.contains("\"status\": \"skipped\""))
+    });
+    if !clean {
+        return false;
+    }
+    match csv {
+        None => true,
+        Some(csv) => {
+            let path = ctx.results_dir.join(csv);
+            match std::fs::read_to_string(&path) {
+                Ok(text) => !text.lines().next().unwrap_or("#").starts_with('#'),
+                Err(_) => false,
+            }
+        }
+    }
+}
+
+/// Prints quarantine/store-failure counters when they moved — a cache
+/// that has stopped persisting or is shedding corrupt entries should be
+/// visible in the summary, not only in the journal.
+fn report_cache_health(cache: &CacheStats) {
+    if cache.quarantined > 0 {
+        println!(
+            "cache: quarantined {} corrupt entr{} (see results/cache/quarantine/)",
+            cache.quarantined,
+            if cache.quarantined == 1 { "y" } else { "ies" }
+        );
+    }
+    if cache.store_failures > 0 {
+        println!(
+            "cache: {} store failure(s) — results were computed but not persisted",
+            cache.store_failures
+        );
+    }
+}
+
+/// Minimal JSON string escaping for reason/message fields.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Writes the journal after each experiment: tmp + rename, so a crash
+/// mid-write can never leave a truncated `run_report.json`.
+fn journal(ctx: &Ctx, outcomes: &[Outcome], total_experiments: usize) {
+    let body = render_report(ctx, outcomes, total_experiments);
+    if let Err(e) = write_atomic(REPORT_PATH, &body) {
+        eprintln!("failed to journal {REPORT_PATH}: {e}");
+    }
+}
+
+fn write_atomic(path: &str, body: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let tmp = format!("{path}.tmp{}", std::process::id());
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Renders the run report. One experiment per line — [`can_skip`]'s
+/// resume scan depends on that shape.
+fn render_report(ctx: &Ctx, outcomes: &[Outcome], total_experiments: usize) -> String {
+    let cache = ctx.cache.stats();
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"scale\": \"{}\",", ctx.scale.name());
+    let _ = writeln!(s, "  \"threads\": {},", ctx.pool.threads());
+    let _ = writeln!(s, "  \"total_experiments\": {total_experiments},");
+    let _ = writeln!(s, "  \"completed_experiments\": {},", outcomes.len());
+    let _ = writeln!(
+        s,
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"store_failures\": {}, \
+         \"quarantined\": {} }},",
+        cache.hits, cache.misses, cache.store_failures, cache.quarantined
+    );
+    let _ = writeln!(s, "  \"experiments\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        let comma = if i + 1 < outcomes.len() { "," } else { "" };
+        let mut line = format!(
+            "    {{ \"name\": \"{}\", \"seconds\": {:.3}, \"status\": \"{}\"",
+            o.name,
+            o.seconds,
+            o.status.as_str()
+        );
+        if let Some(r) = &o.reason {
+            let _ = write!(line, ", \"reason\": \"{}\"", escape(r));
+        }
+        let _ = write!(
+            line,
+            ", \"retried_attempts\": {}, \"recovered\": {}, \"cache_quarantined\": {}, \
+             \"cache_store_failures\": {}",
+            o.retried_attempts(),
+            o.recovered(),
+            o.quarantined,
+            o.store_failures
+        );
+        let failed: Vec<String> = o
+            .sweeps
+            .iter()
+            .flat_map(|sweep| {
+                sweep.failures.iter().map(|f| {
+                    format!(
+                        "{{ \"sweep\": \"{}\", \"index\": {}, \"attempts\": {}, \
+                         \"panicked\": {}, \"message\": \"{}\" }}",
+                        escape(&sweep.label),
+                        f.index,
+                        f.attempts,
+                        f.panicked,
+                        escape(&f.message)
+                    )
+                })
+            })
+            .collect();
+        let _ = write!(
+            line,
+            ", \"failed_points\": [{}] }}{comma}",
+            failed.join(", ")
+        );
+        let _ = writeln!(s, "{line}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
 }
 
 /// Emits the perf baseline: suite and per-experiment wall-clock, thread
@@ -133,29 +510,33 @@ fn write_speed_json(
     let _ = writeln!(s, "  \"experiments\": [");
     for (i, o) in outcomes.iter().enumerate() {
         let comma = if i + 1 < outcomes.len() { "," } else { "" };
-        match &o.failure {
+        match &o.reason {
             None => {
                 let _ = writeln!(
                     s,
-                    "    {{ \"name\": \"{}\", \"seconds\": {:.3}, \"ok\": true }}{comma}",
-                    o.name, o.seconds
+                    "    {{ \"name\": \"{}\", \"seconds\": {:.3}, \"ok\": {} }}{comma}",
+                    o.name,
+                    o.seconds,
+                    !o.status.is_failure()
                 );
             }
             Some(reason) => {
-                let escaped = reason.replace('\\', "\\\\").replace('"', "\\\"");
                 let _ = writeln!(
                     s,
                     "    {{ \"name\": \"{}\", \"seconds\": {:.3}, \"ok\": false, \
-                     \"reason\": \"{escaped}\" }}{comma}",
-                    o.name, o.seconds
+                     \"reason\": \"{}\" }}{comma}",
+                    o.name,
+                    o.seconds,
+                    escape(reason)
                 );
             }
         }
     }
     let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");
-    std::fs::create_dir_all("results")?;
-    let path = "results/bench_speed.json";
-    std::fs::write(path, s)?;
-    Ok(path.to_string())
+    std::fs::create_dir_all("results").and_then(|()| {
+        let path = "results/bench_speed.json";
+        std::fs::write(path, s)?;
+        Ok(path.to_string())
+    })
 }

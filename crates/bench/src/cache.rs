@@ -88,13 +88,21 @@ impl CacheKey {
     }
 }
 
-/// Hit/miss counters of one cache instance.
+/// Hit/miss and failure counters of one cache instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Entries served from disk.
     pub hits: u64,
     /// Entries computed (absent, corrupt, or caching disabled).
     pub misses: u64,
+    /// Entry writes that failed (directory creation, tmp write, or
+    /// rename). The computed value is still returned — a store failure
+    /// costs reuse, never correctness — but it is counted here so the
+    /// suite report can surface a cache that has stopped persisting.
+    pub store_failures: u64,
+    /// Corrupt or stale entries moved to the `quarantine/` subdirectory
+    /// instead of being silently overwritten.
+    pub quarantined: u64,
 }
 
 impl CacheStats {
@@ -109,6 +117,27 @@ impl CacheStats {
     }
 }
 
+/// Subdirectory (inside the cache directory) holding quarantined
+/// entries.
+pub const QUARANTINE_SUBDIR: &str = "quarantine";
+
+/// Process-wide sequence number folded into tmp-file and quarantine
+/// names. The pid alone is not enough: two threads of the same process
+/// storing the same key would race on one tmp path, and a rename could
+/// publish a half-written file.
+static NAME_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How one cache lookup resolved.
+enum LoadOutcome {
+    /// Valid entry on disk.
+    Hit(Vec<f64>),
+    /// No entry (or caching disabled) — a plain miss.
+    Absent,
+    /// An entry existed but was corrupt, truncated, wrong-version or
+    /// stale-keyed; it has been moved to quarantine.
+    Invalid,
+}
+
 /// The on-disk model cache. Cheap to share by reference across worker
 /// threads: lookups hold no lock (writes go through a temp-file rename,
 /// so concurrent writers of the same key are both valid).
@@ -118,6 +147,8 @@ pub struct ModelCache {
     enabled: bool,
     hits: AtomicU64,
     misses: AtomicU64,
+    store_failures: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl ModelCache {
@@ -129,6 +160,8 @@ impl ModelCache {
             enabled,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -152,7 +185,14 @@ impl ModelCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            store_failures: self.store_failures.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
+    }
+
+    /// The quarantine directory for this cache.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_SUBDIR)
     }
 
     /// Returns the cached values for `key`, or computes them with
@@ -163,9 +203,12 @@ impl ModelCache {
     where
         F: FnOnce() -> Vec<f64>,
     {
-        if let Some(vals) = self.load(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return vals;
+        match self.load(key) {
+            LoadOutcome::Hit(vals) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return vals;
+            }
+            LoadOutcome::Absent | LoadOutcome::Invalid => {}
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let vals = compute();
@@ -181,39 +224,67 @@ impl ModelCache {
         self.get_or_compute(key, || vec![compute()])[0]
     }
 
-    /// Loads and validates an entry; any irregularity is a miss.
-    fn load(&self, key: &CacheKey) -> Option<Vec<f64>> {
+    /// Loads and validates an entry. A missing file is a plain miss; a
+    /// present-but-invalid file (corrupt, truncated, wrong version, stale
+    /// key) is quarantined and counted, then treated as a miss — a bad
+    /// cache file means *recompute*, never a wrong number, and the
+    /// evidence is preserved instead of silently overwritten.
+    fn load(&self, key: &CacheKey) -> LoadOutcome {
         if !self.enabled {
-            return None;
+            return LoadOutcome::Absent;
         }
-        let text = std::fs::read_to_string(self.dir.join(key.file_name())).ok()?;
-        let mut lines = text.lines();
-        if lines.next()? != MAGIC {
-            return None;
+        let path = self.dir.join(key.file_name());
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Absent,
+            // Present but unreadable as text (e.g. binary garbage).
+            Err(_) => {
+                self.quarantine(&path);
+                return LoadOutcome::Invalid;
+            }
+        };
+        match parse_entry(&text, key) {
+            Some(vals) => LoadOutcome::Hit(vals),
+            None => {
+                self.quarantine(&path);
+                LoadOutcome::Invalid
+            }
         }
-        let key_line = lines.next()?;
-        if key_line.strip_prefix("key ")? != key.descr() {
-            return None;
+    }
+
+    /// Moves a bad entry into the quarantine subdirectory under a unique
+    /// name. Best-effort: if the move itself fails the entry is left in
+    /// place (the next store will replace it) and nothing is counted.
+    fn quarantine(&self, path: &Path) {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            return;
+        };
+        let qdir = self.quarantine_dir();
+        if std::fs::create_dir_all(&qdir).is_err() {
+            return;
         }
-        let vals_line = lines.next()?.strip_prefix("vals")?;
-        let mut vals = Vec::new();
-        for tok in vals_line.split_whitespace() {
-            vals.push(f64::from_bits(u64::from_str_radix(tok, 16).ok()?));
+        let dest = qdir.join(format!(
+            "{name}.{}-{}",
+            std::process::id(),
+            NAME_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::rename(path, &dest).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
         }
-        if lines.next() != Some("end") {
-            return None; // truncated mid-write
-        }
-        Some(vals)
     }
 
     /// Writes an entry via temp-file + rename so readers never observe a
-    /// partial file. Failures are ignored: the cache is an accelerator,
-    /// not a correctness dependency.
+    /// partial file. The tmp name carries both the pid and a process-wide
+    /// counter: same-process threads storing one key concurrently get
+    /// distinct tmp files, so a rename can only ever publish a complete
+    /// entry. Failures cost reuse, not correctness, but are counted in
+    /// [`CacheStats::store_failures`] for the suite report.
     fn store(&self, key: &CacheKey, vals: &[f64]) {
         if !self.enabled {
             return;
         }
         if std::fs::create_dir_all(&self.dir).is_err() {
+            self.store_failures.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let mut body = format!("{MAGIC}\nkey {}\nvals", key.descr());
@@ -222,13 +293,43 @@ impl ModelCache {
         }
         body.push_str("\nend\n");
         let target = self.dir.join(key.file_name());
-        let tmp = self
-            .dir
-            .join(format!("{}.tmp{}", key.file_name(), std::process::id()));
-        if std::fs::write(&tmp, body).is_ok() {
-            let _ = std::fs::rename(&tmp, &target);
+        let tmp = self.dir.join(format!(
+            "{}.tmp{}.{}",
+            key.file_name(),
+            std::process::id(),
+            NAME_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, body).is_err() {
+            self.store_failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if std::fs::rename(&tmp, &target).is_err() {
+            self.store_failures.fetch_add(1, Ordering::Relaxed);
+            let _ = std::fs::remove_file(&tmp);
         }
     }
+}
+
+/// Parses one entry body against its expected key; `None` on any
+/// irregularity.
+fn parse_entry(text: &str, key: &CacheKey) -> Option<Vec<f64>> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let key_line = lines.next()?;
+    if key_line.strip_prefix("key ")? != key.descr() {
+        return None;
+    }
+    let vals_line = lines.next()?.strip_prefix("vals")?;
+    let mut vals = Vec::new();
+    for tok in vals_line.split_whitespace() {
+        vals.push(f64::from_bits(u64::from_str_radix(tok, 16).ok()?));
+    }
+    if lines.next() != Some("end") {
+        return None; // truncated mid-write
+    }
+    Some(vals)
 }
 
 #[cfg(test)]
@@ -253,7 +354,14 @@ mod tests {
         for (a, b) in first.iter().zip(&second) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                ..Default::default()
+            }
+        );
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -269,6 +377,86 @@ mod tests {
         let again = cache.get_or_compute(&key, || vec![42.0]);
         assert_eq!(again, vec![42.0]);
         assert_eq!(cache.stats().misses, 2);
+        // The corrupt file was preserved for inspection, not destroyed.
+        assert_eq!(cache.stats().quarantined, 1);
+        assert_eq!(
+            std::fs::read_dir(cache.quarantine_dir()).unwrap().count(),
+            1
+        );
+        // The recomputed entry is valid again.
+        assert_eq!(cache.get_or_compute(&key, || vec![0.0]), vec![42.0]);
+        assert_eq!(cache.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn quarantine_names_never_collide() {
+        let cache = tmp_cache("quarantine-seq");
+        let key = CacheKey::new("test").with("x", format_args!("q"));
+        for round in 0..3 {
+            cache.get_or_compute(&key, || vec![round as f64]);
+            let entry = cache.dir().join(key.file_name());
+            std::fs::write(&entry, "not a cache file").unwrap();
+            cache.get_or_compute(&key, || vec![round as f64]);
+        }
+        assert_eq!(cache.stats().quarantined, 3);
+        assert_eq!(
+            std::fs::read_dir(cache.quarantine_dir()).unwrap().count(),
+            3
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn unwritable_dir_counts_store_failures_and_still_computes() {
+        // A cache rooted *under a regular file* can never create its
+        // directory: every store must fail, every lookup must miss, and
+        // every value must still come out right.
+        let blocker = std::env::temp_dir().join(format!("hybp-cache-block-{}", std::process::id()));
+        std::fs::write(&blocker, "not a directory").unwrap();
+        let cache = ModelCache::at_dir(blocker.join("cache"), true);
+        let key = CacheKey::new("test").with("x", format_args!("w"));
+        assert_eq!(cache.get_or_compute_one(&key, || 7.0), 7.0);
+        assert_eq!(cache.get_or_compute_one(&key, || 8.0), 8.0);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.store_failures, 2);
+        std::fs::remove_file(&blocker).unwrap();
+    }
+
+    #[test]
+    fn concurrent_same_key_stores_leave_one_valid_entry() {
+        // Regression for the same-pid tmp-file collision: many threads of
+        // one process storing the same key concurrently must each write a
+        // distinct tmp file, so the published entry is always complete.
+        let cache = tmp_cache("concurrent");
+        let key = CacheKey::new("test").with("x", format_args!("c"));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let v = cache.get_or_compute(&key, || vec![1.25, -2.5]);
+                        assert_eq!(v, vec![1.25, -2.5]);
+                    }
+                });
+            }
+        });
+        // No tmp litter, no quarantines, and the surviving entry is valid.
+        let names: Vec<String> = std::fs::read_dir(cache.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.contains(".tmp")),
+            "tmp litter: {names:?}"
+        );
+        assert_eq!(cache.stats().quarantined, 0);
+        assert_eq!(cache.stats().store_failures, 0);
+        let fresh = ModelCache::at_dir(cache.dir(), true);
+        assert_eq!(
+            fresh.get_or_compute(&key, || panic!("must hit")),
+            vec![1.25, -2.5]
+        );
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
@@ -288,14 +476,25 @@ mod tests {
         let key = CacheKey::new("test").with("x", format_args!("3"));
         assert_eq!(cache.get_or_compute_one(&key, || 5.0), 5.0);
         assert_eq!(cache.get_or_compute_one(&key, || 6.0), 6.0);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 2,
+                ..Default::default()
+            }
+        );
         assert!(!dir.exists());
     }
 
     #[test]
     fn hit_rate_bounds() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
-        let s = CacheStats { hits: 3, misses: 1 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

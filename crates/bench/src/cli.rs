@@ -13,10 +13,15 @@
 //! code 2) with a message listing what is valid — a typo must never
 //! silently fall back to a default and quietly measure the wrong thing.
 
-use bp_common::pool::Pool;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use bp_common::pool::{FailMode, Pool, RetryPolicy, TaskError};
+use bp_faults::points::{PointDisposition, PointFaultPlan};
 
 use crate::cache::ModelCache;
-use crate::{ExpResult, Scale};
+use crate::supervise::{PointFailure, Supervisor, SweepReport};
+use crate::{Csv, ExpResult, Scale};
 
 /// Option summary printed with every usage error.
 pub const USAGE: &str = "options: [--scale quick|default|full] [--threads N] [--no-cache]";
@@ -102,10 +107,16 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     })
 }
 
+/// Seed of the standard deterministic retry backoff schedule. Backoff
+/// affects only *when* a retry runs, never what it computes, but a fixed
+/// seed keeps reruns bit-identical end to end.
+pub const RETRY_SEED: u64 = 0x4879_4250; // "HyBP"
+
 /// Everything an experiment body needs: the scale preset, the worker
-/// pool, and the shared on-disk model cache. One `Ctx` serves a whole
-/// `bench_all` suite run, so cache statistics aggregate across
-/// experiments.
+/// pool, the shared on-disk model cache, and the sweep supervisor. One
+/// `Ctx` serves a whole `bench_all` suite run, so cache statistics
+/// aggregate across experiments while the supervisor is drained per
+/// experiment.
 #[derive(Debug)]
 pub struct Ctx {
     /// Run-length preset.
@@ -114,17 +125,68 @@ pub struct Ctx {
     pub pool: Pool,
     /// Shared model cache.
     pub cache: ModelCache,
+    /// Retry policy applied to every supervised sweep.
+    pub retry: RetryPolicy,
+    /// Harness point-fault plan (normally empty; populated from
+    /// `HYBP_FAULT_POINTS` for resilience testing).
+    pub fault_points: PointFaultPlan,
+    /// Accumulates sweep outcomes for the run report.
+    pub supervisor: Supervisor,
+    /// Directory CSVs are written into (default `results/`).
+    pub results_dir: PathBuf,
 }
 
 impl Ctx {
-    /// A context from explicit options, using the standard cache
-    /// directory.
-    pub fn from_options(opts: CliOptions) -> Ctx {
+    /// A context from explicit parts, with the standard retry policy, no
+    /// injected point faults, and CSVs under `results/`.
+    pub fn custom(scale: Scale, pool: Pool, cache: ModelCache) -> Ctx {
         Ctx {
-            scale: opts.scale,
-            pool: Pool::new(opts.threads),
-            cache: ModelCache::standard(!opts.no_cache),
+            scale,
+            pool,
+            cache,
+            retry: RetryPolicy::standard(RETRY_SEED),
+            fault_points: PointFaultPlan::empty(),
+            supervisor: Supervisor::new(),
+            results_dir: PathBuf::from("results"),
         }
+    }
+
+    /// Replaces the CSV output directory (tests point this at a temp dir
+    /// so they never clobber the tracked `results/` files).
+    pub fn with_results_dir(mut self, dir: impl Into<PathBuf>) -> Ctx {
+        self.results_dir = dir.into();
+        self
+    }
+
+    /// Replaces the point-fault plan.
+    pub fn with_fault_points(mut self, plan: PointFaultPlan) -> Ctx {
+        self.fault_points = plan;
+        self
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Ctx {
+        self.retry = retry;
+        self
+    }
+
+    /// A context from explicit options, using the standard cache
+    /// directory. A malformed `HYBP_FAULT_POINTS` value is a fatal usage
+    /// error (exit code 2) — a typo must never silently inject nothing.
+    pub fn from_options(opts: CliOptions) -> Ctx {
+        let fault_points = match PointFaultPlan::from_env() {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        Ctx::custom(
+            opts.scale,
+            Pool::new(opts.threads),
+            ModelCache::standard(!opts.no_cache),
+        )
+        .with_fault_points(fault_points)
     }
 
     /// A context from the process arguments; usage errors are fatal
@@ -143,11 +205,126 @@ impl Ctx {
     /// A serial, cache-disabled context — what tests and library callers
     /// use when they want the plain deterministic path.
     pub fn serial_uncached(scale: Scale) -> Ctx {
-        Ctx {
-            scale,
-            pool: Pool::serial(),
-            cache: ModelCache::standard(false),
+        Ctx::custom(scale, Pool::serial(), ModelCache::standard(false))
+    }
+
+    /// Runs one supervised sweep: `f` over `items` in input order,
+    /// fail-soft, with the context's retry policy and point-fault plan.
+    ///
+    /// Returns one slot per item — `Some(value)` for completed points,
+    /// `None` for points lost to a panic or exhausted retries — and
+    /// records a [`SweepReport`] with the supervisor. Aggregations must
+    /// iterate completed slots only, so a degraded sweep yields a partial
+    /// (but never wrong) CSV; with no losses the output is identical to a
+    /// plain `par_map`.
+    pub fn sweep<T, R, F>(&self, label: &str, items: &[T], f: F) -> Vec<Option<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let attempts_seen: Vec<AtomicU32> = items.iter().map(|_| AtomicU32::new(0)).collect();
+        let results = self.pool.try_par_map(
+            items,
+            FailMode::FailSoft,
+            &self.retry,
+            |i, item, attempt| {
+                attempts_seen[i].fetch_max(attempt, Ordering::Relaxed);
+                match self.fault_points.disposition(label, i, attempt) {
+                    PointDisposition::Proceed => Ok(f(item)),
+                    PointDisposition::Panic => {
+                        panic!("injected point fault: panic at {label}[{i}] attempt {attempt}")
+                    }
+                    PointDisposition::FatalError => Err(TaskError::fatal(format!(
+                        "injected point fault: fatal error at {label}[{i}]"
+                    ))),
+                    PointDisposition::TransientError => Err(TaskError::transient(format!(
+                        "injected point fault: transient error at {label}[{i}] attempt {attempt}"
+                    ))),
+                }
+            },
+        );
+        let mut completed = 0;
+        let mut recovered = 0;
+        let mut retried_attempts = 0u32;
+        let mut failures = Vec::new();
+        let mut out = Vec::with_capacity(items.len());
+        for (i, r) in results.into_iter().enumerate() {
+            let attempts = attempts_seen[i].load(Ordering::Relaxed);
+            retried_attempts += attempts.saturating_sub(1);
+            match r {
+                Ok(v) => {
+                    completed += 1;
+                    if attempts > 1 {
+                        recovered += 1;
+                    }
+                    out.push(Some(v));
+                }
+                Err(fail) => {
+                    failures.push(PointFailure::from_task(&fail));
+                    out.push(None);
+                }
+            }
         }
+        self.supervisor.record(SweepReport {
+            label: label.to_string(),
+            total: items.len(),
+            completed,
+            retried_attempts,
+            recovered,
+            failures,
+        });
+        out
+    }
+
+    /// [`Ctx::sweep`] over an index range.
+    pub fn sweep_indices<R, F>(&self, label: &str, count: usize, f: F) -> Vec<Option<R>>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let indices: Vec<usize> = (0..count).collect();
+        self.sweep(label, &indices, |&i| f(i))
+    }
+
+    /// A CSV accumulator rooted at the context's results directory.
+    pub fn csv(&self, name: &str, header: &str) -> Csv {
+        Csv::at_dir(&self.results_dir, name, header)
+    }
+
+    /// Finishes an experiment: writes `csv`, marking it partial when any
+    /// undrained sweep lost points, and turns those losses into a visible
+    /// failure.
+    ///
+    /// A degraded experiment still writes everything it computed — the
+    /// returned error reports the loss (and names the lost points), it
+    /// does not discard work.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure writing the CSV, or a degradation report when sweep
+    /// points were lost.
+    pub fn finish_experiment(&self, mut csv: Csv) -> ExpResult {
+        let (lost, total) = self.supervisor.pending_losses();
+        if lost > 0 {
+            csv.mark_partial(total - lost, total);
+        }
+        let path = csv.finish()?;
+        if lost > 0 {
+            let named: Vec<String> = self
+                .supervisor
+                .pending_failures()
+                .iter()
+                .map(|(label, f)| format!("{label}[{}]", f.index))
+                .collect();
+            return Err(format!(
+                "degraded: lost {lost}/{total} sweep points ({}); partial CSV at {path}",
+                named.join(", ")
+            )
+            .into());
+        }
+        println!("wrote {path}");
+        Ok(())
     }
 }
 

@@ -8,13 +8,13 @@
 //!    ruinous for QARMA/PRINCE, cheap for LLBC/XOR.)
 //! 3. Which ciphers survive cryptanalysis? (Only the non-linear ones.)
 
-use crate::{degradation, no_switch_config, st_point_cached, Csv, Ctx, ExpResult};
+use crate::{degradation, no_switch_config, st_point_cached, Ctx, ExpResult};
 use bp_attacks::linear::break_affine;
 use bp_workloads::profile::SpecBenchmark;
 use hybp::{CipherKind, HybpConfig, Mechanism};
 
 pub fn run(ctx: &Ctx) -> ExpResult {
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "ablation_ciphers.csv",
         "cipher,codebook_loss,inline_loss,linear_break",
     );
@@ -35,30 +35,34 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         CipherKind::Llbc,
         CipherKind::Xor,
     ];
-    // Parallel phase: each cipher's code-book run, inline run and
-    // cryptanalysis is one independent task.
-    let rows: Vec<(f64, f64, bool)> = ctx.pool.par_map(&ciphers, |&cipher| {
-        let mut cfg = HybpConfig::paper_default();
-        cfg.cipher = cipher;
-        let codebook = st_point_cached(
-            ctx,
-            Mechanism::HyBp(cfg),
-            bench,
-            no_switch_config(ctx.scale),
-        )
-        .0;
-        cfg.inline_cipher = true;
-        let inline = st_point_cached(
-            ctx,
-            Mechanism::HyBp(cfg),
-            bench,
-            no_switch_config(ctx.scale),
-        )
-        .0;
-        let broken = break_affine(cipher.build(7).as_ref(), 0, 100, 1).is_some();
-        (codebook, inline, broken)
-    });
-    for (&cipher, &(codebook, inline, broken)) in ciphers.iter().zip(&rows) {
+    // Supervised sweep: each cipher's code-book run, inline run and
+    // cryptanalysis is one independent point.
+    let rows: Vec<Option<(f64, f64, bool)>> =
+        ctx.sweep("ablation_ciphers:ciphers", &ciphers, |&cipher| {
+            let mut cfg = HybpConfig::paper_default();
+            cfg.cipher = cipher;
+            let codebook = st_point_cached(
+                ctx,
+                Mechanism::HyBp(cfg),
+                bench,
+                no_switch_config(ctx.scale),
+            )
+            .0;
+            cfg.inline_cipher = true;
+            let inline = st_point_cached(
+                ctx,
+                Mechanism::HyBp(cfg),
+                bench,
+                no_switch_config(ctx.scale),
+            )
+            .0;
+            let broken = break_affine(cipher.build(7).as_ref(), 0, 100, 1).is_some();
+            (codebook, inline, broken)
+        });
+    for (&cipher, slot) in ciphers.iter().zip(&rows) {
+        let Some((codebook, inline, broken)) = *slot else {
+            continue;
+        };
         println!(
             "{:<10} {:>14.2}% {:>12.2}% {:>14}",
             cipher.to_string(),
@@ -77,7 +81,5 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     println!();
     println!("The design point: only the code book lets a *strong* cipher ride along at");
     println!("zero front-end cost; every inline option either costs cycles or security.");
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

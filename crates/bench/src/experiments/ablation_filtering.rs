@@ -10,7 +10,7 @@
 //! * Algorithm 1's success rate,
 //! * the malicious-training PoC.
 
-use crate::{no_switch_config, CacheKey, Csv, Ctx, ExpResult, Scale};
+use crate::{no_switch_config, CacheKey, Ctx, ExpResult, Scale};
 use bp_attacks::poc::{btb_training, PocParams};
 use bp_attacks::ppp::{campaign, PppParams};
 use bp_pipeline::Simulation;
@@ -23,7 +23,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         Scale::Default => 16,
         Scale::Full => 48,
     };
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "ablation_filtering.csv",
         "variant,upper_hit_share,ppp_success,btb_training_accuracy",
     );
@@ -36,36 +36,41 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         ("HyBP (full)", HybpConfig::paper_default()),
         ("randomization-only", HybpConfig::randomization_only()),
     ];
-    // Parallel phase: each variant's workload run + attack campaigns.
-    let rows: Vec<(f64, u32, u32, f64)> = ctx.pool.par_map(&variants, |&(_, cfg)| {
-        let mech = Mechanism::HyBp(cfg);
-        // Upper-level filtering measured on a real workload: the fraction of
-        // BTB hits served by L0/L1 is the traffic the shared L2 never sees.
-        // Needs the BTB hit breakdown, so it caches its own point rather
-        // than going through `st_point_cached`.
-        let key = CacheKey::new("upper_share")
-            .with("mech", format_args!("{mech:?}"))
-            .with("scale", format_args!("{}", ctx.scale.name()))
-            .with("cfg", format_args!("{:?}", no_switch_config(ctx.scale)));
-        let upper_share = ctx.cache.get_or_compute_one(&key, || {
-            let m = Simulation::single_thread(mech, SpecBenchmark::Xz, no_switch_config(ctx.scale))
-                .expect("valid config")
-                .run()
-                .bpu;
-            let upper = (m.btb_hits[0] + m.btb_hits[1]) as f64;
-            let total = upper + m.btb_hits[2] as f64 + m.btb_misses as f64;
-            upper / total
+    // Supervised sweep: each variant's workload run + attack campaigns.
+    let rows: Vec<Option<(f64, u32, u32, f64)>> =
+        ctx.sweep("ablation_filtering:variants", &variants, |&(_, cfg)| {
+            let mech = Mechanism::HyBp(cfg);
+            // Upper-level filtering measured on a real workload: the fraction of
+            // BTB hits served by L0/L1 is the traffic the shared L2 never sees.
+            // Needs the BTB hit breakdown, so it caches its own point rather
+            // than going through `st_point_cached`.
+            let key = CacheKey::new("upper_share")
+                .with("mech", format_args!("{mech:?}"))
+                .with("scale", format_args!("{}", ctx.scale.name()))
+                .with("cfg", format_args!("{:?}", no_switch_config(ctx.scale)));
+            let upper_share = ctx.cache.get_or_compute_one(&key, || {
+                let m =
+                    Simulation::single_thread(mech, SpecBenchmark::Xz, no_switch_config(ctx.scale))
+                        .expect("valid config")
+                        .run()
+                        .bpu;
+                let upper = (m.btb_hits[0] + m.btb_hits[1]) as f64;
+                let total = upper + m.btb_hits[2] as f64 + m.btb_misses as f64;
+                upper / total
+            });
+            let ppp = campaign(mech, &PppParams::quick(), runs, 9);
+            let poc = btb_training(mech, PocParams::quick(), 31);
+            (
+                upper_share,
+                ppp.successes,
+                ppp.runs,
+                poc.training_accuracy(),
+            )
         });
-        let ppp = campaign(mech, &PppParams::quick(), runs, 9);
-        let poc = btb_training(mech, PocParams::quick(), 31);
-        (
-            upper_share,
-            ppp.successes,
-            ppp.runs,
-            poc.training_accuracy(),
-        )
-    });
-    for ((name, _), &(upper_share, successes, ppp_runs, training)) in variants.iter().zip(&rows) {
+    for ((name, _), slot) in variants.iter().zip(&rows) {
+        let Some((upper_share, successes, ppp_runs, training)) = *slot else {
+            continue;
+        };
         println!(
             "{:<22} {:>15.1}% {:>9}/{:<3} {:>17.1}%",
             name,
@@ -86,7 +91,5 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     println!("Full HyBP should show a high upper-level hit share (the m filter) and the");
     println!("lowest attack rates; randomization-only loses the filter and the training");
     println!("protection for anything resident in the shared upper levels.");
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

@@ -2,13 +2,11 @@
 //! (the cost of putting an encryption engine on the prediction critical
 //! path), per benchmark, with each benchmark's prediction accuracy.
 
-use crate::{
-    all_benchmarks, degradation, no_switch_config, pct, st_point_cached, Csv, Ctx, ExpResult,
-};
+use crate::{all_benchmarks, degradation, no_switch_config, pct, st_point_cached, Ctx, ExpResult};
 use hybp::Mechanism;
 
 pub fn run(ctx: &Ctx) -> ExpResult {
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "fig2_pipeline_latency.csv",
         "benchmark,accuracy,loss_plus2,loss_plus4,loss_plus8",
     );
@@ -18,8 +16,8 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         "benchmark", "accuracy", "+2cyc", "+4cyc", "+8cyc"
     );
     let benches = all_benchmarks();
-    // Parallel phase: per-benchmark (accuracy, losses) tuples.
-    let rows: Vec<(f64, [f64; 3])> = ctx.pool.par_map(&benches, |&bench| {
+    // Supervised sweep: per-benchmark (accuracy, losses) tuples.
+    let rows: Vec<Option<(f64, [f64; 3])>> = ctx.sweep("fig2:benches", &benches, |&bench| {
         let base_cfg = no_switch_config(ctx.scale);
         let (base_ipc, accuracy) = st_point_cached(ctx, Mechanism::Baseline, bench, base_cfg);
         let mut losses = [0.0f64; 3];
@@ -32,7 +30,10 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         (accuracy, losses)
     });
     let mut avgs = [Vec::new(), Vec::new(), Vec::new()];
-    for (bench, &(accuracy, losses)) in benches.iter().zip(&rows) {
+    for (bench, slot) in benches.iter().zip(&rows) {
+        let Some((accuracy, losses)) = *slot else {
+            continue;
+        };
         for (k, loss) in losses.iter().enumerate() {
             avgs[k].push(*loss);
         }
@@ -53,23 +54,23 @@ pub fn run(ctx: &Ctx) -> ExpResult {
             losses[2]
         ));
     }
-    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
-    println!(
-        "{:<14} {:>9} {:>8} {:>8} {:>8}",
-        "average",
-        "",
-        pct(mean(&avgs[0])),
-        pct(mean(&avgs[1])),
-        pct(mean(&avgs[2]))
-    );
-    csv.row(format_args!(
-        "average,,{:.4},{:.4},{:.4}",
-        mean(&avgs[0]),
-        mean(&avgs[1]),
-        mean(&avgs[2])
-    ));
-    let path = csv.finish()?;
+    if !avgs[0].is_empty() {
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "{:<14} {:>9} {:>8} {:>8} {:>8}",
+            "average",
+            "",
+            pct(mean(&avgs[0])),
+            pct(mean(&avgs[1])),
+            pct(mean(&avgs[2]))
+        );
+        csv.row(format_args!(
+            "average,,{:.4},{:.4},{:.4}",
+            mean(&avgs[0]),
+            mean(&avgs[1]),
+            mean(&avgs[2])
+        ));
+    }
     println!("(paper: up to 19.5% at +8 cycles; ~7.8% average at +8)");
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

@@ -1,11 +1,11 @@
 //! Figure 5: normalized IPC of HyBP per application across context-switch
 //! intervals (256K..16M cycles).
 
-use crate::{all_benchmarks, ipc_at_cached, model_cached, Csv, Ctx, ExpResult, INTERVALS};
+use crate::{all_benchmarks, ipc_at_cached, model_cached, Ctx, ExpResult, INTERVALS};
 use hybp::Mechanism;
 
 pub fn run(ctx: &Ctx) -> ExpResult {
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "fig5_hybp_per_app.csv",
         "benchmark,interval_cycles,normalized_ipc,method",
     );
@@ -15,24 +15,29 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         print!(" {:>9}", format_interval(i));
     }
     println!();
-    // Parallel phase: one task per benchmark, each producing its full
-    // per-interval row. Aggregation below runs serially in input order.
+    // Supervised sweep: one point per benchmark, each producing its full
+    // per-interval row. Aggregation below runs serially in input order
+    // over completed points only.
     let benches = all_benchmarks();
-    let rows: Vec<Vec<(f64, &'static str)>> = ctx.pool.par_map(&benches, |&bench| {
-        let base = model_cached(ctx, Mechanism::Baseline, bench);
-        let hybp = model_cached(ctx, Mechanism::hybp_default(), bench);
-        INTERVALS
-            .iter()
-            .map(|&interval| {
-                let (b, _) = ipc_at_cached(ctx, Mechanism::Baseline, bench, interval, &base);
-                let (h, method) =
-                    ipc_at_cached(ctx, Mechanism::hybp_default(), bench, interval, &hybp);
-                (h / b, method)
-            })
-            .collect()
-    });
+    let rows: Vec<Option<Vec<(f64, &'static str)>>> =
+        ctx.sweep("fig5:benches", &benches, |&bench| {
+            let base = model_cached(ctx, Mechanism::Baseline, bench);
+            let hybp = model_cached(ctx, Mechanism::hybp_default(), bench);
+            INTERVALS
+                .iter()
+                .map(|&interval| {
+                    let (b, _) = ipc_at_cached(ctx, Mechanism::Baseline, bench, interval, &base);
+                    let (h, method) =
+                        ipc_at_cached(ctx, Mechanism::hybp_default(), bench, interval, &hybp);
+                    (h / b, method)
+                })
+                .collect()
+        });
     let mut per_interval_sum = vec![0.0f64; INTERVALS.len()];
-    for (bench, row) in benches.iter().zip(&rows) {
+    let mut completed = 0usize;
+    for (bench, slot) in benches.iter().zip(&rows) {
+        let Some(row) = slot else { continue };
+        completed += 1;
         print!("{:<14}", bench.name());
         for (k, &interval) in INTERVALS.iter().enumerate() {
             let (norm, method) = row[k];
@@ -48,18 +53,18 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         }
         println!();
     }
-    print!("{:<14}", "average");
-    for (k, &interval) in INTERVALS.iter().enumerate() {
-        let avg = per_interval_sum[k] / benches.len() as f64;
-        print!(" {:>9.4}", avg);
-        csv.row(format_args!("average,{},{:.5},", interval, avg));
+    if completed > 0 {
+        print!("{:<14}", "average");
+        for (k, &interval) in INTERVALS.iter().enumerate() {
+            let avg = per_interval_sum[k] / completed as f64;
+            print!(" {:>9.4}", avg);
+            csv.row(format_args!("average,{},{:.5},", interval, avg));
+        }
+        println!();
     }
-    println!();
     println!("(paper: ≥ 0.995 average at the 16M default; down to ~0.79 for the most");
     println!(" switch-sensitive applications at 256K)");
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }
 
 fn format_interval(i: u64) -> String {

@@ -14,7 +14,7 @@ use bp_workloads::profile::SpecBenchmark;
 use hybp::Mechanism;
 
 pub fn run(ctx: &Ctx) -> ExpResult {
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "fig6_switch_interval_sweep.csv",
         "mechanism,interval_cycles,avg_degradation,method",
     );
@@ -30,24 +30,32 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     ];
     let benches = all_benchmarks();
     for mech in mechanisms {
-        // Parallel phase: per-benchmark loss rows (baseline + mechanism
+        // Supervised sweep: per-benchmark loss rows (baseline + mechanism
         // models, direct points at small intervals).
-        let rows: Vec<Vec<(f64, &'static str)>> = ctx.pool.par_map(&benches, |&bench| {
-            let base_model = model_cached(ctx, Mechanism::Baseline, bench);
-            let mech_model = model_cached(ctx, mech, bench);
-            INTERVALS
-                .iter()
-                .map(|&interval| {
-                    let (b, _) =
-                        ipc_at_cached(ctx, Mechanism::Baseline, bench, interval, &base_model);
-                    let (m, method) = ipc_at_cached(ctx, mech, bench, interval, &mech_model);
-                    (degradation(m, b), method)
-                })
-                .collect()
-        });
+        let rows: Vec<Vec<(f64, &'static str)>> = ctx
+            .sweep(&format!("fig6:{}", mech.name()), &benches, |&bench| {
+                let base_model = model_cached(ctx, Mechanism::Baseline, bench);
+                let mech_model = model_cached(ctx, mech, bench);
+                INTERVALS
+                    .iter()
+                    .map(|&interval| {
+                        let (b, _) =
+                            ipc_at_cached(ctx, Mechanism::Baseline, bench, interval, &base_model);
+                        let (m, method) = ipc_at_cached(ctx, mech, bench, interval, &mech_model);
+                        (degradation(m, b), method)
+                    })
+                    .collect()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         print!("{:<12}", mech.to_string());
         for (k, &interval) in INTERVALS.iter().enumerate() {
             let losses: Vec<f64> = rows.iter().map(|r| r[k].0).collect();
+            if losses.is_empty() {
+                print!(" {:>9}", "n/a");
+                continue;
+            }
             let method = rows.last().map(|r| r[k].1).unwrap_or("model");
             let avg = losses.iter().sum::<f64>() / losses.len() as f64;
             print!(" {:>8.2}%", avg * 100.0);
@@ -64,9 +72,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     println!();
     println!("(paper at 16M: Flush 5.1%, Partition 6.3%, HyBP 0.5%; Partition worst cases");
     println!(" fotonik3d 18.2% / xz 19.4%)");
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }
 
 fn decompose_flush(ctx: &Ctx, csv: &mut Csv) {
@@ -78,7 +84,7 @@ fn decompose_flush(ctx: &Ctx, csv: &mut Csv) {
         SpecBenchmark::Xz,
         SpecBenchmark::Wrf,
     ];
-    let shares: Vec<(f64, f64)> = ctx.pool.par_map(&benches, |&bench| {
+    let shares: Vec<Option<(f64, f64)>> = ctx.sweep("fig6:flush-decomp", &benches, |&bench| {
         let cfg = no_switch_config(ctx.scale);
         let base = st_point_cached(ctx, Mechanism::Baseline, bench, cfg).0;
         let flush = st_point_cached(ctx, Mechanism::Flush, bench, cfg).0;
@@ -95,7 +101,10 @@ fn decompose_flush(ctx: &Ctx, csv: &mut Csv) {
         };
         (total, priv_share)
     });
-    for (bench, &(total, priv_share)) in benches.iter().zip(&shares) {
+    for (bench, slot) in benches.iter().zip(&shares) {
+        let Some((total, priv_share)) = *slot else {
+            continue;
+        };
         println!(
             "  {:<14} total {:>6.2}%  privilege part {:>5.1}%",
             bench.name(),

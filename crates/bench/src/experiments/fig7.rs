@@ -4,14 +4,14 @@
 use std::collections::HashMap;
 
 use crate::{
-    degradation, no_switch_config, no_switch_ipc_cached, smt_point_cached, Csv, Ctx, ExpResult,
+    degradation, no_switch_config, no_switch_ipc_cached, smt_point_cached, Ctx, ExpResult,
 };
 use bp_workloads::profile::SpecBenchmark;
 use bp_workloads::TABLE_V_MIXES;
 use hybp::Mechanism;
 
 pub fn run(ctx: &Ctx) -> ExpResult {
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "fig7_smt_mixes.csv",
         "mix,class,mechanism,throughput_degradation,hmean_degradation",
     );
@@ -37,34 +37,39 @@ pub fn run(ctx: &Ctx) -> ExpResult {
             }
         }
     }
-    let solo_ipcs = ctx
-        .pool
-        .par_map(&solo_jobs, |&(mech, b)| no_switch_ipc_cached(ctx, mech, b));
+    let solo_ipcs = ctx.sweep("fig7:solo", &solo_jobs, |&(mech, b)| {
+        no_switch_ipc_cached(ctx, mech, b)
+    });
+    // Lost points simply never enter the map; downstream lookups treat an
+    // absent key as "skip this mix/mechanism".
     let solo: HashMap<(String, SpecBenchmark), f64> = solo_jobs
         .iter()
         .zip(&solo_ipcs)
-        .map(|(&(mech, b), &ipc)| ((mech.to_string(), b), ipc))
+        .filter_map(|(&(mech, b), ipc)| ipc.map(|ipc| ((mech.to_string(), b), ipc)))
         .collect();
 
-    // Parallel phase 2: one task per (mix, mechanism) SMT run.
+    // Supervised sweep 2: one point per (mix, mechanism) SMT run.
     let mut smt_jobs: Vec<(usize, Mechanism)> = Vec::new();
     for (mi, _) in TABLE_V_MIXES.iter().enumerate() {
         for mech in mechanisms {
             smt_jobs.push((mi, mech));
         }
     }
-    let smt_points: Vec<(f64, Vec<f64>)> = ctx.pool.par_map(&smt_jobs, |&(mi, mech)| {
-        smt_point_cached(
-            ctx,
-            mech,
-            TABLE_V_MIXES[mi].pair,
-            no_switch_config(ctx.scale),
-        )
-    });
+    let smt_points: Vec<Option<(f64, Vec<f64>)>> =
+        ctx.sweep("fig7:smt", &smt_jobs, |&(mi, mech)| {
+            smt_point_cached(
+                ctx,
+                mech,
+                TABLE_V_MIXES[mi].pair,
+                no_switch_config(ctx.scale),
+            )
+        });
     let smt: HashMap<(usize, String), &(f64, Vec<f64>)> = smt_jobs
         .iter()
         .zip(&smt_points)
-        .map(|(&(mi, mech), point)| ((mi, mech.to_string()), point))
+        .filter_map(|(&(mi, mech), point)| {
+            point.as_ref().map(|point| ((mi, mech.to_string()), point))
+        })
         .collect();
 
     // Serial aggregation, in mix order.
@@ -75,12 +80,18 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     );
     let mut agg: HashMap<String, (Vec<f64>, Vec<f64>)> = HashMap::new();
     for (mi, mix) in TABLE_V_MIXES.iter().enumerate() {
-        let (base_thr, base_ipcs) = smt[&(mi, Mechanism::Baseline.to_string())];
-        let base_solo: Vec<f64> = mix
+        let Some(base_point) = smt.get(&(mi, Mechanism::Baseline.to_string())) else {
+            continue; // baseline SMT point lost: the whole mix is uncomputable
+        };
+        let (base_thr, base_ipcs) = (&base_point.0, &base_point.1);
+        let Some(base_solo) = mix
             .pair
             .iter()
-            .map(|&b| solo[&(Mechanism::Baseline.to_string(), b)])
-            .collect();
+            .map(|&b| solo.get(&(Mechanism::Baseline.to_string(), b)).copied())
+            .collect::<Option<Vec<f64>>>()
+        else {
+            continue; // a baseline solo reference was lost
+        };
         let base_hmean = match bp_common::stats::hmean_fairness(base_ipcs, &base_solo) {
             Some(h) => h,
             None => {
@@ -92,13 +103,19 @@ pub fn run(ctx: &Ctx) -> ExpResult {
             }
         };
         for mech in mechanisms.iter().skip(1) {
-            let (thr, ipcs) = smt[&(mi, mech.to_string())];
+            let Some(point) = smt.get(&(mi, mech.to_string())) else {
+                continue; // this (mix, mechanism) SMT point was lost
+            };
+            let (thr, ipcs) = (&point.0, &point.1);
             let thr_deg = degradation(*thr, *base_thr);
-            let mech_solo: Vec<f64> = mix
+            let Some(mech_solo) = mix
                 .pair
                 .iter()
-                .map(|&b| solo[&(mech.to_string(), b)])
-                .collect();
+                .map(|&b| solo.get(&(mech.to_string(), b)).copied())
+                .collect::<Option<Vec<f64>>>()
+            else {
+                continue; // a solo reference for this mechanism was lost
+            };
             let hmean = match bp_common::stats::hmean_fairness(ipcs, &mech_solo) {
                 Some(h) => h,
                 None => {
@@ -135,7 +152,9 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     }
     println!();
     for mech in mechanisms.iter().skip(1) {
-        let (thr, hm) = &agg[&mech.to_string()];
+        let Some((thr, hm)) = agg.get(&mech.to_string()) else {
+            continue; // every mix for this mechanism was lost
+        };
         let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
         let max = |v: &Vec<f64>| v.iter().cloned().fold(f64::MIN, f64::max);
         println!(
@@ -156,7 +175,5 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     println!();
     println!("(paper: HyBP avg 0.2% / max 3.8% throughput loss vs Partition avg 4.4% /");
     println!(" max 12.6%; Partition Hmean up to ~17% on H-ILP mixes, HyBP ≤ 2.3%)");
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

@@ -3,7 +3,7 @@
 //! (0.5% loss, 21.1% storage) point — the crossover the paper places at
 //! ≈ +240%.
 
-use crate::{degradation, no_switch_config, smt_point_cached, Csv, Ctx, ExpResult};
+use crate::{degradation, no_switch_config, smt_point_cached, Ctx, ExpResult};
 use bp_workloads::TABLE_V_MIXES;
 use hybp::cost::mechanism_cost;
 use hybp::Mechanism;
@@ -11,23 +11,38 @@ use hybp::Mechanism;
 const SWEEP: [u32; 8] = [0, 40, 80, 120, 160, 200, 240, 300];
 
 /// Average SMT throughput across the Table V mixes; the per-mix runs fan
-/// out on the pool and are summed in mix order.
-fn throughput(ctx: &Ctx, mech: Mechanism) -> f64 {
+/// out as one supervised sweep, averaged over completed mixes (`None`
+/// when all were lost).
+fn throughput(ctx: &Ctx, label: &str, mech: Mechanism) -> Option<f64> {
     let mixes: Vec<_> = TABLE_V_MIXES.to_vec();
-    let thrs = ctx.pool.par_map(&mixes, |mix| {
-        smt_point_cached(ctx, mech, mix.pair, no_switch_config(ctx.scale)).0
-    });
-    thrs.iter().sum::<f64>() / TABLE_V_MIXES.len() as f64
+    let thrs: Vec<f64> = ctx
+        .sweep(label, &mixes, |mix| {
+            smt_point_cached(ctx, mech, mix.pair, no_switch_config(ctx.scale)).0
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    if thrs.is_empty() {
+        None
+    } else {
+        Some(thrs.iter().sum::<f64>() / thrs.len() as f64)
+    }
 }
 
 pub fn run(ctx: &Ctx) -> ExpResult {
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "fig8_replication_sweep.csv",
         "mechanism,extra_storage_pct,perf_loss",
     );
     println!("Figure 8: Replication storage sweep vs HyBP (SMT-2, Table V mixes)");
-    let baseline = throughput(ctx, Mechanism::Baseline);
-    let hybp_loss = degradation(throughput(ctx, Mechanism::hybp_default()), baseline);
+    let (Some(baseline), Some(hybp_thr)) = (
+        throughput(ctx, "fig8:smt:Baseline", Mechanism::Baseline),
+        throughput(ctx, "fig8:smt:HyBP", Mechanism::hybp_default()),
+    ) else {
+        // No reference points — nothing downstream can be computed.
+        return ctx.finish_experiment(csv);
+    };
+    let hybp_loss = degradation(hybp_thr, baseline);
     let hybp_cost = mechanism_cost(&Mechanism::hybp_default(), 2).overhead_fraction();
     println!(
         "HyBP reference point: {:.2}% loss at {:.1}% storage overhead",
@@ -48,7 +63,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
             jobs.push((pct, mi));
         }
     }
-    let thrs = ctx.pool.par_map(&jobs, |&(pct, mi)| {
+    let thrs = ctx.sweep("fig8:grid", &jobs, |&(pct, mi)| {
         let mech = Mechanism::Replication {
             extra_storage_pct: pct,
         };
@@ -63,7 +78,12 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     let mut crossover: Option<u32> = None;
     for (k, &pct) in SWEEP.iter().enumerate() {
         let n = TABLE_V_MIXES.len();
-        let avg = thrs[k * n..(k + 1) * n].iter().sum::<f64>() / n as f64;
+        let done: Vec<f64> = thrs[k * n..(k + 1) * n].iter().flatten().copied().collect();
+        if done.is_empty() {
+            println!("{:>13}% {:>10}", pct, "n/a");
+            continue;
+        }
+        let avg = done.iter().sum::<f64>() / done.len() as f64;
         let loss = degradation(avg, baseline);
         println!("{:>13}% {:>9.2}%", pct, loss * 100.0);
         csv.row(format_args!("Replication,{},{:.5}", pct, loss));
@@ -75,7 +95,5 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         Some(p) => println!("Replication matches HyBP's loss at ≈ +{p}% storage (paper: ≈ +240%)"),
         None => println!("Replication never reaches HyBP's loss within the sweep (paper: ≈ +240%)"),
     }
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

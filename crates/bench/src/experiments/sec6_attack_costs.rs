@@ -2,7 +2,7 @@
 //! contention (Equation 1), PHT reuse cost (Equation 2), GEM re-key bound,
 //! and the linear-cipher break.
 
-use crate::{Csv, Ctx, ExpResult, Scale};
+use crate::{Ctx, ExpResult, Scale};
 use bp_attacks::linear::break_affine;
 use bp_attacks::ppp::{campaign, PppParams};
 use bp_attacks::{blind, gem, pht_analysis};
@@ -15,7 +15,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         Scale::Default => 24,
         Scale::Full => 100,
     };
-    let mut csv = Csv::new("sec6_attack_costs.csv", "experiment,quantity,value");
+    let mut csv = ctx.csv("sec6_attack_costs.csv", "experiment,quantity,value");
 
     println!("=== Algorithm 1 (PPP-style eviction-set construction) ===");
     let params = PppParams::quick();
@@ -24,11 +24,12 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         ("Baseline", Mechanism::Baseline),
         ("HyBP", Mechanism::hybp_default()),
     ];
-    // Parallel phase: one campaign per mechanism.
-    let campaigns = ctx
-        .pool
-        .par_map(&ppp_targets, |&(_, mech)| campaign(mech, &params, runs, 11));
-    for ((name, _), c) in ppp_targets.iter().zip(&campaigns) {
+    // Supervised sweep: one campaign per mechanism.
+    let campaigns = ctx.sweep("sec6_attack_costs:ppp", &ppp_targets, |&(_, mech)| {
+        campaign(mech, &params, runs, 11)
+    });
+    for ((name, _), slot) in ppp_targets.iter().zip(&campaigns) {
+        let Some(c) = slot else { continue };
         let per_run = c.total_accesses as f64 / f64::from(c.runs);
         let cost = c.expected_accesses_to_success();
         let cost_str = if cost.is_finite() {
@@ -139,11 +140,12 @@ pub fn run(ctx: &Ctx) -> ExpResult {
             ("Baseline", Mechanism::Baseline),
             ("HyBP", Mechanism::hybp_default()),
         ];
-        // Parallel phase: one inference campaign per mechanism.
-        let results = ctx
-            .pool
-            .par_map(&targets, |&(_, mech)| set_inference(mech, trials, 16, 21));
-        for ((name, _), r) in targets.iter().zip(&results) {
+        // Supervised sweep: one inference campaign per mechanism.
+        let results = ctx.sweep("sec6_attack_costs:jump-aslr", &targets, |&(_, mech)| {
+            set_inference(mech, trials, 16, 21)
+        });
+        for ((name, _), slot) in targets.iter().zip(&results) {
+            let Some(r) = slot else { continue };
             println!(
                 "{name:<9} recovers the victim's set in {:>5.1}% of trials (signal rate {:>5.1}%)",
                 r.accuracy() * 100.0,
@@ -173,8 +175,6 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     csv.row(format_args!("linear,llbc_broken,{}", llbc_broken));
     csv.row(format_args!("linear,qarma_broken,{}", qarma_broken));
 
-    let path = csv.finish()?;
     println!();
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

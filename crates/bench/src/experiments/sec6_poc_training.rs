@@ -3,7 +3,7 @@
 //!
 //! `--scale full` runs the paper's 10 000 iterations.
 
-use crate::{Csv, Ctx, ExpResult, Scale};
+use crate::{Ctx, ExpResult, Scale};
 use bp_attacks::poc::{btb_training_topo, pht_training_topo, CoResidency, PocParams};
 use hybp::Mechanism;
 
@@ -23,7 +23,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         },
         Scale::Full => PocParams::paper(),
     };
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "sec6_poc_training.csv",
         "unit,mechanism,training_accuracy,iteration_success_rate",
     );
@@ -40,14 +40,14 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         ("Baseline", Mechanism::Baseline),
         ("HyBP", Mechanism::hybp_default()),
     ];
-    // Parallel phase: each (mechanism, unit) campaign is one task.
+    // Supervised sweep: each (mechanism, unit) campaign is one task.
     let mut jobs: Vec<(usize, bool)> = Vec::new();
     for mi in 0..targets.len() {
         for is_pht in [false, true] {
             jobs.push((mi, is_pht));
         }
     }
-    let outcomes = ctx.pool.par_map(&jobs, |&(mi, is_pht)| {
+    let outcomes = ctx.sweep("sec6_poc_training:grid", &jobs, |&(mi, is_pht)| {
         let mech = targets[mi].1;
         if is_pht {
             pht_training_topo(mech, CoResidency::SingleCore, params, 5)
@@ -56,8 +56,9 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         }
     });
     for (mi, (name, _)) in targets.iter().enumerate() {
-        let btb = &outcomes[mi * 2];
-        let pht = &outcomes[mi * 2 + 1];
+        let (Some(btb), Some(pht)) = (&outcomes[mi * 2], &outcomes[mi * 2 + 1]) else {
+            continue;
+        };
         println!(
             "{:<5} {:<10} {:>17.1}% {:>23.1}%",
             "BTB",
@@ -89,7 +90,5 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     println!("(paper, on a plain-TAGE FPGA platform: baseline 96.5% BTB / 97.2% PHT;");
     println!(" < 1% under the hybrid protection. Our baseline PHT number is lower because");
     println!(" TAGE-SC-L's corrector partially resists training — see EXPERIMENTS.md.)");
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

@@ -3,11 +3,11 @@
 //! The paper quotes ≈ 5.4% in its setup, arguing that single-digit
 //! protection overheads squander real generational gains.
 
-use crate::{all_benchmarks, degradation, no_switch_config, st_point_cached, Csv, Ctx, ExpResult};
+use crate::{all_benchmarks, degradation, no_switch_config, st_point_cached, Ctx, ExpResult};
 use hybp::Mechanism;
 
 pub fn run(ctx: &Ctx) -> ExpResult {
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "sec7f_tage_vs_tournament.csv",
         "benchmark,tage_ipc,tournament_ipc,tage_gain",
     );
@@ -17,15 +17,18 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         "benchmark", "TAGE IPC", "tourney IPC", "TAGE gain"
     );
     let benches = all_benchmarks();
-    // Parallel phase: both predictor runs per benchmark are one task.
-    let rows: Vec<(f64, f64)> = ctx.pool.par_map(&benches, |&bench| {
+    // Supervised sweep: both predictor runs per benchmark are one task.
+    let rows: Vec<Option<(f64, f64)>> = ctx.sweep("sec7f:benches", &benches, |&bench| {
         let cfg = no_switch_config(ctx.scale);
         let tage = st_point_cached(ctx, Mechanism::Baseline, bench, cfg).0;
         let tourney = st_point_cached(ctx, Mechanism::TournamentBaseline, bench, cfg).0;
         (tage, tourney)
     });
     let mut gains = Vec::new();
-    for (bench, &(tage, tourney)) in benches.iter().zip(&rows) {
+    for (bench, slot) in benches.iter().zip(&rows) {
+        let Some((tage, tourney)) = *slot else {
+            continue;
+        };
         let gain = -degradation(tage, tourney); // positive = TAGE faster
         gains.push(gain);
         println!(
@@ -43,18 +46,18 @@ pub fn run(ctx: &Ctx) -> ExpResult {
             gain
         ));
     }
-    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
-    println!(
-        "{:<14} {:>10} {:>12} {:>9.2}%",
-        "average",
-        "",
-        "",
-        avg * 100.0
-    );
-    csv.row(format_args!("average,,,{:.5}", avg));
+    if !gains.is_empty() {
+        let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+        println!(
+            "{:<14} {:>10} {:>12} {:>9.2}%",
+            "average",
+            "",
+            "",
+            avg * 100.0
+        );
+        csv.row(format_args!("average,,,{:.5}", avg));
+    }
     println!();
     println!("(paper: ≈ 5.4% average gain from TAGE-SC-L over the tournament predictor)");
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

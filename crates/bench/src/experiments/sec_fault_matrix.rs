@@ -7,7 +7,7 @@
 //! retirement, bounded direction-accuracy loss, and the fault actually
 //! firing where it applies.
 
-use crate::{Csv, Ctx, ExpResult, Scale};
+use crate::{Ctx, ExpResult, Scale};
 use bp_faults::{FaultInjector, FaultPlan, FaultStats};
 use bp_pipeline::{RunMetrics, SimConfig, Simulation};
 use bp_workloads::profile::SpecBenchmark;
@@ -117,7 +117,7 @@ fn run_one(mech: Mechanism, cfg: SimConfig, plan: Option<FaultPlan>) -> (RunMetr
 
 pub fn run(ctx: &Ctx) -> ExpResult {
     let cfg = fault_cfg(ctx.scale);
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "sec_fault_matrix.csv",
         "fault_class,mechanism,streams_agree,retired_ok,clean_accuracy,faulted_accuracy,\
          accuracy_delta,faults_fired,verdict",
@@ -129,11 +129,13 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         "fault class", "mechanism", "clean%", "fault%", "delta", "fired", "verdict"
     );
 
-    // Parallel phase 1: the clean reference run per mechanism.
+    // Supervised phase 1: the clean reference run per mechanism.
     let mechanisms = all_mechanisms();
-    let clean: Vec<RunMetrics> = ctx.pool.par_map(&mechanisms, |&m| run_one(m, cfg, None).0);
+    let clean: Vec<Option<RunMetrics>> = ctx.sweep("sec_fault_matrix:clean", &mechanisms, |&m| {
+        run_one(m, cfg, None).0
+    });
 
-    // Parallel phase 2: the full (fault class × mechanism) grid.
+    // Supervised phase 2: the full (fault class × mechanism) grid.
     let classes = fault_classes();
     let mut jobs: Vec<(usize, usize)> = Vec::new();
     for ci in 0..classes.len() {
@@ -141,15 +143,21 @@ pub fn run(ctx: &Ctx) -> ExpResult {
             jobs.push((ci, mi));
         }
     }
-    let faulted_runs: Vec<(RunMetrics, FaultStats)> = ctx.pool.par_map(&jobs, |&(ci, mi)| {
-        run_one(mechanisms[mi], cfg, Some((classes[ci].plan)()))
-    });
+    let faulted_runs: Vec<Option<(RunMetrics, FaultStats)>> =
+        ctx.sweep("sec_fault_matrix:grid", &jobs, |&(ci, mi)| {
+            run_one(mechanisms[mi], cfg, Some((classes[ci].plan)()))
+        });
 
     let mut failures = 0u32;
     for (ci, class) in classes.iter().enumerate() {
         for (mi, mech) in mechanisms.iter().enumerate() {
-            let clean_run = &clean[mi];
-            let (faulted, stats) = &faulted_runs[ci * mechanisms.len() + mi];
+            // A lost clean reference or faulted run drops the cell from the
+            // matrix (reported as a sweep loss), not a verdict failure.
+            let (Some(clean_run), Some((faulted, stats))) =
+                (&clean[mi], &faulted_runs[ci * mechanisms.len() + mi])
+            else {
+                continue;
+            };
             let agree = faulted.streams_agree_with(clean_run);
             let retired_ok = faulted
                 .threads
@@ -196,8 +204,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
 
     println!("(invariant: streams identical, quota retired, accuracy loss bounded by");
     println!(" {MAX_ACCURACY_LOSS} absolute — faults degrade prediction, never execution)");
-    let path = csv.finish()?;
-    println!("wrote {path}");
+    ctx.finish_experiment(csv)?;
     if failures > 0 {
         return Err(format!("{failures} matrix cells violated the robustness invariant").into());
     }

@@ -3,7 +3,7 @@
 //! interval on an SMT-2 core.
 
 use crate::{
-    degradation, no_switch_config, smt_point_cached, st_point_cached, Csv, Ctx, ExpResult,
+    degradation, no_switch_config, smt_point_cached, st_point_cached, Ctx, ExpResult,
     DEFAULT_INTERVAL,
 };
 use bp_workloads::TABLE_V_MIXES;
@@ -14,17 +14,26 @@ use hybp::Mechanism;
 /// context-switch effects at 16M are folded in via the single-thread model
 /// which the fig5/fig6 binaries quantify — at 16M they are < 1% for every
 /// mechanism except via their fixed parts, which these runs capture).
-/// The per-mix runs fan out on the pool, summed serially in mix order.
-fn smt_throughput(ctx: &Ctx, mech: Mechanism) -> f64 {
+/// The per-mix runs fan out as one supervised sweep; `None` when every
+/// mix point was lost.
+fn smt_throughput(ctx: &Ctx, label: &str, mech: Mechanism) -> Option<f64> {
     let mixes: Vec<_> = TABLE_V_MIXES.to_vec();
-    let thrs = ctx.pool.par_map(&mixes, |mix| {
-        smt_point_cached(ctx, mech, mix.pair, no_switch_config(ctx.scale)).0
-    });
-    thrs.iter().sum::<f64>() / TABLE_V_MIXES.len() as f64
+    let thrs: Vec<f64> = ctx
+        .sweep(label, &mixes, |mix| {
+            smt_point_cached(ctx, mech, mix.pair, no_switch_config(ctx.scale)).0
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    if thrs.is_empty() {
+        None
+    } else {
+        Some(thrs.iter().sum::<f64>() / thrs.len() as f64)
+    }
 }
 
 pub fn run(ctx: &Ctx) -> ExpResult {
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "table1_comparison.csv",
         "mechanism,perf_overhead,hw_cost_pct,single_thread_secure,smt_secure",
     );
@@ -33,20 +42,31 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         "{:<18} {:>10} {:>9} {:>14} {:>6}",
         "mechanism", "perf ovh", "hw cost", "single-thread", "SMT"
     );
-    let baseline_thr = smt_throughput(ctx, Mechanism::Baseline);
+    let Some(baseline_thr) = smt_throughput(ctx, "table1:smt:Baseline", Mechanism::Baseline) else {
+        // No reference point — nothing downstream can be computed.
+        return ctx.finish_experiment(csv);
+    };
     let solo_thr = {
         // Disable-SMT: only the first member of each mix runs.
         let mixes: Vec<_> = TABLE_V_MIXES.to_vec();
-        let thrs = ctx.pool.par_map(&mixes, |mix| {
-            st_point_cached(
-                ctx,
-                Mechanism::Baseline,
-                mix.pair[0],
-                no_switch_config(ctx.scale),
-            )
-            .0
-        });
-        thrs.iter().sum::<f64>() / TABLE_V_MIXES.len() as f64
+        let thrs: Vec<f64> = ctx
+            .sweep("table1:solo", &mixes, |mix| {
+                st_point_cached(
+                    ctx,
+                    Mechanism::Baseline,
+                    mix.pair[0],
+                    no_switch_config(ctx.scale),
+                )
+                .0
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        if thrs.is_empty() {
+            None
+        } else {
+            Some(thrs.iter().sum::<f64>() / thrs.len() as f64)
+        }
     };
     let rows: [(Mechanism, &str, &str); 5] = [
         (Mechanism::Flush, "yes", "NO"),
@@ -62,8 +82,9 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     for (mech, st_sec, smt_sec) in rows {
         let thr = match mech {
             Mechanism::DisableSmt => solo_thr,
-            m => smt_throughput(ctx, m),
+            m => smt_throughput(ctx, &format!("table1:smt:{}", m.name()), m),
         };
+        let Some(thr) = thr else { continue };
         let overhead = degradation(thr, baseline_thr);
         let cost = mechanism_cost(&mech, 2);
         println!(
@@ -86,7 +107,5 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     println!();
     println!("(paper: Flush 5.1%/0, Partition 6.3%/0, Replication 2.1%/100%,");
     println!(" DisableSMT 18%/0, HyBP 0.5%/21.1%)");
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

@@ -12,7 +12,7 @@
 //! victim time-share); "SMT" attacks run concurrently. A mechanism defends
 //! when the attack's success collapses.
 
-use crate::{Csv, Ctx, ExpResult};
+use crate::{Ctx, ExpResult};
 use bp_attacks::poc::{btb_training_topo, pht_training_topo, CoResidency, PocParams};
 use hybp::Mechanism;
 
@@ -32,7 +32,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         success_threshold: 54,
         trainings_per_round: 8,
     };
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "table3_security_matrix.csv",
         "unit,mechanism,topology,training_accuracy,verdict",
     );
@@ -54,7 +54,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
             jobs.push((mi, attack));
         }
     }
-    let accuracies = ctx.pool.par_map(&jobs, |&(mi, attack)| {
+    let accuracies = ctx.sweep("table3:poc-grid", &jobs, |&(mi, attack)| {
         let mech = mechanisms[mi].1;
         match attack {
             0 => btb_training_topo(mech, CoResidency::SingleCore, params, 11).training_accuracy(),
@@ -65,7 +65,13 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     });
     for (mi, (name, _)) in mechanisms.iter().enumerate() {
         let acc = |attack: usize| accuracies[mi * 4 + attack];
-        let (btb_st, btb_smt, pht_st, pht_smt) = (acc(0), acc(1), acc(2), acc(3));
+        // A mechanism's verdict needs all four campaigns; skip rows whose
+        // cells were lost rather than judging on partial evidence.
+        let (Some(btb_st), Some(btb_smt), Some(pht_st), Some(pht_smt)) =
+            (acc(0), acc(1), acc(2), acc(3))
+        else {
+            continue;
+        };
         println!(
             "{:<6} {:<20} {:>14} ({:>5.1}%) {:>14} ({:>5.1}%)",
             "BTB",
@@ -103,7 +109,5 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     println!();
     println!("(paper Table III: Flush rows 'No Protection' under SMT; Physical Isolation");
     println!(" and HyBP defend everywhere)");
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

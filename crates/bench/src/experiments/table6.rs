@@ -3,11 +3,11 @@
 //! intervals. Bigger tables take longer to refresh, so branches run on
 //! stale keys (pure accuracy cost) for longer after each switch.
 
-use crate::{all_benchmarks, degradation, ipc_at_cached, model_cached, Csv, Ctx, ExpResult};
+use crate::{all_benchmarks, degradation, ipc_at_cached, model_cached, Ctx, ExpResult};
 use hybp::{HybpConfig, Mechanism};
 
 pub fn run(ctx: &Ctx) -> ExpResult {
-    let mut csv = Csv::new(
+    let mut csv = ctx.csv(
         "table6_keys_table_sensitivity.csv",
         "keys_entries,interval_cycles,avg_overhead",
     );
@@ -23,16 +23,16 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     );
     // Parallel phase: one model per (size, benchmark), plus the shared
     // baseline models; modeled interval points are then pure arithmetic.
-    let base_models: Vec<_> = ctx
-        .pool
-        .par_map(&benches, |&b| model_cached(ctx, Mechanism::Baseline, b));
+    let base_models = ctx.sweep("table6:base-models", &benches, |&b| {
+        model_cached(ctx, Mechanism::Baseline, b)
+    });
     let mut jobs: Vec<(usize, usize)> = Vec::new();
     for (si, _) in sizes.iter().enumerate() {
         for (bi, _) in benches.iter().enumerate() {
             jobs.push((si, bi));
         }
     }
-    let models = ctx.pool.par_map(&jobs, |&(si, bi)| {
+    let models = ctx.sweep("table6:grid", &jobs, |&(si, bi)| {
         let mech = Mechanism::HyBp(HybpConfig::with_keys_entries(sizes[si]));
         model_cached(ctx, mech, benches[bi])
     });
@@ -40,13 +40,22 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         let mech = Mechanism::HyBp(HybpConfig::with_keys_entries(entries));
         print!("{:>9}", entries);
         for &interval in &intervals {
+            // A benchmark contributes only when both its baseline and
+            // HyBP models completed.
             let mut losses = Vec::new();
             for (bi, &bench) in benches.iter().enumerate() {
-                let (b, _) =
-                    ipc_at_cached(ctx, Mechanism::Baseline, bench, interval, &base_models[bi]);
-                let (h, _) =
-                    ipc_at_cached(ctx, mech, bench, interval, &models[si * benches.len() + bi]);
+                let (Some(base_model), Some(model)) =
+                    (&base_models[bi], &models[si * benches.len() + bi])
+                else {
+                    continue;
+                };
+                let (b, _) = ipc_at_cached(ctx, Mechanism::Baseline, bench, interval, base_model);
+                let (h, _) = ipc_at_cached(ctx, mech, bench, interval, model);
                 losses.push(degradation(h, b));
+            }
+            if losses.is_empty() {
+                print!(" {:>12}", "n/a");
+                continue;
             }
             let avg = losses.iter().sum::<f64>() / losses.len() as f64;
             print!(" {:>11.2}%", avg * 100.0);
@@ -56,7 +65,5 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     }
     println!();
     println!("(paper: 1.4%..1.9% at 4M and 0.5%..0.9% at 16M as tables grow 1K→32K)");
-    let path = csv.finish()?;
-    println!("wrote {path}");
-    Ok(())
+    ctx.finish_experiment(csv)
 }

@@ -30,14 +30,18 @@ use hybp::Mechanism;
 pub mod cache;
 pub mod cli;
 pub mod experiments;
+pub mod supervise;
 pub mod timing;
 
 pub use cache::{CacheKey, ModelCache};
 pub use cli::{exp_main, Ctx};
+pub use supervise::{PointFailure, Supervisor, SweepReport};
 
 /// What an experiment body returns: `Ok(())` or a printable failure (a
-/// violated invariant, an unwritable CSV, …).
-pub type ExpResult = Result<(), Box<dyn std::error::Error>>;
+/// violated invariant, an unwritable CSV, a degraded sweep, …). The error
+/// is `Send + Sync` so a whole experiment can run behind the deadline
+/// watchdog's channel.
+pub type ExpResult = Result<(), Box<dyn std::error::Error + Send + Sync>>;
 
 /// Run-length preset, selectable with `--scale quick|default|full`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -360,22 +364,30 @@ pub fn smt_point_cached(
     (v[0], v[1..].to_vec())
 }
 
-/// Simple CSV accumulator writing into `results/`.
+/// Simple CSV accumulator writing into a results directory.
 #[derive(Debug)]
 pub struct Csv {
     path: String,
     buf: String,
+    partial: Option<(usize, usize)>,
 }
 
 impl Csv {
-    /// Creates a CSV with a header row; the file is written on
-    /// [`Csv::finish`].
+    /// Creates a CSV under `results/` with a header row; the file is
+    /// written on [`Csv::finish`].
     pub fn new(name: &str, header: &str) -> Csv {
+        Csv::at_dir("results", name, header)
+    }
+
+    /// Creates a CSV under an explicit directory (what [`Ctx::csv`] uses,
+    /// so tests can redirect output away from the tracked `results/`).
+    pub fn at_dir(dir: impl AsRef<Path>, name: &str, header: &str) -> Csv {
         let mut buf = String::new();
         let _ = writeln!(buf, "{header}");
         Csv {
-            path: format!("results/{name}"),
+            path: dir.as_ref().join(name).display().to_string(),
             buf,
+            partial: None,
         }
     }
 
@@ -384,12 +396,28 @@ impl Csv {
         let _ = writeln!(self.buf, "{row}");
     }
 
-    /// Writes the file (creating `results/` if needed) and returns the path.
+    /// Marks the file as degraded output: [`Csv::finish`] will prepend a
+    /// `# partial: N/M points` comment line so downstream diffing can
+    /// never mistake a degraded CSV for a complete one. A complete file
+    /// carries no comment and stays byte-identical to the pre-supervision
+    /// format.
+    pub fn mark_partial(&mut self, completed: usize, total: usize) {
+        self.partial = Some((completed, total));
+    }
+
+    /// Writes the file (creating the directory if needed) and returns the
+    /// path.
     pub fn finish(self) -> std::io::Result<String> {
         if let Some(parent) = Path::new(&self.path).parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(&self.path, self.buf)?;
+        let body = match self.partial {
+            Some((completed, total)) => {
+                format!("# partial: {completed}/{total} points\n{}", self.buf)
+            }
+            None => self.buf,
+        };
+        std::fs::write(&self.path, body)?;
         Ok(self.path)
     }
 }

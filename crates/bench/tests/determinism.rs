@@ -14,11 +14,11 @@ use hybp::Mechanism;
 fn tmp_ctx(tag: &str, threads: usize, enabled: bool) -> Ctx {
     let dir = std::env::temp_dir().join(format!("hybp-determinism-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    Ctx {
-        scale: Scale::Quick,
-        pool: Pool::new(threads),
-        cache: ModelCache::at_dir(dir, enabled),
-    }
+    Ctx::custom(
+        Scale::Quick,
+        Pool::new(threads),
+        ModelCache::at_dir(dir, enabled),
+    )
 }
 
 fn cleanup(ctx: &Ctx) {

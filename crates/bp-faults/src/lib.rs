@@ -42,6 +42,8 @@
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 #![deny(missing_docs)]
 
+pub mod points;
+
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;

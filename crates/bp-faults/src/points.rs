@@ -1,0 +1,261 @@
+//! Harness-level point faults: named sweep points that must fail.
+//!
+//! The fault classes in the crate root disturb the *simulated hardware*;
+//! this module disturbs the *experiment runner itself*, so the supervised
+//! sweep executor ("stale keys cost accuracy, never correctness" for the
+//! harness: a lost point costs coverage, never the suite) can be exercised
+//! end-to-end. A [`PointFaultPlan`] names sweep points by `(sweep label,
+//! input index)` and prescribes how each must fail:
+//!
+//! * `panic@<sweep>@<index>` — the point panics on every attempt,
+//! * `error@<sweep>@<index>` — the point returns a fatal typed error,
+//! * `transient@<sweep>@<index>@<k>` — the point fails transiently on its
+//!   first `k` attempts and succeeds afterwards (exercises the retry
+//!   policy's recovery path).
+//!
+//! Plans are parsed from a comma-separated spec string, conventionally the
+//! `HYBP_FAULT_POINTS` environment variable, and are fully deterministic:
+//! the disposition of `(sweep, index, attempt)` is a pure function of the
+//! plan.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_faults::points::{PointDisposition, PointFaultPlan};
+//!
+//! let plan = PointFaultPlan::parse("panic@fig5:benches@3,transient@table6:grid@1@2")
+//!     .expect("valid spec");
+//! assert_eq!(plan.disposition("fig5:benches", 3, 1), PointDisposition::Panic);
+//! assert_eq!(
+//!     plan.disposition("table6:grid", 1, 2),
+//!     PointDisposition::TransientError
+//! );
+//! assert_eq!(plan.disposition("table6:grid", 1, 3), PointDisposition::Proceed);
+//! assert_eq!(plan.disposition("fig5:benches", 4, 1), PointDisposition::Proceed);
+//! ```
+
+/// Environment variable holding the standard point-fault spec.
+pub const ENV_VAR: &str = "HYBP_FAULT_POINTS";
+
+/// How a targeted sweep point must fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointFaultKind {
+    /// Panic on every attempt.
+    Panic,
+    /// Return a fatal (non-retryable) typed error on every attempt.
+    FatalError,
+    /// Fail transiently on the first `fail_attempts` attempts, then
+    /// succeed.
+    Transient {
+        /// Attempts that fail before the point recovers.
+        fail_attempts: u32,
+    },
+}
+
+/// One targeted sweep point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointFault {
+    /// Sweep label the experiment passes to the supervised executor
+    /// (e.g. `"fig5:benches"`).
+    pub sweep: String,
+    /// Input-order index of the point within that sweep.
+    pub index: usize,
+    /// Failure mode.
+    pub kind: PointFaultKind,
+}
+
+/// What the harness should do with one attempt of one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PointDisposition {
+    /// Run the point normally.
+    #[default]
+    Proceed,
+    /// Panic in place of running the point.
+    Panic,
+    /// Fail with a fatal typed error.
+    FatalError,
+    /// Fail with a transient (retry-eligible) typed error.
+    TransientError,
+}
+
+/// A deterministic schedule of harness point faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PointFaultPlan {
+    entries: Vec<PointFault>,
+}
+
+impl PointFaultPlan {
+    /// A plan injecting nothing.
+    pub fn empty() -> PointFaultPlan {
+        PointFaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The targeted points.
+    pub fn entries(&self) -> &[PointFault] {
+        &self.entries
+    }
+
+    /// Parses a comma-separated spec. Fields within an entry are separated
+    /// by `@` (sweep labels themselves may contain `:` but not `@` or
+    /// `,`). An empty spec is the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed entry and the accepted
+    /// forms; a typo must never silently inject nothing.
+    pub fn parse(spec: &str) -> Result<PointFaultPlan, String> {
+        let mut entries = Vec::new();
+        for raw in spec.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = raw.split('@').collect();
+            let fault = match fields.as_slice() {
+                ["panic", sweep, index] => PointFault {
+                    sweep: (*sweep).to_string(),
+                    index: parse_index(raw, index)?,
+                    kind: PointFaultKind::Panic,
+                },
+                ["error", sweep, index] => PointFault {
+                    sweep: (*sweep).to_string(),
+                    index: parse_index(raw, index)?,
+                    kind: PointFaultKind::FatalError,
+                },
+                ["transient", sweep, index, attempts] => PointFault {
+                    sweep: (*sweep).to_string(),
+                    index: parse_index(raw, index)?,
+                    kind: PointFaultKind::Transient {
+                        fail_attempts: attempts.parse::<u32>().map_err(|_| {
+                            format!("invalid attempt count '{attempts}' in point fault '{raw}'")
+                        })?,
+                    },
+                },
+                _ => {
+                    return Err(format!(
+                        "invalid point fault '{raw}': expected panic@<sweep>@<index>, \
+                         error@<sweep>@<index>, or transient@<sweep>@<index>@<attempts>"
+                    ))
+                }
+            };
+            if fault.sweep.is_empty() {
+                return Err(format!("empty sweep label in point fault '{raw}'"));
+            }
+            entries.push(fault);
+        }
+        Ok(PointFaultPlan { entries })
+    }
+
+    /// Parses the plan from [`ENV_VAR`]; an unset variable is the empty
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PointFaultPlan::parse`] errors, prefixed with the
+    /// variable name.
+    pub fn from_env() -> Result<PointFaultPlan, String> {
+        match std::env::var(ENV_VAR) {
+            Ok(spec) => PointFaultPlan::parse(&spec).map_err(|e| format!("{ENV_VAR}: {e}")),
+            Err(_) => Ok(PointFaultPlan::empty()),
+        }
+    }
+
+    /// Disposition of attempt `attempt` (1-based) of point `index` of the
+    /// sweep labelled `sweep`. Pure: depends only on the plan and the
+    /// arguments.
+    pub fn disposition(&self, sweep: &str, index: usize, attempt: u32) -> PointDisposition {
+        for e in &self.entries {
+            if e.sweep == sweep && e.index == index {
+                return match e.kind {
+                    PointFaultKind::Panic => PointDisposition::Panic,
+                    PointFaultKind::FatalError => PointDisposition::FatalError,
+                    PointFaultKind::Transient { fail_attempts } => {
+                        if attempt <= fail_attempts {
+                            PointDisposition::TransientError
+                        } else {
+                            PointDisposition::Proceed
+                        }
+                    }
+                };
+            }
+        }
+        PointDisposition::Proceed
+    }
+
+    /// The faults targeting one sweep, in plan order.
+    pub fn for_sweep<'a>(&'a self, sweep: &'a str) -> impl Iterator<Item = &'a PointFault> + 'a {
+        self.entries.iter().filter(move |e| e.sweep == sweep)
+    }
+}
+
+fn parse_index(entry: &str, index: &str) -> Result<usize, String> {
+    index
+        .parse::<usize>()
+        .map_err(|_| format!("invalid point index '{index}' in point fault '{entry}'"))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_specs_inject_nothing() {
+        for spec in ["", "  ", ",", " , "] {
+            let plan = PointFaultPlan::parse(spec).unwrap();
+            assert!(plan.is_empty(), "{spec:?}");
+            assert_eq!(plan.disposition("any", 0, 1), PointDisposition::Proceed);
+        }
+    }
+
+    #[test]
+    fn parses_every_kind() {
+        let plan = PointFaultPlan::parse("panic@a:b@0, error@c@12 ,transient@d:e:f@3@2").unwrap();
+        assert_eq!(plan.entries().len(), 3);
+        assert_eq!(plan.disposition("a:b", 0, 1), PointDisposition::Panic);
+        assert_eq!(plan.disposition("a:b", 0, 7), PointDisposition::Panic);
+        assert_eq!(plan.disposition("c", 12, 1), PointDisposition::FatalError);
+        assert_eq!(
+            plan.disposition("d:e:f", 3, 1),
+            PointDisposition::TransientError
+        );
+        assert_eq!(
+            plan.disposition("d:e:f", 3, 2),
+            PointDisposition::TransientError
+        );
+        assert_eq!(plan.disposition("d:e:f", 3, 3), PointDisposition::Proceed);
+    }
+
+    #[test]
+    fn untargeted_points_proceed() {
+        let plan = PointFaultPlan::parse("panic@s@4").unwrap();
+        assert_eq!(plan.disposition("s", 3, 1), PointDisposition::Proceed);
+        assert_eq!(plan.disposition("other", 4, 1), PointDisposition::Proceed);
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        for bad in [
+            "panic@s",          // missing index
+            "panic@s@x",        // non-numeric index
+            "transient@s@1",    // missing attempt count
+            "transient@s@1@no", // non-numeric attempt count
+            "explode@s@1",      // unknown kind
+            "panic@@1",         // empty sweep
+        ] {
+            assert!(PointFaultPlan::parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn for_sweep_filters() {
+        let plan = PointFaultPlan::parse("panic@s@1,error@t@2,panic@s@9").unwrap();
+        let s: Vec<usize> = plan.for_sweep("s").map(|e| e.index).collect();
+        assert_eq!(s, vec![1, 9]);
+    }
+}

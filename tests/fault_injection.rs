@@ -250,3 +250,75 @@ fn refresh_timing_is_fault_independent() {
         "acknowledged refresh completion varied across fault dispositions: {acknowledged:?}"
     );
 }
+
+/// The robustness matrix itself must be robust: with harness point faults
+/// injected into its own sweep grid, the `sec_fault_matrix` experiment
+/// still runs to completion under the supervisor, loses exactly the
+/// injected points, writes a partial (never wrong) CSV, and reports the
+/// degradation as a visible error.
+#[test]
+fn sec_fault_matrix_survives_point_faults_under_the_supervisor() {
+    use bench::cache::ModelCache;
+    use bench::{experiments, Ctx, Scale, SweepReport};
+    use bp_common::pool::Pool;
+    use bp_faults::points::PointFaultPlan;
+
+    let base = std::env::temp_dir().join(format!("hybp-matrix-supervised-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    // One grid cell dies outright; a second fails once and must be
+    // retried back to health.
+    let plan =
+        PointFaultPlan::parse("panic@sec_fault_matrix:grid@5,transient@sec_fault_matrix:grid@11@1")
+            .expect("valid plan");
+    let ctx = Ctx::custom(
+        Scale::Quick,
+        Pool::new(2),
+        ModelCache::at_dir(base.join("cache"), false),
+    )
+    .with_results_dir(base.join("results"))
+    .with_fault_points(plan);
+
+    let exp = experiments::all()
+        .into_iter()
+        .find(|e| e.name == "sec_fault_matrix")
+        .expect("registered experiment");
+    let result = (exp.run)(&ctx);
+
+    // The experiment completes (no panic escaped the supervisor) and
+    // reports its degradation, naming the lost point.
+    let err = result.expect_err("degraded run must error").to_string();
+    assert!(err.contains("degraded"), "{err}");
+    assert!(err.contains("sec_fault_matrix:grid[5]"), "{err}");
+
+    // Exactly the injected failure was lost; the transient point
+    // recovered via retry.
+    let reports: Vec<SweepReport> = ctx.supervisor.drain();
+    let grid = reports
+        .iter()
+        .find(|r| r.label == "sec_fault_matrix:grid")
+        .expect("grid sweep report");
+    assert_eq!(grid.lost(), 1, "{grid:?}");
+    assert_eq!(grid.failures[0].index, 5);
+    assert!(grid.failures[0].panicked);
+    assert_eq!(grid.recovered, 1, "{grid:?}");
+    let clean = reports
+        .iter()
+        .find(|r| r.label == "sec_fault_matrix:clean")
+        .expect("clean sweep report");
+    assert_eq!(clean.lost(), 0, "{clean:?}");
+
+    // The CSV is partial, not wrong: one grid cell short, all others
+    // present and well-formed.
+    let text =
+        std::fs::read_to_string(base.join("results/sec_fault_matrix.csv")).expect("csv written");
+    let total = grid.total + clean.total;
+    assert!(
+        text.starts_with(&format!("# partial: {}/{} points\n", total - 1, total)),
+        "{}",
+        text.lines().next().unwrap_or("")
+    );
+    let rows = text.lines().skip(2).count();
+    assert_eq!(rows, grid.total - 1, "one row per surviving grid cell");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
