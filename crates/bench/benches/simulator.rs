@@ -22,9 +22,12 @@ fn main() {
                 let mut cfg = SimConfig::quick_test();
                 cfg.warmup_instructions = 10_000;
                 cfg.measure_instructions = instructions;
-                Simulation::single_thread(mech, SpecBenchmark::Xz, cfg)
+                Simulation::builder(mech, cfg)
+                    .single_thread(SpecBenchmark::Xz)
+                    .build()
                     .expect("valid config")
                     .run()
+                    .expect("completes")
                     .throughput()
             });
         println!(

@@ -1,0 +1,67 @@
+//! Cost of the telemetry layer on the simulation hot path.
+//!
+//! Two claims are measured: a disabled sink is free (one branch per
+//! would-be event, so the full-simulation throughput with a disabled sink
+//! matches a plain run), and an enabled ring sink stays cheap because the
+//! hot path only *counts* — span events are emitted at rare occurrences
+//! (context switches, key refreshes), never per branch.
+
+use std::time::Duration;
+
+use bench::timing::Bench;
+use bp_common::Telemetry;
+use bp_pipeline::{SimConfig, Simulation};
+use bp_workloads::profile::SpecBenchmark;
+use hybp::Mechanism;
+
+const INSTRUCTIONS: u64 = 200_000;
+
+fn sim_throughput(telemetry: Telemetry) -> f64 {
+    let mut cfg = SimConfig::quick_test();
+    cfg.warmup_instructions = 10_000;
+    cfg.measure_instructions = INSTRUCTIONS;
+    cfg.ctx_switch_interval = 25_000; // force span traffic when enabled
+    Simulation::builder(Mechanism::hybp_default(), cfg)
+        .single_thread(SpecBenchmark::Xz)
+        .telemetry(telemetry)
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes")
+        .throughput()
+}
+
+fn main() {
+    for (name, enabled) in [("disabled-sink", false), ("ring-sink", true)] {
+        let report = Bench::new(format!("telemetry/simulation-{name}"))
+            .warmup_for(Duration::from_millis(500))
+            .measure_for(Duration::from_secs(2))
+            .run(|| {
+                sim_throughput(if enabled {
+                    Telemetry::ring(1 << 16)
+                } else {
+                    Telemetry::disabled()
+                })
+            });
+        println!(
+            "  -> {:.1}M simulated instructions / second",
+            report.per_second() * (INSTRUCTIONS + 10_000) as f64 / 1e6
+        );
+    }
+
+    // The raw cost of a skipped event on a disabled sink.
+    let sink = Telemetry::disabled();
+    let report = Bench::new("telemetry/disabled-emit-1k".to_string())
+        .warmup_for(Duration::from_millis(200))
+        .measure_for(Duration::from_secs(1))
+        .run(|| {
+            for c in 0..1_000u64 {
+                sink.span(c, "bench", "noop", c, c + 1, 0);
+            }
+            sink.dropped()
+        });
+    println!(
+        "  -> {:.1}M skipped emits / second",
+        report.per_second() * 1_000.0 / 1e6
+    );
+}

@@ -24,22 +24,30 @@
 //! The process exits non-zero if anything failed, panicked, timed out,
 //! degraded (lost sweep points), or did not write its expected CSV.
 //!
+//! With `--telemetry DIR` every experiment additionally exports a sorted,
+//! schema-valid telemetry JSONL file into `DIR` (validated line-by-line
+//! after each experiment), and the journal carries per-experiment
+//! telemetry summaries. Capture disables the model cache so every point
+//! actually simulates and the export is deterministic at any `--threads`.
+//!
 //! Usage: `bench_all [--scale quick|default|full] [--threads N]
-//! [--no-cache] [--resume] [--deadline-secs N]`
+//! [--no-cache] [--telemetry DIR] [--resume] [--deadline-secs N]`
 
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bench::cache::CacheStats;
 use bench::{cli, experiments, Ctx, SweepReport};
+use bp_common::telemetry::parse_jsonl_line;
 
 /// Option summary for the suite driver (the shared options plus the
 /// suite-only ones).
 const SUITE_USAGE: &str = "options: [--scale quick|default|full] [--threads N] [--no-cache] \
-     [--resume] [--deadline-secs N]";
+     [--telemetry DIR] [--resume] [--deadline-secs N]";
 
 /// Journal location, relative to the working directory.
 const REPORT_PATH: &str = "results/run_report.json";
@@ -79,6 +87,17 @@ impl Status {
     }
 }
 
+/// Per-experiment telemetry export summary (present only with
+/// `--telemetry` and at least one flushed file).
+struct TelemetrySummary {
+    /// JSONL file path, as written.
+    file: String,
+    /// Events written across this experiment's flushes.
+    events: usize,
+    /// Events lost to ring overflow (0 in any healthy run).
+    dropped: u64,
+}
+
 /// Outcome of one experiment, journal-ready.
 struct Outcome {
     name: &'static str,
@@ -91,6 +110,9 @@ struct Outcome {
     /// Cache-counter movement during this experiment.
     quarantined: u64,
     store_failures: u64,
+    /// Telemetry export, when capture was enabled and the experiment
+    /// flushed a file.
+    telemetry: Option<TelemetrySummary>,
 }
 
 impl Outcome {
@@ -194,6 +216,12 @@ fn main() {
             ctx.fault_points.entries().len()
         );
     }
+    if let Some(dir) = &ctx.telemetry_dir {
+        println!(
+            "telemetry: exporting JSONL to {} (model cache disabled for determinism)",
+            dir.display()
+        );
+    }
 
     let suite_start = Instant::now();
     let mut outcomes: Vec<Outcome> = Vec::new();
@@ -211,6 +239,7 @@ fn main() {
                     sweeps: Vec::new(),
                     quarantined: 0,
                     store_failures: 0,
+                    telemetry: None,
                 });
                 journal(&ctx, &outcomes, exps.len());
                 continue;
@@ -246,6 +275,37 @@ fn main() {
                 )),
             ),
         };
+        // Collect (and validate) what this experiment exported; drop any
+        // unflushed events so they can never leak into the next
+        // experiment's file.
+        let flushes = ctx.telemetry.drain_flushes();
+        let _ = ctx.telemetry.discard_pending();
+        let mut telemetry = None;
+        let (mut status, mut reason) = (status, reason);
+        if ctx.telemetry.is_enabled() && !flushes.is_empty() {
+            let mut events = 0usize;
+            let mut dropped = 0u64;
+            let mut schema_errors = Vec::new();
+            for f in &flushes {
+                events += f.events;
+                dropped += f.dropped;
+                if let Err(e) = validate_jsonl(&f.path) {
+                    schema_errors.push(format!("{}: {e}", f.path.display()));
+                }
+            }
+            telemetry = Some(TelemetrySummary {
+                file: flushes[0].path.display().to_string(),
+                events,
+                dropped,
+            });
+            if !schema_errors.is_empty() && !status.is_failure() {
+                status = Status::Failed;
+                reason = Some(format!(
+                    "telemetry export invalid: {}",
+                    schema_errors.join("; ")
+                ));
+            }
+        }
         if let Some(r) = &reason {
             eprintln!("{}: {} — {}", exp.name, status.as_str(), r);
         }
@@ -258,6 +318,7 @@ fn main() {
             sweeps,
             quarantined: cache_after.quarantined - cache_before.quarantined,
             store_failures: cache_after.store_failures - cache_before.store_failures,
+            telemetry,
         });
         journal(&ctx, &outcomes, exps.len());
     }
@@ -266,7 +327,7 @@ fn main() {
 
     println!();
     println!("=== suite summary ===");
-    println!("{:<32} {:>9}  {}", "experiment", "seconds", "status");
+    println!("{:<32} {:>9}  status", "experiment", "seconds");
     for o in &outcomes {
         println!(
             "{:<32} {:>9.2}  {}{}",
@@ -372,6 +433,22 @@ fn can_skip(report: &str, name: &str, scale: &str, csv: Option<&str>, ctx: &Ctx)
     }
 }
 
+/// Validates one exported telemetry JSONL file line-by-line against the
+/// event schema. An empty export is invalid: every finished experiment
+/// emits at least its `("bench", "points")` mark.
+fn validate_jsonl(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        parse_jsonl_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("empty export".to_string());
+    }
+    Ok(())
+}
+
 /// Prints quarantine/store-failure counters when they moved — a cache
 /// that has stopped persisting or is shedding corrupt entries should be
 /// visible in the summary, not only in the journal.
@@ -425,6 +502,13 @@ fn render_report(ctx: &Ctx, outcomes: &[Outcome], total_experiments: usize) -> S
     let _ = writeln!(s, "  \"schema\": 1,");
     let _ = writeln!(s, "  \"scale\": \"{}\",", ctx.scale.name());
     let _ = writeln!(s, "  \"threads\": {},", ctx.pool.threads());
+    if let Some(dir) = &ctx.telemetry_dir {
+        let _ = writeln!(
+            s,
+            "  \"telemetry_dir\": \"{}\",",
+            escape(&dir.display().to_string())
+        );
+    }
     let _ = writeln!(s, "  \"total_experiments\": {total_experiments},");
     let _ = writeln!(s, "  \"completed_experiments\": {},", outcomes.len());
     let _ = writeln!(
@@ -454,6 +538,18 @@ fn render_report(ctx: &Ctx, outcomes: &[Outcome], total_experiments: usize) -> S
             o.quarantined,
             o.store_failures
         );
+        // Telemetry fields stay inline on the experiment's line: the
+        // resume scan and CI's grep contracts are line-based.
+        if let Some(t) = &o.telemetry {
+            let _ = write!(
+                line,
+                ", \"telemetry_file\": \"{}\", \"telemetry_events\": {}, \
+                 \"telemetry_dropped\": {}",
+                escape(&t.file),
+                t.events,
+                t.dropped
+            );
+        }
         let failed: Vec<String> = o
             .sweeps
             .iter()

@@ -26,6 +26,8 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use bp_common::telemetry::{Observable, TelemetrySnapshot};
+
 /// Format marker on the first line of every cache file.
 const MAGIC: &str = "hybp-model-cache v1";
 
@@ -195,6 +197,17 @@ impl ModelCache {
         self.dir.join(QUARANTINE_SUBDIR)
     }
 
+    /// [`Observable`] counters (scope `"cache"`).
+    fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let s = self.stats();
+        TelemetrySnapshot::new("cache")
+            .with("enabled", u64::from(self.is_enabled()))
+            .with("hits", s.hits)
+            .with("misses", s.misses)
+            .with("store_failures", s.store_failures)
+            .with("quarantined", s.quarantined)
+    }
+
     /// Returns the cached values for `key`, or computes them with
     /// `compute`, stores them, and returns them. `compute` must be a pure
     /// function of the key's components — that is the caller's half of
@@ -307,6 +320,12 @@ impl ModelCache {
             self.store_failures.fetch_add(1, Ordering::Relaxed);
             let _ = std::fs::remove_file(&tmp);
         }
+    }
+}
+
+impl Observable for ModelCache {
+    fn snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry_snapshot()
     }
 }
 
@@ -496,5 +515,19 @@ mod tests {
             ..Default::default()
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_mirrors_stats() {
+        let dir = std::env::temp_dir().join(format!("hybp-cache-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ModelCache::at_dir(&dir, false);
+        let key = CacheKey::new("test").with("x", format_args!("9"));
+        let _ = cache.get_or_compute_one(&key, || 1.0);
+        let snap = cache.snapshot();
+        assert_eq!(snap.scope, "cache");
+        assert_eq!(snap.get("enabled"), 0);
+        assert_eq!(snap.get("misses"), 1);
+        assert_eq!(snap.get("hits"), 0);
     }
 }

@@ -1,13 +1,17 @@
 //! Shared command-line handling and run context for the experiment
 //! binaries.
 //!
-//! Every binary accepts the same three options:
+//! Every binary accepts the same options:
 //!
 //! * `--scale quick|default|full` — run-length preset ([`Scale`]),
 //! * `--threads N` — worker count for the parallel sweeps (default: the
 //!   `HYBP_THREADS` environment variable, else
 //!   [`std::thread::available_parallelism`]),
-//! * `--no-cache` — bypass the on-disk model cache entirely.
+//! * `--no-cache` — bypass the on-disk model cache entirely,
+//! * `--telemetry DIR` — export one sorted telemetry JSONL file per
+//!   experiment into `DIR`. Capture implies `--no-cache`: a cached point
+//!   runs no simulation and would emit no events, so serving from disk
+//!   would make the export depend on cache state.
 //!
 //! Unknown options and malformed values are fatal usage errors (exit
 //! code 2) with a message listing what is valid — a typo must never
@@ -21,13 +25,15 @@ use bp_faults::points::{PointDisposition, PointFaultPlan};
 
 use crate::cache::ModelCache;
 use crate::supervise::{PointFailure, Supervisor, SweepReport};
+use crate::telemetry::TelemetryHub;
 use crate::{Csv, ExpResult, Scale};
 
 /// Option summary printed with every usage error.
-pub const USAGE: &str = "options: [--scale quick|default|full] [--threads N] [--no-cache]";
+pub const USAGE: &str =
+    "options: [--scale quick|default|full] [--threads N] [--no-cache] [--telemetry DIR]";
 
 /// Parsed command-line options, before any pool/cache is constructed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliOptions {
     /// Run-length preset.
     pub scale: Scale,
@@ -35,6 +41,8 @@ pub struct CliOptions {
     pub threads: usize,
     /// Whether `--no-cache` was given.
     pub no_cache: bool,
+    /// Telemetry JSONL export directory (`--telemetry DIR`), if any.
+    pub telemetry: Option<PathBuf>,
 }
 
 /// Parses a `--threads`/`HYBP_THREADS` value.
@@ -72,6 +80,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     let mut scale = Scale::Default;
     let mut threads: Option<usize> = None;
     let mut no_cache = false;
+    let mut telemetry: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -93,6 +102,13 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 no_cache = true;
                 i += 1;
             }
+            "--telemetry" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--telemetry needs a directory; {USAGE}"))?;
+                telemetry = Some(PathBuf::from(v));
+                i += 2;
+            }
             other => return Err(format!("unknown option '{other}'; {USAGE}")),
         }
     }
@@ -104,6 +120,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         scale,
         threads,
         no_cache,
+        telemetry,
     })
 }
 
@@ -134,6 +151,11 @@ pub struct Ctx {
     pub supervisor: Supervisor,
     /// Directory CSVs are written into (default `results/`).
     pub results_dir: PathBuf,
+    /// Telemetry collection hub (disabled unless `--telemetry` was given
+    /// or [`Ctx::with_telemetry_dir`] was called).
+    pub telemetry: TelemetryHub,
+    /// Directory telemetry JSONL files are flushed into, when enabled.
+    pub telemetry_dir: Option<PathBuf>,
 }
 
 impl Ctx {
@@ -148,6 +170,8 @@ impl Ctx {
             fault_points: PointFaultPlan::empty(),
             supervisor: Supervisor::new(),
             results_dir: PathBuf::from("results"),
+            telemetry: TelemetryHub::new(false),
+            telemetry_dir: None,
         }
     }
 
@@ -170,6 +194,15 @@ impl Ctx {
         self
     }
 
+    /// Enables telemetry capture, flushing one JSONL file per experiment
+    /// into `dir`. Callers who also hold a cache must disable it — see the
+    /// module docs ([`Ctx::from_options`] enforces this for the CLI path).
+    pub fn with_telemetry_dir(mut self, dir: impl Into<PathBuf>) -> Ctx {
+        self.telemetry = TelemetryHub::new(true);
+        self.telemetry_dir = Some(dir.into());
+        self
+    }
+
     /// A context from explicit options, using the standard cache
     /// directory. A malformed `HYBP_FAULT_POINTS` value is a fatal usage
     /// error (exit code 2) — a typo must never silently inject nothing.
@@ -181,12 +214,20 @@ impl Ctx {
                 std::process::exit(2);
             }
         };
-        Ctx::custom(
+        // Telemetry capture forces the cache off: a cache hit runs no
+        // simulation and emits no events, so a warm cache would silently
+        // empty the export.
+        let cache_enabled = !opts.no_cache && opts.telemetry.is_none();
+        let mut ctx = Ctx::custom(
             opts.scale,
             Pool::new(opts.threads),
-            ModelCache::standard(!opts.no_cache),
+            ModelCache::standard(cache_enabled),
         )
-        .with_fault_points(fault_points)
+        .with_fault_points(fault_points);
+        if let Some(dir) = opts.telemetry {
+            ctx = ctx.with_telemetry_dir(dir);
+        }
+        ctx
     }
 
     /// A context from the process arguments; usage errors are fatal
@@ -294,7 +335,11 @@ impl Ctx {
 
     /// Finishes an experiment: writes `csv`, marking it partial when any
     /// undrained sweep lost points, and turns those losses into a visible
-    /// failure.
+    /// failure. When telemetry is enabled, also flushes the hub into
+    /// `<telemetry_dir>/<csv-stem>.jsonl` — preceded by a
+    /// `("bench", "points")` mark carrying the sweep-point total, so even
+    /// an experiment whose runs emitted no spans produces a non-empty,
+    /// schema-valid file.
     ///
     /// A degraded experiment still writes everything it computed — the
     /// returned error reports the loss (and names the lost points), it
@@ -302,14 +347,24 @@ impl Ctx {
     ///
     /// # Errors
     ///
-    /// I/O failure writing the CSV, or a degradation report when sweep
-    /// points were lost.
+    /// I/O failure writing the CSV or the telemetry JSONL, or a
+    /// degradation report when sweep points were lost.
     pub fn finish_experiment(&self, mut csv: Csv) -> ExpResult {
         let (lost, total) = self.supervisor.pending_losses();
         if lost > 0 {
             csv.mark_partial(total - lost, total);
         }
+        let stem = csv.stem();
         let path = csv.finish()?;
+        if let Some(dir) = &self.telemetry_dir {
+            self.telemetry.mark("bench", "points", total as u64);
+            let summary = self.telemetry.flush_jsonl(dir, &stem)?;
+            println!(
+                "wrote {} ({} events)",
+                summary.path.display(),
+                summary.events
+            );
+        }
         if lost > 0 {
             let named: Vec<String> = self
                 .supervisor
@@ -374,6 +429,26 @@ mod tests {
         assert!(parse(&s(&["--scael", "quick"])).is_err());
         assert!(parse(&s(&["--scale"])).is_err());
         assert!(parse(&s(&["--threads"])).is_err());
+        assert!(parse(&s(&["--telemetry"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_flag_parses_and_forces_cache_off() {
+        let o = parse(&s(&["--telemetry", "out/telemetry", "--threads", "1"])).unwrap();
+        assert_eq!(
+            o.telemetry.as_deref(),
+            Some(std::path::Path::new("out/telemetry"))
+        );
+        let ctx = Ctx::from_options(o);
+        assert!(ctx.telemetry.is_enabled());
+        assert_eq!(
+            ctx.telemetry_dir.as_deref(),
+            Some(std::path::Path::new("out/telemetry"))
+        );
+        assert!(
+            !ctx.cache.is_enabled(),
+            "telemetry capture must disable the model cache"
+        );
     }
 
     #[test]

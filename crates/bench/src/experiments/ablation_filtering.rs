@@ -49,11 +49,16 @@ pub fn run(ctx: &Ctx) -> ExpResult {
                 .with("scale", format_args!("{}", ctx.scale.name()))
                 .with("cfg", format_args!("{:?}", no_switch_config(ctx.scale)));
             let upper_share = ctx.cache.get_or_compute_one(&key, || {
-                let m =
-                    Simulation::single_thread(mech, SpecBenchmark::Xz, no_switch_config(ctx.scale))
-                        .expect("valid config")
-                        .run()
-                        .bpu;
+                let sink = ctx.telemetry.sink();
+                let m = Simulation::builder(mech, no_switch_config(ctx.scale))
+                    .single_thread(SpecBenchmark::Xz)
+                    .telemetry(sink.clone())
+                    .build()
+                    .expect("valid config")
+                    .run()
+                    .expect("simulation completes")
+                    .bpu;
+                ctx.telemetry.absorb(&sink);
                 let upper = (m.btb_hits[0] + m.btb_hits[1]) as f64;
                 let total = upper + m.btb_hits[2] as f64 + m.btb_misses as f64;
                 upper / total

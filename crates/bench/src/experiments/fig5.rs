@@ -2,9 +2,16 @@
 //! intervals (256K..16M cycles).
 
 use crate::{all_benchmarks, ipc_at_cached, model_cached, Ctx, ExpResult, INTERVALS};
+use bp_workloads::profile::SpecBenchmark;
 use hybp::Mechanism;
 
 pub fn run(ctx: &Ctx) -> ExpResult {
+    run_with_benches(ctx, &all_benchmarks())
+}
+
+/// [`run`] over an explicit benchmark subset (what the determinism tests
+/// use to exercise the full telemetry path at a fraction of the cost).
+pub fn run_with_benches(ctx: &Ctx, benches: &[SpecBenchmark]) -> ExpResult {
     let mut csv = ctx.csv(
         "fig5_hybp_per_app.csv",
         "benchmark,interval_cycles,normalized_ipc,method",
@@ -18,9 +25,8 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     // Supervised sweep: one point per benchmark, each producing its full
     // per-interval row. Aggregation below runs serially in input order
     // over completed points only.
-    let benches = all_benchmarks();
     let rows: Vec<Option<Vec<(f64, &'static str)>>> =
-        ctx.sweep("fig5:benches", &benches, |&bench| {
+        ctx.sweep("fig5:benches", benches, |&bench| {
             let base = model_cached(ctx, Mechanism::Baseline, bench);
             let hybp = model_cached(ctx, Mechanism::hybp_default(), bench);
             INTERVALS

@@ -106,11 +106,23 @@ fn fault_cfg(scale: Scale) -> SimConfig {
     cfg
 }
 
-fn run_one(mech: Mechanism, cfg: SimConfig, plan: Option<FaultPlan>) -> (RunMetrics, FaultStats) {
-    let mut sim = Simulation::single_thread(mech, BENCH, cfg).expect("valid config");
+fn run_one(
+    ctx: &Ctx,
+    mech: Mechanism,
+    cfg: SimConfig,
+    plan: Option<FaultPlan>,
+) -> (RunMetrics, FaultStats) {
     let injector = plan.map(FaultInjector::from_plan);
-    sim.set_fault_injector(injector.clone());
-    let metrics = sim.run();
+    let sink = ctx.telemetry.sink();
+    let metrics = Simulation::builder(mech, cfg)
+        .single_thread(BENCH)
+        .fault_injector(injector.clone())
+        .telemetry(sink.clone())
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("simulation completes");
+    ctx.telemetry.absorb(&sink);
     let stats = injector.map(|i| i.stats()).unwrap_or_default();
     (metrics, stats)
 }
@@ -132,7 +144,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     // Supervised phase 1: the clean reference run per mechanism.
     let mechanisms = all_mechanisms();
     let clean: Vec<Option<RunMetrics>> = ctx.sweep("sec_fault_matrix:clean", &mechanisms, |&m| {
-        run_one(m, cfg, None).0
+        run_one(ctx, m, cfg, None).0
     });
 
     // Supervised phase 2: the full (fault class × mechanism) grid.
@@ -145,7 +157,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     }
     let faulted_runs: Vec<Option<(RunMetrics, FaultStats)>> =
         ctx.sweep("sec_fault_matrix:grid", &jobs, |&(ci, mi)| {
-            run_one(mechanisms[mi], cfg, Some((classes[ci].plan)()))
+            run_one(ctx, mechanisms[mi], cfg, Some((classes[ci].plan)()))
         });
 
     let mut failures = 0u32;

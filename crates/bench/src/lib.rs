@@ -22,8 +22,8 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use bp_common::Cycle;
-use bp_pipeline::{SimConfig, Simulation};
+use bp_common::{Cycle, Telemetry};
+use bp_pipeline::{RunMetrics, SimConfig, Simulation};
 use bp_workloads::profile::SpecBenchmark;
 use hybp::Mechanism;
 
@@ -31,11 +31,49 @@ pub mod cache;
 pub mod cli;
 pub mod experiments;
 pub mod supervise;
+pub mod telemetry;
 pub mod timing;
 
 pub use cache::{CacheKey, ModelCache};
 pub use cli::{exp_main, Ctx};
 pub use supervise::{PointFailure, Supervisor, SweepReport};
+pub use telemetry::{FlushSummary, TelemetryHub};
+
+/// Runs one single-thread simulation point, observed by `telemetry`.
+///
+/// The deadline backstop is an invariant here — harness configs always
+/// retire their measurement quota — so a runaway is a panic, which the
+/// supervised sweeps convert into a recorded point failure.
+fn run_single(
+    mechanism: Mechanism,
+    bench: SpecBenchmark,
+    cfg: SimConfig,
+    telemetry: &Telemetry,
+) -> RunMetrics {
+    Simulation::builder(mechanism, cfg)
+        .single_thread(bench)
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("simulation completes")
+}
+
+/// Runs one SMT co-run point, observed by `telemetry`.
+fn run_smt_pair(
+    mechanism: Mechanism,
+    pair: [SpecBenchmark; 2],
+    cfg: SimConfig,
+    telemetry: &Telemetry,
+) -> RunMetrics {
+    Simulation::builder(mechanism, cfg)
+        .smt(pair)
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("simulation completes")
+}
 
 /// What an experiment body returns: `Ok(())` or a printable failure (a
 /// violated invariant, an unwritable CSV, a degraded sweep, …). The error
@@ -184,9 +222,19 @@ pub fn single_thread_model(
     bench: SpecBenchmark,
     scale: Scale,
 ) -> OverheadModel {
-    let fixed = Simulation::single_thread(mechanism, bench, no_switch_config(scale))
-        .expect("valid config")
-        .run();
+    single_thread_model_observed(mechanism, bench, scale, &Telemetry::disabled())
+}
+
+/// [`single_thread_model`] with both underlying runs observed by
+/// `telemetry` (what the cached harness path uses, so span events survive
+/// into the suite's JSONL export).
+pub fn single_thread_model_observed(
+    mechanism: Mechanism,
+    bench: SpecBenchmark,
+    scale: Scale,
+    telemetry: &Telemetry,
+) -> OverheadModel {
+    let fixed = run_single(mechanism, bench, no_switch_config(scale), telemetry);
     let ipc_fixed = fixed.threads[0].ipc();
     let cal_cfg = direct_config(
         scale,
@@ -194,9 +242,7 @@ pub fn single_thread_model(
         scale.calibration_switches(),
         bench.profile().base_ipc,
     );
-    let cal = Simulation::single_thread(mechanism, bench, cal_cfg)
-        .expect("valid config")
-        .run();
+    let cal = run_single(mechanism, bench, cal_cfg, telemetry);
     let ipc_cal = cal.threads[0].ipc();
     // CPI(I)/CPI(∞) = 1 + C/I  ⇒  C = I · (ipc_fixed/ipc_cal − 1).
     let per_switch_cycles = (CALIBRATION_INTERVAL as f64 * (ipc_fixed / ipc_cal - 1.0)).max(0.0);
@@ -217,9 +263,7 @@ pub fn single_thread_ipc_at(
 ) -> (f64, &'static str) {
     if interval <= CALIBRATION_INTERVAL {
         let cfg = direct_config(scale, interval, 4, bench.profile().base_ipc);
-        let m = Simulation::single_thread(mechanism, bench, cfg)
-            .expect("valid config")
-            .run();
+        let m = run_single(mechanism, bench, cfg, &Telemetry::disabled());
         (m.threads[0].ipc(), "direct")
     } else {
         (model.ipc_at(interval), "model")
@@ -268,7 +312,9 @@ pub fn model_cached(ctx: &Ctx, mechanism: Mechanism, bench: SpecBenchmark) -> Ov
     )
     .with("cal_cfg", format_args!("{cal_cfg:?}"));
     let v = ctx.cache.get_or_compute(&key, || {
-        let m = single_thread_model(mechanism, bench, ctx.scale);
+        let sink = ctx.telemetry.sink();
+        let m = single_thread_model_observed(mechanism, bench, ctx.scale, &sink);
+        ctx.telemetry.absorb(&sink);
         vec![m.ipc_fixed, m.per_switch_cycles]
     });
     if v.len() != 2 {
@@ -295,11 +341,10 @@ pub fn ipc_at_cached(
         let cfg = direct_config(ctx.scale, interval, 4, bench.profile().base_ipc);
         let key = sim_key("direct", mechanism, bench.name(), ctx.scale, &cfg);
         let ipc = ctx.cache.get_or_compute_one(&key, || {
-            Simulation::single_thread(mechanism, bench, cfg)
-                .expect("valid config")
-                .run()
-                .threads[0]
-                .ipc()
+            let sink = ctx.telemetry.sink();
+            let ipc = run_single(mechanism, bench, cfg, &sink).threads[0].ipc();
+            ctx.telemetry.absorb(&sink);
+            ipc
         });
         (ipc, "direct")
     } else {
@@ -317,15 +362,13 @@ pub fn st_point_cached(
 ) -> (f64, f64) {
     let key = sim_key("st_point", mechanism, bench.name(), ctx.scale, &cfg);
     let v = ctx.cache.get_or_compute(&key, || {
-        let m = Simulation::single_thread(mechanism, bench, cfg)
-            .expect("valid config")
-            .run();
+        let sink = ctx.telemetry.sink();
+        let m = run_single(mechanism, bench, cfg, &sink);
+        ctx.telemetry.absorb(&sink);
         vec![m.threads[0].ipc(), m.bpu.direction_accuracy()]
     });
     if v.len() != 2 {
-        let m = Simulation::single_thread(mechanism, bench, cfg)
-            .expect("valid config")
-            .run();
+        let m = run_single(mechanism, bench, cfg, &Telemetry::disabled());
         return (m.threads[0].ipc(), m.bpu.direction_accuracy());
     }
     (v[0], v[1])
@@ -348,17 +391,15 @@ pub fn smt_point_cached(
     let workload = format!("{}+{}", pair[0].name(), pair[1].name());
     let key = sim_key("smt_point", mechanism, &workload, ctx.scale, &cfg);
     let v = ctx.cache.get_or_compute(&key, || {
-        let m = Simulation::smt(mechanism, pair, cfg)
-            .expect("valid config")
-            .run();
+        let sink = ctx.telemetry.sink();
+        let m = run_smt_pair(mechanism, pair, cfg, &sink);
+        ctx.telemetry.absorb(&sink);
         let mut out = vec![m.throughput()];
         out.extend(m.ipcs());
         out
     });
     if v.len() < 2 {
-        let m = Simulation::smt(mechanism, pair, cfg)
-            .expect("valid config")
-            .run();
+        let m = run_smt_pair(mechanism, pair, cfg, &Telemetry::disabled());
         return (m.throughput(), m.ipcs());
     }
     (v[0], v[1..].to_vec())
@@ -394,6 +435,16 @@ impl Csv {
     /// Appends one row.
     pub fn row(&mut self, row: std::fmt::Arguments<'_>) {
         let _ = writeln!(self.buf, "{row}");
+    }
+
+    /// File stem of the output path (telemetry JSONL exports are named
+    /// after it, so `fig5_hybp_per_app.csv` pairs with
+    /// `fig5_hybp_per_app.jsonl`).
+    pub fn stem(&self) -> String {
+        Path::new(&self.path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "experiment".to_owned())
     }
 
     /// Marks the file as degraded output: [`Csv::finish`] will prepend a

@@ -28,9 +28,12 @@ fn cleanup(ctx: &Ctx) {
 /// A short real simulation — heavy enough to exercise the whole stack,
 /// light enough for a debug-mode test.
 fn tiny_ipc(mech: Mechanism, bench: SpecBenchmark) -> f64 {
-    Simulation::single_thread(mech, bench, SimConfig::quick_test())
+    Simulation::builder(mech, SimConfig::quick_test())
+        .single_thread(bench)
+        .build()
         .expect("valid config")
         .run()
+        .expect("completes")
         .threads[0]
         .ipc()
 }
@@ -110,9 +113,12 @@ fn cached_model_matches_uncached_model_bitwise() {
     let bench = SpecBenchmark::Exchange2;
     // The plain (uncached) IPC point and the cached one must agree on a
     // cold cache, and again on a warm one.
-    let direct = Simulation::single_thread(mech, bench, no_switch_config(ctx.scale))
+    let direct = Simulation::builder(mech, no_switch_config(ctx.scale))
+        .single_thread(bench)
+        .build()
         .expect("valid config")
         .run()
+        .expect("completes")
         .threads[0]
         .ipc();
     let cold = no_switch_ipc_cached(&ctx, mech, bench);
@@ -144,6 +150,43 @@ fn overhead_model_survives_cache_and_thread_count() {
     );
     cleanup(&ctx1);
     cleanup(&ctx8);
+}
+
+/// Golden guarantee for the telemetry export: a fixed-seed fig5 subset
+/// run produces *byte-identical* JSONL at 1 and 4 worker threads. Events
+/// are stamped with virtual cycles and the flush sorts by full content,
+/// so worker scheduling must be invisible in the bytes.
+#[test]
+fn telemetry_jsonl_is_byte_identical_across_thread_counts() {
+    let benches = [SpecBenchmark::Mcf, SpecBenchmark::Xz];
+    let mut exports = Vec::new();
+    for threads in [1usize, 4] {
+        let base = std::env::temp_dir().join(format!(
+            "hybp-telemetry-golden-t{threads}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let ctx = Ctx::custom(
+            Scale::Quick,
+            Pool::new(threads),
+            ModelCache::at_dir(base.join("cache"), false),
+        )
+        .with_results_dir(base.join("results"))
+        .with_telemetry_dir(base.join("telemetry"));
+        bench::experiments::fig5::run_with_benches(&ctx, &benches).expect("fig5 subset runs clean");
+        let text = std::fs::read_to_string(base.join("telemetry").join("fig5_hybp_per_app.jsonl"))
+            .expect("telemetry JSONL written");
+        assert!(!text.is_empty(), "export must carry at least one event");
+        for line in text.lines() {
+            bp_common::telemetry::parse_jsonl_line(line).expect("schema-valid line");
+        }
+        exports.push(text);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+    assert_eq!(
+        exports[0], exports[1],
+        "telemetry export must not depend on the worker count"
+    );
 }
 
 #[test]

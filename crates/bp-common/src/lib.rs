@@ -12,7 +12,11 @@
 //! * typed configuration errors ([`error::ConfigError`]),
 //! * a deterministic, dependency-free property-check harness ([`check`]),
 //! * a scoped worker pool with an order-preserving `par_map`
-//!   ([`pool::Pool`]).
+//!   ([`pool::Pool`]),
+//! * the unified observation layer ([`telemetry`]): structured events on
+//!   the virtual cycle clock, the zero-overhead-when-disabled
+//!   [`telemetry::Telemetry`] sink handle, and the [`telemetry::Observable`]
+//!   snapshot trait every instrumented subsystem implements.
 //!
 //! # Examples
 //!
@@ -31,8 +35,10 @@ pub mod history;
 pub mod pool;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 
 pub use error::ConfigError;
+pub use telemetry::{Observable, Telemetry, TelemetryEvent, TelemetrySnapshot};
 
 use std::fmt;
 

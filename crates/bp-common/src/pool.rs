@@ -58,10 +58,12 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::rng::SplitMix64;
+use crate::telemetry::{Observable, TelemetrySnapshot};
 
 /// A typed, retry-aware task error for [`Pool::try_par_map`].
 ///
@@ -227,12 +229,43 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Lifetime counters a pool accumulates across every map it runs.
+///
+/// Wall-clock figures are *observability only*: they appear in the pool's
+/// [`TelemetrySnapshot`] but never in the deterministic event stream, so
+/// they cannot perturb reproduction verdicts.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    /// Task executions (each retry attempt counts as one execution).
+    tasks: AtomicU64,
+    /// Executions beyond an item's first attempt.
+    retries: AtomicU64,
+    /// Executions that ended in a caught panic.
+    panics: AtomicU64,
+    /// Total wall time spent inside task closures, in nanoseconds.
+    task_nanos: AtomicU64,
+}
+
+impl PoolCounters {
+    fn record(&self, attempt: u32, panicked: bool, elapsed_nanos: u64) {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        if attempt > 1 {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        if panicked {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        self.task_nanos.fetch_add(elapsed_nanos, Ordering::Relaxed);
+    }
+}
+
 /// Outcome of supervising one item to completion (successes carry their
 /// result; failures are terminal after the policy's retries).
 fn supervise_item<T, R, F>(
     index: usize,
     item: &T,
     retry: &RetryPolicy,
+    counters: &PoolCounters,
     f: &F,
 ) -> Result<R, TaskFailure>
 where
@@ -241,7 +274,14 @@ where
     let mut attempt = 0u32;
     loop {
         attempt += 1;
-        match catch_unwind(AssertUnwindSafe(|| f(index, item, attempt))) {
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(index, item, attempt)));
+        counters.record(
+            attempt,
+            outcome.is_err(),
+            started.elapsed().as_nanos() as u64,
+        );
+        match outcome {
             Ok(Ok(r)) => return Ok(r),
             Ok(Err(e)) => {
                 if e.transient && attempt < retry.max_attempts {
@@ -290,10 +330,13 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// A fixed-width worker pool. Cheap to construct: threads are scoped per
 /// [`Pool::par_map`] call, not kept alive between calls, so a `Pool` is
-/// really just a validated thread count plus the mapping machinery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// really a validated thread count, the mapping machinery, and a shared
+/// set of lifetime counters (clones share the counters, like the rest of
+/// the telemetry layer's handles).
+#[derive(Debug, Clone)]
 pub struct Pool {
     threads: usize,
+    counters: Arc<PoolCounters>,
 }
 
 impl Pool {
@@ -302,6 +345,7 @@ impl Pool {
     pub fn new(threads: usize) -> Pool {
         Pool {
             threads: threads.max(1),
+            counters: Arc::new(PoolCounters::default()),
         }
     }
 
@@ -349,7 +393,16 @@ impl Pool {
         F: Fn(&T) -> R + Sync,
     {
         if self.threads == 1 || items.len() < 2 {
-            return items.iter().map(f).collect();
+            return items
+                .iter()
+                .map(|item| {
+                    let started = Instant::now();
+                    let r = f(item);
+                    self.counters
+                        .record(1, false, started.elapsed().as_nanos() as u64);
+                    r
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let poisoned = AtomicBool::new(false);
@@ -370,7 +423,14 @@ impl Pool {
                         // so sibling workers stop claiming immediately, then
                         // re-raise with the original payload for the join
                         // below to propagate.
-                        let r = match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                        let started = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                        self.counters.record(
+                            1,
+                            outcome.is_err(),
+                            started.elapsed().as_nanos() as u64,
+                        );
+                        let r = match outcome {
                             Ok(r) => r,
                             Err(payload) => {
                                 poisoned.store(true, Ordering::Release);
@@ -444,7 +504,7 @@ impl Pool {
                             kind: FailureKind::Skipped,
                         });
                     }
-                    let r = supervise_item(i, item, retry, &f);
+                    let r = supervise_item(i, item, retry, &self.counters, &f);
                     if r.is_err() {
                         poisoned.store(true, Ordering::Release);
                     }
@@ -466,7 +526,7 @@ impl Pool {
                     if i >= items.len() {
                         break;
                     }
-                    let r = supervise_item(i, &items[i], retry, &f);
+                    let r = supervise_item(i, &items[i], retry, &self.counters, &f);
                     if r.is_err() {
                         poisoned.store(true, Ordering::Release);
                     }
@@ -507,6 +567,23 @@ impl Pool {
 impl Default for Pool {
     fn default() -> Self {
         Pool::machine_sized()
+    }
+}
+
+impl Observable for Pool {
+    /// Lifetime work counters across every map this pool (and its clones)
+    /// has run. `task_nanos` is wall time inside task closures — useful
+    /// for spotting skew, meaningless for reproduction verdicts.
+    fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::new("pool")
+            .with("threads", self.threads as u64)
+            .with("tasks", self.counters.tasks.load(Ordering::Relaxed))
+            .with("retries", self.counters.retries.load(Ordering::Relaxed))
+            .with("panics", self.counters.panics.load(Ordering::Relaxed))
+            .with(
+                "task_nanos",
+                self.counters.task_nanos.load(Ordering::Relaxed),
+            )
     }
 }
 
@@ -765,5 +842,36 @@ mod tests {
         );
         let supervised: Vec<u64> = supervised.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(plain, supervised);
+    }
+
+    #[test]
+    fn snapshot_counts_tasks_retries_and_panics() {
+        let pool = Pool::new(2);
+        let _ = pool.par_map_indices(5, |i| i);
+        let _ = pool.try_par_map(
+            &[1u64, 2],
+            FailMode::FailSoft,
+            &RetryPolicy {
+                max_attempts: 2,
+                base_backoff_ms: 0,
+                seed: 0,
+                retry_panics: true,
+            },
+            |_i, &x, attempt| {
+                if x == 2 && attempt == 1 {
+                    panic!("first attempt dies");
+                }
+                Ok::<u64, TaskError>(x)
+            },
+        );
+        let snap = pool.snapshot();
+        assert_eq!(snap.scope, "pool");
+        assert_eq!(snap.get("threads"), 2);
+        // 5 plain items + item 1 (one attempt) + item 2 (two attempts).
+        assert_eq!(snap.get("tasks"), 8);
+        assert_eq!(snap.get("retries"), 1);
+        assert_eq!(snap.get("panics"), 1);
+        // Clones share counters.
+        assert_eq!(pool.clone().snapshot().get("tasks"), 8);
     }
 }

@@ -438,6 +438,7 @@ pub struct KeyManager {
     /// Access-counter threshold for forced renewal (paper: ≈ 2²⁷).
     threshold: u64,
     faults: Option<FaultInjector>,
+    telemetry: bp_common::Telemetry,
 }
 
 /// The paper's renewal threshold: the shortest analyzed attack needs ≈ 2²⁷
@@ -476,6 +477,7 @@ impl KeyManager {
             timer: 0x1000,
             threshold,
             faults: None,
+            telemetry: bp_common::Telemetry::disabled(),
         })
     }
 
@@ -483,6 +485,14 @@ impl KeyManager {
     /// counter checks and refresh requests.
     pub fn set_fault_injector(&mut self, faults: Option<FaultInjector>) {
         self.faults = faults;
+    }
+
+    /// Installs the telemetry sink every renewal reports its refresh span
+    /// to. The span always covers the *nominal* rewrite window — like the
+    /// return value of [`KeyManager::renew`], it is fault-independent, so
+    /// the exported event stream cannot leak fault state through timing.
+    pub fn set_telemetry(&mut self, telemetry: bp_common::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of isolation slots.
@@ -515,6 +525,10 @@ impl KeyManager {
     pub fn renew(&mut self, slot: usize, asid: Asid, vmid: Vmid, now: Cycle) -> Cycle {
         let slot = self.clamp_slot(slot);
         let nominal_done = now + self.slots[slot].table().refresh_duration();
+        // Emitted before any fault disposition is consulted: the exported
+        // span must match the acknowledged (nominal) timing in every case.
+        self.telemetry
+            .span(now, "keys", "refresh", now, nominal_done, slot as u64);
         let disposition = match &self.faults {
             Some(f) => f.on_refresh(slot, now),
             None => RefreshDisposition::Proceed,
@@ -715,7 +729,7 @@ mod tests {
         let mut t = table(KeysTableConfig::paper_default());
         let c = cipher();
         t.begin_refresh(&c, IndexSeed::derive(Asid::new(7), Vmid::new(0), 3), 0, 0);
-        let now = 0 + 7 + 1; // first word rewritten, rest stale
+        let now = 7 + 1; // first word rewritten, rest stale
         let stale_before = t.stale_hits();
         let _ = t.key_at(0, now);
         assert_eq!(t.stale_hits(), stale_before, "entry 0 must be fresh");
@@ -797,7 +811,7 @@ mod tests {
         // entry must still read as the pre-g3 visible mix.
         for entry in 0..cfg.entries {
             let word_idx = (entry / per_word) as Cycle;
-            let rewritten_by_g2 = g2 + cfg.pipeline_fill + word_idx + 1 <= g3;
+            let rewritten_by_g2 = g2 + cfg.pipeline_fill + word_idx < g3;
             let expect = if rewritten_by_g2 { b[entry] } else { a[entry] };
             assert_eq!(
                 t.key_at(entry, g3 + 1),
@@ -1111,5 +1125,43 @@ mod tests {
             let _ = km.index_key(0, i, Asid::new(3), Vmid::new(1), 1000 + i);
         }
         assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn renew_emits_nominal_refresh_span_under_every_fault_disposition() {
+        use bp_common::telemetry::EventKind;
+
+        let plans = [
+            None,
+            Some(FaultPlan::new(1).with_refresh_delays(1, 999)),
+            Some(FaultPlan::new(2).with_refresh_drops(1)),
+        ];
+        for plan in plans {
+            let mut km = manager(
+                2,
+                KeysTableConfig::paper_default(),
+                PAPER_RENEWAL_THRESHOLD,
+                9,
+            );
+            let sink = bp_common::Telemetry::ring(16);
+            km.set_telemetry(sink.clone());
+            km.set_fault_injector(plan.map(FaultInjector::from_plan));
+            let duration = km.slot(1).table().refresh_duration();
+            let done = km.renew(1, Asid::new(3), Vmid::new(0), 500);
+            let events = sink.drain();
+            assert_eq!(events.len(), 1, "one span per renewal");
+            let e = events[0];
+            assert_eq!((e.scope, e.name, e.cycle), ("keys", "refresh", 500));
+            assert_eq!(
+                e.kind,
+                EventKind::Span {
+                    start: 500,
+                    end: 500 + duration,
+                    slot: 1,
+                },
+                "span must cover the nominal window regardless of faults"
+            );
+            assert_eq!(done, e.span_bounds().unwrap().1);
+        }
     }
 }

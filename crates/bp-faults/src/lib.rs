@@ -631,9 +631,9 @@ mod tests {
         let inj = FaultInjector::from_plan(FaultPlan::new(8).with_forced_context_switches(100));
         let mut fired = [0u32; 2];
         for now in 0..1000u64 {
-            for hw in 0..2 {
+            for (hw, count) in fired.iter_mut().enumerate() {
                 if inj.on_os_tick(hw, now).force_context_switch {
-                    fired[hw] += 1;
+                    *count += 1;
                 }
             }
         }

@@ -58,6 +58,9 @@ pub enum MetricsError {
         /// Entries supplied by the caller.
         supplied: usize,
     },
+    /// The run has no per-thread metrics at all, so per-thread queries have
+    /// nothing to compare against (distinct from a caller-side shape error).
+    EmptyRun,
 }
 
 impl fmt::Display for MetricsError {
@@ -67,6 +70,7 @@ impl fmt::Display for MetricsError {
                 f,
                 "per-thread reference vector has {supplied} entries for {threads} threads"
             ),
+            MetricsError::EmptyRun => write!(f, "run produced no per-thread metrics"),
         }
     }
 }
@@ -101,5 +105,12 @@ mod tests {
             supplied: 3,
         };
         assert!(e.to_string().contains("3 entries for 2 threads"));
+    }
+
+    #[test]
+    fn empty_run_is_descriptive() {
+        assert!(MetricsError::EmptyRun
+            .to_string()
+            .contains("no per-thread metrics"));
     }
 }

@@ -24,5 +24,5 @@ mod sim;
 
 pub use config::{CoreConfig, SimConfig};
 pub use error::{MetricsError, SimError};
-pub use metrics::{RunMetrics, StreamDigest, ThreadMetrics};
-pub use sim::Simulation;
+pub use metrics::{RunMetrics, StageCycles, StreamDigest, ThreadMetrics};
+pub use sim::{Simulation, SimulationBuilder};

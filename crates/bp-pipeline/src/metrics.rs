@@ -1,6 +1,7 @@
 //! Run metrics: IPC, throughput, fairness inputs, predictor statistics, and
 //! architectural stream digests.
 
+use bp_common::telemetry::{Observable, TelemetrySnapshot};
 use bp_common::{BranchRecord, Cycle};
 use hybp::BpuStats;
 
@@ -63,6 +64,45 @@ impl StreamDigest {
     }
 }
 
+/// Per-stage cycle attribution: where front-end time went over a whole run
+/// (warmup included).
+///
+/// Each counter accumulates the stall amount charged at the point where the
+/// simulation charges it, so the counters are exact, not sampled:
+///
+/// * `redirect_stall_cycles` — full redirect penalty per misprediction
+///   (including any extra front-end encryption latency),
+/// * `btb_stall_cycles` — fetch bubbles for slow BTB levels,
+/// * `ctx_switch_stall_cycles` — the configured cost per context switch,
+/// * `fetch_idle_cycles` — cycles in which no thread could fetch at all
+///   (every thread stalled or window-full).
+///
+/// There is intentionally no "keys table" stall counter: HyBP's refresh is
+/// off the prediction critical path (stale keys serve until the background
+/// rewrite lands), so no front-end charge point for key state exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StageCycles {
+    /// Cycles with no fetch-eligible thread.
+    pub fetch_idle_cycles: u64,
+    /// Redirect penalties charged for mispredictions.
+    pub redirect_stall_cycles: u64,
+    /// Fetch bubbles charged for slow BTB levels.
+    pub btb_stall_cycles: u64,
+    /// Context-switch costs charged by the OS model.
+    pub ctx_switch_stall_cycles: u64,
+}
+
+impl Observable for StageCycles {
+    /// Scope `"stages"`: one counter per attribution bucket.
+    fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::new("stages")
+            .with("fetch_idle_cycles", self.fetch_idle_cycles)
+            .with("redirect_stall_cycles", self.redirect_stall_cycles)
+            .with("btb_stall_cycles", self.btb_stall_cycles)
+            .with("ctx_switch_stall_cycles", self.ctx_switch_stall_cycles)
+    }
+}
+
 /// Metrics of one hardware thread over the measured region.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThreadMetrics {
@@ -92,6 +132,8 @@ pub struct RunMetrics {
     pub cycles: Cycle,
     /// BPU statistics accumulated over the whole run (including warmup).
     pub bpu: BpuStats,
+    /// Per-stage cycle attribution over the whole run (including warmup).
+    pub stages: StageCycles,
     /// Per-hardware-thread stream digests: one per software thread in
     /// schedule order, then the kernel generator's digest last. Empty for
     /// hand-built metrics.
@@ -104,7 +146,10 @@ impl RunMetrics {
         self.threads.iter().map(ThreadMetrics::ipc).sum()
     }
 
-    /// Per-thread IPC vector.
+    /// Per-thread IPC vector. Empty when the run has no threads — callers
+    /// that need "no threads" to be an error should use
+    /// [`RunMetrics::hmean_fairness`], which reports it as
+    /// [`MetricsError::EmptyRun`].
     pub fn ipcs(&self) -> Vec<f64> {
         self.threads.iter().map(ThreadMetrics::ipc).collect()
     }
@@ -114,9 +159,14 @@ impl RunMetrics {
     ///
     /// # Errors
     ///
-    /// Returns [`MetricsError::ShapeMismatch`] when `solo_ipcs` does not
-    /// have one entry per hardware thread (or the run has no threads).
+    /// Returns [`MetricsError::EmptyRun`] when the run has no per-thread
+    /// metrics at all (where [`RunMetrics::ipcs`] silently yields an empty
+    /// vector), and [`MetricsError::ShapeMismatch`] when `solo_ipcs` does
+    /// not have one entry per hardware thread.
     pub fn hmean_fairness(&self, solo_ipcs: &[f64]) -> Result<f64, MetricsError> {
+        if self.threads.is_empty() {
+            return Err(MetricsError::EmptyRun);
+        }
         bp_common::stats::hmean_fairness(&self.ipcs(), solo_ipcs).ok_or(
             MetricsError::ShapeMismatch {
                 threads: self.threads.len(),
@@ -135,6 +185,26 @@ impl RunMetrics {
                 .iter()
                 .zip(&other.stream_digests)
                 .all(|(a, b)| a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.agrees_with(y)))
+    }
+}
+
+impl Observable for RunMetrics {
+    /// Scope `"run"`: whole-run totals plus the stage attribution counters
+    /// (the BPU's own counters live under the `"bpu"` scope via
+    /// `BpuStats::snapshot`).
+    fn snapshot(&self) -> TelemetrySnapshot {
+        let s = &self.stages;
+        TelemetrySnapshot::new("run")
+            .with("threads", self.threads.len() as u64)
+            .with("cycles", self.cycles)
+            .with(
+                "retired",
+                self.threads.iter().map(|t| t.retired).sum::<u64>(),
+            )
+            .with("fetch_idle_cycles", s.fetch_idle_cycles)
+            .with("redirect_stall_cycles", s.redirect_stall_cycles)
+            .with("btb_stall_cycles", s.btb_stall_cycles)
+            .with("ctx_switch_stall_cycles", s.ctx_switch_stall_cycles)
     }
 }
 
@@ -167,6 +237,7 @@ mod tests {
             ],
             cycles: 100,
             bpu: BpuStats::default(),
+            stages: StageCycles::default(),
             stream_digests: Vec::new(),
         };
         assert!((m.threads[0].ipc() - 2.0).abs() < 1e-12);
@@ -197,6 +268,7 @@ mod tests {
             ],
             cycles: 100,
             bpu: BpuStats::default(),
+            stages: StageCycles::default(),
             stream_digests: Vec::new(),
         };
         let f = m.hmean_fairness(&[2.0, 2.0]).expect("matching shapes");
@@ -212,6 +284,7 @@ mod tests {
             }],
             cycles: 100,
             bpu: BpuStats::default(),
+            stages: StageCycles::default(),
             stream_digests: Vec::new(),
         };
         assert_eq!(
@@ -221,6 +294,52 @@ mod tests {
                 supplied: 2
             })
         );
+    }
+
+    #[test]
+    fn empty_run_fairness_is_empty_run_not_shape_mismatch() {
+        let m = RunMetrics {
+            threads: Vec::new(),
+            cycles: 0,
+            bpu: BpuStats::default(),
+            stages: StageCycles::default(),
+            stream_digests: Vec::new(),
+        };
+        // `ipcs()` on the same run silently yields an empty vector; the
+        // fairness query names the condition instead of blaming the caller's
+        // reference vector.
+        assert!(m.ipcs().is_empty());
+        assert_eq!(m.hmean_fairness(&[]), Err(MetricsError::EmptyRun));
+        assert_eq!(m.hmean_fairness(&[1.0]), Err(MetricsError::EmptyRun));
+    }
+
+    #[test]
+    fn run_snapshot_exposes_totals_and_stages() {
+        let m = RunMetrics {
+            threads: vec![ThreadMetrics {
+                retired: 100,
+                cycles: 50,
+            }],
+            cycles: 70,
+            bpu: BpuStats::default(),
+            stages: StageCycles {
+                fetch_idle_cycles: 7,
+                redirect_stall_cycles: 40,
+                btb_stall_cycles: 2,
+                ctx_switch_stall_cycles: 200,
+            },
+            stream_digests: Vec::new(),
+        };
+        let snap = m.snapshot();
+        assert_eq!(snap.scope, "run");
+        assert_eq!(snap.get("threads"), 1);
+        assert_eq!(snap.get("retired"), 100);
+        assert_eq!(snap.get("cycles"), 70);
+        assert_eq!(snap.get("redirect_stall_cycles"), 40);
+        let stages = m.stages.snapshot();
+        assert_eq!(stages.scope, "stages");
+        assert_eq!(stages.get("ctx_switch_stall_cycles"), 200);
+        assert_eq!(stages.get("missing"), 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The cycle-level simulation loop.
 
-use bp_common::{Asid, ConfigError, Cycle, HwThreadId, Privilege};
+use bp_common::telemetry::{Observable, TelemetrySnapshot};
+use bp_common::{Asid, ConfigError, Cycle, HwThreadId, Privilege, Telemetry};
 use bp_faults::{FaultInjector, TraceDisposition};
 use bp_workloads::profile::SpecBenchmark;
 use bp_workloads::WorkloadGenerator;
@@ -8,7 +9,7 @@ use hybp::SecureBpu;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::metrics::{RunMetrics, StreamDigest, ThreadMetrics};
+use crate::metrics::{RunMetrics, StageCycles, StreamDigest, ThreadMetrics};
 
 /// Fetch progress within one instruction stream.
 #[derive(Debug, Clone)]
@@ -89,82 +90,82 @@ impl HwContext {
     }
 }
 
-/// A trace-driven, cycle-level SMT simulation of one core plus OS events.
+/// Configures and constructs a [`Simulation`]: workload layout, fault
+/// injection and telemetry wiring all converge here, so the simulation has a
+/// single way in instead of a constructor per concern.
 ///
-/// # Examples
-///
-/// ```
-/// use bp_pipeline::{SimConfig, Simulation};
-/// use bp_workloads::SpecBenchmark;
-/// use hybp::Mechanism;
-///
-/// let mut cfg = SimConfig::quick_test();
-/// cfg.warmup_instructions = 5_000;
-/// cfg.measure_instructions = 20_000;
-/// let m = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, cfg)
-///     .expect("valid config")
-///     .run();
-/// assert!(m.threads[0].ipc() > 0.5);
-/// ```
-#[derive(Debug)]
-pub struct Simulation {
+/// Obtain one from [`Simulation::builder`], pick a workload shape with
+/// [`single_thread`](SimulationBuilder::single_thread),
+/// [`smt`](SimulationBuilder::smt) or
+/// [`threads`](SimulationBuilder::threads), then
+/// [`build`](SimulationBuilder::build).
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    mechanism: hybp::Mechanism,
     cfg: SimConfig,
-    bpu: SecureBpu,
-    contexts: Vec<HwContext>,
-    cycle: Cycle,
+    threads: Vec<Vec<SpecBenchmark>>,
     faults: Option<FaultInjector>,
+    telemetry: Telemetry,
 }
 
-impl Simulation {
-    /// Builds a single-hardware-thread simulation of `bench`: two software
-    /// instances of the benchmark alternate at the context-switch interval
-    /// (so the baseline sees realistic cross-process pollution rather than a
+impl SimulationBuilder {
+    /// A single-hardware-thread workload of `bench`: two software instances
+    /// of the benchmark alternate at the context-switch interval (so the
+    /// baseline sees realistic cross-process pollution rather than a
     /// pristine predictor).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ConfigError`] when the configuration or mechanism is
-    /// invalid.
-    pub fn single_thread(
-        mechanism: hybp::Mechanism,
-        bench: SpecBenchmark,
-        cfg: SimConfig,
-    ) -> Result<Self, ConfigError> {
-        Simulation::build(mechanism, &[vec![bench, bench]], cfg)
+    pub fn single_thread(mut self, bench: SpecBenchmark) -> Self {
+        self.threads = vec![vec![bench, bench]];
+        self
     }
 
-    /// Builds an SMT simulation: hardware thread `i` alternates between two
-    /// software instances of `pair[i]`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ConfigError`] when the configuration or mechanism is
-    /// invalid.
-    pub fn smt(
-        mechanism: hybp::Mechanism,
-        pair: [SpecBenchmark; 2],
-        cfg: SimConfig,
-    ) -> Result<Self, ConfigError> {
-        Simulation::build(
-            mechanism,
-            &[vec![pair[0], pair[0]], vec![pair[1], pair[1]]],
-            cfg,
-        )
+    /// An SMT workload: hardware thread `i` alternates between two software
+    /// instances of `pair[i]`.
+    pub fn smt(mut self, pair: [SpecBenchmark; 2]) -> Self {
+        self.threads = vec![vec![pair[0], pair[0]], vec![pair[1], pair[1]]];
+        self
     }
 
-    /// Fully explicit constructor: `threads[i]` lists the software threads
-    /// that time-share hardware thread `i`.
+    /// Fully explicit workload layout: `threads[i]` lists the software
+    /// threads that time-share hardware thread `i`.
+    pub fn threads(mut self, threads: &[Vec<SpecBenchmark>]) -> Self {
+        self.threads = threads.to_vec();
+        self
+    }
+
+    /// Attaches (or detaches) a fault injector. The injector disturbs the
+    /// predictor (key/payload/direction faults, via the BPU), the trace feed
+    /// (dropped/duplicated records) and the OS model (forced context
+    /// switches and timer interrupts).
+    pub fn fault_injector(mut self, faults: Option<FaultInjector>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches a telemetry sink. The simulation emits rare-event spans
+    /// (context-switch stalls) and forwards the sink to the BPU's key
+    /// manager, which emits one span per key refresh; hot-path facts stay in
+    /// plain counters ([`StageCycles`], `BpuStats`). A disabled sink costs
+    /// one branch per would-be event.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Builds the simulation.
     ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] when `threads` is empty, any hardware
+    /// Returns a [`ConfigError`] when no workload was chosen, any hardware
     /// thread has no software threads, or the configuration or mechanism is
     /// invalid.
-    pub fn build(
-        mechanism: hybp::Mechanism,
-        threads: &[Vec<SpecBenchmark>],
-        cfg: SimConfig,
-    ) -> Result<Self, ConfigError> {
+    pub fn build(self) -> Result<Simulation, ConfigError> {
+        let SimulationBuilder {
+            mechanism,
+            cfg,
+            threads,
+            faults,
+            telemetry,
+        } = self;
         cfg.validate()?;
         if threads.is_empty() {
             return Err(ConfigError::zero("hardware threads"));
@@ -175,7 +176,9 @@ impl Simulation {
                 "every hardware thread needs at least one software thread",
             ));
         }
-        let bpu = SecureBpu::new(mechanism, cfg.smt_capacity.max(threads.len()), cfg.seed)?;
+        let mut bpu = SecureBpu::new(mechanism, cfg.smt_capacity.max(threads.len()), cfg.seed)?;
+        bpu.set_fault_injector(faults.clone());
+        bpu.set_telemetry(telemetry.clone());
         let mut next_asid = 1u16;
         let contexts = threads
             .iter()
@@ -231,7 +234,9 @@ impl Simulation {
             bpu,
             contexts,
             cycle: 0,
-            faults: None,
+            faults,
+            telemetry,
+            stages: StageCycles::default(),
         };
         // Announce the initial software threads.
         for i in 0..sim.contexts.len() {
@@ -241,61 +246,82 @@ impl Simulation {
         }
         Ok(sim)
     }
+}
+
+/// A trace-driven, cycle-level SMT simulation of one core plus OS events.
+///
+/// # Examples
+///
+/// ```
+/// use bp_pipeline::{SimConfig, Simulation};
+/// use bp_workloads::SpecBenchmark;
+/// use hybp::Mechanism;
+///
+/// let mut cfg = SimConfig::quick_test();
+/// cfg.warmup_instructions = 5_000;
+/// cfg.measure_instructions = 20_000;
+/// let m = Simulation::builder(Mechanism::Baseline, cfg)
+///     .single_thread(SpecBenchmark::Lbm)
+///     .build()
+///     .expect("valid config")
+///     .run()
+///     .expect("completes");
+/// assert!(m.threads[0].ipc() > 0.5);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    bpu: SecureBpu,
+    contexts: Vec<HwContext>,
+    cycle: Cycle,
+    faults: Option<FaultInjector>,
+    telemetry: Telemetry,
+    stages: StageCycles,
+}
+
+impl Simulation {
+    /// Starts configuring a simulation of `mechanism` under `cfg`; pick a
+    /// workload shape on the returned [`SimulationBuilder`].
+    pub fn builder(mechanism: hybp::Mechanism, cfg: SimConfig) -> SimulationBuilder {
+        SimulationBuilder {
+            mechanism,
+            cfg,
+            threads: Vec::new(),
+            faults: None,
+            telemetry: Telemetry::disabled(),
+        }
+    }
 
     /// Read access to the BPU (attack/analysis harnesses).
     pub fn bpu(&self) -> &SecureBpu {
         &self.bpu
     }
 
-    /// Attaches (or detaches) a fault injector. The injector disturbs the
-    /// predictor (key/payload/direction faults, via the BPU), the trace feed
-    /// (dropped/duplicated records) and the OS model (forced context
-    /// switches and timer interrupts).
-    pub fn set_fault_injector(&mut self, faults: Option<FaultInjector>) {
-        self.bpu.set_fault_injector(faults.clone());
-        self.faults = faults;
+    /// Per-stage cycle attribution accumulated so far.
+    pub fn stages(&self) -> StageCycles {
+        self.stages
     }
 
-    /// Runs warmup + measurement and returns the metrics, even when the run
-    /// hits its runaway deadline first (the metrics then cover whatever was
-    /// measured). Use [`Simulation::try_run`] to treat a runaway as an
-    /// error.
-    pub fn run(self) -> RunMetrics {
-        self.run_inner().0
-    }
-
-    /// Runs warmup + measurement.
+    /// Runs warmup + measurement. Running an already-finished simulation
+    /// again returns the same final metrics.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Runaway`] when the runaway deadline elapses
-    /// before every hardware thread finishes its measurement quota.
-    pub fn try_run(self) -> Result<RunMetrics, SimError> {
-        let deadline = self.deadline();
-        let (metrics, finished) = self.run_inner();
-        if finished {
-            Ok(metrics)
-        } else {
-            Err(SimError::Runaway {
-                cycle: metrics.cycles,
-                deadline,
-            })
-        }
-    }
-
-    /// Generous runaway bound: even at 0.05 IPC the run fits.
-    fn deadline(&self) -> Cycle {
-        (self.cfg.warmup_instructions + self.cfg.measure_instructions) * 40 + 10_000_000
-    }
-
-    fn run_inner(mut self) -> (RunMetrics, bool) {
+    /// before every hardware thread finishes its measurement quota — the
+    /// model stopped making forward progress.
+    pub fn run(&mut self) -> Result<RunMetrics, SimError> {
         let measure = self.cfg.measure_instructions;
         let deadline = self.deadline();
-        let mut finished;
         loop {
-            finished = self.contexts.iter().all(|c| c.done(measure));
-            if finished || self.cycle >= deadline {
+            if self.contexts.iter().all(|c| c.done(measure)) {
                 break;
+            }
+            if self.cycle >= deadline {
+                return Err(SimError::Runaway {
+                    cycle: self.cycle,
+                    deadline,
+                });
             }
             self.step();
         }
@@ -311,13 +337,18 @@ impl Simulation {
                 },
             })
             .collect();
-        let metrics = RunMetrics {
+        Ok(RunMetrics {
             threads,
             cycles: self.cycle,
-            bpu: self.bpu.stats(),
-            stream_digests: self.contexts.into_iter().map(|c| c.digests).collect(),
-        };
-        (metrics, finished)
+            bpu: self.bpu.observation().stats,
+            stages: self.stages,
+            stream_digests: self.contexts.iter().map(|c| c.digests.clone()).collect(),
+        })
+    }
+
+    /// Generous runaway bound: even at 0.05 IPC the run fits.
+    fn deadline(&self) -> Cycle {
+        (self.cfg.warmup_instructions + self.cfg.measure_instructions) * 40 + 10_000_000
     }
 
     /// One simulated cycle: retire, OS events, fetch.
@@ -413,6 +444,16 @@ impl Simulation {
 
     /// ICOUNT fetch: the least-loaded ready thread fetches up to
     /// `fetch_width` instructions, stopping at redirects/bubbles.
+    ///
+    /// Stall attribution happens where each stall is charged: redirect and
+    /// BTB-bubble penalties below, context-switch costs in
+    /// `note_kernel_progress`. There is deliberately no "waiting on the keys
+    /// table" charge point anywhere in the front end: HyBP serves stale keys
+    /// while a refresh's background SRAM rewrite runs, so no fetch path can
+    /// park on key state. If such a path were ever added it would have to
+    /// emit a `("sim", "keys_stall")` span — the telemetry invariant tests
+    /// pin the count of those spans at zero while refresh spans are in
+    /// flight.
     fn fetch(&mut self, now: Cycle) {
         let pick = self
             .contexts
@@ -421,7 +462,11 @@ impl Simulation {
             .filter(|(_, c)| c.stall_until <= now && c.window < self.cfg.core.window_size)
             .min_by_key(|(_, c)| c.window)
             .map(|(i, _)| i);
-        let Some(i) = pick else { return };
+        let Some(i) = pick else {
+            // Every thread is stalled or window-full: the front end idles.
+            self.stages.fetch_idle_cycles += 1;
+            return;
+        };
         let mut budget = self.cfg.core.fetch_width;
         while budget > 0 {
             // Re-resolve everything each iteration: a kernel-episode end can
@@ -490,15 +535,17 @@ impl Simulation {
                 let _ = self.bpu.process_branch(hw, &rec, now);
             }
             self.note_kernel_progress(i, 1, now);
-            let c = &mut self.contexts[i];
             if outcome.mispredicted() {
-                c.stall_until = c.stall_until.max(
-                    now + Cycle::from(self.cfg.core.mispredict_penalty)
-                        + Cycle::from(self.cfg.core.extra_frontend_cycles)
-                        + Cycle::from(self.bpu.extra_frontend_cycles()),
-                );
+                let penalty = Cycle::from(self.cfg.core.mispredict_penalty)
+                    + Cycle::from(self.cfg.core.extra_frontend_cycles)
+                    + Cycle::from(self.bpu.extra_frontend_cycles());
+                self.stages.redirect_stall_cycles += penalty;
+                let c = &mut self.contexts[i];
+                c.stall_until = c.stall_until.max(now + penalty);
                 break;
             } else if outcome.btb_latency > 0 {
+                self.stages.btb_stall_cycles += Cycle::from(outcome.btb_latency);
+                let c = &mut self.contexts[i];
                 c.stall_until = c.stall_until.max(now + Cycle::from(outcome.btb_latency));
                 break;
             }
@@ -532,14 +579,37 @@ impl Simulation {
         if then_switch {
             c.active = (c.active + 1) % c.user_gens.len();
             let asid = c.asids[c.active];
+            let cost = Cycle::from(self.cfg.core.context_switch_cost);
             c.next_cs = now + self.cfg.ctx_switch_interval;
-            c.stall_until = now + Cycle::from(self.cfg.core.context_switch_cost);
+            c.stall_until = now + cost;
             // The outgoing thread's fetch state is abandoned (it will get a
             // fresh stream when it returns — different dynamic path).
             c.user_fetch = FetchState::new();
+            self.stages.ctx_switch_stall_cycles += cost;
+            self.telemetry.span(
+                now,
+                "sim",
+                "ctx_switch_stall",
+                now,
+                now + cost,
+                hw.index() as u64,
+            );
             self.bpu.on_context_switch(hw, asid, now);
         }
         self.bpu.on_privilege_change(hw, Privilege::User, now);
+    }
+}
+
+impl Observable for Simulation {
+    /// Scope `"sim"`: elapsed cycles plus per-stage stall attribution.
+    fn snapshot(&self) -> TelemetrySnapshot {
+        let s = &self.stages;
+        TelemetrySnapshot::new("sim")
+            .with("cycles", self.cycle)
+            .with("fetch_idle_cycles", s.fetch_idle_cycles)
+            .with("redirect_stall_cycles", s.redirect_stall_cycles)
+            .with("btb_stall_cycles", s.btb_stall_cycles)
+            .with("ctx_switch_stall_cycles", s.ctx_switch_stall_cycles)
     }
 }
 
@@ -555,11 +625,27 @@ mod tests {
         cfg
     }
 
+    fn run_st(mech: Mechanism, bench: SpecBenchmark, cfg: SimConfig) -> RunMetrics {
+        Simulation::builder(mech, cfg)
+            .single_thread(bench)
+            .build()
+            .expect("valid config")
+            .run()
+            .expect("completes")
+    }
+
+    fn run_smt(mech: Mechanism, pair: [SpecBenchmark; 2], cfg: SimConfig) -> RunMetrics {
+        Simulation::builder(mech, cfg)
+            .smt(pair)
+            .build()
+            .expect("valid config")
+            .run()
+            .expect("completes")
+    }
+
     #[test]
     fn baseline_ipc_approaches_base_ipc() {
-        let m = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, quick())
-            .expect("valid config")
-            .run();
+        let m = run_st(Mechanism::Baseline, SpecBenchmark::Lbm, quick());
         let ipc = m.threads[0].ipc();
         let base = SpecBenchmark::Lbm.profile().base_ipc;
         assert!(
@@ -570,33 +656,17 @@ mod tests {
 
     #[test]
     fn harder_branches_cost_ipc() {
-        let lbm = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Lbm, quick())
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
-        let mcf = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, quick())
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
+        let lbm = run_st(Mechanism::Baseline, SpecBenchmark::Lbm, quick()).threads[0].ipc();
+        let mcf = run_st(Mechanism::Baseline, SpecBenchmark::Mcf, quick()).threads[0].ipc();
         assert!(mcf < lbm, "mcf {mcf} must be slower than lbm {lbm}");
     }
 
     #[test]
     fn extra_frontend_latency_reduces_ipc() {
         let mut cfg = quick();
-        let base = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
+        let base = run_st(Mechanism::Baseline, SpecBenchmark::Mcf, cfg).threads[0].ipc();
         cfg.core.extra_frontend_cycles = 8;
-        let slow = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Mcf, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
+        let slow = run_st(Mechanism::Baseline, SpecBenchmark::Mcf, cfg).threads[0].ipc();
         assert!(
             slow < base * 0.99,
             "8 extra cycles must cost mcf >1% (got {base} -> {slow})"
@@ -606,17 +676,12 @@ mod tests {
     #[test]
     fn smt_throughput_beats_single_thread() {
         let cfg = quick();
-        let solo = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Wrf, cfg)
-            .expect("valid config")
-            .run()
-            .throughput();
-        let smt = Simulation::smt(
+        let solo = run_st(Mechanism::Baseline, SpecBenchmark::Wrf, cfg).throughput();
+        let smt = run_smt(
             Mechanism::Baseline,
             [SpecBenchmark::Wrf, SpecBenchmark::Mcf],
             cfg,
         )
-        .expect("valid config")
-        .run()
         .throughput();
         assert!(
             smt > solo * 1.05,
@@ -633,16 +698,8 @@ mod tests {
         big.measure_instructions = 500_000;
         big.ctx_switch_interval = 8_000_000;
         let bench = SpecBenchmark::Deepsjeng;
-        let ipc_small = Simulation::single_thread(Mechanism::Flush, bench, small)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
-        let ipc_big = Simulation::single_thread(Mechanism::Flush, bench, big)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
+        let ipc_small = run_st(Mechanism::Flush, bench, small).threads[0].ipc();
+        let ipc_big = run_st(Mechanism::Flush, bench, big).threads[0].ipc();
         assert!(
             ipc_small < ipc_big,
             "flush at 100K ({ipc_small}) must be slower than at 16M ({ipc_big})"
@@ -652,16 +709,8 @@ mod tests {
     #[test]
     fn hybp_close_to_baseline_at_default_interval() {
         let cfg = quick();
-        let base = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Xz, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
-        let hybp = Simulation::single_thread(Mechanism::hybp_default(), SpecBenchmark::Xz, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
+        let base = run_st(Mechanism::Baseline, SpecBenchmark::Xz, cfg).threads[0].ipc();
+        let hybp = run_st(Mechanism::hybp_default(), SpecBenchmark::Xz, cfg).threads[0].ipc();
         let loss = (base - hybp) / base;
         assert!(
             loss < 0.05,
@@ -676,17 +725,9 @@ mod tests {
         // (short runs are dominated by cold-start for both mechanisms).
         cfg.warmup_instructions = 150_000;
         cfg.measure_instructions = 600_000;
-        let part = Simulation::single_thread(Mechanism::Partition, SpecBenchmark::Fotonik3d, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
+        let part = run_st(Mechanism::Partition, SpecBenchmark::Fotonik3d, cfg).threads[0].ipc();
         let hybp =
-            Simulation::single_thread(Mechanism::hybp_default(), SpecBenchmark::Fotonik3d, cfg)
-                .expect("valid config")
-                .run()
-                .threads[0]
-                .ipc();
+            run_st(Mechanism::hybp_default(), SpecBenchmark::Fotonik3d, cfg).threads[0].ipc();
         assert!(
             part < hybp,
             "partition ({part}) must underperform HyBP ({hybp}) on fotonik3d"
@@ -696,13 +737,11 @@ mod tests {
     #[test]
     fn all_threads_reach_measurement() {
         let cfg = quick();
-        let m = Simulation::smt(
+        let m = run_smt(
             Mechanism::hybp_default(),
             [SpecBenchmark::CactuBssn, SpecBenchmark::Xz],
             cfg,
-        )
-        .expect("valid config")
-        .run();
+        );
         for (i, t) in m.threads.iter().enumerate() {
             assert_eq!(
                 t.retired, cfg.measure_instructions,
@@ -710,5 +749,85 @@ mod tests {
             );
             assert!(t.ipc() > 0.1, "thread {i} ipc {}", t.ipc());
         }
+    }
+
+    #[test]
+    fn builder_without_workload_is_a_config_error() {
+        let err = Simulation::builder(Mechanism::Baseline, quick())
+            .build()
+            .expect_err("no workload chosen");
+        assert!(err.to_string().contains("hardware threads"));
+    }
+
+    #[test]
+    fn stage_cycles_attribute_known_stalls() {
+        let mut cfg = quick();
+        cfg.ctx_switch_interval = 25_000;
+        let m = run_st(Mechanism::Baseline, SpecBenchmark::Mcf, cfg);
+        let s = m.stages;
+        assert!(
+            s.redirect_stall_cycles > 0,
+            "mcf mispredicts must charge redirects"
+        );
+        assert!(
+            s.ctx_switch_stall_cycles > 0,
+            "25K interval must context-switch"
+        );
+        assert_eq!(
+            s.ctx_switch_stall_cycles % Cycle::from(cfg.core.context_switch_cost),
+            0,
+            "every context switch charges exactly the configured cost"
+        );
+    }
+
+    #[test]
+    fn telemetry_sink_sees_ctx_switch_spans_and_key_refreshes() {
+        let sink = Telemetry::ring(4096);
+        let mut cfg = quick();
+        cfg.ctx_switch_interval = 25_000;
+        let mut sim = Simulation::builder(Mechanism::hybp_default(), cfg)
+            .single_thread(SpecBenchmark::Xz)
+            .telemetry(sink.clone())
+            .build()
+            .expect("valid config");
+        sim.run().expect("completes");
+        let events = sink.drain();
+        let cost = Cycle::from(cfg.core.context_switch_cost);
+        let cs: Vec<_> = events
+            .iter()
+            .filter(|e| e.scope == "sim" && e.name == "ctx_switch_stall")
+            .collect();
+        assert!(!cs.is_empty(), "context switches must emit stall spans");
+        for e in &cs {
+            let (start, end) = e.span_bounds().expect("stall events are spans");
+            assert_eq!(end - start, cost);
+        }
+        assert!(
+            events
+                .iter()
+                .any(|e| e.scope == "keys" && e.name == "refresh"),
+            "HyBP context switches must emit key refresh spans"
+        );
+        assert_eq!(sink.dropped(), 0, "ring must be large enough for this run");
+    }
+
+    #[test]
+    fn simulation_snapshot_matches_stage_counters() {
+        let mut sim = Simulation::builder(Mechanism::Baseline, quick())
+            .single_thread(SpecBenchmark::Mcf)
+            .build()
+            .expect("valid config");
+        let m = sim.run().expect("completes");
+        let snap = sim.snapshot();
+        assert_eq!(snap.scope, "sim");
+        assert_eq!(snap.get("cycles"), m.cycles);
+        assert_eq!(
+            snap.get("redirect_stall_cycles"),
+            m.stages.redirect_stall_cycles
+        );
+        assert_eq!(
+            snap.get("ctx_switch_stall_cycles"),
+            m.stages.ctx_switch_stall_cycles
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Behavioural tests for the cycle-level core model.
 
-use bp_pipeline::{CoreConfig, SimConfig, Simulation};
+use bp_pipeline::{CoreConfig, RunMetrics, SimConfig, Simulation};
 use bp_workloads::profile::SpecBenchmark;
 use hybp::Mechanism;
 
@@ -11,6 +11,24 @@ fn cfg(measure: u64) -> SimConfig {
     c
 }
 
+fn run_st(mech: Mechanism, bench: SpecBenchmark, cfg: SimConfig) -> RunMetrics {
+    Simulation::builder(mech, cfg)
+        .single_thread(bench)
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes")
+}
+
+fn run_smt(mech: Mechanism, pair: [SpecBenchmark; 2], cfg: SimConfig) -> RunMetrics {
+    Simulation::builder(mech, cfg)
+        .smt(pair)
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes")
+}
+
 #[test]
 fn ipc_never_exceeds_structural_limits() {
     for b in [
@@ -18,9 +36,7 @@ fn ipc_never_exceeds_structural_limits() {
         SpecBenchmark::Lbm,
         SpecBenchmark::Mcf,
     ] {
-        let m = Simulation::single_thread(Mechanism::Baseline, b, cfg(300_000))
-            .expect("valid config")
-            .run();
+        let m = run_st(Mechanism::Baseline, b, cfg(300_000));
         let ipc = m.threads[0].ipc();
         let core = CoreConfig::sunny_cove();
         assert!(ipc <= f64::from(core.issue_width), "{b:?}: ipc {ipc}");
@@ -38,16 +54,8 @@ fn bigger_mispredict_penalty_hurts() {
     a.core.mispredict_penalty = 8;
     let mut b = cfg(400_000);
     b.core.mispredict_penalty = 32;
-    let fast = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Deepsjeng, a)
-        .expect("valid config")
-        .run()
-        .threads[0]
-        .ipc();
-    let slow = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Deepsjeng, b)
-        .expect("valid config")
-        .run()
-        .threads[0]
-        .ipc();
+    let fast = run_st(Mechanism::Baseline, SpecBenchmark::Deepsjeng, a).threads[0].ipc();
+    let slow = run_st(Mechanism::Baseline, SpecBenchmark::Deepsjeng, b).threads[0].ipc();
     assert!(
         slow < fast,
         "penalty 32 ({slow}) must be slower than 8 ({fast})"
@@ -63,16 +71,8 @@ fn kernel_episodes_charge_time() {
     let mut frequent = cfg(500_000);
     frequent.kernel_timer_interval = 60_000;
     let bench = SpecBenchmark::Wrf;
-    let fast = Simulation::single_thread(Mechanism::Baseline, bench, rare)
-        .expect("valid config")
-        .run()
-        .threads[0]
-        .ipc();
-    let slow = Simulation::single_thread(Mechanism::Baseline, bench, frequent)
-        .expect("valid config")
-        .run()
-        .threads[0]
-        .ipc();
+    let fast = run_st(Mechanism::Baseline, bench, rare).threads[0].ipc();
+    let slow = run_st(Mechanism::Baseline, bench, frequent).threads[0].ipc();
     assert!(
         slow < fast,
         "frequent kernel entries ({slow}) must cost vs none ({fast})"
@@ -84,16 +84,8 @@ fn tiny_window_throttles_ipc() {
     let mut small = cfg(300_000);
     small.core.window_size = 8;
     let bench = SpecBenchmark::Imagick; // intrinsic IPC 4.4
-    let throttled = Simulation::single_thread(Mechanism::Baseline, bench, small)
-        .expect("valid config")
-        .run()
-        .threads[0]
-        .ipc();
-    let normal = Simulation::single_thread(Mechanism::Baseline, bench, cfg(300_000))
-        .expect("valid config")
-        .run()
-        .threads[0]
-        .ipc();
+    let throttled = run_st(Mechanism::Baseline, bench, small).threads[0].ipc();
+    let normal = run_st(Mechanism::Baseline, bench, cfg(300_000)).threads[0].ipc();
     assert!(
         throttled < normal,
         "8-entry window ({throttled}) must throttle vs 176 ({normal})"
@@ -106,16 +98,10 @@ fn smt_threads_progress_together() {
     // slower thread's IPC is at least a third of its solo value.
     let c = cfg(250_000);
     let pair = [SpecBenchmark::Imagick, SpecBenchmark::Mcf];
-    let smt = Simulation::smt(Mechanism::Baseline, pair, c)
-        .expect("valid config")
-        .run();
+    let smt = run_smt(Mechanism::Baseline, pair, c);
     for (i, t) in smt.threads.iter().enumerate() {
         assert_eq!(t.retired, c.measure_instructions, "thread {i} starved");
-        let solo = Simulation::single_thread(Mechanism::Baseline, pair[i], c)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
+        let solo = run_st(Mechanism::Baseline, pair[i], c).threads[0].ipc();
         assert!(
             t.ipc() > solo / 3.0,
             "thread {i} ipc {} vs solo {solo}",
@@ -126,20 +112,16 @@ fn smt_threads_progress_together() {
 
 #[test]
 fn metrics_are_reproducible_across_identical_runs() {
-    let a = Simulation::smt(
+    let a = run_smt(
         Mechanism::hybp_default(),
         [SpecBenchmark::Xz, SpecBenchmark::Namd],
         cfg(200_000),
-    )
-    .expect("valid config")
-    .run();
-    let b = Simulation::smt(
+    );
+    let b = run_smt(
         Mechanism::hybp_default(),
         [SpecBenchmark::Xz, SpecBenchmark::Namd],
         cfg(200_000),
-    )
-    .expect("valid config")
-    .run();
+    );
     assert_eq!(a, b, "identical configs must produce identical metrics");
 }
 
@@ -147,12 +129,8 @@ fn metrics_are_reproducible_across_identical_runs() {
 fn different_seeds_produce_different_runs() {
     let mut c2 = cfg(200_000);
     c2.seed ^= 0xFFFF;
-    let a = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Cam4, cfg(200_000))
-        .expect("valid config")
-        .run();
-    let b = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Cam4, c2)
-        .expect("valid config")
-        .run();
+    let a = run_st(Mechanism::Baseline, SpecBenchmark::Cam4, cfg(200_000));
+    let b = run_st(Mechanism::Baseline, SpecBenchmark::Cam4, c2);
     assert_ne!(
         a.cycles, b.cycles,
         "different seeds should perturb the cycle count"

@@ -269,7 +269,7 @@ mod tests {
                 let pc = Addr::new(0x8000 + (b as u64) * 16);
                 let t = match kinds[b] {
                     0 => biases[b] != rng.chance(0.02),
-                    1 => (round + b as u64) % 3 != 0,
+                    1 => !(round + b as u64).is_multiple_of(3),
                     _ => rng.chance(0.5),
                 };
                 if p.predict(pc, &mut c, round) == t {

@@ -255,7 +255,7 @@ mod tests {
     #[test]
     fn collect_from_iterator() {
         let r = BranchRecord::conditional(Addr::new(4), Addr::new(8), true, 1);
-        let t: BranchTrace = std::iter::repeat(r).take(5).collect();
+        let t: BranchTrace = std::iter::repeat_n(r, 5).collect();
         assert_eq!(t.len(), 5);
     }
 }

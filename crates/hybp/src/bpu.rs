@@ -7,8 +7,10 @@
 //! compares against the trace outcome, trains, and reports what the
 //! front-end would have to pay.
 
+use bp_common::telemetry::{Observable, TelemetrySnapshot};
 use bp_common::{
-    Asid, BranchKind, BranchRecord, ConfigError, Cycle, HwThreadId, Privilege, SecurityDomain, Vmid,
+    Asid, BranchKind, BranchRecord, ConfigError, Cycle, HwThreadId, Privilege, SecurityDomain,
+    Telemetry, Vmid,
 };
 use bp_faults::FaultInjector;
 use bp_predictors::btb::{BtbHierarchy, BtbHierarchyConfig};
@@ -64,6 +66,12 @@ pub struct BpuStats {
     pub privilege_changes: u64,
     /// Full-predictor flushes performed (Flush mechanism).
     pub full_flushes: u64,
+    /// Branches predicted while the active slot's keys-table rewrite was
+    /// still in flight (HyBP only). Non-zero proves predictions kept
+    /// flowing *during* refresh windows — the machine-checkable half of the
+    /// paper's off-critical-path refresh claim (§V-C2): stale keys are
+    /// served, the front-end never waits on the keys table.
+    pub predictions_during_refresh: u64,
 }
 
 impl BpuStats {
@@ -82,6 +90,41 @@ impl BpuStats {
         }
         (self.direction_mispredicts + self.target_mispredicts) as f64 / self.branches as f64
     }
+}
+
+impl Observable for BpuStats {
+    fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::new("bpu")
+            .with("branches", self.branches)
+            .with("conditional_branches", self.conditional_branches)
+            .with("direction_mispredicts", self.direction_mispredicts)
+            .with("target_mispredicts", self.target_mispredicts)
+            .with("btb_l0_hits", self.btb_hits[0])
+            .with("btb_l1_hits", self.btb_hits[1])
+            .with("btb_l2_hits", self.btb_hits[2])
+            .with("btb_misses", self.btb_misses)
+            .with("context_switches", self.context_switches)
+            .with("privilege_changes", self.privilege_changes)
+            .with("full_flushes", self.full_flushes)
+            .with(
+                "predictions_during_refresh",
+                self.predictions_during_refresh,
+            )
+    }
+}
+
+/// Everything the BPU reports at end of run, in one shape: the core
+/// counters, the codec's counters when the mechanism randomizes, and the
+/// per-slot BTB occupancy. This replaces the former accessor triplet
+/// (`stats()` / `codec_stats()` / `btb_occupancy()`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpuObservation {
+    /// Core counters.
+    pub stats: BpuStats,
+    /// Codec counters, when the mechanism is HyBP.
+    pub codec: Option<crate::codec::CodecStats>,
+    /// BTB occupancy `(l0, l1, l2)` per isolation slot.
+    pub btb_occupancy: Vec<(usize, usize, usize)>,
 }
 
 /// Direction predictor layout per mechanism.
@@ -240,6 +283,16 @@ impl SecureBpu {
         self.faults = faults;
     }
 
+    /// Installs the telemetry sink. Today the BPU's own hot path stays in
+    /// plain counters (the per-branch rate would swamp any event stream);
+    /// the sink is forwarded to the codec's key manager, which emits one
+    /// `keys/refresh` span per renewal.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let CodecState::Hybp(c) = &mut self.codec {
+            c.set_telemetry(telemetry);
+        }
+    }
+
     /// Folds a hardware-thread id into the configured range (an out-of-range
     /// id is an anomaly, not a reason to crash).
     fn hw_index(&self, hw: HwThreadId) -> usize {
@@ -270,12 +323,29 @@ impl SecureBpu {
         self.domains[self.hw_index(hw)]
     }
 
+    /// The full end-of-run observation: core counters, codec counters and
+    /// per-slot BTB occupancy in one shape.
+    pub fn observation(&self) -> BpuObservation {
+        BpuObservation {
+            stats: self.stats,
+            codec: match &self.codec {
+                CodecState::Hybp(c) => Some(c.stats()),
+                CodecState::Identity(_) => None,
+            },
+            btb_occupancy: (0..self.btb.config().slots)
+                .map(|s| self.btb.occupancy(s))
+                .collect(),
+        }
+    }
+
     /// Accumulated statistics.
+    #[deprecated(note = "use SecureBpu::observation().stats or Observable::snapshot()")]
     pub fn stats(&self) -> BpuStats {
         self.stats
     }
 
     /// Codec statistics, when the mechanism is HyBP.
+    #[deprecated(note = "use SecureBpu::observation().codec")]
     pub fn codec_stats(&self) -> Option<crate::codec::CodecStats> {
         match &self.codec {
             CodecState::Hybp(c) => Some(c.stats()),
@@ -284,6 +354,7 @@ impl SecureBpu {
     }
 
     /// BTB occupancy `(l0, l1, l2)` for a slot (analysis helper).
+    #[deprecated(note = "use SecureBpu::observation().btb_occupancy")]
     pub fn btb_occupancy(&self, slot: usize) -> (usize, usize, usize) {
         self.btb.occupancy(slot)
     }
@@ -323,6 +394,12 @@ impl SecureBpu {
         let faults = self.faults.clone();
         if let CodecState::Hybp(c) = &mut self.codec {
             c.set_context(domain.isolation_slot(), domain.asid(), Vmid::new(0));
+            // A prediction served while the slot's code-book rewrite is
+            // still in flight uses stale keys instead of waiting (§V-C2);
+            // counting these makes the latency-hiding claim assertable.
+            if c.refresh_in_flight(domain.isolation_slot(), now) {
+                self.stats.predictions_during_refresh += 1;
+            }
         }
         // Preset-frequency key change (§VI-C): renew every slot's keys when
         // the period elapses, independent of context switches.
@@ -576,6 +653,21 @@ impl SecureBpu {
     }
 }
 
+impl Observable for SecureBpu {
+    /// The core counters plus — under HyBP — the codec's counters, as one
+    /// flat, deterministically ordered map.
+    fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.stats.snapshot();
+        if let CodecState::Hybp(c) = &self.codec {
+            let cs = c.stats();
+            snap = snap
+                .with("randomized_accesses", cs.randomized_accesses)
+                .with("counter_renewals", cs.counter_renewals);
+        }
+        snap
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,7 +694,7 @@ mod tests {
         let hw = HwThreadId::new(0);
         let m = run_warm(&mut bpu, hw, 0x4000, 100);
         assert!(m < 10, "baseline warm mispredicts {m}");
-        assert!(bpu.stats().direction_accuracy() > 0.9);
+        assert!(bpu.observation().stats.direction_accuracy() > 0.9);
     }
 
     #[test]
@@ -673,7 +765,7 @@ mod tests {
         // Immediately re-running the same branch: cold again.
         let o = bpu.process_branch(hw, &taken_cond(0x4000, 0x4100), 10_001);
         assert!(o.mispredicted(), "flushed predictor must be cold");
-        assert!(bpu.stats().full_flushes >= 1);
+        assert!(bpu.observation().stats.full_flushes >= 1);
     }
 
     #[test]
@@ -862,7 +954,7 @@ mod tests {
         for i in 0..10u64 {
             let _ = bpu.process_branch(hw, &taken_cond(0x9000 + i * 8, 0xA000), 20_000 + i * 9_000);
         }
-        let gen = bpu.codec_stats().map(|_| ()).and(Some(())).is_some();
+        let gen = bpu.observation().codec.is_some();
         assert!(gen, "codec must be present");
         // Direct check through the key manager: generations advanced beyond
         // the initial context-switch renewals.

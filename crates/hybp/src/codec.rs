@@ -72,6 +72,20 @@ impl HybpCodec {
         self.key_manager.set_fault_injector(faults);
     }
 
+    /// Installs the telemetry sink key renewals report refresh spans to.
+    pub fn set_telemetry(&mut self, telemetry: bp_common::Telemetry) {
+        self.key_manager.set_telemetry(telemetry);
+    }
+
+    /// Whether `slot`'s keys-table rewrite is still in flight at `now`.
+    ///
+    /// Predictions keep flowing during this window (stale keys are served,
+    /// §V-C2) — the BPU counts them to make the off-critical-path claim
+    /// checkable.
+    pub fn refresh_in_flight(&self, slot: usize, now: Cycle) -> bool {
+        self.key_manager.slot(slot).table().refresh_in_flight(now)
+    }
+
     /// Sets the security context for subsequent accesses.
     pub fn set_context(&mut self, slot: usize, asid: Asid, vmid: Vmid) {
         self.slot = slot;

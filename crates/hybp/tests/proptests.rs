@@ -102,7 +102,7 @@ fn bpu_counters_consistent() {
                 conds += 1;
                 let _ = bpu.process_branch(hw, &r, 1_000 + i as u64 * 8);
             }
-            let s = bpu.stats();
+            let s = bpu.observation().stats;
             assert_eq!(s.branches, conds);
             assert_eq!(s.conditional_branches, conds);
             assert!(s.direction_mispredicts <= conds);

@@ -6,6 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use hybp_repro::bp_common::Telemetry;
 use hybp_repro::bp_pipeline::{SimConfig, Simulation};
 use hybp_repro::bp_workloads::SpecBenchmark;
 use hybp_repro::hybp::{cost, Mechanism};
@@ -25,17 +26,31 @@ fn main() {
     );
 
     for mech in [Mechanism::Baseline, Mechanism::hybp_default()] {
-        let metrics = Simulation::single_thread(mech, bench, cfg)
+        // An in-memory telemetry ring captures span events (key refreshes,
+        // context-switch stalls) alongside the plain counters.
+        let sink = Telemetry::ring(4096);
+        let metrics = Simulation::builder(mech, cfg)
+            .single_thread(bench)
+            .telemetry(sink.clone())
+            .build()
             .expect("valid config")
-            .run();
+            .run()
+            .expect("completes");
         let stats = metrics.bpu;
+        let refreshes = sink
+            .drain()
+            .iter()
+            .filter(|e| e.scope == "keys" && e.name == "refresh")
+            .count();
         println!(
-            "{:<10} IPC {:.3} | direction accuracy {:.2}% | BTB hits L0/L1/L2 {:?} | misses {}",
+            "{:<10} IPC {:.3} | direction accuracy {:.2}% | BTB hits L0/L1/L2 {:?} | misses {} \
+             | key refreshes {}",
             mech.to_string(),
             metrics.threads[0].ipc(),
             stats.direction_accuracy() * 100.0,
             stats.btb_hits,
-            stats.btb_misses
+            stats.btb_misses,
+            refreshes
         );
     }
 

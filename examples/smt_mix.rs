@@ -37,16 +37,22 @@ fn main() {
             .pair
             .iter()
             .map(|&b| {
-                Simulation::single_thread(mech, b, cfg)
+                Simulation::builder(mech, cfg)
+                    .single_thread(b)
+                    .build()
                     .expect("valid config")
                     .run()
+                    .expect("completes")
                     .threads[0]
                     .ipc()
             })
             .collect();
-        let smt = Simulation::smt(mech, mix.pair, cfg)
+        let smt = Simulation::builder(mech, cfg)
+            .smt(mix.pair)
+            .build()
             .expect("valid config")
-            .run();
+            .run()
+            .expect("completes");
         let ipcs = smt.ipcs();
         let fairness = hmean_fairness(&ipcs, &solo).unwrap_or(0.0);
         println!(

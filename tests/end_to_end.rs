@@ -1,7 +1,7 @@
 //! End-to-end integration tests: workloads → secure BPU → pipeline →
 //! metrics, across protection mechanisms.
 
-use hybp_repro::bp_pipeline::{SimConfig, Simulation};
+use hybp_repro::bp_pipeline::{RunMetrics, SimConfig, Simulation};
 use hybp_repro::bp_workloads::profile::SpecBenchmark;
 use hybp_repro::bp_workloads::TABLE_V_MIXES;
 use hybp_repro::hybp::{cost, HybpConfig, Mechanism};
@@ -11,6 +11,24 @@ fn quick() -> SimConfig {
     cfg.warmup_instructions = 60_000;
     cfg.measure_instructions = 250_000;
     cfg
+}
+
+fn run_st(mech: Mechanism, bench: SpecBenchmark, cfg: SimConfig) -> RunMetrics {
+    Simulation::builder(mech, cfg)
+        .single_thread(bench)
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes")
+}
+
+fn run_smt(mech: Mechanism, pair: [SpecBenchmark; 2], cfg: SimConfig) -> RunMetrics {
+    Simulation::builder(mech, cfg)
+        .smt(pair)
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes")
 }
 
 #[test]
@@ -24,9 +42,7 @@ fn every_mechanism_completes_a_single_thread_run() {
         Mechanism::hybp_default(),
         Mechanism::TournamentBaseline,
     ] {
-        let m = Simulation::single_thread(mech, SpecBenchmark::Xz, quick())
-            .expect("valid config")
-            .run();
+        let m = run_st(mech, SpecBenchmark::Xz, quick());
         assert!(
             m.threads[0].ipc() > 0.3 && m.threads[0].ipc() < 8.0,
             "{mech}: ipc {}",
@@ -39,9 +55,7 @@ fn every_mechanism_completes_a_single_thread_run() {
 #[test]
 fn every_mix_completes_an_smt_run_under_hybp() {
     for mix in &TABLE_V_MIXES[..4] {
-        let m = Simulation::smt(Mechanism::hybp_default(), mix.pair, quick())
-            .expect("valid config")
-            .run();
+        let m = run_smt(Mechanism::hybp_default(), mix.pair, quick());
         assert_eq!(m.threads.len(), 2, "{}", mix.label());
         for t in &m.threads {
             assert!(t.ipc() > 0.2, "{}: ipc {}", mix.label(), t.ipc());
@@ -56,13 +70,7 @@ fn hybp_overhead_is_far_below_flush_and_partition() {
     let mut cfg = quick();
     cfg.measure_instructions = 1_200_000;
     let bench = SpecBenchmark::Deepsjeng;
-    let ipc = |mech| {
-        Simulation::single_thread(mech, bench, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc()
-    };
+    let ipc = |mech| run_st(mech, bench, cfg).threads[0].ipc();
     let base = ipc(Mechanism::Baseline);
     let hybp = ipc(Mechanism::hybp_default());
     let flush = ipc(Mechanism::Flush);
@@ -86,14 +94,8 @@ fn hybp_overhead_is_far_below_flush_and_partition() {
 fn smt_beats_disable_smt_in_throughput() {
     // Table I's Disable-SMT row: turning SMT off costs throughput.
     let mix = TABLE_V_MIXES[6]; // wrf + mcf
-    let smt = Simulation::smt(Mechanism::Baseline, mix.pair, quick())
-        .expect("valid config")
-        .run()
-        .throughput();
-    let solo = Simulation::single_thread(Mechanism::Baseline, mix.pair[0], quick())
-        .expect("valid config")
-        .run()
-        .throughput();
+    let smt = run_smt(Mechanism::Baseline, mix.pair, quick()).throughput();
+    let solo = run_st(Mechanism::Baseline, mix.pair[0], quick()).throughput();
     assert!(smt > solo, "smt {smt} vs solo {solo}");
 }
 
@@ -120,16 +122,8 @@ fn keys_table_size_increases_hybp_cost_but_not_accuracy_much() {
             > cost::mechanism_cost(&small, 2).overhead_bytes()
     );
     // Without context switches the table size is performance-neutral.
-    let ipc_small = Simulation::single_thread(small, SpecBenchmark::Wrf, quick())
-        .expect("valid config")
-        .run()
-        .threads[0]
-        .ipc();
-    let ipc_large = Simulation::single_thread(large, SpecBenchmark::Wrf, quick())
-        .expect("valid config")
-        .run()
-        .threads[0]
-        .ipc();
+    let ipc_small = run_st(small, SpecBenchmark::Wrf, quick()).threads[0].ipc();
+    let ipc_large = run_st(large, SpecBenchmark::Wrf, quick()).threads[0].ipc();
     let delta = (ipc_small - ipc_large).abs() / ipc_small;
     assert!(
         delta < 0.02,
@@ -139,12 +133,8 @@ fn keys_table_size_increases_hybp_cost_but_not_accuracy_much() {
 
 #[test]
 fn deterministic_given_seed() {
-    let a = Simulation::single_thread(Mechanism::hybp_default(), SpecBenchmark::Cam4, quick())
-        .expect("valid config")
-        .run();
-    let b = Simulation::single_thread(Mechanism::hybp_default(), SpecBenchmark::Cam4, quick())
-        .expect("valid config")
-        .run();
+    let a = run_st(Mechanism::hybp_default(), SpecBenchmark::Cam4, quick());
+    let b = run_st(Mechanism::hybp_default(), SpecBenchmark::Cam4, quick());
     assert_eq!(a.threads[0].retired, b.threads[0].retired);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.bpu.direction_mispredicts, b.bpu.direction_mispredicts);

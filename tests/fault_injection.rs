@@ -59,10 +59,14 @@ fn fault_cfg() -> SimConfig {
 }
 
 fn run_one(mech: Mechanism, plan: Option<FaultPlan>) -> (RunMetrics, FaultStats) {
-    let mut sim = Simulation::single_thread(mech, BENCH, fault_cfg()).expect("valid config");
     let injector = plan.map(FaultInjector::from_plan);
-    sim.set_fault_injector(injector.clone());
-    let metrics = sim.run();
+    let metrics = Simulation::builder(mech, fault_cfg())
+        .single_thread(BENCH)
+        .fault_injector(injector.clone())
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes");
     let stats = injector.map(|i| i.stats()).unwrap_or_default();
     (metrics, stats)
 }

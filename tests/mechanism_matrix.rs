@@ -3,7 +3,7 @@
 //! harnesses use (no panics, plausible metrics, correct event handling).
 
 use hybp_repro::bp_common::{Addr, Asid, BranchKind, BranchRecord, HwThreadId, Privilege};
-use hybp_repro::bp_pipeline::{SimConfig, Simulation};
+use hybp_repro::bp_pipeline::{RunMetrics, SimConfig, Simulation};
 use hybp_repro::bp_workloads::profile::SpecBenchmark;
 use hybp_repro::hybp::{HybpConfig, Mechanism, SecureBpu};
 
@@ -29,6 +29,24 @@ fn all_mechanisms() -> Vec<Mechanism> {
     ]
 }
 
+fn run_st(mech: Mechanism, bench: SpecBenchmark, cfg: SimConfig) -> RunMetrics {
+    Simulation::builder(mech, cfg)
+        .single_thread(bench)
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes")
+}
+
+fn run_smt(mech: Mechanism, pair: [SpecBenchmark; 2], cfg: SimConfig) -> RunMetrics {
+    Simulation::builder(mech, cfg)
+        .smt(pair)
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes")
+}
+
 #[test]
 fn every_mechanism_survives_event_storms() {
     // Rapid-fire context switches and privilege flips must never corrupt
@@ -52,8 +70,9 @@ fn every_mechanism_survives_event_storms() {
             }
             now += 100;
         }
-        assert_eq!(bpu.stats().context_switches, 100, "{mech}");
-        assert_eq!(bpu.stats().privilege_changes, 200, "{mech}");
+        let stats = bpu.observation().stats;
+        assert_eq!(stats.context_switches, 100, "{mech}");
+        assert_eq!(stats.privilege_changes, 200, "{mech}");
     }
 }
 
@@ -78,8 +97,9 @@ fn every_mechanism_handles_every_branch_kind() {
         for (i, r) in records.iter().enumerate() {
             let _ = bpu.process_branch(hw, r, i as u64 * 10);
         }
-        assert_eq!(bpu.stats().branches, 6, "{mech}");
-        assert_eq!(bpu.stats().conditional_branches, 2, "{mech}");
+        let stats = bpu.observation().stats;
+        assert_eq!(stats.branches, 6, "{mech}");
+        assert_eq!(stats.conditional_branches, 2, "{mech}");
     }
 }
 
@@ -91,15 +111,13 @@ fn replication_sweep_is_monotone_in_capacity() {
     cfg.warmup_instructions = 100_000;
     cfg.measure_instructions = 500_000;
     let ipc = |pct: u32| {
-        Simulation::single_thread(
+        run_st(
             Mechanism::Replication {
                 extra_storage_pct: pct,
             },
             SpecBenchmark::Xz,
             cfg,
         )
-        .expect("valid config")
-        .run()
         .threads[0]
             .ipc()
     };
@@ -117,21 +135,13 @@ fn smt_derate_caps_scaling() {
     let mut cfg = SimConfig::quick_test();
     cfg.warmup_instructions = 80_000;
     cfg.measure_instructions = 300_000;
-    let solo_a = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Wrf, cfg)
-        .expect("valid config")
-        .run()
-        .throughput();
-    let solo_b = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Namd, cfg)
-        .expect("valid config")
-        .run()
-        .throughput();
-    let smt = Simulation::smt(
+    let solo_a = run_st(Mechanism::Baseline, SpecBenchmark::Wrf, cfg).throughput();
+    let solo_b = run_st(Mechanism::Baseline, SpecBenchmark::Namd, cfg).throughput();
+    let smt = run_smt(
         Mechanism::Baseline,
         [SpecBenchmark::Wrf, SpecBenchmark::Namd],
         cfg,
     )
-    .expect("valid config")
-    .run()
     .throughput();
     assert!(
         smt > solo_a.max(solo_b) * 1.02,
@@ -148,16 +158,8 @@ fn tournament_baseline_is_slower_than_tage() {
     let mut cfg = SimConfig::quick_test();
     cfg.warmup_instructions = 100_000;
     cfg.measure_instructions = 400_000;
-    let tage = Simulation::single_thread(Mechanism::Baseline, SpecBenchmark::Deepsjeng, cfg)
-        .expect("valid config")
-        .run()
-        .threads[0]
-        .ipc();
+    let tage = run_st(Mechanism::Baseline, SpecBenchmark::Deepsjeng, cfg).threads[0].ipc();
     let tourney =
-        Simulation::single_thread(Mechanism::TournamentBaseline, SpecBenchmark::Deepsjeng, cfg)
-            .expect("valid config")
-            .run()
-            .threads[0]
-            .ipc();
+        run_st(Mechanism::TournamentBaseline, SpecBenchmark::Deepsjeng, cfg).threads[0].ipc();
     assert!(tage > tourney, "TAGE {tage} must beat tournament {tourney}");
 }

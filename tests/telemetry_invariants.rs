@@ -1,0 +1,128 @@
+//! Telemetry-backed proof of the paper's off-critical-path claim: a
+//! KeysTable refresh runs concurrently with prediction — stale keys are
+//! served while the code books rewrite — so refresh spans must never
+//! overlap a prediction-critical-path stall.
+//!
+//! The simulation charges every stall it models to a named span or stage
+//! counter. There is deliberately no `("sim", "keys_stall")` emitter: the
+//! fetch path has no code that waits on the keys table (see
+//! `bp-pipeline/src/sim.rs`). These tests pin that claim observationally —
+//! refreshes demonstrably happen mid-run, predictions demonstrably land
+//! during them, and the event stream carries zero keys-attributed stalls.
+
+use hybp_repro::bp_common::{Telemetry, TelemetryEvent};
+use hybp_repro::bp_pipeline::{SimConfig, Simulation};
+use hybp_repro::bp_workloads::SpecBenchmark;
+use hybp_repro::hybp::Mechanism;
+
+/// A run short enough for a debug-mode test but with context switches
+/// every 25K cycles, so key refreshes demonstrably happen mid-measurement.
+fn refresh_heavy_cfg() -> SimConfig {
+    let mut cfg = SimConfig::quick_test();
+    cfg.warmup_instructions = 20_000;
+    cfg.measure_instructions = 150_000;
+    cfg.ctx_switch_interval = 25_000;
+    cfg
+}
+
+fn run_with_sink() -> (hybp_repro::bp_pipeline::RunMetrics, Vec<TelemetryEvent>) {
+    let sink = Telemetry::ring(1 << 14);
+    let metrics = Simulation::builder(Mechanism::hybp_default(), refresh_heavy_cfg())
+        .single_thread(SpecBenchmark::Deepsjeng)
+        .telemetry(sink.clone())
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes");
+    assert_eq!(sink.dropped(), 0, "ring must not overflow in this run");
+    (metrics, sink.drain())
+}
+
+#[test]
+fn key_refreshes_overlap_zero_prediction_critical_path_stalls() {
+    let (metrics, events) = run_with_sink();
+
+    let refreshes: Vec<&TelemetryEvent> = events
+        .iter()
+        .filter(|e| e.scope == "keys" && e.name == "refresh")
+        .collect();
+    assert!(
+        !refreshes.is_empty(),
+        "context switches every 25K cycles must trigger key refreshes"
+    );
+
+    // Predictions were served *during* refresh windows — the stale-key
+    // path, not a stall, carried them.
+    assert!(
+        metrics.bpu.predictions_during_refresh > 0,
+        "no prediction landed inside a refresh window; the run cannot \
+         witness the off-critical-path claim"
+    );
+
+    // The invariant in its falsifiable form: no keys-attributed stall
+    // span exists at all, so every refresh span overlaps zero of them.
+    let keys_stalls: Vec<&TelemetryEvent> = events
+        .iter()
+        .filter(|e| e.scope == "sim" && e.name == "keys_stall")
+        .collect();
+    assert!(
+        keys_stalls.is_empty(),
+        "the fetch path charged a stall to the keys table: {keys_stalls:?}"
+    );
+    for refresh in &refreshes {
+        let (start, end) = refresh.span_bounds().expect("refresh is a span");
+        let overlap: u64 = keys_stalls.iter().map(|s| s.span_overlap(start, end)).sum();
+        assert_eq!(
+            overlap, 0,
+            "refresh [{start}, {end}) overlaps a prediction-critical-path stall"
+        );
+    }
+}
+
+#[test]
+fn refreshes_coincide_with_context_switch_stalls_not_fetch() {
+    // Control for the test above: refreshes are *triggered by* context
+    // switches, whose (architectural, paper-modeled) cost is a span in the
+    // same stream — so span overlap must be visible where it genuinely
+    // exists. A refresh invariant test that could not detect any overlap
+    // would be vacuous.
+    let (_, events) = run_with_sink();
+    let ctx_switches: Vec<&TelemetryEvent> = events
+        .iter()
+        .filter(|e| e.scope == "sim" && e.name == "ctx_switch_stall")
+        .collect();
+    assert!(!ctx_switches.is_empty(), "25K-cycle slices must switch");
+    let overlapping = events
+        .iter()
+        .filter(|e| e.scope == "keys" && e.name == "refresh")
+        .filter(|r| {
+            let (start, end) = r.span_bounds().expect("refresh is a span");
+            ctx_switches.iter().any(|c| c.span_overlap(start, end) > 0)
+        })
+        .count();
+    assert!(
+        overlapping > 0,
+        "no refresh span overlaps the context-switch stall that started it"
+    );
+}
+
+#[test]
+fn telemetry_capture_does_not_change_the_simulation() {
+    // Observation is passive: the same config with a disabled sink and an
+    // enabled ring must produce identical metrics.
+    let sink = Telemetry::ring(1 << 14);
+    let observed = Simulation::builder(Mechanism::hybp_default(), refresh_heavy_cfg())
+        .single_thread(SpecBenchmark::Deepsjeng)
+        .telemetry(sink)
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes");
+    let plain = Simulation::builder(Mechanism::hybp_default(), refresh_heavy_cfg())
+        .single_thread(SpecBenchmark::Deepsjeng)
+        .build()
+        .expect("valid config")
+        .run()
+        .expect("completes");
+    assert_eq!(observed, plain, "telemetry must be a pure observer");
+}
