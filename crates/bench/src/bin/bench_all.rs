@@ -33,6 +33,8 @@
 //! Usage: `bench_all [--scale quick|default|full] [--threads N]
 //! [--no-cache] [--telemetry DIR] [--resume] [--deadline-secs N]`
 
+#![allow(clippy::disallowed_types)] // suite wall-clock table: diagnostics, not results
+
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;

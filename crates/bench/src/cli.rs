@@ -63,7 +63,9 @@ pub fn parse_threads(v: &str) -> Result<usize, String> {
 /// Resolves the worker count when `--threads` is absent: a set
 /// `HYBP_THREADS` must parse (same strictness as the flag), otherwise the
 /// machine's available parallelism is used.
+#[allow(clippy::disallowed_methods)] // waived in bp-lint with the reason below
 fn threads_from_env() -> Result<usize, String> {
+    // bp-lint: allow(determinism-env) reason="HYBP_THREADS is an operator parallelism knob; it changes scheduling only, never the simulated results"
     match std::env::var("HYBP_THREADS") {
         Ok(v) => parse_threads(&v).map_err(|e| format!("HYBP_THREADS: {e}")),
         Err(_) => Ok(Pool::machine_sized().threads()),
@@ -274,6 +276,7 @@ impl Ctx {
                 match self.fault_points.disposition(label, i, attempt) {
                     PointDisposition::Proceed => Ok(f(item)),
                     PointDisposition::Panic => {
+                        // bp-lint: allow(panic-freedom) reason="deliberate injected point fault used to exercise the supervised-sweep recovery path"
                         panic!("injected point fault: panic at {label}[{i}] attempt {attempt}")
                     }
                     PointDisposition::FatalError => Err(TaskError::fatal(format!(

@@ -54,8 +54,10 @@ pub fn run(ctx: &Ctx) -> ExpResult {
                     .single_thread(SpecBenchmark::Xz)
                     .telemetry(sink.clone())
                     .build()
+                    // bp-lint: allow(panic-freedom) reason="sweep boundary: configs here are built from validated presets, and the supervised sweep records a panic as a point failure"
                     .expect("valid config")
                     .run()
+                    // bp-lint: allow(panic-freedom) reason="sweep boundary: a failed run is a programming error the supervised sweep records as a point failure"
                     .expect("simulation completes")
                     .bpu;
                 ctx.telemetry.absorb(&sink);

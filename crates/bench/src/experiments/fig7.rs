@@ -1,7 +1,7 @@
 //! Figure 7: throughput (a) and Hmean fairness (b) degradation of the
 //! isolation mechanisms on an SMT-2 core, per Table V mix.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{
     degradation, no_switch_config, no_switch_ipc_cached, smt_point_cached, Ctx, ExpResult,
@@ -42,7 +42,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
     });
     // Lost points simply never enter the map; downstream lookups treat an
     // absent key as "skip this mix/mechanism".
-    let solo: HashMap<(String, SpecBenchmark), f64> = solo_jobs
+    let solo: BTreeMap<(String, SpecBenchmark), f64> = solo_jobs
         .iter()
         .zip(&solo_ipcs)
         .filter_map(|(&(mech, b), ipc)| ipc.map(|ipc| ((mech.to_string(), b), ipc)))
@@ -64,7 +64,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
                 no_switch_config(ctx.scale),
             )
         });
-    let smt: HashMap<(usize, String), &(f64, Vec<f64>)> = smt_jobs
+    let smt: BTreeMap<(usize, String), &(f64, Vec<f64>)> = smt_jobs
         .iter()
         .zip(&smt_points)
         .filter_map(|(&(mi, mech), point)| {
@@ -78,7 +78,7 @@ pub fn run(ctx: &Ctx) -> ExpResult {
         "{:<28} {:<7} {:>22} {:>22}",
         "mix", "class", "throughput degradation", "hmean degradation"
     );
-    let mut agg: HashMap<String, (Vec<f64>, Vec<f64>)> = HashMap::new();
+    let mut agg: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
     for (mi, mix) in TABLE_V_MIXES.iter().enumerate() {
         let Some(base_point) = smt.get(&(mi, Mechanism::Baseline.to_string())) else {
             continue; // baseline SMT point lost: the whole mix is uncomputable

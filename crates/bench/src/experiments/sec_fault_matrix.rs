@@ -119,8 +119,10 @@ fn run_one(
         .fault_injector(injector.clone())
         .telemetry(sink.clone())
         .build()
+        // bp-lint: allow(panic-freedom) reason="sweep boundary: configs here are built from validated presets, and the supervised sweep records a panic as a point failure"
         .expect("valid config")
         .run()
+        // bp-lint: allow(panic-freedom) reason="sweep boundary: a failed run is a programming error the supervised sweep records as a point failure"
         .expect("simulation completes");
     ctx.telemetry.absorb(&sink);
     let stats = injector.map(|i| i.stats()).unwrap_or_default();

@@ -86,7 +86,7 @@ impl TelemetryHub {
         if !drained.is_empty() {
             self.events
                 .lock()
-                .expect("telemetry hub lock poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .extend(drained);
         }
     }
@@ -105,7 +105,7 @@ impl TelemetryHub {
     pub fn pending_events(&self) -> usize {
         self.events
             .lock()
-            .expect("telemetry hub lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len()
     }
 
@@ -113,8 +113,13 @@ impl TelemetryHub {
     /// never flushed cannot leak events into the next experiment's file).
     /// Returns how many were discarded.
     pub fn discard_pending(&self) -> usize {
-        let n =
-            std::mem::take(&mut *self.events.lock().expect("telemetry hub lock poisoned")).len();
+        let n = std::mem::take(
+            &mut *self
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+        .len();
         self.dropped.store(0, Ordering::Relaxed);
         n
     }
@@ -126,8 +131,12 @@ impl TelemetryHub {
     ///
     /// I/O failure creating the directory or writing the file.
     pub fn flush_jsonl(&self, dir: &Path, stem: &str) -> std::io::Result<FlushSummary> {
-        let mut events =
-            std::mem::take(&mut *self.events.lock().expect("telemetry hub lock poisoned"));
+        let mut events = std::mem::take(
+            &mut *self
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         let dropped = self.dropped.swap(0, Ordering::Relaxed);
         events.sort_unstable();
         let mut body = String::new();
@@ -145,7 +154,7 @@ impl TelemetryHub {
         };
         self.flushes
             .lock()
-            .expect("telemetry hub lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(summary.clone());
         Ok(summary)
     }
@@ -153,7 +162,12 @@ impl TelemetryHub {
     /// Takes the flush log accumulated since the last call (what the suite
     /// driver reads per experiment for its report).
     pub fn drain_flushes(&self) -> Vec<FlushSummary> {
-        std::mem::take(&mut *self.flushes.lock().expect("telemetry hub lock poisoned"))
+        std::mem::take(
+            &mut *self
+                .flushes
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 }
 

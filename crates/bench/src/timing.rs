@@ -5,6 +5,9 @@
 //! they need: warmup, batched timing with `Instant`, and a median-of-batches
 //! report. Run them with `cargo bench -p bench --features bench-harness`.
 
+#![allow(clippy::disallowed_types)] // Instant, waived file-wide in bp-lint below
+
+// bp-lint: allow-file(determinism-time) reason="this harness exists to measure real wall-clock overhead; its numbers are reported as timing diagnostics, never as simulation results"
 use std::time::{Duration, Instant};
 
 /// Re-export of the compiler's optimization barrier for benchmark inputs.

@@ -415,7 +415,7 @@ mod tests {
 
     #[test]
     fn isolation_slots_are_dense_and_unique() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for t in 0..2u8 {
             for p in Privilege::ALL {
                 let d = SecurityDomain::new(HwThreadId::new(t), Asid::new(0), p);

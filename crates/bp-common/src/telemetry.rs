@@ -152,7 +152,13 @@ impl Telemetry {
     #[inline]
     pub fn emit(&self, event: TelemetryEvent) {
         let Some(inner) = &self.0 else { return };
-        let mut events = inner.events.lock().expect("telemetry sink poisoned");
+        // A panicking emitter cannot leave the Vec mid-mutation (push and
+        // take are atomic w.r.t. unwinds), so a poisoned lock's data is
+        // still sound: keep observing rather than propagating the panic.
+        let mut events = inner
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if events.len() < inner.capacity {
             events.push(event);
         } else {
@@ -206,9 +212,12 @@ impl Telemetry {
     /// Removes and returns every buffered event, in emission order.
     pub fn drain(&self) -> Vec<TelemetryEvent> {
         match &self.0 {
-            Some(inner) => {
-                std::mem::take(&mut *inner.events.lock().expect("telemetry sink poisoned"))
-            }
+            Some(inner) => std::mem::take(
+                &mut *inner
+                    .events
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            ),
             None => Vec::new(),
         }
     }

@@ -155,7 +155,9 @@ impl Default for KeysTableConfig {
 ///
 /// Derived from the ASID, the VMID and a value from a hardware random number
 /// generator or PUF; never visible to software, including the hypervisor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// No `Debug`: the seed is key material derived from the hardware RNG/PUF
+// (secret-hygiene, bp-lint secret-debug).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct IndexSeed(u64);
 
 impl IndexSeed {
@@ -178,7 +180,9 @@ impl IndexSeed {
 }
 
 /// State of an in-flight, non-stalling code-book refresh.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// No `Debug`: `old_keys` is the previous-generation code book
+// (secret-hygiene, bp-lint secret-debug).
+#[derive(Clone, PartialEq, Eq)]
 struct RefreshState {
     started_at: Cycle,
     old_keys: Vec<u64>,
@@ -187,7 +191,9 @@ struct RefreshState {
 /// The randomized index keys table.
 ///
 /// See the [module documentation](self) for the role this table plays.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// No `Debug`/`Display`: `keys` is the live code book; printing it hands an
+// attacker the randomization secret (secret-hygiene, bp-lint secret-debug).
+#[derive(Clone, PartialEq, Eq)]
 pub struct KeysTable {
     config: KeysTableConfig,
     keys: Vec<u64>,
@@ -327,6 +333,7 @@ impl KeysTable {
     pub fn inject_bit_flip(&mut self, entry: usize, bit: u32) {
         let entry = entry % self.config.entries.max(1);
         let bit = bit % self.config.key_bits.max(1);
+        // bp-lint: allow(secret-branch) reason="branches on the index bounds check (Option presence), never on key bit values"
         if let Some(k) = self.keys.get_mut(entry) {
             *k ^= 1u64 << bit;
         }
@@ -376,7 +383,9 @@ impl KeysTable {
 
 /// Per-`(hardware thread, privilege)` key state: the content key registers
 /// and the isolated keys table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// No `Debug`: holds the content key and the keys table
+// (secret-hygiene, bp-lint secret-debug).
+#[derive(Clone, PartialEq, Eq)]
 pub struct DomainKeys {
     content_key: u64,
     table: KeysTable,
@@ -427,7 +436,8 @@ impl DomainKeys {
 /// `bp-faults` crate. Disturbances never change the *reported* refresh
 /// timing — [`KeyManager::renew`] always returns the nominal completion
 /// cycle, so no fault opens a timing channel.
-#[derive(Debug)]
+// No `Debug`: owns every isolation slot's key state
+// (secret-hygiene, bp-lint secret-debug).
 pub struct KeyManager {
     cipher: Box<dyn TweakableBlockCipher>,
     slots: Vec<DomainKeys>,

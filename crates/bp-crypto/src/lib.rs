@@ -36,8 +36,6 @@ pub use llbc::Llbc;
 pub use prince::Prince;
 pub use qarma::{Qarma64, QarmaSbox};
 
-use std::fmt;
-
 /// A 64-bit tweakable block cipher as used by the randomization layer.
 ///
 /// Implementations must be deterministic permutations of the 64-bit block for
@@ -49,7 +47,10 @@ use std::fmt;
 /// point; the pipeline model charges this many extra front-end cycles when a
 /// cipher is placed on the prediction critical path (which HyBP avoids via
 /// the precomputed code book).
-pub trait TweakableBlockCipher: fmt::Debug + Send + Sync {
+// Deliberately NOT `fmt::Debug`: implementors hold key material, and a
+// `Debug` supertrait would force every cipher to be printable. Identify
+// ciphers by `name()` instead.
+pub trait TweakableBlockCipher: Send + Sync {
     /// Encrypts one 64-bit block under the given tweak.
     fn encrypt(&self, plaintext: u64, tweak: u64) -> u64;
 
@@ -76,7 +77,8 @@ pub trait TweakableBlockCipher: fmt::Debug + Send + Sync {
 /// This is the content-encoding primitive HyBP uses for table *contents*
 /// (where linearity is acceptable because contents are never used for
 /// indexing), and the strawman index cipher that `bp-attacks` breaks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// No `Debug`: `key` is key material (secret-hygiene, bp-lint secret-debug).
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct XorCipher {
     key: u64,
 }

@@ -41,7 +41,9 @@ const ROUNDS: usize = 4;
 ///     c.encrypt(x ^ y ^ z, 7)
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// No `Debug`: round keys are key material (secret-hygiene, bp-lint
+// secret-debug).
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct Llbc {
     round_keys: [u64; ROUNDS],
 }

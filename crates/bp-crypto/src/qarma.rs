@@ -249,7 +249,9 @@ fn ortho(w: u64) -> u64 {
 /// let ct = c.encrypt(0xfb623599da6e8127, 0x477d469dec0b8762);
 /// assert_eq!(c.decrypt(ct, 0x477d469dec0b8762), 0xfb623599da6e8127);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// No `Debug`: round keys are key material (secret-hygiene, bp-lint
+// secret-debug).
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct Qarma64 {
     w0: u64,
     k0: u64,
@@ -418,7 +420,7 @@ mod tests {
     fn lfsr_has_full_period_on_nonzero() {
         // A maximal 4-bit LFSR cycles through all 15 non-zero states.
         let mut x = 1u8;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..15 {
             assert!(seen.insert(x));
             x = lfsr(x);

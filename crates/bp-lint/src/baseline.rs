@@ -1,0 +1,241 @@
+//! The grandfather baseline: shrink-only, checked in, and honest.
+//!
+//! A baseline entry says "this violation predates the rule; it is debt,
+//! not license". Entries are keyed by `(rule, file, snippet)` with a
+//! count — deliberately *not* by line number, so unrelated edits above a
+//! grandfathered site do not churn the file. The policy is shrink-only,
+//! enforced in both directions:
+//!
+//! * a finding **not** covered by the baseline is new debt → the run fails;
+//! * a baseline entry matching **nothing** (or more entries than findings)
+//!   is stale → the run fails until the entry is deleted.
+//!
+//! `bp_lint --write-baseline` regenerates the file from the current tree;
+//! review the diff like any other code change. The final state this
+//! repository maintains is an *empty* baseline — the file exists to prove
+//! the mechanism and to catch anyone trying to grow it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::report::{json_str, Finding, Report, Status};
+use crate::LintError;
+
+/// Parsed baseline: allowance count per `(rule, file, snippet)`.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses the baseline JSON document.
+    ///
+    /// The format is the output of `--write-baseline`: a `version` field
+    /// and an `entries` array of `{rule, file, snippet, count}` objects.
+    /// Parsing is a small hand-rolled scanner (the workspace is
+    /// dependency-free); it accepts exactly what the writer emits.
+    pub fn parse(text: &str) -> Result<Self, LintError> {
+        let mut entries = BTreeMap::new();
+        // Objects are one-per-line in the written format; tolerate any
+        // whitespace by scanning for the four known keys per object.
+        let mut rest = text;
+        while let Some(start) = rest.find('{') {
+            let Some(end) = rest[start + 1..].find('}') else {
+                break;
+            };
+            let obj = &rest[start + 1..start + 1 + end];
+            rest = &rest[start + 1 + end + 1..];
+            if !obj.contains("\"rule\"") {
+                continue; // the outer document object
+            }
+            let rule = extract_str(obj, "rule")?;
+            let file = extract_str(obj, "file")?;
+            let snippet = extract_str(obj, "snippet")?;
+            let count = extract_count(obj)?;
+            *entries.entry((rule, file, snippet)).or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Applies the baseline to a report: marks up to `count` active
+    /// findings per key as [`Status::Baselined`], and records stale
+    /// entries (keys with unused allowance) in the report.
+    ///
+    /// Findings must already be normalized (sorted) so that which
+    /// duplicate gets baselined is deterministic.
+    pub fn apply(&self, report: &mut Report) {
+        let mut budget: BTreeMap<&(String, String, String), usize> = BTreeMap::new();
+        for (k, v) in &self.entries {
+            budget.insert(k, *v);
+        }
+        for f in report.findings.iter_mut() {
+            if f.status != Status::Active {
+                continue;
+            }
+            let key = (f.rule.to_string(), f.file.clone(), f.snippet.clone());
+            if let Some(left) = budget.get_mut(&key) {
+                if *left > 0 {
+                    *left -= 1;
+                    f.status = Status::Baselined;
+                }
+            }
+        }
+        for (k, left) in budget {
+            if left > 0 {
+                report
+                    .stale_baseline
+                    .push(format!("{} @ {} `{}` x{}", k.0, k.1, k.2, left));
+            }
+        }
+    }
+
+    /// Renders a baseline capturing every currently-active finding.
+    pub fn render_from(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+        for f in findings.iter().filter(|f| f.status == Status::Active) {
+            *counts
+                .entry((f.rule, f.file.as_str(), f.snippet.as_str()))
+                .or_insert(0) += 1;
+        }
+        let mut s = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, ((rule, file, snippet), count)) in counts.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    {{\"rule\": {}, \"file\": {}, \"snippet\": {}, \"count\": {}}}",
+                json_str(rule),
+                json_str(file),
+                json_str(snippet),
+                count
+            );
+        }
+        if !counts.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Extracts `"key": "value"` from a flat JSON object body.
+fn extract_str(obj: &str, key: &str) -> Result<String, LintError> {
+    let pat = format!("\"{key}\"");
+    let Some(at) = obj.find(&pat) else {
+        return Err(LintError::Baseline(format!("missing `{key}` in entry")));
+    };
+    let after = &obj[at + pat.len()..];
+    let Some(colon) = after.find(':') else {
+        return Err(LintError::Baseline(format!("missing `:` after `{key}`")));
+    };
+    let after = after[colon + 1..].trim_start();
+    let Some(body) = after.strip_prefix('"') else {
+        return Err(LintError::Baseline(format!("`{key}` must be a string")));
+    };
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(e) => out.push(e),
+                None => break,
+            },
+            '"' => return Ok(out),
+            c => out.push(c),
+        }
+    }
+    Err(LintError::Baseline(format!("unterminated `{key}` string")))
+}
+
+/// Extracts the `count` field from a flat JSON object body.
+fn extract_count(obj: &str) -> Result<usize, LintError> {
+    let Some(at) = obj.find("\"count\"") else {
+        return Err(LintError::Baseline("missing `count` in entry".to_string()));
+    };
+    let after = &obj[at + 7..];
+    let Some(colon) = after.find(':') else {
+        return Err(LintError::Baseline("missing `:` after `count`".to_string()));
+    };
+    let digits: String = after[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits
+        .parse()
+        .map_err(|_| LintError::Baseline("`count` must be a number".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Finding, Report, Status};
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            snippet: snippet.to_string(),
+            message: String::new(),
+            status: Status::Active,
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_apply() {
+        let findings = vec![
+            finding("panic-freedom", "crates/x/src/lib.rs", ".unwrap()"),
+            finding("panic-freedom", "crates/x/src/lib.rs", ".unwrap()"),
+        ];
+        let text = Baseline::render_from(&findings);
+        let b = Baseline::parse(&text).expect("parses own output");
+        let mut report = Report {
+            findings,
+            ..Default::default()
+        };
+        report.normalize();
+        b.apply(&mut report);
+        assert_eq!(report.count(Status::Baselined), 2);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn excess_findings_stay_active() {
+        let one = vec![finding("panic-freedom", "a.rs", ".unwrap()")];
+        let text = Baseline::render_from(&one);
+        let b = Baseline::parse(&text).expect("parses");
+        let mut report = Report {
+            findings: vec![
+                finding("panic-freedom", "a.rs", ".unwrap()"),
+                finding("panic-freedom", "a.rs", ".unwrap()"),
+            ],
+            ..Default::default()
+        };
+        report.normalize();
+        b.apply(&mut report);
+        assert_eq!(report.count(Status::Baselined), 1);
+        assert_eq!(report.count(Status::Active), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn stale_entries_fail_shrink_only() {
+        let old = vec![finding("panic-freedom", "gone.rs", ".unwrap()")];
+        let b = Baseline::parse(&Baseline::render_from(&old)).expect("parses");
+        let mut report = Report::default();
+        report.normalize();
+        b.apply(&mut report);
+        assert_eq!(report.stale_baseline.len(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let b = Baseline::parse("{\n  \"version\": 1,\n  \"entries\": []\n}\n").expect("parses");
+        let mut report = Report::default();
+        b.apply(&mut report);
+        assert!(report.stale_baseline.is_empty());
+    }
+}

@@ -1,0 +1,432 @@
+//! A token-level scanner for Rust source.
+//!
+//! `bp-lint` does not parse Rust; it lexes it. The lexer's one job is to
+//! separate *code* from *non-code* so that rules never fire on the contents
+//! of comments, string literals, or doc examples: a `HashMap` mentioned in a
+//! doc comment is documentation, not a determinism violation. What survives
+//! is a flat stream of identifier/punctuation tokens with line numbers,
+//! plus the line comments (which carry `// SAFETY:` and `// bp-lint:`
+//! waiver annotations) and string literals (whose inline format captures
+//! like `{keys_table:?}` the secret-hygiene rules still need to see).
+//!
+//! The lexer handles the full set of Rust lexical edge cases that matter
+//! for not mis-classifying code as comment or vice versa: nested block
+//! comments, raw strings with arbitrary `#` guards, byte strings, char
+//! literals vs. lifetimes, and numeric literals abutting the range
+//! operator (`0..10`).
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `unwrap`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `!`, `{`, ...).
+    Punct(char),
+    /// A string literal, with its *content* (escapes left as written).
+    Str(String),
+    /// Any other literal (number, char, byte string); content irrelevant
+    /// to every rule, so it is not retained.
+    Lit,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `//` line comment: the text after the slashes, trimmed, plus its line.
+///
+/// Doc comments (`///`, `//!`) are captured too — the extra slash or bang
+/// ends up at the front of `text` and simply never matches a waiver or
+/// SAFETY prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based source line the comment sits on.
+    pub line: u32,
+    /// Comment text after the leading `//`, trimmed.
+    pub text: String,
+}
+
+/// Output of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+impl Lexed {
+    /// Returns true if any code token starts on `line`.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        // Tokens are in line order; a binary search would work, but files
+        // are small and this is only called while resolving waivers.
+        self.tokens.iter().any(|t| t.line == line)
+    }
+}
+
+/// Lexes one file's source text.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                out.comments.push(LineComment {
+                    line,
+                    text: text.trim().to_string(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (content, j, nl) = lex_string(&chars, i + 1);
+                out.tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line,
+                });
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                let (tok, j, nl) = lex_prefixed_string(&chars, i);
+                out.tokens.push(Token { tok, line });
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime is `'` followed by an
+                // identifier start NOT followed by a closing quote
+                // (`'a` vs `'a'`); an escape (`'\n'`) is always a char.
+                if i + 1 < n && chars[i + 1] == '\\' {
+                    let mut j = i + 2;
+                    if j < n {
+                        j += 1; // the escaped char
+                    }
+                    // Consume to closing quote (handles \x41, \u{..}).
+                    while j < n && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    i = j + 1;
+                } else if i + 2 < n && is_ident_start(chars[i + 1]) && chars[i + 2] != '\'' {
+                    // Lifetime: skip the quote; the identifier lexes next
+                    // round but we drop it so `'static` never looks like the
+                    // `static` keyword.
+                    let mut j = i + 1;
+                    while j < n && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    // 'x' char literal.
+                    let mut j = i + 1;
+                    while j < n && chars[j] != '\'' && chars[j] != '\n' {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    i = j + 1;
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let ident: String = chars[i..j].iter().collect();
+                out.tokens.push(Token {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                // Loose numeric literal: digits, underscores, letters
+                // (0xff, 1e9, 1_000u64) and a single fractional dot — but
+                // `..` is the range operator, not part of the number.
+                let mut j = i + 1;
+                while j < n {
+                    let d = chars[j];
+                    if d == '.' {
+                        if j + 1 < n && chars[j + 1] == '.' {
+                            break;
+                        }
+                        j += 1;
+                    } else if d == '_' || d.is_ascii_alphanumeric() {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lexes a plain `"..."` string body starting just after the opening quote.
+/// Returns (content, index past closing quote, newlines consumed).
+fn lex_string(chars: &[char], start: usize) -> (String, usize, u32) {
+    let mut j = start;
+    let mut nl = 0u32;
+    let n = chars.len();
+    let mut content = String::new();
+    while j < n {
+        match chars[j] {
+            '\\' if j + 1 < n => {
+                content.push(chars[j]);
+                content.push(chars[j + 1]);
+                if chars[j + 1] == '\n' {
+                    nl += 1;
+                }
+                j += 2;
+            }
+            '"' => return (content, j + 1, nl),
+            c => {
+                if c == '\n' {
+                    nl += 1;
+                }
+                content.push(c);
+                j += 1;
+            }
+        }
+    }
+    (content, j, nl)
+}
+
+/// Does `r`/`b` at `i` introduce a raw/byte string (or byte char) literal,
+/// as opposed to a plain identifier starting with that letter?
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    let n = chars.len();
+    match chars[i] {
+        'r' => {
+            // r" or r#...#"
+            let mut j = i + 1;
+            while j < n && chars[j] == '#' {
+                j += 1;
+            }
+            j < n && chars[j] == '"' && (j > i + 1 || chars[i + 1] == '"')
+        }
+        'b' => {
+            if i + 1 >= n {
+                return false;
+            }
+            match chars[i + 1] {
+                '"' | '\'' => true,
+                'r' => {
+                    let mut j = i + 2;
+                    while j < n && chars[j] == '#' {
+                        j += 1;
+                    }
+                    j < n && chars[j] == '"'
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Lexes `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, or `b'x'` starting at
+/// the prefix letter. Returns (token, index past literal, newlines).
+fn lex_prefixed_string(chars: &[char], i: usize) -> (Tok, usize, u32) {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == '\'' {
+            // b'x' byte char.
+            j += 1;
+            if j < n && chars[j] == '\\' {
+                j += 2;
+            }
+            while j < n && chars[j] != '\'' {
+                j += 1;
+            }
+            return (Tok::Lit, (j + 1).min(n), 0);
+        }
+    }
+    let raw = j < n && chars[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut guards = 0usize;
+    while j < n && chars[j] == '#' {
+        guards += 1;
+        j += 1;
+    }
+    // Opening quote.
+    j += 1;
+    let mut nl = 0u32;
+    let mut content = String::new();
+    while j < n {
+        if chars[j] == '\n' {
+            nl += 1;
+            content.push('\n');
+            j += 1;
+        } else if !raw && chars[j] == '\\' && j + 1 < n {
+            content.push(chars[j]);
+            content.push(chars[j + 1]);
+            j += 2;
+        } else if chars[j] == '"' {
+            // Check the closing guard.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < guards && chars[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == guards {
+                return (Tok::Str(content), k, nl);
+            }
+            content.push('"');
+            j += 1;
+        } else {
+            content.push(chars[j]);
+            j += 1;
+        }
+    }
+    (Tok::Str(content), j, nl)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || (!c.is_ascii() && c.is_alphabetic())
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || (!c.is_ascii() && c.is_alphanumeric())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r##"
+// HashMap in a comment
+/* HashMap /* nested */ still comment */
+let s = "HashMap in a string";
+let r = r#"HashMap raw "quoted" inner"#;
+let real = HashMap::new();
+"##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // The lifetime name itself is dropped.
+        assert_eq!(ids.iter().filter(|s| *s == "a").count(), 0);
+    }
+
+    #[test]
+    fn char_literals_do_not_swallow_code() {
+        let src = "let c = 'x'; let d = '\\n'; unwrap_me();";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap_me".to_string()));
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_numbers() {
+        let src = "for i in 0..10 { body(i); }";
+        let toks = lex(src);
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Punct('.'))));
+        assert!(idents(src).contains(&"body".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\none\";\nlet after = 1;";
+        let toks = lex(src);
+        let after = toks
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "after"));
+        assert_eq!(after.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let x = 1; // SAFETY: trailing\n// bp-lint: allow(x) reason=\"y\"\n";
+        let toks = lex(src);
+        assert_eq!(toks.comments.len(), 2);
+        assert_eq!(toks.comments[0].line, 1);
+        assert!(toks.comments[0].text.starts_with("SAFETY:"));
+        assert_eq!(toks.comments[1].line, 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! `bp_lint` — the command-line front end.
+//!
+//! ```text
+//! bp_lint [--root DIR] [--format text|json] [--baseline FILE]
+//!         [--deny-new] [--write-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (every finding fixed, waived, or baselined, and
+//! no stale baseline entries), `1` violations, `2` usage or I/O error.
+//! The default mode already denies new findings; `--deny-new` is the
+//! explicit spelling CI uses so intent is visible in the workflow file.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bp_lint::{load_baseline, run_lint, Config, LintError};
+
+struct Cli {
+    root: Option<PathBuf>,
+    format: String,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Cli, LintError> {
+    let mut cli = Cli {
+        root: None,
+        format: "text".to_string(),
+        baseline: None,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--root needs a value".to_string()))?;
+                cli.root = Some(PathBuf::from(v));
+            }
+            "--format" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--format needs a value".to_string()))?;
+                if v != "text" && v != "json" {
+                    return Err(LintError::Usage(format!(
+                        "--format must be `text` or `json`, got `{v}`"
+                    )));
+                }
+                cli.format = v;
+            }
+            "--baseline" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| LintError::Usage("--baseline needs a value".to_string()))?;
+                cli.baseline = Some(PathBuf::from(v));
+            }
+            // Default behavior; accepted so CI invocations self-document.
+            "--deny-new" => {}
+            "--write-baseline" => cli.write_baseline = true,
+            "--list-rules" => cli.list_rules = true,
+            other => {
+                return Err(LintError::Usage(format!(
+                    "unknown argument `{other}` (try --root, --format, --baseline, --deny-new, --write-baseline, --list-rules)"
+                )));
+            }
+        }
+    }
+    Ok(cli)
+}
+
+/// Ascends from the current directory to the workspace root (the first
+/// ancestor whose `Cargo.toml` declares `[workspace]`).
+fn find_root() -> Result<PathBuf, LintError> {
+    let mut dir = std::env::current_dir().map_err(|e| LintError::Io(e.to_string()))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(LintError::Usage(
+                "no workspace root found above the current directory (pass --root)".to_string(),
+            ));
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, LintError> {
+    let cli = parse_args()?;
+    if cli.list_rules {
+        for rule in bp_lint::rules::ALL_RULES {
+            println!("{rule}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let root = match cli.root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    let baseline_path = cli
+        .baseline
+        .unwrap_or_else(|| root.join("bp-lint.baseline.json"));
+    let config = Config::workspace_default(&root);
+    let baseline = load_baseline(&baseline_path)?;
+    let report = run_lint(&config, &baseline)?;
+
+    if cli.write_baseline {
+        let text = bp_lint::baseline::Baseline::render_from(&report.findings);
+        std::fs::write(&baseline_path, &text)
+            .map_err(|e| LintError::Io(format!("{}: {e}", baseline_path.display())))?;
+        eprintln!("bp-lint: wrote baseline to {}", baseline_path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    match cli.format.as_str() {
+        "json" => print!("{}", report.to_json()),
+        _ => print!("{}", report.to_text()),
+    }
+    if report.is_clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bp-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Determinism rules: keep nondeterminism out of result paths.
+//!
+//! The reproduction's headline guarantee is that every CSV and telemetry
+//! JSONL is byte-identical at any thread count and across reruns. Four
+//! ingredients can silently break that, and each gets a rule:
+//!
+//! * `determinism-time` — `std::time::Instant` / `SystemTime`: wall-clock
+//!   values differ per run; anything derived from them is nondeterministic.
+//! * `determinism-collections` — `HashMap` / `HashSet` (and a bare
+//!   `RandomState`): iteration order is seeded per-process, so any result
+//!   assembled by iterating one is run-dependent.
+//! * `determinism-thread-id` — `thread::current()` (the `.id()` / `.name()`
+//!   sources): scheduler-dependent identity must never key or order data.
+//! * `determinism-env` — `env::var` and friends: ambient process state
+//!   read at compute time makes results depend on the invoking shell.
+//!   (Compile-time `env!` is fine: it is fixed per binary.)
+//!
+//! The rules fire only in the simulation/result-producing crates listed in
+//! [`crate::Config::determinism_crates`], only in library code (binaries
+//! are drivers), and only outside `#[cfg(test)]`. Intentional uses — the
+//! bench timing layer, operator knobs like `HYBP_THREADS` — carry inline
+//! waivers with reasons.
+
+use super::{ident_at, path_sep_at, punct_at, FileCtx};
+use crate::lexer::Tok;
+use crate::report::Finding;
+use crate::scope::FileKind;
+
+/// Runs the four determinism rules over one file.
+pub fn run(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !ctx
+        .config
+        .determinism_crates
+        .contains(&ctx.class.crate_name)
+    {
+        return;
+    }
+    if ctx.class.kind == FileKind::Bin {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !ctx.is_production(t.line) {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        match name.as_str() {
+            "Instant" | "SystemTime" => findings.push(ctx.finding(
+                "determinism-time",
+                t.line,
+                name.clone(),
+                format!("wall-clock type `{name}` in a result-producing crate"),
+            )),
+            "HashMap" | "HashSet" | "RandomState" => findings.push(ctx.finding(
+                "determinism-collections",
+                t.line,
+                name.clone(),
+                format!("iteration-order-randomized `{name}` in a result-producing crate (use BTreeMap/BTreeSet or a sorted Vec)"),
+            )),
+            "thread" if path_sep_at(toks, i + 1) && ident_at(toks, i + 3) == Some("current") => {
+                findings.push(ctx.finding(
+                    "determinism-thread-id",
+                    t.line,
+                    "thread::current",
+                    "scheduler-dependent thread identity in a result-producing crate",
+                ));
+            }
+            "env" if path_sep_at(toks, i + 1) => {
+                if let Some(f) = ident_at(toks, i + 3) {
+                    if matches!(f, "var" | "var_os" | "vars" | "vars_os" | "remove_var" | "set_var")
+                        && punct_at(toks, i + 4, '(')
+                    {
+                        findings.push(ctx.finding(
+                            "determinism-env",
+                            t.line,
+                            format!("env::{f}"),
+                            format!("runtime environment read `env::{f}` in a result-producing crate"),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

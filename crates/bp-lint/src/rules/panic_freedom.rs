@@ -1,0 +1,71 @@
+//! Panic-freedom rule: library code returns errors, it does not die.
+//!
+//! PR 1 migrated the workspace's constructors to typed errors
+//! (`ConfigError` / `SimError`); this rule keeps that migration complete.
+//! In library code outside `#[cfg(test)]`, the following are findings:
+//!
+//! * `.unwrap()` and `.expect(...)` — convert to `?` on the typed errors,
+//!   or restructure so the invariant is expressed in the types.
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!` — a service core
+//!   must reject bad state, not abort on it.
+//!
+//! Binary entry points (`src/main.rs`, `src/bin/**`) are exempt: a CLI's
+//! top level is exactly where errors become process exits. Test modules
+//! are exempt: a failed test *should* panic. `debug_assert!` is exempt by
+//! design — debug-build invariant checks are how contract violations stay
+//! loud under `cargo test` while release library code stays total. The
+//! supervised sweep boundary in `bench` (where a worker panic is caught by
+//! `try_par_map` and recorded as a point failure) keeps its deliberate
+//! panics under reasoned waivers.
+
+use super::{ident_at, punct_at, FileCtx};
+use crate::report::Finding;
+use crate::scope::FileKind;
+
+/// Runs the panic-freedom rule over one file.
+pub fn run(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if ctx.class.kind == FileKind::Bin {
+        return;
+    }
+    if ctx
+        .config
+        .panic_exempt_crates
+        .contains(&ctx.class.crate_name)
+    {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let n = toks.len();
+    for i in 0..n {
+        let line = toks[i].line;
+        if !ctx.is_production(line) {
+            continue;
+        }
+        if punct_at(toks, i, '.') {
+            if let Some(m @ ("unwrap" | "expect")) = ident_at(toks, i + 1) {
+                if punct_at(toks, i + 2, '(') {
+                    let snippet = format!(".{m}()");
+                    findings.push(ctx.finding(
+                        "panic-freedom",
+                        line,
+                        snippet,
+                        format!("`.{m}()` in library code: return a typed error instead"),
+                    ));
+                }
+            }
+        } else if let Some(m @ ("panic" | "unreachable" | "todo" | "unimplemented")) =
+            ident_at(toks, i)
+        {
+            // Exclude `core::panic::...` paths and attribute idents: a
+            // macro invocation is exactly `name !`.
+            if punct_at(toks, i + 1, '!') && !punct_at(toks, i.wrapping_sub(1), ':') {
+                findings.push(ctx.finding(
+                    "panic-freedom",
+                    line,
+                    format!("{m}!"),
+                    format!("`{m}!` in library code: return a typed error instead"),
+                ));
+            }
+        }
+    }
+}

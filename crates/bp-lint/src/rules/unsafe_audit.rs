@@ -1,0 +1,43 @@
+//! Unsafe audit: every `unsafe` carries a `// SAFETY:` justification.
+//!
+//! The workspace is currently `unsafe`-free, and this rule keeps any
+//! future use honest: an `unsafe` keyword (block, fn, impl, or trait)
+//! must have a line comment starting with `SAFETY:` on the same line or
+//! within the three lines above it. Every occurrence — compliant or not —
+//! is also recorded in the report's `unsafe_inventory`, so the full audit
+//! surface is one `bp_lint --format json` away even when the rule passes.
+
+use super::FileCtx;
+use crate::lexer::Tok;
+use crate::report::{Finding, UnsafeSite};
+
+/// How far above the `unsafe` keyword a `// SAFETY:` comment may sit.
+const SAFETY_LOOKBACK_LINES: u32 = 3;
+
+/// Runs the unsafe audit over one file, recording inventory as it goes.
+pub fn run(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>, inventory: &mut Vec<UnsafeSite>) {
+    for t in &ctx.lexed.tokens {
+        let Tok::Ident(s) = &t.tok else { continue };
+        if s != "unsafe" {
+            continue;
+        }
+        let has_safety = ctx.lexed.comments.iter().any(|c| {
+            c.line <= t.line
+                && c.line + SAFETY_LOOKBACK_LINES >= t.line
+                && c.text.trim_start().starts_with("SAFETY:")
+        });
+        inventory.push(UnsafeSite {
+            file: ctx.rel.to_string(),
+            line: t.line,
+            has_safety,
+        });
+        if !has_safety && ctx.is_production(t.line) {
+            findings.push(ctx.finding(
+                "unsafe-audit",
+                t.line,
+                "unsafe",
+                "`unsafe` without an adjacent `// SAFETY:` comment",
+            ));
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! Fixture tests: each rule gets a positive case (the violation fires), a
+//! negative case (compliant code stays silent), a waived case, and the
+//! malformed-waiver case; plus the self-check that the real workspace is
+//! clean and that JSON output is byte-deterministic.
+
+use bp_lint::report::{Report, Status};
+use bp_lint::scope::{FileClass, FileKind};
+use bp_lint::{scan_file, Config};
+use std::collections::BTreeSet;
+
+/// Lints `src` as if it were the named workspace-relative library file,
+/// under a config that puts the fixture crate in every rule's scope.
+fn lint_src(rel: &str, src: &str) -> Report {
+    let mut cfg = Config::workspace_default("/nonexistent");
+    cfg.determinism_crates.insert("fix".to_string());
+    cfg.secret_scope_crates.insert("fix".to_string());
+    cfg.cipher_internal_suffixes
+        .push("fix/src/cipher_core.rs".to_string());
+    let class = FileClass {
+        crate_name: "fix".to_string(),
+        kind: if rel.ends_with("main.rs") {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        },
+    };
+    let mut report = Report::default();
+    scan_file(&cfg, rel, &class, src, &mut report);
+    report.normalize();
+    report
+}
+
+fn rules_fired(report: &Report, status: Status) -> BTreeSet<&'static str> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.status == status)
+        .map(|f| f.rule)
+        .collect()
+}
+
+fn active(report: &Report) -> BTreeSet<&'static str> {
+    rules_fired(report, Status::Active)
+}
+
+// ---------------------------------------------------------------- determinism
+
+#[test]
+fn determinism_positive_each_category_fires() {
+    let src = r#"
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn bad() -> u64 {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let t = Instant::now();
+    let id = std::thread::current().id();
+    let v = std::env::var("SOME_KNOB");
+    let _ = (m, t, id, v);
+    0
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    let fired = active(&report);
+    assert!(fired.contains("determinism-collections"), "{fired:?}");
+    assert!(fired.contains("determinism-time"), "{fired:?}");
+    assert!(fired.contains("determinism-thread-id"), "{fired:?}");
+    assert!(fired.contains("determinism-env"), "{fired:?}");
+}
+
+#[test]
+fn determinism_negative_btreemap_and_tests_are_silent() {
+    let src = r#"
+use std::collections::BTreeMap;
+
+pub fn good() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use wall clocks and hash maps freely.
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn t() {
+        let _ = (HashMap::<u8, u8>::new(), Instant::now());
+    }
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn determinism_out_of_scope_crate_is_silent() {
+    let src = "pub fn f() { let _ = std::time::Instant::now(); }\n";
+    let mut cfg = Config::workspace_default("/nonexistent");
+    cfg.secret_scope_crates.clear();
+    let class = FileClass {
+        crate_name: "not-in-scope".to_string(),
+        kind: FileKind::Lib,
+    };
+    let mut report = Report::default();
+    scan_file(
+        &cfg,
+        "crates/not-in-scope/src/lib.rs",
+        &class,
+        src,
+        &mut report,
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn determinism_waived_line_is_recorded_not_active() {
+    let src = r#"
+pub fn knob() -> Option<String> {
+    // bp-lint: allow(determinism-env) reason="operator knob, never results"
+    std::env::var("FIX_KNOB").ok()
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+    assert!(rules_fired(&report, Status::Waived).contains("determinism-env"));
+}
+
+#[test]
+fn determinism_file_level_waiver_covers_whole_file() {
+    let src = r#"
+// bp-lint: allow-file(determinism-time) reason="wall-clock diagnostics only"
+use std::time::Instant;
+
+pub fn a() -> Instant {
+    Instant::now()
+}
+
+pub fn b() -> Instant {
+    Instant::now()
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+    let waived = report
+        .findings
+        .iter()
+        .filter(|f| f.status == Status::Waived && f.rule == "determinism-time")
+        .count();
+    assert!(waived >= 2, "{:?}", report.findings);
+}
+
+// -------------------------------------------------------------- panic-freedom
+
+#[test]
+fn panic_freedom_positive_unwrap_expect_panic() {
+    let src = r#"
+pub fn bad(x: Option<u32>) -> u32 {
+    if x.is_none() {
+        panic!("boom");
+    }
+    let y: Result<u32, ()> = Ok(1);
+    x.unwrap() + y.expect("fine")
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    let n = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "panic-freedom" && f.status == Status::Active)
+        .count();
+    assert_eq!(n, 3, "{:?}", report.findings);
+}
+
+#[test]
+fn panic_freedom_negative_tests_bins_and_paths() {
+    let src = r#"
+pub fn good(x: Option<u32>) -> u32 {
+    // `Result::unwrap` named in a path position is not a call on a value.
+    let f: fn(Result<u32, std::fmt::Error>) -> u32 = Result::unwrap;
+    let _ = f;
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1u32).unwrap();
+    }
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+
+    // Binary entry points may panic on bad CLI input.
+    let report = lint_src(
+        "crates/fix/src/main.rs",
+        "fn main() { panic!(\"usage\"); }\n",
+    );
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn panic_freedom_waiver_must_target_the_finding_line() {
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    // bp-lint: allow(panic-freedom) reason="invariant: caller checked"
+    x.expect("checked")
+}
+
+pub fn g(x: Option<u32>) -> u32 {
+    x.expect("not waived")
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    let active: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.status == Status::Active)
+        .collect();
+    assert_eq!(active.len(), 1, "{:?}", report.findings);
+    assert_eq!(active[0].rule, "panic-freedom");
+    assert_eq!(active[0].line, 8);
+}
+
+// ------------------------------------------------------------- secret-hygiene
+
+#[test]
+fn secret_debug_positive_derive_and_impl() {
+    let src = r#"
+#[derive(Debug, Clone)]
+pub struct KeyManager {
+    keys: Vec<u64>,
+}
+
+pub struct Other {
+    pub round_keys: [u64; 4],
+}
+
+impl std::fmt::Display for Other {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "other")
+    }
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    let n = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "secret-debug" && f.status == Status::Active)
+        .count();
+    assert_eq!(n, 2, "{:?}", report.findings);
+}
+
+#[test]
+fn secret_format_positive_key_in_format_string() {
+    let src = r#"
+pub fn leak(keys: &[u64]) -> String {
+    format!("keys = {:x?}", keys)
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(
+        active(&report).contains("secret-format"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn secret_branch_positive_and_cipher_internal_exempt() {
+    let src = r#"
+pub fn timing_leak(keys: &[u64]) -> u32 {
+    if keys[0] & 1 == 1 {
+        1
+    } else {
+        0
+    }
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(
+        active(&report).contains("secret-branch"),
+        "{:?}",
+        report.findings
+    );
+
+    // The same code inside an audited cipher internal is exempt.
+    let report = lint_src("crates/fix/src/cipher_core.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn secret_negative_shape_reads_and_nonsecret_names() {
+    let src = r#"
+#[derive(Debug, Clone)]
+pub struct Stats {
+    pub hits: u64,
+}
+
+pub fn ok(keys: &[u64], stats: &Stats) -> String {
+    // Branching on a secret container's *shape* is allowed.
+    if keys.is_empty() {
+        return String::new();
+    }
+    format!("{} hits over {} keys", stats.hits, keys.len())
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn secret_scope_is_per_crate() {
+    let src = "pub fn f(keys: &[u64]) -> String { format!(\"{:?}\", keys) }\n";
+    let mut cfg = Config::workspace_default("/nonexistent");
+    cfg.determinism_crates.clear();
+    let class = FileClass {
+        crate_name: "no-secrets-here".to_string(),
+        kind: FileKind::Lib,
+    };
+    let mut report = Report::default();
+    scan_file(
+        &cfg,
+        "crates/no-secrets-here/src/lib.rs",
+        &class,
+        src,
+        &mut report,
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+// --------------------------------------------------------------- unsafe-audit
+
+#[test]
+fn unsafe_audit_positive_missing_safety_comment() {
+    let src = r#"
+pub fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(
+        active(&report).contains("unsafe-audit"),
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.unsafe_inventory.len(), 1);
+    assert!(!report.unsafe_inventory[0].has_safety);
+}
+
+#[test]
+fn unsafe_audit_negative_safety_comment_adjacent() {
+    let src = r#"
+pub fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+    assert_eq!(report.unsafe_inventory.len(), 1);
+    assert!(report.unsafe_inventory[0].has_safety);
+}
+
+// ------------------------------------------------------------- waiver-hygiene
+
+#[test]
+fn waiver_without_reason_is_malformed() {
+    let src = r#"
+pub fn f() -> Option<String> {
+    // bp-lint: allow(determinism-env)
+    std::env::var("X").ok()
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    let fired = active(&report);
+    // The malformed waiver suppresses nothing, so the original finding
+    // stays active alongside the hygiene finding.
+    assert!(fired.contains("waiver-hygiene"), "{:?}", report.findings);
+    assert!(fired.contains("determinism-env"), "{:?}", report.findings);
+}
+
+#[test]
+fn waiver_with_empty_reason_is_malformed() {
+    let src = r#"
+pub fn f() -> Option<String> {
+    // bp-lint: allow(determinism-env) reason=""
+    std::env::var("X").ok()
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(
+        active(&report).contains("waiver-hygiene"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn waiver_naming_unknown_rule_is_flagged() {
+    let src = r#"
+pub fn f() -> u32 {
+    // bp-lint: allow(no-such-rule) reason="typo"
+    0
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(
+        active(&report).contains("waiver-hygiene"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn unused_waiver_is_flagged() {
+    let src = r#"
+pub fn f() -> u32 {
+    // bp-lint: allow(panic-freedom) reason="nothing here panics anymore"
+    0
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    let hygiene: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "waiver-hygiene" && f.status == Status::Active)
+        .collect();
+    assert_eq!(hygiene.len(), 1, "{:?}", report.findings);
+    assert!(hygiene[0].message.contains("suppresses nothing"));
+}
+
+// -------------------------------------------------------- lexer-level silence
+
+#[test]
+fn strings_comments_and_docs_never_fire() {
+    let src = r#"
+//! This module never calls `.unwrap()` or `HashMap::new()` — honest!
+
+/// Returns the text "panic!" without panicking. See also `Instant::now`.
+pub fn text() -> &'static str {
+    "call .unwrap() or .expect(\"x\") or std::env::var(\"HOME\") here"
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}

@@ -102,7 +102,7 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// Laptop-scale defaults: the paper's intervals with scaled-down
-    /// instruction counts (see `DESIGN.md` §7).
+    /// instruction counts (see `DESIGN.md` §8).
     pub fn default_run() -> Self {
         SimConfig {
             core: CoreConfig::sunny_cove(),

@@ -268,7 +268,8 @@ impl SimulationBuilder {
 ///     .expect("completes");
 /// assert!(m.threads[0].ipc() > 0.5);
 /// ```
-#[derive(Debug)]
+// No `Debug`: owns the [`SecureBpu`] and with it the key material
+// (secret-hygiene).
 pub struct Simulation {
     cfg: SimConfig,
     bpu: SecureBpu,
@@ -753,9 +754,12 @@ mod tests {
 
     #[test]
     fn builder_without_workload_is_a_config_error() {
-        let err = Simulation::builder(Mechanism::Baseline, quick())
-            .build()
-            .expect_err("no workload chosen");
+        // `expect_err` would need `Simulation: Debug`, which secret-hygiene
+        // forbids (it owns the BPU's key material) — match instead.
+        let err = match Simulation::builder(Mechanism::Baseline, quick()).build() {
+            Err(e) => e,
+            Ok(_) => panic!("no workload chosen must be rejected"),
+        };
         assert!(err.to_string().contains("hardware threads"));
     }
 

@@ -18,7 +18,7 @@ use std::fmt;
 /// Codecs use this to decide whether a table is randomized (the big,
 /// last-level structures under HyBP) or left alone (the physically isolated
 /// small structures).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TableUnit {
     /// A BTB level (0, 1 or 2).
     Btb,
@@ -36,7 +36,7 @@ pub enum TableUnit {
 
 /// Identifies a concrete table: the unit plus its level/index within the
 /// unit (BTB level 0..=2, TAGE tagged table 0..N, ...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TableId {
     /// The structure family.
     pub unit: TableUnit,
@@ -62,7 +62,9 @@ impl fmt::Display for TableId {
 /// Implementations must be deterministic between key changes: the same
 /// `(table, raw value, pc)` must map to the same output while the underlying
 /// keys are unchanged, or lookups could never hit.
-pub trait TableCodec: fmt::Debug {
+// Deliberately NOT `fmt::Debug`: the HyBP codec implementation owns key
+// material, and a `Debug` supertrait would force it to be printable.
+pub trait TableCodec {
     /// Transforms a raw set index for `table`. The result is reduced modulo
     /// the table's set count by the caller, so codecs may return any u64.
     fn transform_index(&mut self, table: TableId, raw_index: u64, pc: Addr, now: Cycle) -> u64;
@@ -131,8 +133,8 @@ mod tests {
 
     #[test]
     fn table_ids_hashable_and_distinct() {
-        use std::collections::HashSet;
-        let mut set = HashSet::new();
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
         set.insert(TableId::new(TableUnit::Btb, 0));
         set.insert(TableId::new(TableUnit::Btb, 1));
         set.insert(TableId::new(TableUnit::TageBase, 0));

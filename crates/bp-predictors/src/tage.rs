@@ -423,7 +423,15 @@ impl Tage {
             // updates without predicting): recompute silently.
             _ => {
                 self.predict_slot(pc, slot, codec, now);
-                self.last.take().expect("state just computed")
+                match self.last.take() {
+                    Some(s) => s,
+                    // predict_slot() always stores lookup state; stay total
+                    // and skip the update rather than aborting.
+                    None => {
+                        debug_assert!(false, "predict_slot must store lookup state");
+                        return;
+                    }
+                }
             }
         };
         self.updates += 1;

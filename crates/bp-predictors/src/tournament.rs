@@ -120,10 +120,16 @@ impl DirectionPredictor for Tournament {
         let (local_pred, global_pred) = match self.last.take() {
             Some((saved, l, g)) if saved == pc.raw() => (l, g),
             _ => {
-                let p = self.predict(pc, codec, now);
-                let _ = p;
-                let (_, l, g) = self.last.take().expect("state just computed");
-                (l, g)
+                let _ = self.predict(pc, codec, now);
+                match self.last.take() {
+                    Some((_, l, g)) => (l, g),
+                    // predict() always stores lookup state; stay total and
+                    // skip the update rather than aborting the simulation.
+                    None => {
+                        debug_assert!(false, "predict must store lookup state");
+                        return;
+                    }
+                }
             }
         };
         // Chooser trains toward whichever component was right (when they

@@ -142,14 +142,15 @@ enum DirState {
 }
 
 /// Codec layout per mechanism.
-#[derive(Debug)]
+// No `Debug`: the HyBP variant owns the key manager (secret-hygiene).
 enum CodecState {
     Identity(IdentityCodec),
     Hybp(Box<HybpCodec>),
 }
 
 /// The secure branch prediction unit.
-#[derive(Debug)]
+// No `Debug`: owns the codec and with it the key material
+// (secret-hygiene, bp-lint secret-debug).
 pub struct SecureBpu {
     mechanism: Mechanism,
     n_hw_threads: usize,
@@ -875,7 +876,7 @@ mod tests {
             );
             let _ = bpu.process_branch(hw, &r, i);
         }
-        let mut latencies = std::collections::HashSet::new();
+        let mut latencies = std::collections::BTreeSet::new();
         for i in 0..2000u64 {
             let r = BranchRecord::unconditional(
                 Addr::new(0x10_0000 + i * 4),

@@ -31,7 +31,8 @@ pub struct CodecStats {
 
 /// HyBP's table codec. One instance serves the whole BPU; the owner sets the
 /// active security context (slot, ASID) before each branch.
-#[derive(Debug)]
+// No `Debug`: contains the [`KeyManager`] and with it every slot's key
+// state (secret-hygiene, bp-lint secret-debug).
 pub struct HybpCodec {
     key_manager: KeyManager,
     keys_index_bits: u32,
