@@ -12,6 +12,18 @@
 //!   experiment into `DIR`. Capture implies `--no-cache`: a cached point
 //!   runs no simulation and would emit no events, so serving from disk
 //!   would make the export depend on cache state.
+//! * `--trace-dir DIR` — replay every instruction stream from the `.bpt`
+//!   traces in `DIR` (recorded with `trace_tool record`) instead of
+//!   running the synthetic generators. Replay also implies `--no-cache`: a
+//!   cached point runs no simulation and would silently skip the trace
+//!   path it claims to exercise.
+//! * `--trace-mode strict|lenient` — how trace damage is treated
+//!   (default `strict`; only valid with `--trace-dir`). Strict fails the
+//!   affected sweep points with an error naming the damaged chunk;
+//!   lenient completes on the surviving records and flags the run as
+//!   degraded (`# partial` CSV header, non-zero exit).
+//! * `--benches a,b,...` — restrict benchmark-driven experiments that
+//!   honor subsets (currently fig5) to the named benchmarks.
 //!
 //! Unknown options and malformed values are fatal usage errors (exit
 //! code 2) with a message listing what is valid — a typo must never
@@ -19,9 +31,12 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use bp_common::pool::{FailMode, Pool, RetryPolicy, TaskError};
 use bp_faults::points::{PointDisposition, PointFaultPlan};
+use bp_trace::{ReadMode, TraceStore};
+use bp_workloads::profile::SpecBenchmark;
 
 use crate::cache::ModelCache;
 use crate::supervise::{PointFailure, Supervisor, SweepReport};
@@ -29,8 +44,8 @@ use crate::telemetry::TelemetryHub;
 use crate::{Csv, ExpResult, Scale};
 
 /// Option summary printed with every usage error.
-pub const USAGE: &str =
-    "options: [--scale quick|default|full] [--threads N] [--no-cache] [--telemetry DIR]";
+pub const USAGE: &str = "options: [--scale quick|default|full] [--threads N] [--no-cache] \
+     [--telemetry DIR] [--trace-dir DIR] [--trace-mode strict|lenient] [--benches a,b,...]";
 
 /// Parsed command-line options, before any pool/cache is constructed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +58,46 @@ pub struct CliOptions {
     pub no_cache: bool,
     /// Telemetry JSONL export directory (`--telemetry DIR`), if any.
     pub telemetry: Option<PathBuf>,
+    /// Trace replay directory (`--trace-dir DIR`), if any.
+    pub trace_dir: Option<PathBuf>,
+    /// Trace decode mode (`--trace-mode`; default strict).
+    pub trace_mode: ReadMode,
+    /// Benchmark subset (`--benches`), if any.
+    pub benches: Option<Vec<SpecBenchmark>>,
+}
+
+/// Parses a `--benches` value: comma-separated benchmark names.
+///
+/// # Errors
+///
+/// Rejects an empty list or any unknown name, listing what is valid.
+pub fn parse_benches(v: &str) -> Result<Vec<SpecBenchmark>, String> {
+    let valid = || {
+        SpecBenchmark::ALL
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = Vec::new();
+    for part in v.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match SpecBenchmark::ALL.iter().find(|b| b.name() == part) {
+            Some(b) => out.push(*b),
+            None => {
+                return Err(format!(
+                    "unknown benchmark '{part}': valid names are {}",
+                    valid()
+                ))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(format!(
+            "--benches needs at least one name; valid names are {}",
+            valid()
+        ));
+    }
+    Ok(out)
 }
 
 /// Parses a `--threads`/`HYBP_THREADS` value.
@@ -83,9 +138,33 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     let mut threads: Option<usize> = None;
     let mut no_cache = false;
     let mut telemetry: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut trace_mode: Option<ReadMode> = None;
+    let mut benches: Option<Vec<SpecBenchmark>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace-dir" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--trace-dir needs a directory; {USAGE}"))?;
+                trace_dir = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--trace-mode" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--trace-mode needs a value; {USAGE}"))?;
+                trace_mode = Some(ReadMode::parse(v)?);
+                i += 2;
+            }
+            "--benches" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--benches needs a list; {USAGE}"))?;
+                benches = Some(parse_benches(v)?);
+                i += 2;
+            }
             "--scale" => {
                 let v = args
                     .get(i + 1)
@@ -118,11 +197,19 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         Some(t) => t,
         None => threads_from_env()?,
     };
+    if trace_mode.is_some() && trace_dir.is_none() {
+        return Err(format!(
+            "--trace-mode only applies to trace replay; add --trace-dir DIR. {USAGE}"
+        ));
+    }
     Ok(CliOptions {
         scale,
         threads,
         no_cache,
         telemetry,
+        trace_dir,
+        trace_mode: trace_mode.unwrap_or_default(),
+        benches,
     })
 }
 
@@ -158,6 +245,12 @@ pub struct Ctx {
     pub telemetry: TelemetryHub,
     /// Directory telemetry JSONL files are flushed into, when enabled.
     pub telemetry_dir: Option<PathBuf>,
+    /// Trace store replacing the synthetic generators, when replaying
+    /// (`--trace-dir`).
+    pub trace: Option<Arc<TraceStore>>,
+    /// Benchmark subset restriction (`--benches`), honored by experiments
+    /// that sweep benchmarks (currently fig5).
+    pub bench_subset: Option<Vec<SpecBenchmark>>,
 }
 
 impl Ctx {
@@ -174,7 +267,24 @@ impl Ctx {
             results_dir: PathBuf::from("results"),
             telemetry: TelemetryHub::new(false),
             telemetry_dir: None,
+            trace: None,
+            bench_subset: None,
         }
+    }
+
+    /// Attaches a trace store: every simulation point replays captured
+    /// streams instead of generating. Callers who also hold a cache must
+    /// disable it — a cache hit would silently skip the replay
+    /// ([`Ctx::from_options`] enforces this for the CLI path).
+    pub fn with_trace_store(mut self, store: Arc<TraceStore>) -> Ctx {
+        self.trace = Some(store);
+        self
+    }
+
+    /// Restricts benchmark sweeps to `benches`.
+    pub fn with_bench_subset(mut self, benches: Vec<SpecBenchmark>) -> Ctx {
+        self.bench_subset = Some(benches);
+        self
     }
 
     /// Replaces the CSV output directory (tests point this at a temp dir
@@ -216,10 +326,10 @@ impl Ctx {
                 std::process::exit(2);
             }
         };
-        // Telemetry capture forces the cache off: a cache hit runs no
-        // simulation and emits no events, so a warm cache would silently
-        // empty the export.
-        let cache_enabled = !opts.no_cache && opts.telemetry.is_none();
+        // Telemetry capture and trace replay both force the cache off: a
+        // cache hit runs no simulation, so it would emit no events and
+        // would silently skip the replay path.
+        let cache_enabled = !opts.no_cache && opts.telemetry.is_none() && opts.trace_dir.is_none();
         let mut ctx = Ctx::custom(
             opts.scale,
             Pool::new(opts.threads),
@@ -228,6 +338,17 @@ impl Ctx {
         .with_fault_points(fault_points);
         if let Some(dir) = opts.telemetry {
             ctx = ctx.with_telemetry_dir(dir);
+        }
+        if let Some(dir) = opts.trace_dir {
+            // Harness-level I/O faults (`HYBP_FAULT_POINTS` byte-fault
+            // entries) are injected at trace ingest — the adversarial
+            // decode path exercised end to end.
+            let store = TraceStore::new(dir, opts.trace_mode)
+                .with_ingest_faults(ctx.fault_points.io_plan());
+            ctx = ctx.with_trace_store(Arc::new(store));
+        }
+        if let Some(benches) = opts.benches {
+            ctx = ctx.with_bench_subset(benches);
         }
         ctx
     }
@@ -353,6 +474,7 @@ impl Ctx {
     /// I/O failure writing the CSV or the telemetry JSONL, or a
     /// degradation report when sweep points were lost.
     pub fn finish_experiment(&self, mut csv: Csv) -> ExpResult {
+        self.report_trace_degradation();
         let (lost, total) = self.supervisor.pending_losses();
         if lost > 0 {
             csv.mark_partial(total - lost, total);
@@ -383,6 +505,53 @@ impl Ctx {
         }
         println!("wrote {path}");
         Ok(())
+    }
+
+    /// Converts trace-store degradation (lenient-mode losses, stream
+    /// wrap-arounds) into a synthetic `trace:ingest` sweep report, so the
+    /// standard partial-tolerant path handles it: the CSV gains its
+    /// `# partial` header and [`Ctx::finish_experiment`] returns the
+    /// degradation error. Points that *computed* are still written — a
+    /// degraded replay is reported, never discarded.
+    fn report_trace_degradation(&self) {
+        let Some(store) = &self.trace else { return };
+        if !store.is_degraded() {
+            return;
+        }
+        let damaged = store.damaged_files();
+        let wraps = store.wraps();
+        let mut failures: Vec<PointFailure> = damaged
+            .iter()
+            .enumerate()
+            .map(|(i, (name, health))| PointFailure {
+                index: i,
+                attempts: 1,
+                panicked: false,
+                message: format!("{name}: {health}"),
+            })
+            .collect();
+        if wraps > 0 {
+            failures.push(PointFailure {
+                index: damaged.len(),
+                attempts: 1,
+                panicked: false,
+                message: format!(
+                    "{wraps} stream wrap-around(s): the capture is shorter than the run it replayed"
+                ),
+            });
+        }
+        for f in &failures {
+            eprintln!("trace degradation: {}", f.message);
+        }
+        let total = store.files_loaded() as usize + usize::from(wraps > 0);
+        self.supervisor.record(SweepReport {
+            label: "trace:ingest".to_string(),
+            total,
+            completed: total - failures.len(),
+            retried_attempts: 0,
+            recovered: 0,
+            failures,
+        });
     }
 }
 

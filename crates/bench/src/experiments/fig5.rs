@@ -6,7 +6,10 @@ use bp_workloads::profile::SpecBenchmark;
 use hybp::Mechanism;
 
 pub fn run(ctx: &Ctx) -> ExpResult {
-    run_with_benches(ctx, &all_benchmarks())
+    match &ctx.bench_subset {
+        Some(subset) => run_with_benches(ctx, subset),
+        None => run_with_benches(ctx, &all_benchmarks()),
+    }
 }
 
 /// [`run`] over an explicit benchmark subset (what the determinism tests

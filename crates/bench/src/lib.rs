@@ -21,10 +21,15 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 use bp_common::{Cycle, Telemetry};
-use bp_pipeline::{RunMetrics, SimConfig, Simulation};
-use bp_workloads::profile::SpecBenchmark;
+use bp_pipeline::{
+    kernel_stream_name, kernel_stream_seed, stream_name, stream_seed, RunMetrics, SimConfig,
+    Simulation,
+};
+use bp_trace::TraceStore;
+use bp_workloads::profile::{BenchmarkProfile, SpecBenchmark};
 use hybp::Mechanism;
 
 pub mod cache;
@@ -39,7 +44,30 @@ pub use cli::{exp_main, Ctx};
 pub use supervise::{PointFailure, Supervisor, SweepReport};
 pub use telemetry::{FlushSummary, TelemetryHub};
 
-/// Runs one single-thread simulation point, observed by `telemetry`.
+/// Pre-loads every stream a workload layout will replay, so a damaged
+/// trace fails with the *full* decode diagnosis (chunk ordinal and byte
+/// offset) instead of the builder's static [`bp_common::ConfigError`]
+/// text. Runs at the sweep boundary: the panic becomes a recorded point
+/// failure whose message carries the trace error.
+fn preload_streams(store: &Arc<TraceStore>, seed: u64, threads: &[Vec<SpecBenchmark>]) {
+    for (i, sw) in threads.iter().enumerate() {
+        for (j, b) in sw.iter().enumerate() {
+            let name = stream_name(i, j, *b);
+            if let Err(e) = store.load(&name, stream_seed(seed, i, j)) {
+                // bp-lint: allow(panic-freedom) reason="sweep boundary: the supervised sweep records this as a point failure naming the damaged chunk"
+                panic!("trace replay {name}: {e}");
+            }
+        }
+        let name = kernel_stream_name(i);
+        if let Err(e) = store.load(&name, kernel_stream_seed(seed, i)) {
+            // bp-lint: allow(panic-freedom) reason="sweep boundary: the supervised sweep records this as a point failure naming the damaged chunk"
+            panic!("trace replay {name}: {e}");
+        }
+    }
+}
+
+/// Runs one single-thread simulation point, observed by `telemetry`,
+/// replaying from `trace` when one is attached.
 ///
 /// The deadline backstop is an invariant here — harness configs always
 /// retire their measurement quota — so a runaway is a panic, which the
@@ -49,10 +77,15 @@ fn run_single(
     bench: SpecBenchmark,
     cfg: SimConfig,
     telemetry: &Telemetry,
+    trace: Option<&Arc<TraceStore>>,
 ) -> RunMetrics {
+    if let Some(store) = trace {
+        preload_streams(store, cfg.seed, &[vec![bench, bench]]);
+    }
     Simulation::builder(mechanism, cfg)
         .single_thread(bench)
         .telemetry(telemetry.clone())
+        .trace_store(trace.map(Arc::clone))
         .build()
         // bp-lint: allow(panic-freedom) reason="sweep boundary: configs here are built from validated presets, and the supervised sweep records a panic as a point failure"
         .expect("valid config")
@@ -61,16 +94,26 @@ fn run_single(
         .expect("simulation completes")
 }
 
-/// Runs one SMT co-run point, observed by `telemetry`.
+/// Runs one SMT co-run point, observed by `telemetry`, replaying from
+/// `trace` when one is attached.
 fn run_smt_pair(
     mechanism: Mechanism,
     pair: [SpecBenchmark; 2],
     cfg: SimConfig,
     telemetry: &Telemetry,
+    trace: Option<&Arc<TraceStore>>,
 ) -> RunMetrics {
+    if let Some(store) = trace {
+        preload_streams(
+            store,
+            cfg.seed,
+            &[vec![pair[0], pair[0]], vec![pair[1], pair[1]]],
+        );
+    }
     Simulation::builder(mechanism, cfg)
         .smt(pair)
         .telemetry(telemetry.clone())
+        .trace_store(trace.map(Arc::clone))
         .build()
         // bp-lint: allow(panic-freedom) reason="sweep boundary: configs here are built from validated presets, and the supervised sweep records a panic as a point failure"
         .expect("valid config")
@@ -203,6 +246,19 @@ pub fn direct_config(scale: Scale, interval: Cycle, switches: u64, base_ipc: f64
     cfg
 }
 
+/// Upper bound on instructions any harness run at `scale` consumes from
+/// one replay stream of `profile`, plus slack. `trace_tool record` uses
+/// this as the per-stream record budget so captures cover every config
+/// the experiments build at that scale: the widest run is either the
+/// fixed-part run or the largest direct-measurement run (interval
+/// ≤ [`CALIBRATION_INTERVAL`], sized by [`direct_config`] for
+/// `max(4, calibration_switches)` switches).
+pub fn replay_stream_budget(scale: Scale, profile: &BenchmarkProfile) -> u64 {
+    let switches = scale.calibration_switches().max(4);
+    let direct = (CALIBRATION_INTERVAL as f64 * switches as f64 * profile.base_ipc * 1.1) as u64;
+    scale.warmup_instructions() + direct.max(scale.fixed_instructions()) + 256_000
+}
+
 /// Per-(mechanism, benchmark) interval-overhead model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
@@ -226,19 +282,20 @@ pub fn single_thread_model(
     bench: SpecBenchmark,
     scale: Scale,
 ) -> OverheadModel {
-    single_thread_model_observed(mechanism, bench, scale, &Telemetry::disabled())
+    single_thread_model_observed(mechanism, bench, scale, &Telemetry::disabled(), None)
 }
 
 /// [`single_thread_model`] with both underlying runs observed by
 /// `telemetry` (what the cached harness path uses, so span events survive
-/// into the suite's JSONL export).
+/// into the suite's JSONL export) and optionally replayed from `trace`.
 pub fn single_thread_model_observed(
     mechanism: Mechanism,
     bench: SpecBenchmark,
     scale: Scale,
     telemetry: &Telemetry,
+    trace: Option<&Arc<TraceStore>>,
 ) -> OverheadModel {
-    let fixed = run_single(mechanism, bench, no_switch_config(scale), telemetry);
+    let fixed = run_single(mechanism, bench, no_switch_config(scale), telemetry, trace);
     let ipc_fixed = fixed.threads[0].ipc();
     let cal_cfg = direct_config(
         scale,
@@ -246,7 +303,7 @@ pub fn single_thread_model_observed(
         scale.calibration_switches(),
         bench.profile().base_ipc,
     );
-    let cal = run_single(mechanism, bench, cal_cfg, telemetry);
+    let cal = run_single(mechanism, bench, cal_cfg, telemetry, trace);
     let ipc_cal = cal.threads[0].ipc();
     // CPI(I)/CPI(∞) = 1 + C/I  ⇒  C = I · (ipc_fixed/ipc_cal − 1).
     let per_switch_cycles = (CALIBRATION_INTERVAL as f64 * (ipc_fixed / ipc_cal - 1.0)).max(0.0);
@@ -267,7 +324,7 @@ pub fn single_thread_ipc_at(
 ) -> (f64, &'static str) {
     if interval <= CALIBRATION_INTERVAL {
         let cfg = direct_config(scale, interval, 4, bench.profile().base_ipc);
-        let m = run_single(mechanism, bench, cfg, &Telemetry::disabled());
+        let m = run_single(mechanism, bench, cfg, &Telemetry::disabled(), None);
         (m.threads[0].ipc(), "direct")
     } else {
         (model.ipc_at(interval), "model")
@@ -317,13 +374,20 @@ pub fn model_cached(ctx: &Ctx, mechanism: Mechanism, bench: SpecBenchmark) -> Ov
     .with("cal_cfg", format_args!("{cal_cfg:?}"));
     let v = ctx.cache.get_or_compute(&key, || {
         let sink = ctx.telemetry.sink();
-        let m = single_thread_model_observed(mechanism, bench, ctx.scale, &sink);
+        let m =
+            single_thread_model_observed(mechanism, bench, ctx.scale, &sink, ctx.trace.as_ref());
         ctx.telemetry.absorb(&sink);
         vec![m.ipc_fixed, m.per_switch_cycles]
     });
     if v.len() != 2 {
         // Malformed payload despite a matching key: fall back to compute.
-        return single_thread_model(mechanism, bench, ctx.scale);
+        return single_thread_model_observed(
+            mechanism,
+            bench,
+            ctx.scale,
+            &Telemetry::disabled(),
+            ctx.trace.as_ref(),
+        );
     }
     OverheadModel {
         ipc_fixed: v[0],
@@ -346,7 +410,7 @@ pub fn ipc_at_cached(
         let key = sim_key("direct", mechanism, bench.name(), ctx.scale, &cfg);
         let ipc = ctx.cache.get_or_compute_one(&key, || {
             let sink = ctx.telemetry.sink();
-            let ipc = run_single(mechanism, bench, cfg, &sink).threads[0].ipc();
+            let ipc = run_single(mechanism, bench, cfg, &sink, ctx.trace.as_ref()).threads[0].ipc();
             ctx.telemetry.absorb(&sink);
             ipc
         });
@@ -367,12 +431,18 @@ pub fn st_point_cached(
     let key = sim_key("st_point", mechanism, bench.name(), ctx.scale, &cfg);
     let v = ctx.cache.get_or_compute(&key, || {
         let sink = ctx.telemetry.sink();
-        let m = run_single(mechanism, bench, cfg, &sink);
+        let m = run_single(mechanism, bench, cfg, &sink, ctx.trace.as_ref());
         ctx.telemetry.absorb(&sink);
         vec![m.threads[0].ipc(), m.bpu.direction_accuracy()]
     });
     if v.len() != 2 {
-        let m = run_single(mechanism, bench, cfg, &Telemetry::disabled());
+        let m = run_single(
+            mechanism,
+            bench,
+            cfg,
+            &Telemetry::disabled(),
+            ctx.trace.as_ref(),
+        );
         return (m.threads[0].ipc(), m.bpu.direction_accuracy());
     }
     (v[0], v[1])
@@ -396,14 +466,20 @@ pub fn smt_point_cached(
     let key = sim_key("smt_point", mechanism, &workload, ctx.scale, &cfg);
     let v = ctx.cache.get_or_compute(&key, || {
         let sink = ctx.telemetry.sink();
-        let m = run_smt_pair(mechanism, pair, cfg, &sink);
+        let m = run_smt_pair(mechanism, pair, cfg, &sink, ctx.trace.as_ref());
         ctx.telemetry.absorb(&sink);
         let mut out = vec![m.throughput()];
         out.extend(m.ipcs());
         out
     });
     if v.len() < 2 {
-        let m = run_smt_pair(mechanism, pair, cfg, &Telemetry::disabled());
+        let m = run_smt_pair(
+            mechanism,
+            pair,
+            cfg,
+            &Telemetry::disabled(),
+            ctx.trace.as_ref(),
+        );
         return (m.throughput(), m.ipcs());
     }
     (v[0], v[1..].to_vec())

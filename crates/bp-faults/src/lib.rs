@@ -42,6 +42,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 #![deny(missing_docs)]
 
+pub mod bytes;
 pub mod points;
 
 use std::cell::RefCell;

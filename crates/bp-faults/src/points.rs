@@ -13,6 +13,12 @@
 //!   first `k` attempts and succeeds afterwards (exercises the retry
 //!   policy's recovery path).
 //!
+//! The spec also accepts the I/O fault classes of [`crate::bytes`]
+//! (`bitflip@<offset>[@<bit>]`, `truncate@<offset>`, `torn@<offset>`,
+//! `dup@<offset>@<len>`): those entries do not target sweep points but are
+//! collected into the plan's [`io_plan`](PointFaultPlan::io_plan), which
+//! trace-replaying harnesses apply to every artifact they ingest.
+//!
 //! Plans are parsed from a comma-separated spec string, conventionally the
 //! `HYBP_FAULT_POINTS` environment variable, and are fully deterministic:
 //! the disposition of `(sweep, index, attempt)` is a pure function of the
@@ -78,10 +84,12 @@ pub enum PointDisposition {
     TransientError,
 }
 
-/// A deterministic schedule of harness point faults.
+/// A deterministic schedule of harness point faults, plus any I/O faults
+/// the same spec carried.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PointFaultPlan {
     entries: Vec<PointFault>,
+    io_faults: Vec<crate::bytes::ByteFault>,
 }
 
 impl PointFaultPlan {
@@ -92,12 +100,22 @@ impl PointFaultPlan {
 
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.io_faults.is_empty()
     }
 
     /// The targeted points.
     pub fn entries(&self) -> &[PointFault] {
         &self.entries
+    }
+
+    /// The I/O faults the spec carried, in spec order.
+    pub fn io_faults(&self) -> &[crate::bytes::ByteFault] {
+        &self.io_faults
+    }
+
+    /// The I/O faults as an applicable [`ByteFaultPlan`](crate::bytes::ByteFaultPlan).
+    pub fn io_plan(&self) -> crate::bytes::ByteFaultPlan {
+        crate::bytes::ByteFaultPlan::new(self.io_faults.clone())
     }
 
     /// Parses a comma-separated spec. Fields within an entry are separated
@@ -110,12 +128,20 @@ impl PointFaultPlan {
     /// forms; a typo must never silently inject nothing.
     pub fn parse(spec: &str) -> Result<PointFaultPlan, String> {
         let mut entries = Vec::new();
+        let mut io_faults = Vec::new();
         for raw in spec.split(',') {
             let raw = raw.trim();
             if raw.is_empty() {
                 continue;
             }
             let fields: Vec<&str> = raw.split('@').collect();
+            if matches!(
+                fields.first(),
+                Some(&"bitflip") | Some(&"truncate") | Some(&"torn") | Some(&"dup")
+            ) {
+                io_faults.push(crate::bytes::ByteFault::parse(raw)?);
+                continue;
+            }
             let fault = match fields.as_slice() {
                 ["panic", sweep, index] => PointFault {
                     sweep: (*sweep).to_string(),
@@ -139,7 +165,9 @@ impl PointFaultPlan {
                 _ => {
                     return Err(format!(
                         "invalid point fault '{raw}': expected panic@<sweep>@<index>, \
-                         error@<sweep>@<index>, or transient@<sweep>@<index>@<attempts>"
+                         error@<sweep>@<index>, transient@<sweep>@<index>@<attempts>, \
+                         or an I/O fault (bitflip@<offset>[@<bit>], truncate@<offset>, \
+                         torn@<offset>, dup@<offset>@<len>)"
                     ))
                 }
             };
@@ -148,7 +176,7 @@ impl PointFaultPlan {
             }
             entries.push(fault);
         }
-        Ok(PointFaultPlan { entries })
+        Ok(PointFaultPlan { entries, io_faults })
     }
 
     /// Parses the plan from [`ENV_VAR`]; an unset variable is the empty
@@ -249,6 +277,43 @@ mod tests {
             "transient@s@1@no", // non-numeric attempt count
             "explode@s@1",      // unknown kind
             "panic@@1",         // empty sweep
+        ] {
+            assert!(PointFaultPlan::parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn io_faults_parse_alongside_point_faults() {
+        let plan =
+            PointFaultPlan::parse("panic@fig5:benches@3,bitflip@4096@3,torn@100,dup@0@20").unwrap();
+        assert_eq!(plan.entries().len(), 1);
+        assert_eq!(plan.io_faults().len(), 3);
+        assert_eq!(
+            plan.io_faults()[0],
+            crate::bytes::ByteFault::BitFlip {
+                offset: 4096,
+                bit: 3
+            }
+        );
+        assert_eq!(
+            plan.disposition("fig5:benches", 3, 1),
+            PointDisposition::Panic
+        );
+        assert_eq!(plan.io_plan().faults(), plan.io_faults());
+        assert!(!plan.is_empty());
+        let io_only = PointFaultPlan::parse("truncate@12").unwrap();
+        assert!(io_only.entries().is_empty());
+        assert!(!io_only.is_empty());
+    }
+
+    #[test]
+    fn malformed_io_faults_stay_fatal() {
+        for bad in [
+            "bitflip@",
+            "bitflip@x@1",
+            "truncate@1@2@3",
+            "torn@",
+            "dup@5",
         ] {
             assert!(PointFaultPlan::parse(bad).is_err(), "{bad:?} accepted");
         }

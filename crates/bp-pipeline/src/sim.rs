@@ -1,15 +1,88 @@
 //! The cycle-level simulation loop.
 
+use std::sync::Arc;
+
 use bp_common::telemetry::{Observable, TelemetrySnapshot};
-use bp_common::{Asid, ConfigError, Cycle, HwThreadId, Privilege, Telemetry};
+use bp_common::{Addr, Asid, BranchRecord, ConfigError, Cycle, HwThreadId, Privilege, Telemetry};
 use bp_faults::{FaultInjector, TraceDisposition};
-use bp_workloads::profile::SpecBenchmark;
+use bp_trace::TraceStore;
+use bp_workloads::profile::{BenchmarkProfile, SpecBenchmark};
 use bp_workloads::WorkloadGenerator;
 use hybp::SecureBpu;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::metrics::{RunMetrics, StageCycles, StreamDigest, ThreadMetrics};
+
+/// Seed of the user stream on hardware thread `hw`, software slot `sw`,
+/// under master seed `master`. Public so trace capture (the `trace_tool`
+/// binary) records streams under exactly the seeds replay will ask for.
+pub fn stream_seed(master: u64, hw: usize, sw: usize) -> u64 {
+    master ^ ((hw as u64) << 32) ^ ((sw as u64) << 16) ^ 0xABCD
+}
+
+/// Seed of hardware thread `hw`'s kernel stream under master seed `master`.
+pub fn kernel_stream_seed(master: u64, hw: usize) -> u64 {
+    master ^ 0xFEED ^ (hw as u64)
+}
+
+/// Canonical store name of the user stream at (`hw`, `sw`) running `bench`.
+pub fn stream_name(hw: usize, sw: usize, bench: SpecBenchmark) -> String {
+    format!("t{hw}s{sw}-{}", bench.name())
+}
+
+/// Canonical store name of hardware thread `hw`'s kernel stream.
+pub fn kernel_stream_name(hw: usize) -> String {
+    format!("kernel-t{hw}")
+}
+
+/// A captured stream being replayed from a [`TraceStore`].
+#[derive(Debug)]
+struct ReplaySource {
+    records: Arc<Vec<BranchRecord>>,
+    pos: usize,
+    profile: BenchmarkProfile,
+    store: Arc<TraceStore>,
+}
+
+/// Where one instruction stream's branches come from: the synthetic
+/// generator, or a captured trace replayed record-for-record.
+#[derive(Debug)]
+enum Feed {
+    Generate(WorkloadGenerator),
+    Replay(ReplaySource),
+}
+
+impl Feed {
+    fn next_branch(&mut self) -> BranchRecord {
+        match self {
+            Feed::Generate(g) => g.next_branch(),
+            Feed::Replay(r) => {
+                if r.pos >= r.records.len() {
+                    // The capture ran out before the simulation did: restart
+                    // the stream and let the store count the wrap as
+                    // degradation (the replay is no longer the recorded run).
+                    r.pos = 0;
+                    r.store.note_wrap();
+                }
+                // Non-empty is enforced at build; the fallback only guards
+                // the unreachable empty case (panic-freedom).
+                let rec = r.records.get(r.pos).copied().unwrap_or_else(|| {
+                    BranchRecord::conditional(Addr::new(0x1000), Addr::new(0x1010), true, 16)
+                });
+                r.pos += 1;
+                rec
+            }
+        }
+    }
+
+    fn profile(&self) -> &BenchmarkProfile {
+        match self {
+            Feed::Generate(g) => g.profile(),
+            Feed::Replay(r) => &r.profile,
+        }
+    }
+}
 
 /// Fetch progress within one instruction stream.
 #[derive(Debug, Clone)]
@@ -48,10 +121,10 @@ enum Mode {
 struct HwContext {
     hw: HwThreadId,
     /// Software threads alternated by the context-switch schedule.
-    user_gens: Vec<WorkloadGenerator>,
+    user_gens: Vec<Feed>,
     asids: Vec<Asid>,
     active: usize,
-    kernel_gen: WorkloadGenerator,
+    kernel_gen: Feed,
     mode: Mode,
     user_fetch: FetchState,
     kernel_fetch: FetchState,
@@ -106,6 +179,7 @@ pub struct SimulationBuilder {
     threads: Vec<Vec<SpecBenchmark>>,
     faults: Option<FaultInjector>,
     telemetry: Telemetry,
+    trace_store: Option<Arc<TraceStore>>,
 }
 
 impl SimulationBuilder {
@@ -151,13 +225,27 @@ impl SimulationBuilder {
         self
     }
 
+    /// Replays every instruction stream from captured `.bpt` traces in
+    /// `store` instead of running the synthetic generators. Streams are
+    /// looked up by the canonical [`stream_name`]/[`stream_seed`] scheme,
+    /// so a store recorded with `trace_tool record` at the same master
+    /// seed replays the identical dynamic run. `None` (the default)
+    /// generates.
+    pub fn trace_store(mut self, store: Option<Arc<TraceStore>>) -> Self {
+        self.trace_store = store;
+        self
+    }
+
     /// Builds the simulation.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] when no workload was chosen, any hardware
-    /// thread has no software threads, or the configuration or mechanism is
-    /// invalid.
+    /// thread has no software threads, the configuration or mechanism is
+    /// invalid, or (under [`trace_store`](SimulationBuilder::trace_store))
+    /// a required stream is missing, undecodable, or empty — for the full
+    /// trace diagnosis, load the stream through the store directly before
+    /// building.
     pub fn build(self) -> Result<Simulation, ConfigError> {
         let SimulationBuilder {
             mechanism,
@@ -165,6 +253,7 @@ impl SimulationBuilder {
             threads,
             faults,
             telemetry,
+            trace_store,
         } = self;
         cfg.validate()?;
         if threads.is_empty() {
@@ -176,59 +265,80 @@ impl SimulationBuilder {
                 "every hardware thread needs at least one software thread",
             ));
         }
+        // `ConfigError` carries only static text (secret-hygiene keeps it
+        // Copy-friendly); callers wanting the full chunk/offset diagnosis
+        // pre-load through the store, which surfaces the real `TraceError`.
+        let feed = |name: String, seed: u64, profile: BenchmarkProfile| match &trace_store {
+            None => Ok(Feed::Generate(WorkloadGenerator::new(profile, seed))),
+            Some(store) => {
+                let loaded = store.load(&name, seed).map_err(|_| {
+                    ConfigError::inconsistent(
+                        "trace replay",
+                        "stream missing or undecodable in the trace store",
+                    )
+                })?;
+                if loaded.records.is_empty() {
+                    return Err(ConfigError::inconsistent(
+                        "trace replay",
+                        "trace stream holds no records",
+                    ));
+                }
+                Ok(Feed::Replay(ReplaySource {
+                    records: Arc::clone(&loaded.records),
+                    pos: 0,
+                    profile,
+                    store: Arc::clone(store),
+                }))
+            }
+        };
         let mut bpu = SecureBpu::new(mechanism, cfg.smt_capacity.max(threads.len()), cfg.seed)?;
         bpu.set_fault_injector(faults.clone());
         bpu.set_telemetry(telemetry.clone());
         let mut next_asid = 1u16;
-        let contexts = threads
-            .iter()
-            .enumerate()
-            .map(|(i, sw)| {
-                let user_gens: Vec<WorkloadGenerator> = sw
-                    .iter()
-                    .enumerate()
-                    .map(|(j, b)| {
-                        WorkloadGenerator::new(
-                            b.profile(),
-                            cfg.seed ^ ((i as u64) << 32) ^ ((j as u64) << 16) ^ 0xABCD,
-                        )
-                    })
-                    .collect();
-                let asids: Vec<Asid> = (0..sw.len())
-                    .map(|_| {
-                        let a = Asid::new(next_asid);
-                        next_asid = next_asid.wrapping_add(1);
-                        a
-                    })
-                    .collect();
-                HwContext {
-                    hw: HwThreadId::new(i as u8),
-                    digests: vec![StreamDigest::new(); user_gens.len() + 1],
-                    user_gens,
-                    asids,
-                    active: 0,
-                    kernel_gen: WorkloadGenerator::new(
-                        SpecBenchmark::Kernel.profile(),
-                        cfg.seed ^ 0xFEED ^ (i as u64),
-                    ),
-                    mode: Mode::User,
-                    user_fetch: FetchState::new(),
-                    kernel_fetch: FetchState::new(),
-                    window: 0,
-                    retire_credit: 0.0,
-                    retired_total: 0,
-                    measured_retired: 0,
-                    measure_start: None,
-                    measure_end: None,
-                    stall_until: 0,
-                    // Stagger per-thread OS events so they do not align.
-                    next_cs: cfg.ctx_switch_interval
-                        + (i as Cycle) * (cfg.ctx_switch_interval / 3 + 1),
-                    next_timer: cfg.kernel_timer_interval
-                        + (i as Cycle) * (cfg.kernel_timer_interval / 3 + 1),
-                }
-            })
-            .collect();
+        let mut contexts = Vec::with_capacity(threads.len());
+        for (i, sw) in threads.iter().enumerate() {
+            let mut user_gens = Vec::with_capacity(sw.len());
+            for (j, b) in sw.iter().enumerate() {
+                user_gens.push(feed(
+                    stream_name(i, j, *b),
+                    stream_seed(cfg.seed, i, j),
+                    b.profile(),
+                )?);
+            }
+            let asids: Vec<Asid> = (0..sw.len())
+                .map(|_| {
+                    let a = Asid::new(next_asid);
+                    next_asid = next_asid.wrapping_add(1);
+                    a
+                })
+                .collect();
+            contexts.push(HwContext {
+                hw: HwThreadId::new(i as u8),
+                digests: vec![StreamDigest::new(); user_gens.len() + 1],
+                user_gens,
+                asids,
+                active: 0,
+                kernel_gen: feed(
+                    kernel_stream_name(i),
+                    kernel_stream_seed(cfg.seed, i),
+                    SpecBenchmark::Kernel.profile(),
+                )?,
+                mode: Mode::User,
+                user_fetch: FetchState::new(),
+                kernel_fetch: FetchState::new(),
+                window: 0,
+                retire_credit: 0.0,
+                retired_total: 0,
+                measured_retired: 0,
+                measure_start: None,
+                measure_end: None,
+                stall_until: 0,
+                // Stagger per-thread OS events so they do not align.
+                next_cs: cfg.ctx_switch_interval + (i as Cycle) * (cfg.ctx_switch_interval / 3 + 1),
+                next_timer: cfg.kernel_timer_interval
+                    + (i as Cycle) * (cfg.kernel_timer_interval / 3 + 1),
+            });
+        }
         let mut sim = Simulation {
             cfg,
             bpu,
@@ -290,6 +400,7 @@ impl Simulation {
             threads: Vec::new(),
             faults: None,
             telemetry: Telemetry::disabled(),
+            trace_store: None,
         }
     }
 

@@ -1,0 +1,100 @@
+//! CRC32 (IEEE 802.3, reflected) — std-only, table-driven.
+//!
+//! The workspace builds fully offline, so no checksum crate; the classic
+//! byte-at-a-time table implementation is plenty for trace I/O (the reader
+//! touches each byte once more than `memcpy` would).
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC32 state, for checksumming discontiguous parts (chunk
+/// header fields + payload) without concatenating them.
+#[derive(Debug, Clone, Copy)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Hasher {
+    /// A fresh hasher.
+    pub fn new() -> Hasher {
+        Hasher { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The final checksum.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+/// One-shot checksum of a contiguous buffer.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut h = Hasher::new();
+    h.update(data);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The canonical CRC-32/ISO-HDLC check input.
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(checksum(b""), 0);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut h = Hasher::new();
+        h.update(&data[..100]);
+        h.update(&data[100..]);
+        assert_eq!(h.finish(), checksum(&data));
+    }
+
+    #[test]
+    fn single_bit_damage_changes_the_checksum() {
+        let mut data = vec![0xA5u8; 64];
+        let clean = checksum(&data);
+        data[40] ^= 0x10;
+        assert_ne!(checksum(&data), clean);
+    }
+}

@@ -1,0 +1,684 @@
+//! Corruption-tolerant `.bpt` reader.
+//!
+//! Both modes share one chunk parser; they differ only in what happens at
+//! damage:
+//!
+//! * [`ReadMode::Strict`] returns the first [`TraceError`], naming the
+//!   chunk ordinal and byte offset, and additionally cross-checks sequence
+//!   numbers and the trailer's whole-file totals. An intact file decodes to
+//!   exactly what was written; anything else is a typed refusal.
+//! * [`ReadMode::Lenient`] *resynchronizes*: on any chunk-level damage it
+//!   scans forward for the next [`CHUNK_MAGIC`](crate::CHUNK_MAGIC) that
+//!   heads a fully CRC-valid chunk, counts one skipped region in
+//!   [`TraceHealth`], and continues. Duplicate and stray chunks (botched
+//!   copies) are dropped by sequence-number bookkeeping. Only file-header
+//!   damage is fatal in lenient mode: a file whose version byte cannot be
+//!   trusted must not be guessed at.
+//!
+//! Resync never misfires on payload bytes that happen to spell `CHNK`: a
+//! candidate only ends the damaged region if its entire chunk validates, so
+//! false anchors are skipped *within* the same damaged region (they do not
+//! inflate `chunks_skipped`).
+
+use bp_common::{Addr, BranchRecord};
+
+use crate::crc32::Hasher;
+use crate::varint;
+use crate::writer::kind_from_code;
+use crate::{TraceError, TraceHealth, CHUNK_HEADER_LEN, CHUNK_MAGIC, FILE_HEADER_LEN};
+
+/// How the reader treats damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadMode {
+    /// First damage is a typed error naming chunk and offset.
+    #[default]
+    Strict,
+    /// Skip to the next intact chunk; account losses in [`TraceHealth`].
+    Lenient,
+}
+
+impl ReadMode {
+    /// Parses a `--trace-mode` value.
+    ///
+    /// # Errors
+    ///
+    /// Lists the valid values; a typo must never silently pick a mode.
+    pub fn parse(v: &str) -> Result<ReadMode, String> {
+        match v {
+            "strict" => Ok(ReadMode::Strict),
+            "lenient" => Ok(ReadMode::Lenient),
+            other => Err(format!(
+                "invalid trace mode '{other}': valid values are strict, lenient"
+            )),
+        }
+    }
+
+    /// The value [`ReadMode::parse`] accepts for this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadMode::Strict => "strict",
+            ReadMode::Lenient => "lenient",
+        }
+    }
+}
+
+/// One parsed chunk.
+enum Chunk {
+    Data {
+        seq: u32,
+        records: Vec<BranchRecord>,
+        size: usize,
+    },
+    Trailer {
+        seq: u32,
+        total_records: u64,
+        total_chunks: u64,
+        size: usize,
+    },
+}
+
+/// Validates the 16-byte file header. Fatal in both modes.
+fn parse_file_header(bytes: &[u8]) -> Result<(), TraceError> {
+    if bytes.len() < FILE_HEADER_LEN {
+        return Err(TraceError::Truncated {
+            offset: bytes.len() as u64,
+            what: "file header",
+        });
+    }
+    if bytes[..7] != crate::FILE_MAGIC {
+        return Err(TraceError::BadFileMagic);
+    }
+    let stored = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    let computed = crate::crc32::checksum(&bytes[..12]);
+    if stored != computed {
+        return Err(TraceError::HeaderCrc { stored, computed });
+    }
+    // Version is checked after the CRC: a flipped version byte is damage
+    // (HeaderCrc), a *valid* higher version is genuinely from the future.
+    if bytes[7] != crate::FORMAT_VERSION {
+        return Err(TraceError::UnsupportedVersion { found: bytes[7] });
+    }
+    Ok(())
+}
+
+fn le32(bytes: &[u8], pos: usize) -> u32 {
+    // Callers bound-check; a short slice here would be a logic error, so
+    // degrade to 0 rather than panic.
+    match bytes.get(pos..pos + 4) {
+        Some(b) => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+        None => 0,
+    }
+}
+
+/// Parses the chunk starting at `pos`. `ordinal` is the chunk's 0-based
+/// position-count, used only for error naming.
+fn parse_chunk(bytes: &[u8], pos: usize, ordinal: u32) -> Result<Chunk, TraceError> {
+    if bytes.len() - pos < CHUNK_HEADER_LEN {
+        return Err(TraceError::Truncated {
+            offset: pos as u64,
+            what: "chunk header",
+        });
+    }
+    if bytes[pos..pos + 4] != CHUNK_MAGIC {
+        return Err(TraceError::BadChunkMagic {
+            chunk: ordinal,
+            offset: pos as u64,
+        });
+    }
+    let seq = le32(bytes, pos + 4);
+    let count = le32(bytes, pos + 8);
+    let payload_len = le32(bytes, pos + 12) as usize;
+    let stored = le32(bytes, pos + 16);
+    if bytes.len() - pos - CHUNK_HEADER_LEN < payload_len {
+        return Err(TraceError::Truncated {
+            offset: pos as u64,
+            what: "chunk payload",
+        });
+    }
+    let payload = &bytes[pos + CHUNK_HEADER_LEN..pos + CHUNK_HEADER_LEN + payload_len];
+    let mut h = Hasher::new();
+    h.update(&bytes[pos + 4..pos + 16]);
+    h.update(payload);
+    let computed = h.finish();
+    if stored != computed {
+        return Err(TraceError::ChunkCrc {
+            chunk: ordinal,
+            offset: pos as u64,
+            stored,
+            computed,
+        });
+    }
+    let size = CHUNK_HEADER_LEN + payload_len;
+    let payload_base = (pos + CHUNK_HEADER_LEN) as u64;
+    if count == 0 {
+        let mut p = 0usize;
+        let total_records = varint::read_u64(payload, &mut p);
+        let total_chunks = varint::read_u64(payload, &mut p);
+        return match (total_records, total_chunks) {
+            (Some(r), Some(c)) if p == payload.len() => Ok(Chunk::Trailer {
+                seq,
+                total_records: r,
+                total_chunks: c,
+                size,
+            }),
+            _ => Err(TraceError::BadRecord {
+                chunk: ordinal,
+                offset: payload_base,
+                reason: "malformed trailer payload",
+            }),
+        };
+    }
+    let mut records = Vec::with_capacity(count as usize);
+    let mut p = 0usize;
+    let mut prev_pc = 0u64;
+    for _ in 0..count {
+        let rec_off = payload_base + p as u64;
+        let bad = |reason: &'static str| TraceError::BadRecord {
+            chunk: ordinal,
+            offset: rec_off,
+            reason,
+        };
+        let &tag = payload.get(p).ok_or_else(|| bad("record truncated"))?;
+        p += 1;
+        if tag & !0x0F != 0 {
+            return Err(bad("reserved tag bits set"));
+        }
+        let kind = kind_from_code(tag & 0x07).ok_or_else(|| bad("unknown branch kind"))?;
+        let taken = tag & 0x08 != 0;
+        if !taken && !kind.is_conditional() {
+            return Err(bad("unconditional branch encoded as not taken"));
+        }
+        let dpc = varint::read_u64(payload, &mut p).ok_or_else(|| bad("bad pc delta"))?;
+        let dtarget = varint::read_u64(payload, &mut p).ok_or_else(|| bad("bad target delta"))?;
+        let gap = varint::read_u64(payload, &mut p).ok_or_else(|| bad("bad gap"))?;
+        let gap = u32::try_from(gap).map_err(|_| bad("gap exceeds 32 bits"))?;
+        let pc = prev_pc.wrapping_add(varint::unzigzag(dpc) as u64);
+        let target = pc.wrapping_add(varint::unzigzag(dtarget) as u64);
+        prev_pc = pc;
+        records.push(BranchRecord {
+            pc: Addr::new(pc),
+            kind,
+            target: Addr::new(target),
+            taken,
+            gap,
+        });
+    }
+    if p != payload.len() {
+        return Err(TraceError::BadRecord {
+            chunk: ordinal,
+            offset: payload_base + p as u64,
+            reason: "trailing bytes in chunk payload",
+        });
+    }
+    Ok(Chunk::Data { seq, records, size })
+}
+
+/// Scans forward from `from` for the next offset heading a fully valid
+/// chunk. False anchors (payload bytes spelling the magic, or a damaged
+/// real chunk) are skipped without ending the scan.
+fn find_next_valid_chunk(bytes: &[u8], mut from: usize) -> Option<usize> {
+    while from + CHUNK_HEADER_LEN <= bytes.len() {
+        match bytes[from..]
+            .windows(CHUNK_MAGIC.len())
+            .position(|w| w == CHUNK_MAGIC)
+        {
+            Some(rel) => {
+                let q = from + rel;
+                if parse_chunk(bytes, q, 0).is_ok() {
+                    return Some(q);
+                }
+                from = q + 1;
+            }
+            None => return None,
+        }
+    }
+    None
+}
+
+/// A fully decoded trace plus its damage ledger.
+#[derive(Debug, Clone, PartialEq)]
+struct Decoded {
+    records: Vec<BranchRecord>,
+    health: TraceHealth,
+}
+
+/// Shared decode loop. In strict mode any `Err` short-circuits; in lenient
+/// mode errors after the file header are converted into resyncs.
+fn decode(bytes: &[u8], mode: ReadMode) -> Result<Decoded, TraceError> {
+    parse_file_header(bytes)?;
+    let strict = mode == ReadMode::Strict;
+    let mut pos = FILE_HEADER_LEN;
+    let mut ordinal: u32 = 0;
+    let mut records = Vec::new();
+    let mut health = TraceHealth::default();
+    let mut seen_seqs = std::collections::BTreeSet::new();
+    let mut trailer: Option<(u64, u64)> = None;
+    let mut ended_in_damage = false;
+    while pos < bytes.len() {
+        match parse_chunk(bytes, pos, ordinal) {
+            Ok(Chunk::Data {
+                seq,
+                records: recs,
+                size,
+            }) => {
+                if strict {
+                    if trailer.is_some() {
+                        return Err(TraceError::TrailingData { offset: pos as u64 });
+                    }
+                    if seq != health.chunks_ok as u32 {
+                        return Err(TraceError::BadSequence {
+                            chunk: ordinal,
+                            offset: pos as u64,
+                            expected: health.chunks_ok as u32,
+                            found: seq,
+                        });
+                    }
+                }
+                if trailer.is_some() || !seen_seqs.insert(seq) {
+                    // A stray or duplicated chunk (botched copy): its
+                    // records were already delivered once.
+                    health.chunks_skipped += 1;
+                } else {
+                    health.chunks_ok += 1;
+                    health.records_ok += recs.len() as u64;
+                    records.extend(recs);
+                }
+                ordinal += 1;
+                pos += size;
+            }
+            Ok(Chunk::Trailer {
+                seq,
+                total_records,
+                total_chunks,
+                size,
+            }) => {
+                if strict {
+                    if trailer.is_some() {
+                        return Err(TraceError::TrailingData { offset: pos as u64 });
+                    }
+                    if seq != health.chunks_ok as u32 {
+                        return Err(TraceError::BadSequence {
+                            chunk: ordinal,
+                            offset: pos as u64,
+                            expected: health.chunks_ok as u32,
+                            found: seq,
+                        });
+                    }
+                }
+                if trailer.is_none() {
+                    trailer = Some((total_records, total_chunks));
+                } else {
+                    health.chunks_skipped += 1;
+                }
+                ordinal += 1;
+                pos += size;
+            }
+            Err(e) => {
+                if strict {
+                    return Err(e);
+                }
+                health.chunks_skipped += 1;
+                ordinal += 1;
+                match find_next_valid_chunk(bytes, pos + 1) {
+                    Some(q) => pos = q,
+                    None => {
+                        ended_in_damage = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if strict {
+        return match trailer {
+            None => Err(TraceError::Truncated {
+                offset: bytes.len() as u64,
+                what: "trailer chunk",
+            }),
+            Some((total_records, total_chunks)) => {
+                if total_records != health.records_ok || total_chunks != health.chunks_ok {
+                    Err(TraceError::TrailerMismatch {
+                        expected_records: total_records,
+                        found_records: health.records_ok,
+                        expected_chunks: total_chunks,
+                        found_chunks: health.chunks_ok,
+                    })
+                } else {
+                    Ok(Decoded { records, health })
+                }
+            }
+        };
+    }
+    match trailer {
+        Some((total_records, _)) => {
+            health.records_lost = total_records.saturating_sub(health.records_ok);
+            health.torn_tail = ended_in_damage;
+        }
+        None => {
+            // Without the trailer the loss past the last intact chunk is
+            // unknowable: flag it rather than guess a number.
+            health.torn_tail = true;
+        }
+    }
+    Ok(Decoded { records, health })
+}
+
+/// Decodes a whole in-memory trace.
+///
+/// # Errors
+///
+/// Strict mode: any damage, as a typed [`TraceError`]. Lenient mode: only
+/// file-header damage ([`TraceError::BadFileMagic`],
+/// [`TraceError::HeaderCrc`], [`TraceError::UnsupportedVersion`], or a
+/// file shorter than its header) — everything else is absorbed into the
+/// returned [`TraceHealth`].
+pub fn read_all(
+    bytes: &[u8],
+    mode: ReadMode,
+) -> Result<(Vec<BranchRecord>, TraceHealth), TraceError> {
+    decode(bytes, mode).map(|d| (d.records, d.health))
+}
+
+/// Streaming reader: an iterator over records.
+///
+/// The decode itself is eager (the corpus sizes this repo replays fit in
+/// memory, and resync needs random access anyway); the iterator interface
+/// is what the replay feed consumes, and keeps callers independent of that
+/// choice. In strict mode the first damage is yielded once as `Err` and
+/// the iterator then fuses.
+#[derive(Debug)]
+pub struct TraceReader {
+    records: std::vec::IntoIter<BranchRecord>,
+    pending_err: Option<TraceError>,
+    health: TraceHealth,
+}
+
+impl TraceReader {
+    /// Decodes `bytes` in `mode`.
+    ///
+    /// # Errors
+    ///
+    /// File-header damage is returned immediately in both modes (there is
+    /// nothing to iterate). Strict-mode chunk damage is deferred: the
+    /// records before the damage iterate first, then the error.
+    pub fn new(bytes: &[u8], mode: ReadMode) -> Result<TraceReader, TraceError> {
+        parse_file_header(bytes)?;
+        match decode(bytes, mode) {
+            Ok(d) => Ok(TraceReader {
+                records: d.records.into_iter(),
+                pending_err: None,
+                health: d.health,
+            }),
+            Err(e) => Ok(TraceReader {
+                records: Vec::new().into_iter(),
+                pending_err: Some(e),
+                health: TraceHealth::default(),
+            }),
+        }
+    }
+
+    /// The damage ledger (all-zero in strict mode, which errors instead).
+    pub fn health(&self) -> TraceHealth {
+        self.health
+    }
+}
+
+impl Iterator for TraceReader {
+    type Item = Result<BranchRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.records.next() {
+            Some(r) => Some(Ok(r)),
+            None => self.pending_err.take().map(Err),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use crate::writer::write_trace;
+    use bp_common::BranchKind;
+
+    fn sample(n: u64) -> Vec<BranchRecord> {
+        (0..n)
+            .map(|i| {
+                let pc = Addr::new(0x0040_0000 + 4 * i);
+                match i % 4 {
+                    0 => BranchRecord::conditional(
+                        pc,
+                        Addr::new(0x0040_1000 + i),
+                        i % 3 == 0,
+                        (i % 19) as u32,
+                    ),
+                    1 => BranchRecord::unconditional(
+                        pc,
+                        BranchKind::Direct,
+                        Addr::new(0x0042_0000),
+                        2,
+                    ),
+                    2 => {
+                        BranchRecord::unconditional(pc, BranchKind::Call, Addr::new(0x0050_0000), 5)
+                    }
+                    _ => BranchRecord::unconditional(
+                        pc,
+                        BranchKind::Return,
+                        Addr::new(0x0040_0004),
+                        0,
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_both_modes() {
+        let recs = sample(1000);
+        for chunk in [1usize, 7, 64, 333, 1024, 4096] {
+            let bytes = write_trace(&recs, chunk).unwrap();
+            for mode in [ReadMode::Strict, ReadMode::Lenient] {
+                let (back, health) = read_all(&bytes, mode).unwrap();
+                assert_eq!(back, recs, "chunk size {chunk}, mode {}", mode.name());
+                assert!(health.is_clean());
+                assert_eq!(health.records_ok, 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let bytes = write_trace(&[], 64).unwrap();
+        let (recs, health) = read_all(&bytes, ReadMode::Strict).unwrap();
+        assert!(recs.is_empty());
+        assert!(health.is_clean());
+        assert_eq!(health.chunks_ok, 0);
+    }
+
+    #[test]
+    fn unknown_future_version_is_rejected_in_both_modes() {
+        let mut bytes = write_trace(&sample(10), 4).unwrap();
+        bytes[7] = crate::FORMAT_VERSION + 1;
+        // Re-seal the header so the version (not the CRC) is what trips.
+        let crc = crate::crc32::checksum(&bytes[..12]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+        for mode in [ReadMode::Strict, ReadMode::Lenient] {
+            assert_eq!(
+                read_all(&bytes, mode).unwrap_err(),
+                TraceError::UnsupportedVersion {
+                    found: crate::FORMAT_VERSION + 1
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn header_damage_is_fatal_in_both_modes() {
+        let clean = write_trace(&sample(10), 4).unwrap();
+        for mode in [ReadMode::Strict, ReadMode::Lenient] {
+            let mut magic = clean.clone();
+            magic[0] ^= 0xFF;
+            assert_eq!(
+                read_all(&magic, mode).unwrap_err(),
+                TraceError::BadFileMagic
+            );
+            let mut flags = clean.clone();
+            flags[9] ^= 0x01;
+            assert!(matches!(
+                read_all(&flags, mode).unwrap_err(),
+                TraceError::HeaderCrc { .. }
+            ));
+            assert!(matches!(
+                read_all(&clean[..10], mode).unwrap_err(),
+                TraceError::Truncated {
+                    what: "file header",
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn strict_names_the_damaged_chunk_and_offset() {
+        let recs = sample(300);
+        let mut bytes = write_trace(&recs, 100).unwrap();
+        // Flip a payload byte inside the second chunk. Chunk 0 starts at 16.
+        let c0_payload = u32::from_le_bytes(bytes[28..32].try_into().unwrap()) as usize;
+        let c1_start = 16 + CHUNK_HEADER_LEN + c0_payload;
+        bytes[c1_start + CHUNK_HEADER_LEN + 10] ^= 0x40;
+        match read_all(&bytes, ReadMode::Strict).unwrap_err() {
+            TraceError::ChunkCrc { chunk, offset, .. } => {
+                assert_eq!(chunk, 1);
+                assert_eq!(offset, c1_start as u64);
+            }
+            other => panic!("expected ChunkCrc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_resyncs_past_a_flipped_bit() {
+        let recs = sample(300);
+        let mut bytes = write_trace(&recs, 100).unwrap();
+        let c0_payload = u32::from_le_bytes(bytes[28..32].try_into().unwrap()) as usize;
+        let c1_start = 16 + CHUNK_HEADER_LEN + c0_payload;
+        bytes[c1_start + CHUNK_HEADER_LEN + 10] ^= 0x40;
+        let (back, health) = read_all(&bytes, ReadMode::Lenient).unwrap();
+        // Chunks 0 and 2 survive; chunk 1's 100 records are lost.
+        assert_eq!(back.len(), 200);
+        assert_eq!(&back[..100], &recs[..100]);
+        assert_eq!(&back[100..], &recs[200..]);
+        assert_eq!(health.chunks_ok, 2);
+        assert_eq!(health.chunks_skipped, 1);
+        assert_eq!(health.records_lost, 100);
+        assert!(!health.torn_tail);
+    }
+
+    #[test]
+    fn truncation_is_typed_in_strict_and_torn_in_lenient() {
+        let recs = sample(250);
+        let bytes = write_trace(&recs, 100).unwrap();
+        let cut = &bytes[..bytes.len() - 30];
+        assert!(matches!(
+            read_all(cut, ReadMode::Strict).unwrap_err(),
+            TraceError::Truncated { .. }
+        ));
+        let (back, health) = read_all(cut, ReadMode::Lenient).unwrap();
+        // The cut removes the trailer and bites into the last data chunk:
+        // its 50 records are gone, and without the trailer the loss count
+        // is unknowable — only `torn_tail` can report it.
+        assert_eq!(back.len(), 200);
+        assert_eq!(health.chunks_skipped, 1);
+        assert!(health.torn_tail);
+        assert_eq!(health.records_lost, 0);
+
+        // A cut inside the trailer alone keeps every record but still
+        // leaves the file unable to prove itself complete.
+        let trailer_cut = &bytes[..bytes.len() - 10];
+        let (back, health) = read_all(trailer_cut, ReadMode::Lenient).unwrap();
+        assert_eq!(back.len(), 250);
+        assert!(health.torn_tail);
+        assert_eq!(health.records_lost, 0);
+    }
+
+    #[test]
+    fn duplicate_chunk_is_dropped_by_sequence_accounting() {
+        let recs = sample(200);
+        let mut bytes = write_trace(&recs, 100).unwrap();
+        // Duplicate chunk 0 right after itself.
+        let c0_payload = u32::from_le_bytes(bytes[28..32].try_into().unwrap()) as usize;
+        let c0: Vec<u8> = bytes[16..16 + CHUNK_HEADER_LEN + c0_payload].to_vec();
+        bytes.splice(16 + c0.len()..16 + c0.len(), c0);
+        assert!(matches!(
+            read_all(&bytes, ReadMode::Strict).unwrap_err(),
+            TraceError::BadSequence { .. }
+        ));
+        let (back, health) = read_all(&bytes, ReadMode::Lenient).unwrap();
+        assert_eq!(back, recs);
+        assert_eq!(health.chunks_skipped, 1);
+        assert_eq!(health.records_lost, 0);
+        assert!(!health.torn_tail);
+    }
+
+    #[test]
+    fn damaged_trailer_is_a_torn_tail_not_a_loss() {
+        let recs = sample(150);
+        let mut bytes = write_trace(&recs, 100).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01; // inside the trailer payload
+        let (back, health) = read_all(&bytes, ReadMode::Lenient).unwrap();
+        assert_eq!(back, recs);
+        assert_eq!(health.chunks_skipped, 1);
+        assert!(health.torn_tail);
+        assert_eq!(health.records_lost, 0);
+    }
+
+    #[test]
+    fn strict_reader_iterates_then_yields_the_error() {
+        let recs = sample(200);
+        let mut bytes = write_trace(&recs, 100).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        let mut reader = TraceReader::new(&bytes, ReadMode::Strict).unwrap();
+        let mut ok = 0;
+        let mut errs = 0;
+        for item in &mut reader {
+            match item {
+                Ok(_) => ok += 1,
+                Err(TraceError::ChunkCrc { chunk: 2, .. }) => errs += 1,
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        // Strict surfaces the damage without delivering a partial stream.
+        assert_eq!((ok, errs), (0, 1));
+        assert_eq!(reader.next(), None, "fused after the error");
+    }
+
+    #[test]
+    fn lenient_reader_streams_with_health() {
+        let recs = sample(200);
+        let bytes = write_trace(&recs, 64).unwrap();
+        let reader = TraceReader::new(&bytes, ReadMode::Lenient).unwrap();
+        assert!(reader.health().is_clean());
+        let back: Vec<BranchRecord> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn garbage_between_chunks_is_one_skipped_region() {
+        let recs = sample(200);
+        let mut bytes = write_trace(&recs, 100).unwrap();
+        let c0_payload = u32::from_le_bytes(bytes[28..32].try_into().unwrap()) as usize;
+        let c1_start = 16 + CHUNK_HEADER_LEN + c0_payload;
+        // Splice garbage that even contains a false chunk magic.
+        let mut garbage = b"xxxxCHNKyyyy".to_vec();
+        garbage.extend_from_slice(&[0xEE; 40]);
+        bytes.splice(c1_start..c1_start, garbage);
+        let (back, health) = read_all(&bytes, ReadMode::Lenient).unwrap();
+        assert_eq!(back, recs);
+        assert_eq!(
+            health.chunks_skipped, 1,
+            "false anchors must not double-count"
+        );
+        assert_eq!(health.records_lost, 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! On-disk trace store: named streams served to the simulator.
+//!
+//! A replay run touches many streams (one per hardware-thread ×
+//! software-slot combination, plus the kernel stream), all recorded under
+//! one directory. [`TraceStore`] maps `(stream, seed)` to a decoded record
+//! vector, caching decodes (SMT pairs share streams), applying optional
+//! deterministic ingest faults (the adversarial harness), and aggregating
+//! a [`TraceHealth`] ledger across every file the run touched so the bench
+//! layer can report degradation per run, not per file read.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use bp_common::telemetry::{Observable, TelemetrySnapshot};
+use bp_common::BranchRecord;
+use bp_faults::bytes::ByteFaultPlan;
+
+use crate::reader::{read_all, ReadMode};
+use crate::writer::TraceWriter;
+use crate::{TraceError, TraceHealth, FILE_EXTENSION};
+
+/// One decoded trace file, shared between the threads that replay it.
+#[derive(Debug)]
+pub struct LoadedTrace {
+    /// The recovered records, in stream order.
+    pub records: Arc<Vec<BranchRecord>>,
+    /// Instructions the stream covers (each record is one branch plus its
+    /// `gap` non-branch instructions) — the build-time length floor checks
+    /// against this.
+    pub instructions: u64,
+    /// The decode's damage ledger (all-zero under strict mode).
+    pub health: TraceHealth,
+}
+
+/// Directory of `.bpt` streams plus the policy for reading them.
+///
+/// All methods take `&self`; the store is shared across simulation threads
+/// behind an [`Arc`].
+#[derive(Debug)]
+pub struct TraceStore {
+    dir: PathBuf,
+    mode: ReadMode,
+    ingest_faults: ByteFaultPlan,
+    cache: Mutex<BTreeMap<String, Arc<LoadedTrace>>>,
+    wraps: AtomicU64,
+}
+
+impl TraceStore {
+    /// A store over `dir`, decoding in `mode`.
+    pub fn new(dir: impl Into<PathBuf>, mode: ReadMode) -> TraceStore {
+        TraceStore {
+            dir: dir.into(),
+            mode,
+            ingest_faults: ByteFaultPlan::empty(),
+            cache: Mutex::new(BTreeMap::new()),
+            wraps: AtomicU64::new(0),
+        }
+    }
+
+    /// Applies `plan` to every file's bytes *after* reading and *before*
+    /// decoding — deterministic fault injection for the adversarial
+    /// harness and the CI integrity job.
+    pub fn with_ingest_faults(mut self, plan: ByteFaultPlan) -> TraceStore {
+        self.ingest_faults = plan;
+        self
+    }
+
+    /// The directory this store reads.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The decode mode for every load.
+    pub fn mode(&self) -> ReadMode {
+        self.mode
+    }
+
+    /// Canonical file name of a stream: `{stream}-{seed:016x}.bpt`. The
+    /// seed is part of the name so a directory recorded at one master seed
+    /// cannot silently replay under another.
+    pub fn file_name(stream: &str, seed: u64) -> String {
+        format!("{stream}-{seed:016x}.{FILE_EXTENSION}")
+    }
+
+    /// Absolute path of a stream's file in this store.
+    pub fn path_for(&self, stream: &str, seed: u64) -> PathBuf {
+        self.dir.join(TraceStore::file_name(stream, seed))
+    }
+
+    /// Records `records` as a stream file (capture-side convenience; the
+    /// replay side only reads).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] for filesystem failures, and the writer's record
+    /// validation mapped the same way.
+    pub fn save(
+        &self,
+        stream: &str,
+        seed: u64,
+        records: &[BranchRecord],
+        records_per_chunk: usize,
+    ) -> Result<crate::WriteSummary, TraceError> {
+        let path = self.path_for(stream, seed);
+        let io_err = |e: std::io::Error| TraceError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        };
+        std::fs::create_dir_all(&self.dir).map_err(io_err)?;
+        let file = std::fs::File::create(&path).map_err(io_err)?;
+        let mut w =
+            TraceWriter::new(std::io::BufWriter::new(file), records_per_chunk).map_err(io_err)?;
+        for r in records {
+            w.push(r).map_err(io_err)?;
+        }
+        w.finish().map_err(io_err)
+    }
+
+    /// Loads (or returns the cached decode of) one stream.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] when the file cannot be read; any decode error
+    /// under strict mode; header-level damage under lenient mode. Lenient
+    /// chunk damage is *not* an error — it lands in the returned
+    /// [`LoadedTrace::health`].
+    pub fn load(&self, stream: &str, seed: u64) -> Result<Arc<LoadedTrace>, TraceError> {
+        let name = TraceStore::file_name(stream, seed);
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = cache.get(&name) {
+            return Ok(Arc::clone(hit));
+        }
+        let path = self.dir.join(&name);
+        let mut bytes = std::fs::read(&path).map_err(|e| TraceError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        self.ingest_faults.apply(&mut bytes);
+        let (records, health) = read_all(&bytes, self.mode)?;
+        let instructions = records.iter().map(|r| u64::from(r.gap) + 1).sum::<u64>();
+        let loaded = Arc::new(LoadedTrace {
+            records: Arc::new(records),
+            instructions,
+            health,
+        });
+        cache.insert(name, Arc::clone(&loaded));
+        Ok(loaded)
+    }
+
+    /// Health ledger summed over every file loaded so far, in file-name
+    /// order (deterministic).
+    pub fn health(&self) -> TraceHealth {
+        let cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut total = TraceHealth::default();
+        for loaded in cache.values() {
+            total.merge(&loaded.health);
+        }
+        total
+    }
+
+    /// Per-file ledgers for files that lost anything, in file-name order.
+    pub fn damaged_files(&self) -> Vec<(String, TraceHealth)> {
+        let cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        cache
+            .iter()
+            .filter(|(_, l)| !l.health.is_clean())
+            .map(|(name, l)| (name.clone(), l.health))
+            .collect()
+    }
+
+    /// Number of files loaded so far.
+    pub fn files_loaded(&self) -> u64 {
+        let cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        cache.len() as u64
+    }
+
+    /// Called by the replay feed each time a stream is exhausted and
+    /// restarts from its beginning. A wrapped replay is not the recorded
+    /// run, so wraps count as degradation.
+    pub fn note_wrap(&self) {
+        self.wraps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stream wrap-arounds observed so far.
+    pub fn wraps(&self) -> u64 {
+        self.wraps.load(Ordering::Relaxed)
+    }
+
+    /// Whether any load lost data or any stream wrapped — the signal the
+    /// bench layer turns into partial-tolerant reporting.
+    pub fn is_degraded(&self) -> bool {
+        self.wraps() > 0 || !self.health().is_clean()
+    }
+}
+
+impl Observable for TraceStore {
+    /// Scope `"trace_store"`: the aggregate ledger plus files loaded and
+    /// wrap-arounds.
+    fn snapshot(&self) -> TelemetrySnapshot {
+        let h = self.health();
+        TelemetrySnapshot::new("trace_store")
+            .with("files", self.files_loaded())
+            .with("chunks_ok", h.chunks_ok)
+            .with("chunks_skipped", h.chunks_skipped)
+            .with("records_ok", h.records_ok)
+            .with("records_lost", h.records_lost)
+            .with("torn_tail", u64::from(h.torn_tail))
+            .with("wraps", self.wraps())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use bp_common::Addr;
+    use bp_faults::bytes::ByteFault;
+
+    fn temp_store(tag: &str, mode: ReadMode) -> TraceStore {
+        let dir = std::env::temp_dir().join(format!("bp-trace-store-{tag}-{}", std::process::id()));
+        TraceStore::new(dir, mode)
+    }
+
+    fn sample(n: u64) -> Vec<BranchRecord> {
+        (0..n)
+            .map(|i| {
+                BranchRecord::conditional(
+                    Addr::new(0x1000 + 8 * i),
+                    Addr::new(0x2000 + i),
+                    i % 2 == 0,
+                    (i % 11) as u32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_cache() {
+        let store = temp_store("roundtrip", ReadMode::Strict);
+        let recs = sample(500);
+        store.save("t0s0", 0x5EED, &recs, 128).unwrap();
+        let a = store.load("t0s0", 0x5EED).unwrap();
+        assert_eq!(*a.records, recs);
+        assert_eq!(
+            a.instructions,
+            recs.iter().map(|r| u64::from(r.gap) + 1).sum::<u64>()
+        );
+        let b = store.load("t0s0", 0x5EED).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second load must hit the cache");
+        assert_eq!(store.files_loaded(), 1);
+        assert!(!store.is_degraded());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let store = temp_store("missing", ReadMode::Strict);
+        match store.load("nope", 7).unwrap_err() {
+            TraceError::Io { path, .. } => {
+                assert!(path.contains("nope-0000000000000007.bpt"), "{path}")
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_faults_surface_per_mode() {
+        let recs = sample(600);
+        let plan = ByteFaultPlan::new(vec![ByteFault::BitFlip {
+            offset: 200,
+            bit: 3,
+        }]);
+        let strict = temp_store("ingest-strict", ReadMode::Strict);
+        strict.save("s", 1, &recs, 100).unwrap();
+        let err = {
+            let faulted =
+                TraceStore::new(strict.dir(), ReadMode::Strict).with_ingest_faults(plan.clone());
+            faulted.load("s", 1).unwrap_err()
+        };
+        assert!(matches!(
+            err,
+            TraceError::ChunkCrc { .. } | TraceError::BadRecord { .. }
+        ));
+
+        let lenient = TraceStore::new(strict.dir(), ReadMode::Lenient).with_ingest_faults(plan);
+        let loaded = lenient.load("s", 1).unwrap();
+        assert_eq!(loaded.health.chunks_skipped, 1);
+        assert_eq!(loaded.health.records_lost, 100);
+        assert!(lenient.is_degraded());
+        assert_eq!(
+            lenient.damaged_files(),
+            vec![(TraceStore::file_name("s", 1), loaded.health)]
+        );
+        let _ = std::fs::remove_dir_all(strict.dir());
+    }
+
+    #[test]
+    fn wraps_count_as_degradation() {
+        let store = temp_store("wraps", ReadMode::Strict);
+        assert!(!store.is_degraded());
+        store.note_wrap();
+        store.note_wrap();
+        assert_eq!(store.wraps(), 2);
+        assert!(store.is_degraded());
+        assert_eq!(store.snapshot().get("wraps"), 2);
+    }
+
+    #[test]
+    fn health_aggregates_across_files() {
+        let store = temp_store("aggregate", ReadMode::Strict);
+        store.save("a", 1, &sample(100), 64).unwrap();
+        store.save("b", 2, &sample(50), 64).unwrap();
+        store.load("a", 1).unwrap();
+        store.load("b", 2).unwrap();
+        let h = store.health();
+        assert_eq!(h.records_ok, 150);
+        assert!(h.is_clean());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

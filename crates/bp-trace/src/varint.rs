@@ -1,0 +1,120 @@
+//! LEB128 varints and zigzag mapping — the record encoding's primitives.
+//!
+//! Branch PCs cluster: within one chunk, successive records' PCs and a
+//! branch's target are near each other, so signed deltas are tiny and
+//! varints shrink a 21-byte fixed record to ~6 bytes. All arithmetic wraps
+//! (deltas of arbitrary `u64` addresses are well-defined), and decoding is
+//! total: a truncated or overlong varint is `None`, never a panic.
+
+/// Appends `v` in unsigned LEB128 (7 bits per byte, high bit = more).
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 value at `*pos`, advancing it. `None` when the buffer
+/// ends mid-varint or the encoding overflows 64 bits (an overlong varint
+/// is damage, not data).
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        // The 10th byte of a 64-bit varint may only carry the top bit.
+        if shift == 63 && byte > 1 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Maps a signed delta to an unsigned varint-friendly value
+/// (0, -1, 1, -2, … → 0, 1, 2, 3, …).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_across_the_range() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrips_signed_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small.
+        assert!(zigzag(-3) < 8);
+        assert!(zigzag(3) < 8);
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_rejected() {
+        let mut pos = 0;
+        assert_eq!(read_u64(&[0x80, 0x80], &mut pos), None);
+        // Eleven continuation bytes can never encode a u64.
+        let overlong = [0x80u8; 10]
+            .iter()
+            .copied()
+            .chain(std::iter::once(0x01))
+            .collect::<Vec<u8>>();
+        let mut pos = 0;
+        assert_eq!(read_u64(&overlong, &mut pos), None);
+        // A 10-byte varint whose last byte spills past bit 63 is overlong.
+        let spill = [0xFFu8, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        let mut pos = 0;
+        assert_eq!(read_u64(&spill, &mut pos), None);
+    }
+
+    #[test]
+    fn max_u64_encodes_in_ten_bytes() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Some(u64::MAX));
+    }
+}

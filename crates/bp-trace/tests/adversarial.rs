@@ -1,0 +1,183 @@
+//! Adversarial decode harness: seeded byte faults against the `.bpt`
+//! reader.
+//!
+//! Hermetic and std-only: synthetic records, in-memory traces, the
+//! deterministic fault vocabulary of `bp_faults::bytes`. For every seed the
+//! invariants are:
+//!
+//! 1. decoding never panics, in either mode;
+//! 2. lenient mode returns `Ok` unless the *file header* was hit (the one
+//!    damage class resync cannot absorb), and its `TraceHealth` books
+//!    balance;
+//! 3. strict mode returning `Ok` implies the decode equals the original
+//!    record stream bit-for-bit;
+//! 4. decoding is a pure function of the bytes: two decodes agree.
+
+use bp_common::rng::SplitMix64;
+use bp_common::{Addr, BranchKind, BranchRecord};
+use bp_faults::bytes::ByteFaultPlan;
+use bp_trace::{read_all, write_trace, ReadMode, TraceError, FILE_HEADER_LEN};
+
+/// Deterministic, profile-flavoured synthetic stream.
+fn synthetic_records(seed: u64, n: u64) -> Vec<BranchRecord> {
+    let mut rng = SplitMix64::new(seed ^ 0xAD5E_ED01);
+    let mut pc = 0x0040_0000u64;
+    (0..n)
+        .map(|_| {
+            pc = pc.wrapping_add(4 * (1 + rng.next_below(64)));
+            let kind = match rng.next_below(10) {
+                0 => BranchKind::Indirect,
+                1 => BranchKind::Call,
+                2 => BranchKind::Return,
+                3 => BranchKind::Direct,
+                _ => BranchKind::Conditional,
+            };
+            let target = pc
+                .wrapping_add(rng.next_u64() % 0x1_0000)
+                .wrapping_sub(0x8000);
+            let taken = !kind.is_conditional() || rng.next_below(2) == 0;
+            let gap = rng.next_below(24) as u32;
+            BranchRecord {
+                pc: Addr::new(pc),
+                kind,
+                target: Addr::new(target),
+                taken,
+                gap,
+            }
+        })
+        .collect()
+}
+
+/// Whether an `Err` from lenient mode is one of the file-header classes —
+/// the only damage lenient mode is allowed to refuse.
+fn is_header_class(e: &TraceError) -> bool {
+    matches!(
+        e,
+        TraceError::BadFileMagic
+            | TraceError::UnsupportedVersion { .. }
+            | TraceError::HeaderCrc { .. }
+    ) || matches!(e, TraceError::Truncated { what, .. } if *what == "file header")
+}
+
+/// `sub` appears within `sup` in order (chunk drops remove contiguous
+/// runs, so survivors must be an ordered subsequence of the original).
+fn is_subsequence(sub: &[BranchRecord], sup: &[BranchRecord]) -> bool {
+    let mut it = sup.iter();
+    sub.iter().all(|r| it.any(|s| s == r))
+}
+
+#[test]
+fn seeded_faults_never_panic_and_health_books_balance() {
+    let chunk_sizes = [1usize, 5, 64, 512];
+    for seed in 0u64..150 {
+        let n = 200 + (seed % 7) * 300;
+        let records = synthetic_records(seed, n);
+        let chunk = chunk_sizes[(seed % chunk_sizes.len() as u64) as usize];
+        let clean = write_trace(&records, chunk).expect("write");
+
+        let mut bytes = clean.clone();
+        let plan = ByteFaultPlan::seeded(seed, bytes.len() as u64);
+        let landed = plan.apply(&mut bytes);
+        let header_hit =
+            bytes.len() < FILE_HEADER_LEN || bytes[..FILE_HEADER_LEN] != clean[..FILE_HEADER_LEN];
+
+        // Strict: Ok implies bit-identical recovery.
+        let strict = read_all(&bytes, ReadMode::Strict);
+        if let Ok((recs, health)) = &strict {
+            assert_eq!(recs, &records, "seed {seed}: strict Ok must mean intact");
+            assert!(health.is_clean(), "seed {seed}");
+        }
+        if landed == 0 {
+            assert!(
+                strict.is_ok(),
+                "seed {seed}: no fault landed yet strict failed"
+            );
+        }
+
+        // Lenient: absorbs everything below the file header.
+        match read_all(&bytes, ReadMode::Lenient) {
+            Ok((recs, health)) => {
+                assert_eq!(
+                    recs.len() as u64,
+                    health.records_ok,
+                    "seed {seed}: delivered records must match the ledger"
+                );
+                if !health.torn_tail {
+                    assert_eq!(
+                        health.records_ok + health.records_lost,
+                        records.len() as u64,
+                        "seed {seed}: with a surviving trailer the books must balance"
+                    );
+                }
+                assert!(
+                    is_subsequence(&recs, &records),
+                    "seed {seed}: lenient must never invent or reorder records"
+                );
+                if landed > 0 && !header_hit {
+                    // Damage below the header must be visible in the ledger
+                    // or have been fully out of decoded range (e.g. a
+                    // duplicate dropped by sequence accounting still counts
+                    // as skipped).
+                    assert!(
+                        !health.is_clean() || recs == records,
+                        "seed {seed}: damage vanished without a trace"
+                    );
+                }
+            }
+            Err(e) => {
+                assert!(
+                    is_header_class(&e),
+                    "seed {seed}: lenient refused non-header damage: {e}"
+                );
+                assert!(
+                    header_hit,
+                    "seed {seed}: header error without header damage: {e}"
+                );
+            }
+        }
+
+        // Purity: decoding the same bytes twice agrees exactly.
+        for mode in [ReadMode::Strict, ReadMode::Lenient] {
+            assert_eq!(
+                read_all(&bytes, mode),
+                read_all(&bytes, mode),
+                "seed {seed}: decode must be a pure function of the bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    for seed in 0u64..100 {
+        let mut rng = SplitMix64::new(seed ^ 0x6A5B_A6E5);
+        let len = rng.next_below(4096) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let _ = read_all(&bytes, ReadMode::Strict);
+        let _ = read_all(&bytes, ReadMode::Lenient);
+    }
+}
+
+#[test]
+fn garbage_with_a_valid_header_never_panics() {
+    // Worst case for resync: a trustworthy header followed by noise that
+    // is full of false `CHNK` anchors.
+    for seed in 0u64..50 {
+        let mut rng = SplitMix64::new(seed ^ 0x11EA_DE55);
+        let mut bytes = write_trace(&[], 64).expect("write");
+        bytes.truncate(FILE_HEADER_LEN);
+        for _ in 0..rng.next_below(2048) {
+            if rng.next_below(8) == 0 {
+                bytes.extend_from_slice(b"CHNK");
+            } else {
+                bytes.push(rng.next_u64() as u8);
+            }
+        }
+        assert!(read_all(&bytes, ReadMode::Strict).is_err());
+        let (recs, health) = read_all(&bytes, ReadMode::Lenient).expect("lenient survives noise");
+        assert!(recs.is_empty());
+        if bytes.len() > FILE_HEADER_LEN {
+            assert!(health.torn_tail || health.chunks_skipped > 0);
+        }
+    }
+}

@@ -110,9 +110,13 @@ impl BranchTrace {
     }
 
     /// Serializes to the line format `kind,pc,target,taken,gap` (hex
-    /// addresses), one record per line.
+    /// addresses), one record per line, preceded by a `# records: N`
+    /// header that lets [`BranchTrace::from_text`] detect truncation — a
+    /// text trace cut short at a line boundary would otherwise parse
+    /// cleanly as a shorter trace.
     pub fn to_text(&self) -> String {
-        let mut out = String::with_capacity(self.records.len() * 32);
+        let mut out = String::with_capacity(self.records.len() * 32 + 24);
+        out.push_str(&format!("# records: {}\n", self.records.len()));
         for r in &self.records {
             out.push_str(&format!(
                 "{},{:x},{:x},{},{}\n",
@@ -128,11 +132,22 @@ impl BranchTrace {
 
     /// Parses the [`BranchTrace::to_text`] format.
     ///
+    /// The `# records: N` header, when present, must match the number of
+    /// record lines that follow — a mismatch means the file was truncated
+    /// (or padded) in transit and is rejected rather than silently
+    /// replayed short. Headerless input is still accepted for
+    /// compatibility with traces written before the header existed, but
+    /// gets no truncation protection; re-serialize with
+    /// [`BranchTrace::to_text`] to upgrade such files. Other `#` lines are
+    /// comments and are ignored.
+    ///
     /// # Errors
     ///
-    /// Returns [`ParseTraceError`] naming the first malformed line.
+    /// Returns [`ParseTraceError`] naming the first malformed line, or the
+    /// header line on a record-count mismatch.
     pub fn from_text(text: &str) -> Result<Self, ParseTraceError> {
         let mut records = Vec::new();
+        let mut declared: Option<(usize, usize)> = None; // (count, header line)
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
@@ -141,6 +156,22 @@ impl BranchTrace {
                 line: i + 1,
                 reason: reason.to_string(),
             };
+            if let Some(rest) = line.strip_prefix('#') {
+                if let Some(n) = rest.trim().strip_prefix("records:") {
+                    if declared.is_some() {
+                        return Err(err("duplicate '# records:' header"));
+                    }
+                    if !records.is_empty() {
+                        return Err(err("'# records:' header must precede all records"));
+                    }
+                    let count: usize = n
+                        .trim()
+                        .parse()
+                        .map_err(|_| err("bad record count in '# records:' header"))?;
+                    declared = Some((count, i + 1));
+                }
+                continue;
+            }
             let parts: Vec<&str> = line.split(',').collect();
             if parts.len() != 5 {
                 return Err(err("expected 5 comma-separated fields"));
@@ -164,6 +195,17 @@ impl BranchTrace {
                 taken,
                 gap,
             });
+        }
+        if let Some((count, header_line)) = declared {
+            if count != records.len() {
+                return Err(ParseTraceError {
+                    line: header_line,
+                    reason: format!(
+                        "truncated trace: header declares {count} records, found {}",
+                        records.len()
+                    ),
+                });
+            }
         }
         Ok(BranchTrace { records })
     }
@@ -213,6 +255,40 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.instructions(), 0);
         assert_eq!(BranchTrace::from_text("").unwrap(), t);
+    }
+
+    #[test]
+    fn header_detects_truncation() {
+        let mut gen = WorkloadGenerator::new(SpecBenchmark::Mcf.profile(), 9);
+        let trace = BranchTrace::record(&mut gen, 50);
+        let text = trace.to_text();
+        assert!(text.starts_with("# records: 50\n"));
+
+        // Cut the last 10 record lines: headerful parse must refuse.
+        let cut: String = text.lines().take(41).map(|l| format!("{l}\n")).collect();
+        let e = BranchTrace::from_text(&cut).unwrap_err();
+        assert_eq!(e.line, 1, "the header line is what broke the promise");
+        assert!(e.reason.contains("truncated"), "{e}");
+        assert!(e.reason.contains("50") && e.reason.contains("40"), "{e}");
+
+        // The same cut without its header parses (back-compat) — shorter.
+        let headerless: String = cut.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        assert_eq!(BranchTrace::from_text(&headerless).unwrap().len(), 40);
+    }
+
+    #[test]
+    fn header_is_strictly_validated() {
+        let e = BranchTrace::from_text("# records: zz\n").unwrap_err();
+        assert!(e.reason.contains("bad record count"), "{e}");
+        let e = BranchTrace::from_text("# records: 1\n# records: 1\nC,10,20,1,3\n").unwrap_err();
+        assert!(e.reason.contains("duplicate"), "{e}");
+        let e = BranchTrace::from_text("C,10,20,1,3\n# records: 1\n").unwrap_err();
+        assert!(e.reason.contains("precede"), "{e}");
+        // Non-header comments stay comments.
+        let t = BranchTrace::from_text("# a comment\nC,10,20,1,3\n").unwrap();
+        assert_eq!(t.len(), 1);
+        // An explicit zero-record header is valid.
+        assert!(BranchTrace::from_text("# records: 0\n").unwrap().is_empty());
     }
 
     #[test]

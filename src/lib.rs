@@ -14,6 +14,7 @@
 //! * [`hybp`] — the paper's contribution: the hybrid protection mechanisms.
 //! * [`bp_attacks`] — PPP / GEM / blind-contention / reuse attack harnesses.
 //! * [`bp_faults`] — deterministic fault plans for the robustness harness.
+//! * [`bp_trace`] — corruption-tolerant binary branch-trace store and replay.
 
 pub use bp_attacks;
 pub use bp_common;
@@ -21,5 +22,6 @@ pub use bp_crypto;
 pub use bp_faults;
 pub use bp_pipeline;
 pub use bp_predictors;
+pub use bp_trace;
 pub use bp_workloads;
 pub use hybp;
