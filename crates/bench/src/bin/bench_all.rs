@@ -594,6 +594,10 @@ fn write_speed_json(
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"schema\": 1,");
+    // Same code fingerprint as the root BENCH_speed.json (both derive it
+    // from CODE_SALT), so the two perf artifacts can be matched to one
+    // model revision.
+    let _ = writeln!(s, "  \"fingerprint\": \"{}\",", bench::speed::fingerprint());
     let _ = writeln!(s, "  \"scale\": \"{}\",", ctx.scale.name());
     let _ = writeln!(s, "  \"threads\": {},", ctx.pool.threads());
     let _ = writeln!(s, "  \"cache_enabled\": {},", ctx.cache.is_enabled());

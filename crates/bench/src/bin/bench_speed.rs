@@ -1,0 +1,184 @@
+//! `bench_speed` — the hot-path kernel micro-benchmark driver.
+//!
+//! Measures the five pinned kernels (`tage_predict`, `tage_update`,
+//! `qarma_encrypt`, `codec_xor`, `full_cycle`) and maintains the root-level
+//! `BENCH_speed.json` perf trajectory:
+//!
+//! * default: re-measure and rewrite the live `kernels` block, *preserving*
+//!   the pinned `baseline` block from the existing file (if any);
+//! * `--rebaseline`: additionally pin the fresh run as the new baseline
+//!   (shrink-only discipline: only do this in the PR that changes the hot
+//!   paths, with the "before" run recorded first — see `results/README.md`);
+//! * `--check`: measure, compare against the committed file, and exit 1 if
+//!   any kernel regressed by more than 25% branches/sec (no file writes) —
+//!   this is what CI's `perf-trajectory` job runs.
+//!
+//! `--quick` (default) and `--full` pick the per-kernel measurement budget.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::speed::{self, KernelResult, Mode, SpeedBaseline, SpeedReport, KERNELS, SCHEMA};
+
+/// Fraction of the committed branches/sec a kernel must retain under
+/// `--check` (documented in `results/README.md` and `.github/workflows`).
+const CHECK_RETAIN: f64 = 0.75;
+
+const USAGE: &str = "usage: bench_speed [--quick|--full] [--rebaseline] [--check] [--out PATH]
+
+  --quick        ~0.2s measurement per kernel (default; what CI runs)
+  --full         1s measurement per kernel (trajectory-quality numbers)
+  --rebaseline   also pin this run as the new `baseline` block
+  --check        compare against the committed file instead of writing:
+                 exit 1 if any kernel lost >25% branches/sec
+  --out PATH     report path (default: BENCH_speed.json at the repo root)";
+
+struct Options {
+    mode: Mode,
+    rebaseline: bool,
+    check: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        mode: Mode::Quick,
+        rebaseline: false,
+        check: false,
+        out: PathBuf::from("BENCH_speed.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.mode = Mode::Quick,
+            "--full" => opts.mode = Mode::Full,
+            "--rebaseline" => opts.rebaseline = true,
+            "--check" => opts.check = true,
+            "--out" => {
+                opts.out = PathBuf::from(args.next().ok_or("--out needs a path")?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if opts.check && opts.rebaseline {
+        return Err("--check and --rebaseline are mutually exclusive".to_string());
+    }
+    Ok(opts)
+}
+
+/// Compares a fresh run against the committed report; returns the list of
+/// kernels that regressed past the tolerance.
+fn regressions(current: &[KernelResult], committed: &[KernelResult]) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in KERNELS {
+        let cur = current.iter().find(|k| k.name == name);
+        let old = committed.iter().find(|k| k.name == name);
+        match (cur, old) {
+            (Some(c), Some(o)) => {
+                let floor = o.branches_per_sec * CHECK_RETAIN;
+                if c.branches_per_sec < floor {
+                    out.push(format!(
+                        "{name}: {:.0} branches/sec vs committed {:.0} (floor {:.0}, -{:.1}%)",
+                        c.branches_per_sec,
+                        o.branches_per_sec,
+                        floor,
+                        100.0 * (1.0 - c.branches_per_sec / o.branches_per_sec),
+                    ));
+                }
+            }
+            _ => out.push(format!("{name}: missing from current or committed run")),
+        }
+    }
+    out
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    println!(
+        "bench_speed: {} mode, fingerprint {}",
+        opts.mode.name(),
+        speed::fingerprint()
+    );
+    let kernels = speed::run_all(opts.mode)?;
+
+    if opts.check {
+        let text = std::fs::read_to_string(&opts.out).map_err(|e| {
+            format!(
+                "{}: {e} (run bench_speed once to create it)",
+                opts.out.display()
+            )
+        })?;
+        let committed =
+            speed::parse_report(&text).map_err(|e| format!("{}: {e}", opts.out.display()))?;
+        speed::validate(&committed).map_err(|e| format!("{}: {e}", opts.out.display()))?;
+        let bad = regressions(&kernels, &committed.kernels);
+        if bad.is_empty() {
+            println!(
+                "perf-trajectory OK: all {} kernels within {:.0}% of {}",
+                KERNELS.len(),
+                100.0 * (1.0 - CHECK_RETAIN),
+                opts.out.display()
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        eprintln!("perf-trajectory REGRESSION vs {}:", opts.out.display());
+        for line in &bad {
+            eprintln!("  {line}");
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+
+    // Preserve (or re-pin) the baseline block.
+    let baseline = if opts.rebaseline {
+        Some(SpeedBaseline {
+            mode: opts.mode.name().to_string(),
+            kernels: kernels.clone(),
+        })
+    } else {
+        match std::fs::read_to_string(&opts.out) {
+            Ok(text) => {
+                let prior = speed::parse_report(&text)
+                    .map_err(|e| format!("{}: {e} (fix or --rebaseline)", opts.out.display()))?;
+                prior.baseline
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("{}: {e}", opts.out.display())),
+        }
+    };
+    let report = SpeedReport {
+        schema: SCHEMA,
+        mode: opts.mode.name().to_string(),
+        fingerprint: speed::fingerprint(),
+        kernels,
+        baseline,
+    };
+    speed::validate(&report)?;
+    let rendered = speed::render_report(&report);
+    let tmp = opts.out.with_extension("json.tmp");
+    std::fs::write(&tmp, rendered.as_bytes()).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &opts.out).map_err(|e| format!("{}: {e}", opts.out.display()))?;
+    println!("wrote {}", opts.out.display());
+    if let Some(base) = &report.baseline {
+        for (cur, old) in report.kernels.iter().zip(&base.kernels) {
+            if old.branches_per_sec > 0.0 {
+                println!(
+                    "  {:<14} {:>6.2}x vs baseline",
+                    cur.name,
+                    cur.branches_per_sec / old.branches_per_sec
+                );
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

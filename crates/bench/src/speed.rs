@@ -1,0 +1,615 @@
+//! `bench::speed` — kernel-level hot-path micro-benchmarks with a pinned
+//! perf trajectory.
+//!
+//! The suite times the three hot loops the paper's overhead story rests on
+//! — TAGE lookup/update, QARMA-64 block encryption, the codec content-XOR —
+//! plus the end-to-end predict-resolve-redirect cycle driven through
+//! [`bp_pipeline::CycleDriver`]. Results land in the root-level
+//! `BENCH_speed.json` (written by the `bench_speed` bin), one entry per
+//! kernel with `{branches_per_sec, ns_per_op, p99_ns}`, alongside a pinned
+//! `baseline` block recording the pre-optimization run so every later PR is
+//! accountable for the trajectory. The CI `perf-trajectory` job replays the
+//! quick suite and fails on >25% branches/sec regression in any kernel.
+//!
+//! This is the *measurement* half of the hot-path campaign; the report JSON
+//! is line-oriented on purpose so [`parse_report`] can stay a strict,
+//! dependency-free scanner (same policy as `run_report.json`). The wall
+//! clock only ever feeds diagnostics and these throughput numbers — never
+//! simulated results — hence the file-wide determinism-time waiver below.
+
+#![allow(clippy::disallowed_types)] // Instant, waived file-wide in bp-lint below
+
+// bp-lint: allow-file(determinism-time) reason="micro-benchmark harness: wall-clock timings are the deliverable (BENCH_speed.json throughput trajectory) and diagnostics, never simulation results"
+use std::time::{Duration, Instant};
+
+use bp_common::{Addr, Asid, Vmid};
+use bp_crypto::{Qarma64, TweakableBlockCipher};
+use bp_pipeline::{SimConfig, Simulation};
+use bp_predictors::codec::{TableCodec, TableId, TableUnit};
+use bp_predictors::tage::{Tage, TageConfig};
+use bp_workloads::profile::SpecBenchmark;
+use bp_workloads::WorkloadGenerator;
+use hybp::{HybpCodec, HybpConfig, Mechanism};
+
+use crate::cache::CODE_SALT;
+use crate::timing::{black_box, Bench};
+
+/// The kernels the trajectory pins, in canonical report order.
+pub const KERNELS: [&str; 5] = [
+    "tage_predict",
+    "tage_update",
+    "qarma_encrypt",
+    "codec_xor",
+    "full_cycle",
+];
+
+/// Report schema version (bump on any layout change).
+pub const SCHEMA: u32 = 1;
+
+/// Measurement budget per kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// CI-sized: ~0.2 s measured per kernel.
+    Quick,
+    /// Trajectory-quality: 1 s measured per kernel.
+    Full,
+}
+
+impl Mode {
+    /// Canonical name as written to / parsed from the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Full => "full",
+        }
+    }
+
+    /// Parses a canonical mode name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "quick" => Ok(Mode::Quick),
+            "full" => Ok(Mode::Full),
+            other => Err(format!("unknown speed mode `{other}` (quick|full)")),
+        }
+    }
+
+    fn warmup(self) -> Duration {
+        match self {
+            Mode::Quick => Duration::from_millis(60),
+            Mode::Full => Duration::from_millis(300),
+        }
+    }
+
+    fn measure(self) -> Duration {
+        match self {
+            Mode::Quick => Duration::from_millis(200),
+            Mode::Full => Duration::from_secs(1),
+        }
+    }
+}
+
+/// One kernel's measured throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Kernel name (one of [`KERNELS`]).
+    pub name: String,
+    /// Sustained operations per wall-clock second (median batch). For every
+    /// kernel one "op" is one branch-equivalent: a predict, a predict+update
+    /// pair, one block encryption, one content XOR, or one full cycle.
+    pub branches_per_sec: f64,
+    /// Median nanoseconds per op.
+    pub ns_per_op: f64,
+    /// 99th-percentile batch cost in nanoseconds per op (tail scheduler /
+    /// refresh interference).
+    pub p99_ns: f64,
+}
+
+/// The pinned pre-optimization reference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedBaseline {
+    /// Mode the baseline was captured under.
+    pub mode: String,
+    /// Per-kernel baseline numbers, same order as the live kernels.
+    pub kernels: Vec<KernelResult>,
+}
+
+/// The full `BENCH_speed.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedReport {
+    /// Schema version ([`SCHEMA`]).
+    pub schema: u32,
+    /// Measurement mode of the live `kernels` block.
+    pub mode: String,
+    /// Config fingerprint linking this file to `results/bench_speed.json`
+    /// (both derive it from the same [`CODE_SALT`]).
+    pub fingerprint: String,
+    /// The live measurement.
+    pub kernels: Vec<KernelResult>,
+    /// The pinned pre-optimization run, if one was recorded.
+    pub baseline: Option<SpeedBaseline>,
+}
+
+/// Deterministic fingerprint tying `BENCH_speed.json` to
+/// `results/bench_speed.json`: FNV-1a 64 over the cache's [`CODE_SALT`], so
+/// both files change identity together when the simulation core is declared
+/// changed.
+pub fn fingerprint() -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in CODE_SALT.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+fn p99(sorted_samples: &[f64], median: f64) -> f64 {
+    if sorted_samples.is_empty() {
+        return median;
+    }
+    let idx = (sorted_samples.len() * 99) / 100;
+    sorted_samples[idx.min(sorted_samples.len() - 1)]
+}
+
+fn kernel_bench(name: &str, mode: Mode) -> Bench {
+    Bench::new(name.to_string())
+        .warmup_for(mode.warmup())
+        .measure_for(mode.measure())
+}
+
+fn finish<T>(name: &str, mode: Mode, f: impl FnMut() -> T) -> KernelResult {
+    let t = Instant::now();
+    let (report, samples) = kernel_bench(name, mode).run_sampled(f);
+    let result = KernelResult {
+        name: name.to_string(),
+        branches_per_sec: report.per_second(),
+        ns_per_op: report.median_ns,
+        p99_ns: p99(&samples, report.median_ns),
+    };
+    println!(
+        "{:<14} {:>14.0} ops/s   median {:>9.2} ns   p99 {:>9.2} ns   ({} iters, {:.2}s)",
+        name,
+        result.branches_per_sec,
+        result.ns_per_op,
+        result.p99_ns,
+        report.iterations,
+        t.elapsed().as_secs_f64(),
+    );
+    result
+}
+
+/// Deterministic branch-stream snapshot for the predictor kernels: `n`
+/// (pc, taken) pairs drawn from the synthetic mcf generator, replayed
+/// cyclically so the measured loop contains no generator cost.
+fn branch_snapshot(n: usize) -> Vec<(Addr, bool)> {
+    let mut gen = WorkloadGenerator::new(SpecBenchmark::Mcf.profile(), 0x5EED_CA11);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let rec = gen.next_branch();
+        if rec.kind.is_conditional() {
+            out.push((rec.pc, rec.taken));
+        }
+    }
+    out
+}
+
+fn paper_codec() -> Result<HybpCodec, String> {
+    let mut codec = HybpCodec::new(&HybpConfig::paper_default(), 1, 0x5EED_0001)
+        .map_err(|e| format!("paper_default codec: {e}"))?;
+    codec.set_context(0, Asid::new(1), Vmid::new(0));
+    Ok(codec)
+}
+
+fn tage_predict_kernel(mode: Mode) -> Result<KernelResult, String> {
+    let mut tage = Tage::new(TageConfig::paper_scl());
+    let mut codec = paper_codec()?;
+    let stream = branch_snapshot(8192);
+    // Populate the tables so the measured lookups exercise real tag
+    // matches, provider selection and allocation pressure.
+    let mut now = 1u64;
+    for &(pc, taken) in &stream {
+        tage.predict_slot(pc, 0, &mut codec, now);
+        tage.update_slot(pc, 0, taken, &mut codec, now);
+        now += 1;
+    }
+    let mut i = 0usize;
+    Ok(finish("tage_predict", mode, move || {
+        let (pc, _) = stream[i];
+        i = (i + 1) % stream.len();
+        now += 1;
+        black_box(tage.predict_slot(pc, 0, &mut codec, now).taken)
+    }))
+}
+
+fn tage_update_kernel(mode: Mode) -> Result<KernelResult, String> {
+    let mut tage = Tage::new(TageConfig::paper_scl());
+    let mut codec = paper_codec()?;
+    let stream = branch_snapshot(8192);
+    let mut now = 1u64;
+    for &(pc, taken) in &stream {
+        tage.predict_slot(pc, 0, &mut codec, now);
+        tage.update_slot(pc, 0, taken, &mut codec, now);
+        now += 1;
+    }
+    let mut i = 0usize;
+    // One op = one predict+update pair: update consumes the lookup state the
+    // preceding predict stashed, exactly as the BPU drives it.
+    Ok(finish("tage_update", mode, move || {
+        let (pc, taken) = stream[i];
+        i = (i + 1) % stream.len();
+        now += 1;
+        tage.predict_slot(pc, 0, &mut codec, now);
+        tage.update_slot(pc, 0, taken, &mut codec, now);
+    }))
+}
+
+fn qarma_encrypt_kernel(mode: Mode) -> KernelResult {
+    let cipher = Qarma64::from_seed(0x5EED_0002);
+    let mut pt = 0u64;
+    finish("qarma_encrypt", mode, move || {
+        pt = pt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        black_box(cipher.encrypt(black_box(pt), 0x0123_4567_89AB_CDEF))
+    })
+}
+
+fn codec_xor_kernel(mode: Mode) -> Result<KernelResult, String> {
+    let mut codec = paper_codec()?;
+    // L2 BTB is a randomized table, so this measures the real content path.
+    let table = TableId::new(TableUnit::Btb, 2);
+    let mut x = 0u64;
+    Ok(finish("codec_xor", mode, move || {
+        x = x.wrapping_add(0x9E37_79B9);
+        black_box(codec.encode_content(table, black_box(x)))
+    }))
+}
+
+fn full_cycle_kernel(mode: Mode) -> Result<KernelResult, String> {
+    let mut driver = Simulation::builder(Mechanism::hybp_default(), SimConfig::quick_test())
+        .single_thread(SpecBenchmark::Mcf)
+        .build_cycle_driver()
+        .map_err(|e| format!("full_cycle driver: {e}"))?;
+    let result = finish("full_cycle", mode, move || black_box(driver.drive_one()));
+    Ok(result)
+}
+
+/// Runs all five kernels in [`KERNELS`] order.
+///
+/// # Errors
+///
+/// Returns a message when a kernel's fixture cannot be built (invalid
+/// codec or simulation config — not expected with the defaults used here).
+pub fn run_all(mode: Mode) -> Result<Vec<KernelResult>, String> {
+    Ok(vec![
+        tage_predict_kernel(mode)?,
+        tage_update_kernel(mode)?,
+        qarma_encrypt_kernel(mode),
+        codec_xor_kernel(mode)?,
+        full_cycle_kernel(mode)?,
+    ])
+}
+
+/// Checks a report's structural invariants: schema version, the exact
+/// kernel set in canonical order (live and baseline blocks both), and
+/// finite, strictly positive numbers everywhere.
+pub fn validate(report: &SpeedReport) -> Result<(), String> {
+    if report.schema != SCHEMA {
+        return Err(format!(
+            "schema {} unsupported (expected {SCHEMA})",
+            report.schema
+        ));
+    }
+    Mode::parse(&report.mode)?;
+    if report.fingerprint.is_empty() {
+        return Err("empty fingerprint".to_string());
+    }
+    validate_kernels("kernels", &report.kernels)?;
+    if let Some(base) = &report.baseline {
+        Mode::parse(&base.mode)?;
+        validate_kernels("baseline.kernels", &base.kernels)?;
+    }
+    Ok(())
+}
+
+fn validate_kernels(what: &str, kernels: &[KernelResult]) -> Result<(), String> {
+    if kernels.len() != KERNELS.len() {
+        return Err(format!(
+            "{what}: {} kernels (expected {})",
+            kernels.len(),
+            KERNELS.len()
+        ));
+    }
+    for (k, expect) in kernels.iter().zip(KERNELS) {
+        if k.name != expect {
+            return Err(format!(
+                "{what}: found `{}` where `{expect}` belongs",
+                k.name
+            ));
+        }
+        for (field, v) in [
+            ("branches_per_sec", k.branches_per_sec),
+            ("ns_per_op", k.ns_per_op),
+            ("p99_ns", k.p99_ns),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!(
+                    "{what}.{}.{field}: non-positive or non-finite",
+                    k.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn render_kernel(k: &KernelResult, indent: &str, comma: &str) -> String {
+    format!(
+        "{indent}{{ \"name\": \"{}\", \"branches_per_sec\": {:.1}, \"ns_per_op\": {:.3}, \"p99_ns\": {:.3} }}{comma}\n",
+        k.name, k.branches_per_sec, k.ns_per_op, k.p99_ns
+    )
+}
+
+/// Renders the report as the canonical line-oriented JSON (one kernel per
+/// line — [`parse_report`] depends on this layout).
+pub fn render_report(report: &SpeedReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", report.schema));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", report.mode));
+    out.push_str(&format!("  \"fingerprint\": \"{}\",\n", report.fingerprint));
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in report.kernels.iter().enumerate() {
+        let comma = if i + 1 < report.kernels.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&render_kernel(k, "    ", comma));
+    }
+    out.push_str("  ],\n");
+    match &report.baseline {
+        None => out.push_str("  \"baseline\": null\n"),
+        Some(base) => {
+            out.push_str("  \"baseline\": {\n");
+            out.push_str(&format!("    \"mode\": \"{}\",\n", base.mode));
+            out.push_str("    \"kernels\": [\n");
+            for (i, k) in base.kernels.iter().enumerate() {
+                let comma = if i + 1 < base.kernels.len() { "," } else { "" };
+                out.push_str(&render_kernel(k, "      ", comma));
+            }
+            out.push_str("    ]\n");
+            out.push_str("  }\n");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn str_field(line: &str, key: &str) -> Result<String, String> {
+    let rest = line
+        .trim()
+        .strip_prefix(&format!("\"{key}\": \""))
+        .ok_or_else(|| format!("expected string field `{key}`, got `{}`", line.trim()))?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| format!("unterminated string in `{key}`"))?;
+    Ok(rest[..end].to_string())
+}
+
+fn num_str(s: &str, key: &str) -> Result<f64, String> {
+    s.trim()
+        .trim_end_matches(',')
+        .parse::<f64>()
+        .map_err(|e| format!("bad number in `{key}`: `{}` ({e})", s.trim()))
+}
+
+fn kernel_line(line: &str) -> Result<KernelResult, String> {
+    let t = line.trim().trim_end_matches(',');
+    let t = t
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("expected one-line kernel object, got `{}`", line.trim()))?;
+    let mut name = None;
+    let mut bps = None;
+    let mut ns = None;
+    let mut p99v = None;
+    for part in t.split(", \"") {
+        let part = part.trim().trim_start_matches('"');
+        let (key, value) = part
+            .split_once("\":")
+            .ok_or_else(|| format!("malformed kernel field `{part}`"))?;
+        let value = value.trim();
+        match key {
+            "name" => {
+                name = Some(
+                    value
+                        .trim_start_matches('"')
+                        .trim_end_matches(',')
+                        .trim_end_matches('"')
+                        .to_string(),
+                )
+            }
+            "branches_per_sec" => bps = Some(num_str(value, key)?),
+            "ns_per_op" => ns = Some(num_str(value, key)?),
+            "p99_ns" => p99v = Some(num_str(value, key)?),
+            other => return Err(format!("unknown kernel field `{other}`")),
+        }
+    }
+    Ok(KernelResult {
+        name: name.ok_or("kernel object missing `name`")?,
+        branches_per_sec: bps.ok_or("kernel object missing `branches_per_sec`")?,
+        ns_per_op: ns.ok_or("kernel object missing `ns_per_op`")?,
+        p99_ns: p99v.ok_or("kernel object missing `p99_ns`")?,
+    })
+}
+
+/// Strictly parses the canonical report layout emitted by
+/// [`render_report`]. Any structural deviation — wrong field order,
+/// unknown fields, truncation — is an error naming the offending line.
+pub fn parse_report(text: &str) -> Result<SpeedReport, String> {
+    fn next<'a>(lines: &mut std::str::Lines<'a>, what: &str) -> Result<&'a str, String> {
+        lines.next().ok_or_else(|| format!("missing {what}"))
+    }
+    fn expect(lines: &mut std::str::Lines<'_>, want: &str) -> Result<(), String> {
+        match lines.next() {
+            Some(l) if l.trim() == want => Ok(()),
+            Some(l) => Err(format!("expected `{want}`, got `{}`", l.trim())),
+            None => Err(format!("expected `{want}`, got end of file")),
+        }
+    }
+    let mut lines = text.lines();
+    expect(&mut lines, "{")?;
+    let schema_line = next(&mut lines, "schema line")?;
+    let schema = schema_line
+        .trim()
+        .strip_prefix("\"schema\": ")
+        .ok_or_else(|| format!("expected schema field, got `{}`", schema_line.trim()))?
+        .trim_end_matches(',')
+        .parse::<u32>()
+        .map_err(|e| format!("bad schema number: {e}"))?;
+    let mode = str_field(next(&mut lines, "mode line")?, "mode")?;
+    let fingerprint = str_field(next(&mut lines, "fingerprint line")?, "fingerprint")?;
+    expect(&mut lines, "\"kernels\": [")?;
+    let mut kernels = Vec::new();
+    let baseline_head = loop {
+        let line = next(&mut lines, "kernels array terminator")?;
+        if line.trim() == "]," {
+            break next(&mut lines, "baseline line")?;
+        }
+        kernels.push(kernel_line(line)?);
+    };
+    let baseline = match baseline_head.trim() {
+        "\"baseline\": null" => None,
+        "\"baseline\": {" => {
+            let base_mode = str_field(next(&mut lines, "baseline mode")?, "mode")?;
+            expect(&mut lines, "\"kernels\": [")?;
+            let mut base_kernels = Vec::new();
+            loop {
+                let line = next(&mut lines, "baseline kernels terminator")?;
+                if line.trim() == "]" {
+                    break;
+                }
+                base_kernels.push(kernel_line(line)?);
+            }
+            expect(&mut lines, "}")?;
+            Some(SpeedBaseline {
+                mode: base_mode,
+                kernels: base_kernels,
+            })
+        }
+        other => return Err(format!("expected baseline block, got `{other}`")),
+    };
+    expect(&mut lines, "}")?;
+    if let Some(extra) = lines.next() {
+        if !extra.trim().is_empty() {
+            return Err(format!("trailing content after report: `{}`", extra.trim()));
+        }
+    }
+    Ok(SpeedReport {
+        schema,
+        mode,
+        fingerprint,
+        kernels,
+        baseline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Values must be exactly representable at the renderer's `{:.1}`/`{:.3}`
+    // precision so render → parse round-trips bit-for-bit.
+    fn fake_kernels(scale: f64) -> Vec<KernelResult> {
+        KERNELS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| KernelResult {
+                name: name.to_string(),
+                branches_per_sec: scale * (i + 1) as f64 * 1e6,
+                ns_per_op: 12.5 - i as f64,
+                p99_ns: 20.5 - i as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn render_parse_roundtrip_with_baseline() {
+        let report = SpeedReport {
+            schema: SCHEMA,
+            mode: "quick".to_string(),
+            fingerprint: fingerprint(),
+            kernels: fake_kernels(3.0),
+            baseline: Some(SpeedBaseline {
+                mode: "quick".to_string(),
+                kernels: fake_kernels(1.0),
+            }),
+        };
+        let text = render_report(&report);
+        let parsed = parse_report(&text).expect("roundtrip parses");
+        assert_eq!(parsed, report);
+        validate(&parsed).expect("roundtrip validates");
+    }
+
+    #[test]
+    fn render_parse_roundtrip_without_baseline() {
+        let report = SpeedReport {
+            schema: SCHEMA,
+            mode: "full".to_string(),
+            fingerprint: fingerprint(),
+            kernels: fake_kernels(2.0),
+            baseline: None,
+        };
+        let parsed = parse_report(&render_report(&report)).expect("parses");
+        assert_eq!(parsed, report);
+        validate(&parsed).expect("validates");
+    }
+
+    #[test]
+    fn parse_rejects_truncation_and_junk() {
+        let report = SpeedReport {
+            schema: SCHEMA,
+            mode: "quick".to_string(),
+            fingerprint: "f".repeat(16),
+            kernels: fake_kernels(1.0),
+            baseline: None,
+        };
+        let text = render_report(&report);
+        let cut = &text[..text.len() - 3];
+        assert!(parse_report(cut).is_err());
+        let junk = text.replace("\"ns_per_op\"", "\"ns_per_opX\"");
+        assert!(parse_report(&junk).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_kernel_set() {
+        let mut report = SpeedReport {
+            schema: SCHEMA,
+            mode: "quick".to_string(),
+            fingerprint: fingerprint(),
+            kernels: fake_kernels(1.0),
+            baseline: None,
+        };
+        report.kernels.swap(0, 1);
+        assert!(validate(&report).is_err());
+        report.kernels.swap(0, 1);
+        report.kernels[2].ns_per_op = f64::NAN;
+        assert!(validate(&report).is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_hex() {
+        let f = fingerprint();
+        assert_eq!(f.len(), 16);
+        assert_eq!(f, fingerprint());
+        assert!(f.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn quick_kernels_measure_nonzero() {
+        // One real (tiny) measurement pass over the cheapest kernel to keep
+        // the harness honest without minutes of test time.
+        let r = qarma_encrypt_kernel(Mode::Quick);
+        assert!(r.branches_per_sec > 0.0);
+        assert!(r.ns_per_op > 0.0);
+        assert!(r.p99_ns >= r.ns_per_op * 0.5);
+    }
+}

@@ -67,7 +67,22 @@ impl Bench {
     /// Runs `f` repeatedly — first for the warmup budget (also used to size
     /// timing batches), then for the measurement budget — and prints one
     /// `name ... median ns/iter (min, iters)` line.
-    pub fn run<T>(&self, mut f: impl FnMut() -> T) -> Report {
+    pub fn run<T>(&self, f: impl FnMut() -> T) -> Report {
+        let (report, _) = self.run_sampled(f);
+        println!(
+            "{:<44} {:>12} ns/iter   (min {:>10} ns, {} iters)",
+            self.name,
+            fmt_ns(report.median_ns),
+            fmt_ns(report.min_ns),
+            report.iterations
+        );
+        report
+    }
+
+    /// Like [`run`](Bench::run), but silent, and additionally returns the
+    /// per-batch ns/iter samples sorted ascending so callers can derive tail
+    /// percentiles (`bench::speed` reports p99 from them).
+    pub fn run_sampled<T>(&self, mut f: impl FnMut() -> T) -> (Report, Vec<f64>) {
         // Warmup, counting iterations to size measurement batches so each
         // batch is long enough (~10 ms) for Instant's resolution.
         let start = Instant::now();
@@ -98,14 +113,7 @@ impl Bench {
             min_ns,
             iterations,
         };
-        println!(
-            "{:<44} {:>12} ns/iter   (min {:>10} ns, {} iters)",
-            self.name,
-            fmt_ns(median_ns),
-            fmt_ns(min_ns),
-            iterations
-        );
-        report
+        (report, samples)
     }
 }
 

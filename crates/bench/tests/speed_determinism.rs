@@ -1,0 +1,134 @@
+//! Guarantees around the pinned perf trajectory: the committed
+//! `BENCH_speed.json` must stay schema-valid and tied to the current code
+//! fingerprint, and the "observationally pure speedup" claim — hot-path
+//! optimization never changes a result — is enforced by byte-comparing
+//! experiment CSVs across worker counts.
+
+use bench::cache::ModelCache;
+use bench::speed::{self, KERNELS};
+use bench::{Ctx, Scale};
+use bp_common::pool::Pool;
+use bp_workloads::profile::SpecBenchmark;
+
+/// The committed root-level trajectory file.
+fn committed_report_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_speed.json");
+    std::fs::read_to_string(path).expect("BENCH_speed.json is committed at the repo root")
+}
+
+#[test]
+fn committed_bench_speed_json_is_schema_valid() {
+    let report = speed::parse_report(&committed_report_text()).expect("strict parse");
+    speed::validate(&report).expect("semantic validation");
+
+    // Every hot-path kernel is present, in canonical order, with sane
+    // numbers.
+    let names: Vec<&str> = report.kernels.iter().map(|k| k.name.as_str()).collect();
+    assert_eq!(names, KERNELS, "live kernel set/order");
+    for k in &report.kernels {
+        assert!(
+            k.branches_per_sec > 0.0 && k.ns_per_op > 0.0 && k.p99_ns > 0.0,
+            "kernel {} must carry positive measurements",
+            k.name
+        );
+        assert!(
+            k.p99_ns >= k.ns_per_op,
+            "kernel {}: p99 below the median",
+            k.name
+        );
+    }
+
+    // The pre-optimization baseline is pinned so the trajectory (and the
+    // CI regression gate) has a fixed reference.
+    let baseline = report.baseline.as_ref().expect("pinned baseline block");
+    let base_names: Vec<&str> = baseline.kernels.iter().map(|k| k.name.as_str()).collect();
+    assert_eq!(base_names, KERNELS, "baseline kernel set/order");
+
+    // The file must identify the code revision that produced it.
+    assert_eq!(
+        report.fingerprint,
+        speed::fingerprint(),
+        "BENCH_speed.json fingerprint is stale — regenerate with \
+         `cargo run --release -p bench --bin bench_speed`"
+    );
+}
+
+#[test]
+fn report_render_parse_round_trips() {
+    let report = speed::parse_report(&committed_report_text()).expect("strict parse");
+    let rendered = speed::render_report(&report);
+    let reparsed = speed::parse_report(&rendered).expect("rendered report reparses");
+    assert_eq!(report, reparsed, "render/parse must be lossless");
+}
+
+/// A context with a disabled cache in a fresh temp dir: every point truly
+/// simulates, so the comparison exercises the monomorphized hot path, not
+/// the cache.
+fn csv_ctx(base: &std::path::Path, threads: usize) -> Ctx {
+    Ctx::custom(
+        Scale::Quick,
+        Pool::new(threads),
+        ModelCache::at_dir(base.join("cache"), false),
+    )
+    .with_results_dir(base.join("results"))
+}
+
+fn csv_bytes_for_threads(tag: &str, threads: usize, run: impl Fn(&Ctx), csv_name: &str) -> String {
+    let base = std::env::temp_dir().join(format!(
+        "hybp-speed-determinism-{tag}-t{threads}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let ctx = csv_ctx(&base, threads);
+    run(&ctx);
+    let text = std::fs::read_to_string(base.join("results").join(csv_name)).expect("CSV written");
+    let _ = std::fs::remove_dir_all(&base);
+    text
+}
+
+/// Fig. 5 (per-app IPC bars, subset): byte-identical CSV at 1 and 4 worker
+/// threads. This is the regression gate for the speed campaign — kernels
+/// may only get faster, never different.
+#[test]
+fn fig5_csv_is_byte_identical_across_thread_counts() {
+    let benches = [SpecBenchmark::Mcf, SpecBenchmark::Xz];
+    let texts: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&threads| {
+            csv_bytes_for_threads(
+                "fig5",
+                threads,
+                |ctx| {
+                    bench::experiments::fig5::run_with_benches(ctx, &benches)
+                        .expect("fig5 subset runs clean");
+                },
+                "fig5_hybp_per_app.csv",
+            )
+        })
+        .collect();
+    assert!(!texts[0].is_empty(), "CSV must carry rows");
+    assert_eq!(texts[0], texts[1], "fig5 CSV depends on the worker count");
+}
+
+/// Fig. 7 (SMT mixes): the same byte-identity guarantee for the SMT path.
+/// The full mix table is simulation-heavy, so debug runs skip it; the CI
+/// perf-trajectory job runs it in release with `--include-ignored`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run in release CI")]
+fn fig7_csv_is_byte_identical_across_thread_counts() {
+    let texts: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&threads| {
+            csv_bytes_for_threads(
+                "fig7",
+                threads,
+                |ctx| {
+                    bench::experiments::fig7::run(ctx).expect("fig7 runs clean");
+                },
+                "fig7_smt_mixes.csv",
+            )
+        })
+        .collect();
+    assert!(!texts[0].is_empty(), "CSV must carry rows");
+    assert_eq!(texts[0], texts[1], "fig7 CSV depends on the worker count");
+}

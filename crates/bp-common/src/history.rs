@@ -37,6 +37,7 @@ impl GlobalHistory {
     }
 
     /// Shifts in a new outcome as the most recent bit.
+    #[inline]
     pub fn push(&mut self, taken: bool) {
         let mut carry = taken as u64;
         for w in self.words.iter_mut() {
@@ -51,6 +52,7 @@ impl GlobalHistory {
     /// # Panics
     ///
     /// Panics if `i >= CAPACITY`.
+    #[inline]
     pub fn bit(&self, i: usize) -> bool {
         assert!(i < Self::CAPACITY);
         (self.words[i / 64] >> (i % 64)) & 1 == 1
@@ -61,6 +63,7 @@ impl GlobalHistory {
     /// # Panics
     ///
     /// Panics if `n` is zero or greater than 64.
+    #[inline]
     pub fn low_bits(&self, n: usize) -> u64 {
         assert!(n > 0 && n <= 64);
         if n == 64 {
@@ -134,6 +137,7 @@ impl FoldedHistory {
     /// `history` must be the [`GlobalHistory`] *after* pushing the newest
     /// outcome; the evicted bit is read at `length` (the bit that just slid
     /// out of the folded window).
+    #[inline]
     pub fn update(&mut self, history: &GlobalHistory) {
         if self.length == 0 {
             return;

@@ -42,6 +42,33 @@ pub use telemetry::{Observable, Telemetry, TelemetryEvent, TelemetrySnapshot};
 
 use std::fmt;
 
+/// `x % m`, taking the mask fast path when `m` is a power of two.
+///
+/// Every predictor table in the model has a power-of-two geometry, so the
+/// hot paths fold indices with an AND instead of a hardware divide; the
+/// modulo fallback keeps the function total (and exact) for any `m`.
+/// Returns 0 for `m == 0` rather than dividing by zero — table sizes are
+/// validated non-zero at construction, so that case is a caller bug that
+/// should still not abort a simulation.
+#[inline]
+#[must_use]
+pub fn fast_mod(x: u64, m: u64) -> u64 {
+    if m.is_power_of_two() {
+        x & (m - 1)
+    } else if m == 0 {
+        0
+    } else {
+        x % m
+    }
+}
+
+/// [`fast_mod`] over `usize` operands (slot and vector-length folding).
+#[inline]
+#[must_use]
+pub fn fast_mod_usize(x: usize, m: usize) -> usize {
+    fast_mod(x as u64, m as u64) as usize
+}
+
 /// A 64-bit instruction or data address.
 ///
 /// Newtype so that raw integers, set indices and addresses cannot be mixed up

@@ -274,9 +274,14 @@ impl KeysTable {
         } else {
             (1u64 << self.config.key_bits) - 1
         };
+        // The whole code book shares one tweak (the seed), so a single batch
+        // call lets the cipher build its tweak schedule once for all words.
+        let mut words: Vec<u64> = (0..self.config.words())
+            .map(|word_idx| timer_base.wrapping_add(word_idx as u64))
+            .collect();
+        cipher.encrypt_batch(&mut words, seed.raw());
         let mut keys = Vec::with_capacity(self.config.entries);
-        for word_idx in 0..self.config.words() {
-            let word = cipher.encrypt(timer_base.wrapping_add(word_idx as u64), seed.raw());
+        for word in words {
             for slot in 0..per_word {
                 if keys.len() == self.config.entries {
                     break;
@@ -303,6 +308,7 @@ impl KeysTable {
     /// back into the table and counted in
     /// [`KeysTable::anomalous_reads`] — a wrong key costs a misprediction,
     /// never an abort.
+    #[inline]
     pub fn key_at(&mut self, entry: usize, now: Cycle) -> u64 {
         let entry = if entry < self.config.entries {
             entry
@@ -347,6 +353,7 @@ impl KeysTable {
 
     /// Whether the access counter has reached `threshold` and a renewal
     /// request should be sent (§VI-C).
+    #[inline]
     pub fn needs_refresh(&self, threshold: u64) -> bool {
         self.accesses_since_refresh >= threshold
     }
@@ -517,6 +524,7 @@ impl KeyManager {
 
     /// Folds an out-of-range slot id into range (counted per-table as an
     /// anomalous read when it reaches one).
+    #[inline]
     fn clamp_slot(&self, slot: usize) -> usize {
         if slot < self.slots.len() {
             slot
@@ -571,6 +579,7 @@ impl KeyManager {
     /// reports it.
     ///
     /// Returns `(key, renewed)`.
+    #[inline]
     pub fn index_key(
         &mut self,
         slot: usize,
@@ -581,8 +590,10 @@ impl KeyManager {
     ) -> (u64, bool) {
         let slot = self.clamp_slot(slot);
         let entries = self.slots[slot].table().config().entries;
-        let entry = (pc_slice as usize) % entries;
-        if let Some(f) = self.faults.clone() {
+        let entry = bp_common::fast_mod_usize(pc_slice as usize, entries);
+        // Borrow rather than clone: `faults` and `slots` are disjoint fields,
+        // and this runs once per predicted branch.
+        if let Some(f) = &self.faults {
             let key_bits = self.slots[slot].table().config().key_bits;
             if let Some(bit) = f.on_key_read(slot, entry, key_bits, now) {
                 self.slots[slot].table_mut().inject_bit_flip(entry, bit);
@@ -601,6 +612,7 @@ impl KeyManager {
     }
 
     /// The content key currently active for `slot`.
+    #[inline]
     pub fn content_key(&self, slot: usize) -> u64 {
         self.slots[self.clamp_slot(slot)].content_key()
     }

@@ -57,6 +57,17 @@ pub trait TweakableBlockCipher: Send + Sync {
     /// Decrypts one 64-bit block under the given tweak.
     fn decrypt(&self, ciphertext: u64, tweak: u64) -> u64;
 
+    /// Encrypts every block in place under one shared tweak. Equivalent to
+    /// calling [`encrypt`](TweakableBlockCipher::encrypt) per block — the
+    /// default does exactly that — but ciphers with per-tweak key-schedule
+    /// work (QARMA) override it to amortize the schedule across the batch.
+    /// The key-table refresh encrypts its whole code book this way.
+    fn encrypt_batch(&self, blocks: &mut [u64], tweak: u64) {
+        for b in blocks.iter_mut() {
+            *b = self.encrypt(*b, tweak);
+        }
+    }
+
     /// Modeled hardware latency in cycles when used inline in a pipeline.
     fn latency_cycles(&self) -> u32;
 

@@ -26,5 +26,6 @@ pub use config::{CoreConfig, SimConfig};
 pub use error::{MetricsError, SimError};
 pub use metrics::{RunMetrics, StageCycles, StreamDigest, ThreadMetrics};
 pub use sim::{
-    kernel_stream_name, kernel_stream_seed, stream_name, stream_seed, Simulation, SimulationBuilder,
+    kernel_stream_name, kernel_stream_seed, stream_name, stream_seed, CycleDriver, Simulation,
+    SimulationBuilder,
 };

@@ -8,7 +8,7 @@
 
 use crate::codec::{TableCodec, TableId, TableUnit};
 use crate::DirectionPredictor;
-use bp_common::{Addr, Cycle};
+use bp_common::{fast_mod, Addr, Cycle};
 
 /// Bimodal predictor with shared hysteresis.
 ///
@@ -71,19 +71,31 @@ impl Bimodal {
         self.pred.len()
     }
 
-    fn index(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> usize {
+    fn index<C: TableCodec + ?Sized>(&mut self, pc: Addr, codec: &mut C, now: Cycle) -> usize {
         let raw = pc.bits(2, 32);
-        (codec.transform_index(self.id, raw, pc, now) % self.pred.len() as u64) as usize
+        fast_mod(
+            codec.transform_index(self.id, raw, pc, now),
+            self.pred.len() as u64,
+        ) as usize
     }
-}
 
-impl DirectionPredictor for Bimodal {
-    fn predict(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> bool {
+    /// Predicts the direction at `pc`. Generic over the codec so concrete
+    /// codecs inline on the hot path; the [`DirectionPredictor`] impl
+    /// forwards the `dyn` entry point here.
+    pub fn predict<C: TableCodec + ?Sized>(&mut self, pc: Addr, codec: &mut C, now: Cycle) -> bool {
         let i = self.index(pc, codec, now);
         self.pred[i]
     }
 
-    fn update(&mut self, pc: Addr, taken: bool, codec: &mut dyn TableCodec, now: Cycle) {
+    /// Trains the entry at `pc` toward `taken` (generic twin of the
+    /// [`DirectionPredictor`] method).
+    pub fn update<C: TableCodec + ?Sized>(
+        &mut self,
+        pc: Addr,
+        taken: bool,
+        codec: &mut C,
+        now: Cycle,
+    ) {
         let i = self.index(pc, codec, now);
         let h = i >> self.hyst_shift;
         // 2-bit counter semantics with a shared strength bit: moving against
@@ -96,6 +108,16 @@ impl DirectionPredictor for Bimodal {
             self.pred[i] = taken;
             self.hyst[h] = false;
         }
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> bool {
+        Bimodal::predict(self, pc, codec, now)
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool, codec: &mut dyn TableCodec, now: Cycle) {
+        Bimodal::update(self, pc, taken, codec, now)
     }
 
     fn flush(&mut self) {

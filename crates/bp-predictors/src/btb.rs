@@ -14,7 +14,7 @@
 
 use crate::codec::{TableCodec, TableId, TableUnit};
 use bp_common::rng::SplitMix64;
-use bp_common::{Addr, Cycle};
+use bp_common::{fast_mod, Addr, Cycle};
 
 /// Byte alignment assumed for branch PCs when forming indices (4-byte
 /// instructions on the modeled ARM-like ISA).
@@ -85,7 +85,7 @@ impl BtbConfig {
         if self.sets == 1 {
             0
         } else {
-            pc.bits(PC_SHIFT, self.set_bits()) % self.sets as u64
+            fast_mod(pc.bits(PC_SHIFT, self.set_bits()), self.sets as u64)
         }
     }
 
@@ -174,10 +174,17 @@ impl BtbTable {
     /// Under a stale or foreign key the decoded content is garbage — that is
     /// the randomization working as intended, and the pipeline will pay a
     /// misprediction when it acts on it.
-    pub fn lookup(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> Option<u64> {
+    pub fn lookup<C: TableCodec + ?Sized>(
+        &mut self,
+        pc: Addr,
+        codec: &mut C,
+        now: Cycle,
+    ) -> Option<u64> {
         self.lookups += 1;
-        let set = (codec.transform_index(self.id, self.config.raw_index(pc), pc, now)
-            % self.config.sets as u64) as usize;
+        let set = fast_mod(
+            codec.transform_index(self.id, self.config.raw_index(pc), pc, now),
+            self.config.sets as u64,
+        ) as usize;
         let tag =
             codec.transform_tag(self.id, self.config.raw_tag(pc), pc, now) & self.config.tag_mask();
         for way in 0..self.config.ways {
@@ -192,11 +199,11 @@ impl BtbTable {
 
     /// Inserts (or overwrites) the mapping `pc -> content`, encoding the
     /// content through the codec. Returns what happened to the set.
-    pub fn insert(
+    pub fn insert<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         content: u64,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) -> InsertOutcome {
         let encoded = codec.encode_content(self.id, content);
@@ -205,15 +212,17 @@ impl BtbTable {
 
     /// Inserts already-encoded content (used when migrating entries between
     /// levels without re-keying them).
-    pub fn insert_encoded(
+    pub fn insert_encoded<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         encoded_content: u64,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) -> InsertOutcome {
-        let set = (codec.transform_index(self.id, self.config.raw_index(pc), pc, now)
-            % self.config.sets as u64) as usize;
+        let set = fast_mod(
+            codec.transform_index(self.id, self.config.raw_index(pc), pc, now),
+            self.config.sets as u64,
+        ) as usize;
         let tag =
             codec.transform_tag(self.id, self.config.raw_tag(pc), pc, now) & self.config.tag_mask();
         let base = set * self.config.ways;
@@ -255,9 +264,16 @@ impl BtbTable {
     }
 
     /// Removes the entry for `pc` if present, returning its encoded content.
-    pub fn remove(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> Option<u64> {
-        let set = (codec.transform_index(self.id, self.config.raw_index(pc), pc, now)
-            % self.config.sets as u64) as usize;
+    pub fn remove<C: TableCodec + ?Sized>(
+        &mut self,
+        pc: Addr,
+        codec: &mut C,
+        now: Cycle,
+    ) -> Option<u64> {
+        let set = fast_mod(
+            codec.transform_index(self.id, self.config.raw_index(pc), pc, now),
+            self.config.sets as u64,
+        ) as usize;
         let tag =
             codec.transform_tag(self.id, self.config.raw_tag(pc), pc, now) & self.config.tag_mask();
         for way in 0..self.config.ways {
@@ -418,16 +434,21 @@ impl BtbHierarchy {
     /// # Panics
     ///
     /// Panics if `slot` is out of bounds.
-    pub fn lookup(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> BtbLookup {
+    pub fn lookup<C: TableCodec + ?Sized>(
+        &mut self,
+        pc: Addr,
+        codec: &mut C,
+        now: Cycle,
+    ) -> BtbLookup {
         self.lookup_slot(pc, 0, codec, now)
     }
 
     /// Slot-explicit variant of [`BtbHierarchy::lookup`].
-    pub fn lookup_slot(
+    pub fn lookup_slot<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         slot: usize,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) -> BtbLookup {
         assert!(slot < self.config.slots, "slot out of bounds");
@@ -481,17 +502,23 @@ impl BtbHierarchy {
 
     /// Installs/updates the target for a taken branch (called on commit or
     /// misprediction repair). New entries enter at L0; evictions cascade.
-    pub fn update(&mut self, pc: Addr, target: Addr, codec: &mut dyn TableCodec, now: Cycle) {
+    pub fn update<C: TableCodec + ?Sized>(
+        &mut self,
+        pc: Addr,
+        target: Addr,
+        codec: &mut C,
+        now: Cycle,
+    ) {
         self.update_slot(pc, target, 0, codec, now);
     }
 
     /// Slot-explicit variant of [`BtbHierarchy::update`].
-    pub fn update_slot(
+    pub fn update_slot<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         target: Addr,
         slot: usize,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) {
         assert!(slot < self.config.slots, "slot out of bounds");
@@ -514,13 +541,13 @@ impl BtbHierarchy {
         self.promote_to_l0(pc, encoded, l0_id, slot, codec, now);
     }
 
-    fn promote_to_l0(
+    fn promote_to_l0<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         encoded: u64,
         from: TableId,
         slot: usize,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) {
         // Contents migrate decode-then-reencode so each level's codec view
@@ -538,13 +565,13 @@ impl BtbHierarchy {
         }
     }
 
-    fn demote(
+    fn demote<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         encoded: u64,
         to_level: u8,
         slot: usize,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) {
         let from_id = TableId::new(TableUnit::Btb, (to_level - 1) as usize);

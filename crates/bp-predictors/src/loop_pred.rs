@@ -6,7 +6,7 @@
 //! poorly when N is large.
 
 use crate::codec::{TableCodec, TableId, TableUnit};
-use bp_common::{Addr, Cycle};
+use bp_common::{fast_mod, Addr, Cycle};
 
 /// One loop predictor entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,16 +59,23 @@ impl LoopPredictor {
         LoopPredictor::new(64)
     }
 
-    fn slot(&self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> (usize, u16) {
+    fn slot<C: TableCodec + ?Sized>(&self, pc: Addr, codec: &mut C, now: Cycle) -> (usize, u16) {
         let raw = pc.bits(2, 32);
-        let idx =
-            (codec.transform_index(self.id, raw, pc, now) % self.entries.len() as u64) as usize;
+        let idx = fast_mod(
+            codec.transform_index(self.id, raw, pc, now),
+            self.entries.len() as u64,
+        ) as usize;
         let tag = (codec.transform_tag(self.id, pc.bits(2, 10), pc, now) & 0x3FF) as u16;
         (idx, tag)
     }
 
     /// Consults the predictor. Confident only for learned constant-trip loops.
-    pub fn consult(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> LoopVerdict {
+    pub fn consult<C: TableCodec + ?Sized>(
+        &mut self,
+        pc: Addr,
+        codec: &mut C,
+        now: Cycle,
+    ) -> LoopVerdict {
         let (idx, tag) = self.slot(pc, codec, now);
         let e = &self.entries[idx];
         if e.valid && e.tag == tag && e.confidence >= self.confidence_threshold {
@@ -85,7 +92,13 @@ impl LoopPredictor {
     }
 
     /// Trains with the resolved outcome.
-    pub fn train(&mut self, pc: Addr, taken: bool, codec: &mut dyn TableCodec, now: Cycle) {
+    pub fn train<C: TableCodec + ?Sized>(
+        &mut self,
+        pc: Addr,
+        taken: bool,
+        codec: &mut C,
+        now: Cycle,
+    ) {
         let (idx, tag) = self.slot(pc, codec, now);
         let e = &mut self.entries[idx];
         if !e.valid || e.tag != tag {

@@ -9,7 +9,7 @@
 
 use crate::codec::{TableCodec, TableId, TableUnit};
 use bp_common::history::GlobalHistory;
-use bp_common::{Addr, Cycle};
+use bp_common::{fast_mod, Addr, Cycle};
 
 /// Configuration of the statistical corrector.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,12 +87,12 @@ impl StatisticalCorrector {
         Self::new(ScConfig::default_scl())
     }
 
-    fn index(
+    fn index<C: TableCodec + ?Sized>(
         &self,
         comp: usize,
         pc: Addr,
         history: &GlobalHistory,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) -> usize {
         let hist_len = self.config.history_lens[comp];
@@ -103,17 +103,20 @@ impl StatisticalCorrector {
         };
         let raw = (pc.raw() >> 2) ^ h ^ ((h >> 7) << 1) ^ (comp as u64) << 3;
         let id = TableId::new(TableUnit::StatisticalCorrector, comp);
-        (codec.transform_index(id, raw, pc, now) % self.config.entries as u64) as usize
+        fast_mod(
+            codec.transform_index(id, raw, pc, now),
+            self.config.entries as u64,
+        ) as usize
     }
 
     /// Computes the corrector's vote for `pc`, biased by the TAGE
     /// prediction (`tage_taken` contributes to the sum as in the reference).
-    pub fn consult(
+    pub fn consult<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         tage_taken: bool,
         history: &GlobalHistory,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) -> ScVerdict {
         let mut sum: i32 = if tage_taken { 8 } else { -8 };
@@ -131,13 +134,13 @@ impl StatisticalCorrector {
     /// Trains the corrector with the outcome. Counters are updated whenever
     /// the vote was weak or wrong; the threshold adapts toward the point
     /// where overrides are net-positive.
-    pub fn train(
+    pub fn train<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         taken: bool,
         verdict: ScVerdict,
         history: &GlobalHistory,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) {
         let max = (1i8 << (self.config.ctr_bits - 1)) - 1;

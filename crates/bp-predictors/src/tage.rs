@@ -19,9 +19,9 @@
 use crate::bimodal::Bimodal;
 use crate::codec::{TableCodec, TableId, TableUnit};
 use crate::DirectionPredictor;
-use bp_common::history::{FoldedHistory, GlobalHistory, PathHistory};
+use bp_common::history::{GlobalHistory, PathHistory};
 use bp_common::rng::SplitMix64;
-use bp_common::{Addr, Cycle};
+use bp_common::{fast_mod, fast_mod_usize, Addr, Cycle};
 
 /// Geometry of one tagged table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,53 +151,103 @@ impl TaggedTable {
 
 /// Per-slot history state: the global/path registers and the folded
 /// histories for every tagged table (hardware: per-SMT-thread registers).
+///
+/// The folded registers are stored as a flattened struct-of-arrays bank
+/// rather than per-table `FoldedHistory` structs: the three folds of one
+/// table (index, tag, tag2) share that table's history length, so each push
+/// reads the evicted history bit once per *table* instead of once per
+/// *fold*, and the values/widths/out-points stay in three contiguous
+/// arrays. The per-fold arithmetic is bit-identical to
+/// [`bp_common::history::FoldedHistory::update`].
 #[derive(Debug, Clone)]
 struct HistoryState {
     global: GlobalHistory,
     path: PathHistory,
-    /// (index fold, tag fold 1, tag fold 2) per tagged table.
-    folds: Vec<(FoldedHistory, FoldedHistory, FoldedHistory)>,
+    /// Folded values, 3 per table: `[index, tag, tag2]` interleaved.
+    fold_values: Vec<u64>,
+    /// Fold widths in bits, parallel to `fold_values`.
+    fold_widths: Vec<u32>,
+    /// Evicted-bit positions (`history_len % width`), parallel to
+    /// `fold_values`.
+    fold_out: Vec<u32>,
+    /// History length per table (shared by its three folds).
+    lengths: Vec<usize>,
 }
 
 impl HistoryState {
     fn new(tables: &[TaggedTableConfig]) -> Self {
+        let mut fold_widths = Vec::with_capacity(tables.len() * 3);
+        let mut fold_out = Vec::with_capacity(tables.len() * 3);
+        let mut lengths = Vec::with_capacity(tables.len());
+        for t in tables {
+            let index_bits = usize::BITS - (t.entries - 1).leading_zeros();
+            let widths = [
+                (index_bits as usize).max(1),
+                t.tag_bits as usize,
+                (t.tag_bits as usize).saturating_sub(1).max(1),
+            ];
+            for w in widths {
+                assert!(w > 0 && w <= 32, "fold width out of range");
+                fold_widths.push(w as u32);
+                fold_out.push((t.history_len % w) as u32);
+            }
+            assert!(
+                t.history_len <= GlobalHistory::CAPACITY,
+                "length exceeds capacity"
+            );
+            lengths.push(t.history_len);
+        }
         HistoryState {
             global: GlobalHistory::new(),
             path: PathHistory::new(),
-            folds: tables
-                .iter()
-                .map(|t| {
-                    let index_bits = usize::BITS - (t.entries - 1).leading_zeros();
-                    (
-                        FoldedHistory::new(t.history_len, (index_bits as usize).max(1)),
-                        FoldedHistory::new(t.history_len, t.tag_bits as usize),
-                        FoldedHistory::new(
-                            t.history_len,
-                            (t.tag_bits as usize).saturating_sub(1).max(1),
-                        ),
-                    )
-                })
-                .collect(),
+            fold_values: vec![0; tables.len() * 3],
+            fold_widths,
+            fold_out,
+            lengths,
         }
     }
 
     fn clear(&mut self) {
         self.global.clear();
         self.path.clear();
-        for (a, b, c) in &mut self.folds {
-            a.clear();
-            b.clear();
-            c.clear();
-        }
+        self.fold_values.fill(0);
+    }
+
+    /// Folded (index, tag, tag2) values for `table`.
+    #[inline]
+    fn folds(&self, table: usize) -> (u64, u64, u64) {
+        let j = table * 3;
+        (
+            self.fold_values[j],
+            self.fold_values[j + 1],
+            self.fold_values[j + 2],
+        )
     }
 
     fn push(&mut self, pc: Addr, taken: bool) {
         self.global.push(taken);
         self.path.push(pc.bits(2, 1) == 1);
-        for (a, b, c) in &mut self.folds {
-            a.update(&self.global);
-            b.update(&self.global);
-            c.update(&self.global);
+        let inserted = self.global.bit(0) as u64;
+        for (t, &len) in self.lengths.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let evicted = if len < GlobalHistory::CAPACITY {
+                self.global.bit(len) as u64
+            } else {
+                0
+            };
+            for k in 0..3 {
+                let j = t * 3 + k;
+                let width = self.fold_widths[j];
+                // Rotate left by one inside `width`, inject new bit, eject
+                // old bit (FoldedHistory::update, inlined over the bank).
+                let mut v = (self.fold_values[j] << 1) | inserted;
+                v ^= evicted << self.fold_out[j];
+                v ^= (v >> width) & 1;
+                v &= (1u64 << width) - 1;
+                self.fold_values[j] = v;
+            }
         }
     }
 }
@@ -314,42 +364,50 @@ impl Tage {
         let t = &self.tables[table];
         let bits = (usize::BITS - (t.config.entries - 1).leading_zeros()).max(1);
         let p = pc.raw() >> 2;
-        let (fi, _, _) = &self.histories[slot % self.histories.len()].folds[table];
-        p ^ (p >> bits)
-            ^ fi.value()
-            ^ self.histories[slot % self.histories.len()]
-                .path
-                .low_bits(bits.min(16) as usize)
+        let h = &self.histories[fast_mod_usize(slot, self.histories.len())];
+        let (fi, _, _) = h.folds(table);
+        p ^ (p >> bits) ^ fi ^ h.path.low_bits(bits.min(16) as usize)
     }
 
     fn raw_tag(&self, table: usize, slot: usize, pc: Addr) -> u64 {
         let t = &self.tables[table];
         let mask = (1u64 << t.config.tag_bits) - 1;
-        let (_, f1, f2) = &self.histories[slot % self.histories.len()].folds[table];
-        ((pc.raw() >> 2) ^ f1.value() ^ (f2.value() << 1)) & mask
+        let (_, f1, f2) = self.histories[fast_mod_usize(slot, self.histories.len())].folds(table);
+        ((pc.raw() >> 2) ^ f1 ^ (f2 << 1)) & mask
     }
 
     /// Detailed prediction for a branch executing in `slot`.
     ///
+    /// Generic over the codec so concrete codecs (HyBP's QARMA-backed codec,
+    /// the identity codec) inline their transforms into the table walk; the
+    /// [`DirectionPredictor`] impl forwards the `dyn` entry point here. The
+    /// walk itself is allocation-free: the provider/alternate search tracks
+    /// the last two matching tables in scalars instead of a match list.
+    ///
     /// # Panics
     ///
     /// Panics if `slot` is out of bounds.
-    pub fn predict_slot(
+    pub fn predict_slot<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         slot: usize,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) -> TagePrediction {
-        let slot_b = slot % self.bases.len();
+        let slot_b = fast_mod_usize(slot, self.bases.len());
         let mut indices = [0u64; MAX_TABLES];
         let mut tags = [0u64; MAX_TABLES];
-        let mut matches: Vec<usize> = Vec::with_capacity(2);
+        let mut match_count = 0usize;
+        let mut last_match = usize::MAX;
+        let mut second_last = usize::MAX;
         for i in 0..self.tables.len() {
             let raw_idx = self.raw_index(i, slot, pc);
             let raw_tag = self.raw_tag(i, slot, pc);
             let t = &self.tables[i];
-            let idx = codec.transform_index(t.id, raw_idx, pc, now) % t.config.entries as u64;
+            let idx = fast_mod(
+                codec.transform_index(t.id, raw_idx, pc, now),
+                t.config.entries as u64,
+            );
             let tag =
                 codec.transform_tag(t.id, raw_tag, pc, now) & ((1u64 << t.config.tag_bits) - 1);
             indices[i] = idx;
@@ -358,14 +416,16 @@ impl Tage {
             // An empty entry (never allocated) cannot match tag 0 by luck:
             // require either non-zero counter state or a non-zero tag.
             if e.tag == tag && (e.ctr != 0 || e.u != 0 || e.tag != 0) {
-                matches.push(i);
+                second_last = last_match;
+                last_match = i;
+                match_count += 1;
             }
         }
         let base_pred = self.bases[slot_b].predict(pc, codec, now);
-        let (provider, alt) = match matches.len() {
+        let (provider, alt) = match match_count {
             0 => (None, None),
-            1 => (Some(matches[0]), None),
-            n => (Some(matches[n - 1]), Some(matches[n - 2])),
+            1 => (Some(last_match), None),
+            _ => (Some(last_match), Some(second_last)),
         };
         let alt_taken = match alt {
             Some(a) => self.tables[a].entries[indices[a] as usize].ctr >= 0,
@@ -409,12 +469,16 @@ impl Tage {
     /// Trains with the resolved outcome; must follow
     /// [`Tage::predict_slot`] for the same branch and slot. Also advances the
     /// slot's histories.
-    pub fn update_slot(
+    ///
+    /// Generic over the codec (see [`Tage::predict_slot`]); the hot path
+    /// performs no heap allocation — the allocation-victim search tracks the
+    /// first two u==0 candidates in scalars.
+    pub fn update_slot<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         slot: usize,
         taken: bool,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) {
         let state = match self.last.take() {
@@ -472,13 +536,13 @@ impl Tage {
                 (e.ctr - 1).max(ctr_min)
             };
         } else {
-            let b = slot % self.bases.len();
+            let b = fast_mod_usize(slot, self.bases.len());
             self.bases[b].update(pc, taken, codec, now);
         }
         // Keep the base warm while the provider is weak (cheap stand-in for
         // TAGE's alternate update policy).
         if provider != usize::MAX && state.pred.weak {
-            let b = slot % self.bases.len();
+            let b = fast_mod_usize(slot, self.bases.len());
             self.bases[b].update(pc, taken, codec, now);
         }
 
@@ -490,21 +554,36 @@ impl Tage {
                 provider + 1
             };
             if start < self.tables.len() {
-                let free: Vec<usize> = (start..self.tables.len())
-                    .filter(|&j| self.tables[j].entries[state.indices[j] as usize].u == 0)
-                    .collect();
-                if free.is_empty() {
+                // First two free (u == 0) candidate tables; only their
+                // existence and identity matter below, so the scan stops at
+                // two instead of collecting a list.
+                let mut first_free = usize::MAX;
+                let mut second_free = usize::MAX;
+                for j in start..self.tables.len() {
+                    if self.tables[j].entries[state.indices[j] as usize].u == 0 {
+                        if first_free == usize::MAX {
+                            first_free = j;
+                        } else {
+                            second_free = j;
+                            break;
+                        }
+                    }
+                }
+                if first_free == usize::MAX {
                     for j in start..self.tables.len() {
                         let e = &mut self.tables[j].entries[state.indices[j] as usize];
                         e.u = e.u.saturating_sub(1);
                     }
                 } else {
                     // Prefer shorter history with a random skew, as in the
-                    // reference implementation.
-                    let pick = if free.len() > 1 && self.alloc_rng.next_below(4) == 0 {
-                        free[1]
+                    // reference implementation. The RNG draw happens only
+                    // when a second candidate exists — exactly as it did
+                    // with the list (`free.len() > 1` short-circuit), so
+                    // the allocation RNG stream is unchanged.
+                    let pick = if second_free != usize::MAX && self.alloc_rng.next_below(4) == 0 {
+                        second_free
                     } else {
-                        free[0]
+                        first_free
                     };
                     let e = &mut self.tables[pick].entries[state.indices[pick] as usize];
                     *e = TaggedEntry {
@@ -524,7 +603,7 @@ impl Tage {
             }
         }
 
-        let hs = slot % self.histories.len();
+        let hs = fast_mod_usize(slot, self.histories.len());
         self.histories[hs].push(pc, taken);
     }
 
@@ -546,9 +625,9 @@ impl Tage {
     /// and history registers (the HyBP context-switch action; the shared
     /// tagged tables are protected by the key change instead).
     pub fn flush_slot(&mut self, slot: usize) {
-        let b = slot % self.bases.len();
+        let b = fast_mod_usize(slot, self.bases.len());
         self.bases[b].flush();
-        let h = slot % self.histories.len();
+        let h = fast_mod_usize(slot, self.histories.len());
         self.histories[h].clear();
         self.last = None;
     }

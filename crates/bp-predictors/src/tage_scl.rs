@@ -16,7 +16,7 @@ use crate::sc::StatisticalCorrector;
 use crate::tage::{Tage, TageConfig};
 use crate::DirectionPredictor;
 use bp_common::history::GlobalHistory;
-use bp_common::{Addr, Cycle};
+use bp_common::{fast_mod_usize, Addr, Cycle};
 
 /// The combined TAGE-SC-L predictor.
 ///
@@ -98,20 +98,22 @@ impl TageScL {
         &self.tage
     }
 
-    /// Predicts for a branch executing in `slot`.
+    /// Predicts for a branch executing in `slot`. Generic over the codec so
+    /// concrete codecs inline through the whole TAGE-SC-L stack; `dyn`
+    /// callers keep working (`dyn TableCodec` implements `TableCodec`).
     ///
     /// # Panics
     ///
     /// Panics if `slot` is out of bounds.
-    pub fn predict_slot(
+    pub fn predict_slot<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         slot: usize,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) -> bool {
-        let si = slot % self.sc.len();
-        let hi = slot % self.histories.len();
+        let si = fast_mod_usize(slot, self.sc.len());
+        let hi = fast_mod_usize(slot, self.histories.len());
         let lv = self.loop_pred[si].consult(pc, codec, now);
         let tage_pred = self.tage.predict_slot(pc, slot, codec, now);
         let sc = self.sc[si].consult(pc, tage_pred.taken, &self.histories[hi], codec, now);
@@ -130,16 +132,16 @@ impl TageScL {
 
     /// Trains all components for a branch in `slot` and advances that slot's
     /// histories.
-    pub fn update_slot(
+    pub fn update_slot<C: TableCodec + ?Sized>(
         &mut self,
         pc: Addr,
         slot: usize,
         taken: bool,
-        codec: &mut dyn TableCodec,
+        codec: &mut C,
         now: Cycle,
     ) {
-        let si = slot % self.sc.len();
-        let hi = slot % self.histories.len();
+        let si = fast_mod_usize(slot, self.sc.len());
+        let hi = fast_mod_usize(slot, self.histories.len());
         self.loop_pred[si].train(pc, taken, codec, now);
         if let Some((saved_pc, saved_slot, verdict)) = self.last_sc.take() {
             if saved_pc == pc.raw() && saved_slot == slot {
@@ -154,8 +156,8 @@ impl TageScL {
     /// history registers, corrector and loop table. The shared tagged tables
     /// are untouched (they are protected by key changes under HyBP).
     pub fn flush_slot_isolated(&mut self, slot: usize) {
-        let si = slot % self.sc.len();
-        let hi = slot % self.histories.len();
+        let si = fast_mod_usize(slot, self.sc.len());
+        let hi = fast_mod_usize(slot, self.histories.len());
         self.tage.flush_slot(slot);
         self.sc[si].flush();
         self.loop_pred[si].flush();

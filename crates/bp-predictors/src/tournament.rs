@@ -8,7 +8,7 @@
 
 use crate::codec::{TableCodec, TableId, TableUnit};
 use crate::DirectionPredictor;
-use bp_common::{Addr, Cycle};
+use bp_common::{fast_mod, Addr, Cycle};
 
 fn bump(c: &mut u8, taken: bool, max: u8) {
     if taken {
@@ -88,23 +88,39 @@ impl Tournament {
         Tournament::new(TournamentConfig::alpha_like())
     }
 
-    fn local_index(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> usize {
+    fn local_index<C: TableCodec + ?Sized>(
+        &mut self,
+        pc: Addr,
+        codec: &mut C,
+        now: Cycle,
+    ) -> usize {
         let raw = pc.bits(2, 32);
-        (codec.transform_index(self.id, raw, pc, now) % self.config.local_entries as u64) as usize
+        fast_mod(
+            codec.transform_index(self.id, raw, pc, now),
+            self.config.local_entries as u64,
+        ) as usize
     }
 
-    fn global_index(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> usize {
+    fn global_index<C: TableCodec + ?Sized>(
+        &mut self,
+        pc: Addr,
+        codec: &mut C,
+        now: Cycle,
+    ) -> usize {
         let raw = pc.bits(2, 32) ^ self.global_history;
-        (codec.transform_index(self.id, raw, pc, now) % self.config.global_entries as u64) as usize
+        fast_mod(
+            codec.transform_index(self.id, raw, pc, now),
+            self.config.global_entries as u64,
+        ) as usize
     }
 
     fn chooser_index(&self) -> usize {
-        (self.global_history % self.config.chooser_entries as u64) as usize
+        fast_mod(self.global_history, self.config.chooser_entries as u64) as usize
     }
-}
 
-impl DirectionPredictor for Tournament {
-    fn predict(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> bool {
+    /// Predicts the direction at `pc` (generic twin of the
+    /// [`DirectionPredictor`] method, so concrete codecs inline).
+    pub fn predict<C: TableCodec + ?Sized>(&mut self, pc: Addr, codec: &mut C, now: Cycle) -> bool {
         let li = self.local_index(pc, codec, now);
         let lh = self.local_history[li] as usize & ((1 << self.config.local_history_bits) - 1);
         let local_pred = self.local_ctr[lh] >= 4;
@@ -116,7 +132,15 @@ impl DirectionPredictor for Tournament {
         pred
     }
 
-    fn update(&mut self, pc: Addr, taken: bool, codec: &mut dyn TableCodec, now: Cycle) {
+    /// Trains toward `taken` (generic twin of the [`DirectionPredictor`]
+    /// method).
+    pub fn update<C: TableCodec + ?Sized>(
+        &mut self,
+        pc: Addr,
+        taken: bool,
+        codec: &mut C,
+        now: Cycle,
+    ) {
         let (local_pred, global_pred) = match self.last.take() {
             Some((saved, l, g)) if saved == pc.raw() => (l, g),
             _ => {
@@ -146,6 +170,16 @@ impl DirectionPredictor for Tournament {
         let gi = self.global_index(pc, codec, now);
         bump(&mut self.global_ctr[gi], taken, 3);
         self.global_history = (self.global_history << 1) | u64::from(taken);
+    }
+}
+
+impl DirectionPredictor for Tournament {
+    fn predict(&mut self, pc: Addr, codec: &mut dyn TableCodec, now: Cycle) -> bool {
+        Tournament::predict(self, pc, codec, now)
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool, codec: &mut dyn TableCodec, now: Cycle) {
+        Tournament::update(self, pc, taken, codec, now)
     }
 
     fn flush(&mut self) {

@@ -297,7 +297,7 @@ impl SecureBpu {
     /// Folds a hardware-thread id into the configured range (an out-of-range
     /// id is an anomaly, not a reason to crash).
     fn hw_index(&self, hw: HwThreadId) -> usize {
-        hw.index() % self.n_hw_threads
+        bp_common::fast_mod_usize(hw.index(), self.n_hw_threads)
     }
 
     /// The active mechanism.
@@ -339,27 +339,6 @@ impl SecureBpu {
         }
     }
 
-    /// Accumulated statistics.
-    #[deprecated(note = "use SecureBpu::observation().stats or Observable::snapshot()")]
-    pub fn stats(&self) -> BpuStats {
-        self.stats
-    }
-
-    /// Codec statistics, when the mechanism is HyBP.
-    #[deprecated(note = "use SecureBpu::observation().codec")]
-    pub fn codec_stats(&self) -> Option<crate::codec::CodecStats> {
-        match &self.codec {
-            CodecState::Hybp(c) => Some(c.stats()),
-            CodecState::Identity(_) => None,
-        }
-    }
-
-    /// BTB occupancy `(l0, l1, l2)` for a slot (analysis helper).
-    #[deprecated(note = "use SecureBpu::observation().btb_occupancy")]
-    pub fn btb_occupancy(&self, slot: usize) -> (usize, usize, usize) {
-        self.btb.occupancy(slot)
-    }
-
     fn dir_slot(&self, domain: SecurityDomain) -> usize {
         match &self.dir {
             // Shared baseline: banked per hardware thread (history/base),
@@ -392,7 +371,6 @@ impl SecureBpu {
         let domain = self.domains[hwi];
         let dir_slot = self.dir_slot(domain);
         let btb_slot = self.btb_slot(domain);
-        let faults = self.faults.clone();
         if let CodecState::Hybp(c) = &mut self.codec {
             c.set_context(domain.isolation_slot(), domain.asid(), Vmid::new(0));
             // A prediction served while the slot's code-book rewrite is
@@ -416,122 +394,21 @@ impl SecureBpu {
         }
         self.stats.branches += 1;
 
-        // Split-borrow helpers: the codec must be separable from dir/btb.
-        let codec: &mut dyn bp_predictors::codec::TableCodec = match &mut self.codec {
-            CodecState::Identity(c) => c,
-            CodecState::Hybp(c) => c.as_mut(),
+        // Split borrows: the codec must be separable from dir/btb/ras/stats.
+        // Dispatch on the codec variant ONCE per branch, then run the whole
+        // predict/train path monomorphized on the concrete codec so every
+        // index/tag/content transform inlines (the `dyn` hop per table access
+        // was the single largest per-branch cost).
+        let core = BpuCore {
+            dir: &mut self.dir,
+            btb: &mut self.btb,
+            ras: &mut self.ras,
+            stats: &mut self.stats,
+            faults: self.faults.as_ref(),
         };
-
-        // Direction prediction.
-        let (predicted_taken, direction_mispredict) = if rec.kind.is_conditional() {
-            self.stats.conditional_branches += 1;
-            let mut p = match &mut self.dir {
-                DirState::Shared(d) | DirState::Slotted(d) => {
-                    d.predict_slot(rec.pc, dir_slot, codec, now)
-                }
-                DirState::PerSlot(v) => v[dir_slot].predict_slot(rec.pc, 0, codec, now),
-                DirState::Tournament(t) => {
-                    use bp_predictors::DirectionPredictor as _;
-                    t.predict(rec.pc, codec, now)
-                }
-            };
-            // A transient counter-read fault inverts the *prediction* the
-            // front-end sees; the trace outcome (architectural truth) is
-            // untouched, so a flip can only cost accuracy.
-            if let Some(f) = &faults {
-                if f.flip_direction(now) {
-                    p = !p;
-                }
-            }
-            (p, p != rec.taken)
-        } else {
-            (true, false)
-        };
-        if direction_mispredict {
-            self.stats.direction_mispredicts += 1;
-        }
-
-        // Target prediction.
-        let mut btb_level = None;
-        let mut btb_latency = 0;
-        let mut target_mispredict = false;
-        match rec.kind {
-            BranchKind::Return => {
-                let predicted = self.ras[hwi].pop();
-                if predicted != Some(rec.target) {
-                    target_mispredict = true;
-                }
-            }
-            _ => {
-                let lookup = self.btb.lookup_slot(rec.pc, btb_slot, codec, now);
-                btb_level = lookup.level();
-                if rec.taken {
-                    // A transient payload fault flips one bit of the target
-                    // fetch *reads*; the stored entry and the trace target
-                    // stay intact, so a flip degrades into an ordinary
-                    // target mispredict.
-                    let read_target = lookup.target().map(|t| match &faults {
-                        Some(f) => match f.on_btb_target(t.raw(), now) {
-                            Some(bit) => bp_common::Addr::new(t.raw() ^ (1u64 << (bit % 64))),
-                            None => t,
-                        },
-                        None => t,
-                    });
-                    match read_target {
-                        Some(t) if t == rec.target => {
-                            // Correct target; deeper levels still cost fetch
-                            // bubbles even when right.
-                            btb_latency = lookup.latency();
-                        }
-                        _ => {
-                            // Taken, but fetch had no usable target. Only a
-                            // penalty when the direction side said "taken"
-                            // (otherwise the direction mispredict already
-                            // pays), but unconditional kinds always need it.
-                            if predicted_taken {
-                                target_mispredict = true;
-                            }
-                        }
-                    }
-                    if lookup.is_miss() {
-                        self.stats.btb_misses += 1;
-                    }
-                }
-                if let Some(l) = lookup.level() {
-                    self.stats.btb_hits[l as usize] += 1;
-                }
-                if rec.kind == BranchKind::Call {
-                    self.ras[hwi].push(rec.pc.wrapping_add(4));
-                }
-            }
-        }
-        if target_mispredict {
-            self.stats.target_mispredicts += 1;
-        }
-
-        // Training.
-        if rec.kind.is_conditional() {
-            match &mut self.dir {
-                DirState::Shared(d) | DirState::Slotted(d) => {
-                    d.update_slot(rec.pc, dir_slot, rec.taken, codec, now)
-                }
-                DirState::PerSlot(v) => v[dir_slot].update_slot(rec.pc, 0, rec.taken, codec, now),
-                DirState::Tournament(t) => {
-                    use bp_predictors::DirectionPredictor as _;
-                    t.update(rec.pc, rec.taken, codec, now)
-                }
-            }
-        }
-        if rec.taken && rec.kind != BranchKind::Return {
-            self.btb
-                .update_slot(rec.pc, rec.target, btb_slot, codec, now);
-        }
-
-        BranchOutcome {
-            direction_mispredict,
-            target_mispredict,
-            btb_level,
-            btb_latency,
+        match &mut self.codec {
+            CodecState::Identity(c) => core.process(c, hwi, dir_slot, btb_slot, rec, now),
+            CodecState::Hybp(c) => core.process(c.as_mut(), hwi, dir_slot, btb_slot, rec, now),
         }
     }
 
@@ -631,12 +508,15 @@ impl SecureBpu {
         };
         let g = self.btb.l2_geometry();
         let raw = g.raw_index(pc);
-        codec.transform_index(
-            bp_predictors::codec::TableId::new(bp_predictors::codec::TableUnit::Btb, 2),
-            raw,
-            pc,
-            now,
-        ) % g.sets as u64
+        bp_common::fast_mod(
+            codec.transform_index(
+                bp_predictors::codec::TableId::new(bp_predictors::codec::TableUnit::Btb, 2),
+                raw,
+                pc,
+                now,
+            ),
+            g.sets as u64,
+        )
     }
 
     /// Total modeled predictor storage in bits (tables only, excluding keys
@@ -651,6 +531,139 @@ impl SecureBpu {
             }
         };
         dir + self.btb.storage_bits()
+    }
+}
+
+/// Disjoint borrows of everything [`SecureBpu::process_branch`] touches
+/// besides the codec, so the per-branch path can be generic over the
+/// concrete codec type while the codec itself is borrowed out of the same
+/// `SecureBpu`.
+struct BpuCore<'a> {
+    dir: &'a mut DirState,
+    btb: &'a mut BtbHierarchy,
+    ras: &'a mut [ReturnAddressStack],
+    stats: &'a mut BpuStats,
+    faults: Option<&'a FaultInjector>,
+}
+
+impl BpuCore<'_> {
+    /// The predict/compare/train path for one branch, monomorphized per
+    /// codec. Byte-for-byte the same decisions as the former `dyn`-dispatch
+    /// body: same table access order, same RNG draws, same counters.
+    fn process<C: bp_predictors::codec::TableCodec + ?Sized>(
+        self,
+        codec: &mut C,
+        hwi: usize,
+        dir_slot: usize,
+        btb_slot: usize,
+        rec: &BranchRecord,
+        now: Cycle,
+    ) -> BranchOutcome {
+        // Direction prediction.
+        let (predicted_taken, direction_mispredict) = if rec.kind.is_conditional() {
+            self.stats.conditional_branches += 1;
+            let mut p = match &mut *self.dir {
+                DirState::Shared(d) | DirState::Slotted(d) => {
+                    d.predict_slot(rec.pc, dir_slot, codec, now)
+                }
+                DirState::PerSlot(v) => v[dir_slot].predict_slot(rec.pc, 0, codec, now),
+                DirState::Tournament(t) => t.predict(rec.pc, codec, now),
+            };
+            // A transient counter-read fault inverts the *prediction* the
+            // front-end sees; the trace outcome (architectural truth) is
+            // untouched, so a flip can only cost accuracy.
+            if let Some(f) = self.faults {
+                if f.flip_direction(now) {
+                    p = !p;
+                }
+            }
+            (p, p != rec.taken)
+        } else {
+            (true, false)
+        };
+        if direction_mispredict {
+            self.stats.direction_mispredicts += 1;
+        }
+
+        // Target prediction.
+        let mut btb_level = None;
+        let mut btb_latency = 0;
+        let mut target_mispredict = false;
+        match rec.kind {
+            BranchKind::Return => {
+                let predicted = self.ras[hwi].pop();
+                if predicted != Some(rec.target) {
+                    target_mispredict = true;
+                }
+            }
+            _ => {
+                let lookup = self.btb.lookup_slot(rec.pc, btb_slot, codec, now);
+                btb_level = lookup.level();
+                if rec.taken {
+                    // A transient payload fault flips one bit of the target
+                    // fetch *reads*; the stored entry and the trace target
+                    // stay intact, so a flip degrades into an ordinary
+                    // target mispredict.
+                    let read_target = lookup.target().map(|t| match self.faults {
+                        Some(f) => match f.on_btb_target(t.raw(), now) {
+                            Some(bit) => bp_common::Addr::new(t.raw() ^ (1u64 << (bit % 64))),
+                            None => t,
+                        },
+                        None => t,
+                    });
+                    match read_target {
+                        Some(t) if t == rec.target => {
+                            // Correct target; deeper levels still cost fetch
+                            // bubbles even when right.
+                            btb_latency = lookup.latency();
+                        }
+                        _ => {
+                            // Taken, but fetch had no usable target. Only a
+                            // penalty when the direction side said "taken"
+                            // (otherwise the direction mispredict already
+                            // pays), but unconditional kinds always need it.
+                            if predicted_taken {
+                                target_mispredict = true;
+                            }
+                        }
+                    }
+                    if lookup.is_miss() {
+                        self.stats.btb_misses += 1;
+                    }
+                }
+                if let Some(l) = lookup.level() {
+                    self.stats.btb_hits[l as usize] += 1;
+                }
+                if rec.kind == BranchKind::Call {
+                    self.ras[hwi].push(rec.pc.wrapping_add(4));
+                }
+            }
+        }
+        if target_mispredict {
+            self.stats.target_mispredicts += 1;
+        }
+
+        // Training.
+        if rec.kind.is_conditional() {
+            match &mut *self.dir {
+                DirState::Shared(d) | DirState::Slotted(d) => {
+                    d.update_slot(rec.pc, dir_slot, rec.taken, codec, now)
+                }
+                DirState::PerSlot(v) => v[dir_slot].update_slot(rec.pc, 0, rec.taken, codec, now),
+                DirState::Tournament(t) => t.update(rec.pc, rec.taken, codec, now),
+            }
+        }
+        if rec.taken && rec.kind != BranchKind::Return {
+            self.btb
+                .update_slot(rec.pc, rec.target, btb_slot, codec, now);
+        }
+
+        BranchOutcome {
+            direction_mispredict,
+            target_mispredict,
+            btb_level,
+            btb_latency,
+        }
     }
 }
 
