@@ -1,0 +1,9 @@
+//! Thin entry point; the experiment body lives in
+//! `bench::experiments::serve_soak` so the `bench_all` driver can run the whole
+//! suite in one process with a shared pool and model cache.
+//!
+//! Usage: `serve_soak [--scale quick|default|full] [--threads N] [--no-cache]`
+
+fn main() {
+    bench::exp_main(bench::experiments::serve_soak::run);
+}

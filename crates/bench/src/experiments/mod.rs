@@ -23,6 +23,7 @@ pub mod sec6_attack_costs;
 pub mod sec6_poc_training;
 pub mod sec7f;
 pub mod sec_fault_matrix;
+pub mod serve_soak;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -121,6 +122,11 @@ pub fn all() -> Vec<Experiment> {
             csv: Some("sec_fault_matrix.csv"),
             run: sec_fault_matrix::run,
         },
+        Experiment {
+            name: "serve_soak",
+            csv: Some("serve_soak.csv"),
+            run: serve_soak::run,
+        },
     ]
 }
 
@@ -139,6 +145,6 @@ mod tests {
 
     #[test]
     fn registry_covers_the_whole_suite() {
-        assert_eq!(all().len(), 15);
+        assert_eq!(all().len(), 16);
     }
 }

@@ -1,0 +1,80 @@
+//! Service-resilience soak: drives the supervised shard runtime of
+//! `bp-serve` through the deterministic closed-loop workload and records
+//! one CSV row per shard. Honors the context's `HYBP_FAULT_POINTS` plan,
+//! so the fault-injected `bench_all` runs exercise shed/restart/degraded
+//! paths; the clean suite run must come back fully Ready with exact
+//! accounting, or the experiment fails.
+
+use bp_serve::ServeTotals;
+
+use crate::serve::{self, Mode};
+use crate::{Ctx, ExpResult, Scale};
+
+fn mode_for(scale: Scale) -> Mode {
+    match scale {
+        Scale::Quick => Mode::Quick,
+        Scale::Default | Scale::Full => Mode::Full,
+    }
+}
+
+pub fn run(ctx: &Ctx) -> ExpResult {
+    let mode = mode_for(ctx.scale);
+    let (report, soak) = serve::run_soak(mode, &ctx.fault_points, &ctx.pool, None)?;
+    let mut csv = ctx.csv(
+        "serve_soak.csv",
+        "shard,health,submitted,answered,shed_overload,shed_deadline,shed_failed,lost,degraded_answers,degraded_windows,restarts,queue_depth_peak",
+    );
+    println!(
+        "Service soak: {} requests over {} shards",
+        soak.counters.requests,
+        report.shards.len()
+    );
+    for s in &report.shards {
+        println!(
+            "  shard {}: {:?}, {} answered / {} submitted, shed {} (o {} / d {} / f {}), lost {}, restarts {}",
+            s.shard,
+            s.health,
+            s.answered,
+            s.submitted,
+            s.shed(),
+            s.shed_overload,
+            s.shed_deadline,
+            s.shed_failed,
+            s.lost,
+            s.restarts
+        );
+        csv.row(format_args!(
+            "{},{:?},{},{},{},{},{},{},{},{},{},{}",
+            s.shard,
+            s.health,
+            s.submitted,
+            s.answered,
+            s.shed_overload,
+            s.shed_deadline,
+            s.shed_failed,
+            s.lost,
+            s.degraded_answers,
+            s.degraded_windows,
+            s.restarts,
+            s.queue_depth.peak()
+        ));
+    }
+    let ServeTotals {
+        answered,
+        shed,
+        lost,
+        ..
+    } = report.totals();
+    println!(
+        "  totals: {answered} answered, {shed} shed, {lost} lost, p99 {} cycles",
+        soak.counters.p99_latency_cycles
+    );
+    if !report.readiness().is_ready() && ctx.fault_points.serve_faults().is_empty() {
+        return Err(format!(
+            "clean soak ended non-ready: {:?}",
+            report.shards.iter().map(|s| s.health).collect::<Vec<_>>()
+        )
+        .into());
+    }
+    ctx.finish_experiment(csv)
+}

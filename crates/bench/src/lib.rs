@@ -35,6 +35,7 @@ use hybp::Mechanism;
 pub mod cache;
 pub mod cli;
 pub mod experiments;
+pub mod serve;
 pub mod speed;
 pub mod supervise;
 pub mod telemetry;

@@ -882,4 +882,50 @@ mod tests {
         // Clones share counters.
         assert_eq!(pool.clone().snapshot().get("tasks"), 8);
     }
+
+    #[test]
+    fn worker_panic_during_pool_shutdown_joins_cleanly() {
+        // Shutdown ordering: a worker panicking while the map (and with it
+        // the pool's thread scope) is tearing down must never deadlock the
+        // explicit joins or abort the process. The panic payload must come
+        // back verbatim, the poison flag must have cut further claims, and
+        // the pool must remain fully usable afterwards — the scoped
+        // workers are provably gone, so dropping the pool is a no-op.
+        let pool = Pool::new(4);
+        let started = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&i| {
+                started.fetch_add(1, Ordering::SeqCst);
+                if i == 0 {
+                    panic!("teardown panic");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                i
+            })
+        }));
+        let payload = result.expect_err("the worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(
+            msg, "teardown panic",
+            "original payload must survive the explicit joins"
+        );
+        let started = started.load(Ordering::SeqCst);
+        assert!(
+            started < items.len(),
+            "{started}/{} items started: poison flag did not stop claims during shutdown",
+            items.len()
+        );
+        assert_eq!(pool.snapshot().get("panics"), 1);
+        // Clean join: every scoped worker is gone, so the same pool value
+        // runs a fresh map correctly and then drops without hanging.
+        let again = pool.par_map(&items, |&i| i * 2);
+        assert_eq!(again, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+        drop(pool);
+    }
 }

@@ -45,6 +45,7 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -305,6 +306,127 @@ impl Default for Histogram {
     }
 }
 
+/// A last-value gauge that also remembers its peak — the shape shard
+/// health reporting needs (current queue depth vs. worst queue depth) in
+/// two words of state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Gauge {
+    current: u64,
+    peak: u64,
+    samples: u64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge {
+            current: 0,
+            peak: 0,
+            samples: 0,
+        }
+    }
+
+    /// Records the gauge's new value.
+    #[inline]
+    pub fn set(&mut self, value: u64) {
+        self.current = value;
+        self.peak = self.peak.max(value);
+        self.samples += 1;
+    }
+
+    /// The most recently recorded value.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The largest value ever recorded.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// How many times the gauge was set.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Coarse component health, ordered worst-last so [`Readiness::worst`] is
+/// a plain max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Health {
+    /// Serving normally.
+    #[default]
+    Ready,
+    /// Serving, but in a degraded regime (e.g. stale-key mode).
+    Degraded,
+    /// Not serving; requests routed here are shed.
+    Failed,
+}
+
+impl Health {
+    /// Stable lower-case name, used in reports and journals.
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Ready => "ready",
+            Health::Degraded => "degraded",
+            Health::Failed => "failed",
+        }
+    }
+}
+
+impl fmt::Display for Health {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A point-in-time readiness report over a set of components (shards,
+/// stores, ...): per-component health in index order plus the aggregate
+/// verdict a load balancer or suite driver would act on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Readiness {
+    components: Vec<Health>,
+}
+
+impl Readiness {
+    /// A report over `components` healths, in component-index order.
+    pub fn new(components: Vec<Health>) -> Readiness {
+        Readiness { components }
+    }
+
+    /// Per-component health, in index order.
+    pub fn components(&self) -> &[Health] {
+        &self.components
+    }
+
+    /// The worst health across components ([`Health::Ready`] when empty).
+    pub fn worst(&self) -> Health {
+        self.components.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Whether every component is fully ready.
+    pub fn is_ready(&self) -> bool {
+        self.worst() == Health::Ready
+    }
+
+    /// How many components report `health`.
+    pub fn count(&self, health: Health) -> u64 {
+        self.components.iter().filter(|&&h| h == health).count() as u64
+    }
+}
+
+impl Observable for Readiness {
+    /// Scope `"readiness"`: component totals per health plus the aggregate.
+    fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::new("readiness")
+            .with("components", self.components.len() as u64)
+            .with("ready", self.count(Health::Ready))
+            .with("degraded", self.count(Health::Degraded))
+            .with("failed", self.count(Health::Failed))
+            .with("is_ready", u64::from(self.is_ready()))
+    }
+}
+
 /// Named end-of-run counters from one subsystem, in deterministic order.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TelemetrySnapshot {
@@ -511,6 +633,47 @@ mod tests {
                 slot: 0,
             },
         }
+    }
+
+    #[test]
+    fn gauge_tracks_current_and_peak() {
+        let mut g = Gauge::new();
+        assert_eq!((g.current(), g.peak(), g.samples()), (0, 0, 0));
+        g.set(7);
+        g.set(3);
+        assert_eq!((g.current(), g.peak(), g.samples()), (3, 7, 2));
+        g.set(9);
+        assert_eq!((g.current(), g.peak(), g.samples()), (9, 9, 3));
+    }
+
+    #[test]
+    fn health_orders_worst_last() {
+        assert!(Health::Ready < Health::Degraded);
+        assert!(Health::Degraded < Health::Failed);
+        assert_eq!(Health::Degraded.name(), "degraded");
+        assert_eq!(Health::Failed.to_string(), "failed");
+    }
+
+    #[test]
+    fn readiness_aggregates_worst_component() {
+        let empty = Readiness::default();
+        assert!(empty.is_ready());
+        assert_eq!(empty.worst(), Health::Ready);
+
+        let r = Readiness::new(vec![Health::Ready, Health::Degraded, Health::Ready]);
+        assert_eq!(r.worst(), Health::Degraded);
+        assert!(!r.is_ready());
+        assert_eq!(r.count(Health::Ready), 2);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.scope, "readiness");
+        assert_eq!(snap.get("components"), 3);
+        assert_eq!(snap.get("degraded"), 1);
+        assert_eq!(snap.get("failed"), 0);
+        assert_eq!(snap.get("is_ready"), 0);
+
+        let failed = Readiness::new(vec![Health::Failed, Health::Degraded]);
+        assert_eq!(failed.worst(), Health::Failed);
     }
 
     #[test]

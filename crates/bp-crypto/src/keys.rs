@@ -456,6 +456,10 @@ pub struct KeyManager {
     threshold: u64,
     faults: Option<FaultInjector>,
     telemetry: bp_common::Telemetry,
+    /// Renewals whose table rewrite was dropped (keys left stale).
+    refresh_stalls: u64,
+    /// Renewals whose table rewrite silently started late.
+    refresh_delays: u64,
 }
 
 /// The paper's renewal threshold: the shortest analyzed attack needs ≈ 2²⁷
@@ -495,6 +499,8 @@ impl KeyManager {
             threshold,
             faults: None,
             telemetry: bp_common::Telemetry::disabled(),
+            refresh_stalls: 0,
+            refresh_delays: 0,
         })
     }
 
@@ -553,8 +559,14 @@ impl KeyManager {
         };
         if disposition == RefreshDisposition::Drop {
             // The renewal request is lost: keys stay stale, the counter
-            // keeps running, and the next trigger will retry.
+            // keeps running, and the next trigger will retry. The stall is
+            // counted so a serving layer can surface degraded mode — the
+            // counter is observation-only and never feeds back into timing.
+            self.refresh_stalls += 1;
             return nominal_done;
+        }
+        if matches!(disposition, RefreshDisposition::Delay(_)) {
+            self.refresh_delays += 1;
         }
         let rand = self.rand_source.next_u64();
         let seed = IndexSeed::derive(asid, vmid, rand);
@@ -620,6 +632,19 @@ impl KeyManager {
     /// Read-only access to a slot's key state.
     pub fn slot(&self, slot: usize) -> &DomainKeys {
         &self.slots[self.clamp_slot(slot)]
+    }
+
+    /// Renewals whose table rewrite was dropped by a fault: the slot kept
+    /// serving its stale keys (§V-C2 — stale keys cost accuracy, never
+    /// correctness). Monotone over the manager's lifetime.
+    pub fn refresh_stalls(&self) -> u64 {
+        self.refresh_stalls
+    }
+
+    /// Renewals whose table rewrite was delayed by a fault (started late
+    /// but did complete). Monotone over the manager's lifetime.
+    pub fn refresh_delays(&self) -> u64 {
+        self.refresh_delays
     }
 }
 
@@ -1108,6 +1133,37 @@ mod tests {
         let (late, _) = km.index_key(0, 0x77, Asid::new(3), Vmid::new(1), 40_000);
         assert_eq!(km.slot(0).table().generation(), 2);
         let _ = late;
+    }
+
+    #[test]
+    fn refresh_stall_and_delay_counters_track_dispositions() {
+        let mut km = manager(
+            2,
+            KeysTableConfig::paper_default(),
+            PAPER_RENEWAL_THRESHOLD,
+            41,
+        );
+        assert_eq!((km.refresh_stalls(), km.refresh_delays()), (0, 0));
+        // Fault-free renewals count nothing.
+        km.renew(0, Asid::new(3), Vmid::new(1), 0);
+        assert_eq!((km.refresh_stalls(), km.refresh_delays()), (0, 0));
+        // Dropped rewrites count as stalls, and only as stalls.
+        km.set_fault_injector(Some(FaultInjector::from_plan(
+            FaultPlan::new(5).with_refresh_drops(1),
+        )));
+        let d1 = km.renew(0, Asid::new(3), Vmid::new(1), 10_000);
+        let d2 = km.renew(1, Asid::new(4), Vmid::new(1), 11_000);
+        assert_eq!((km.refresh_stalls(), km.refresh_delays()), (2, 0));
+        // Counting must not perturb the acknowledged (nominal) timing.
+        assert_eq!(d1, 10_000 + 263);
+        assert_eq!(d2, 11_000 + 263);
+        // Delayed rewrites count as delays, and only as delays.
+        km.set_fault_injector(Some(FaultInjector::from_plan(
+            FaultPlan::new(7).with_refresh_delays(1, 5_000),
+        )));
+        let d3 = km.renew(0, Asid::new(3), Vmid::new(1), 20_000);
+        assert_eq!((km.refresh_stalls(), km.refresh_delays()), (2, 1));
+        assert_eq!(d3, 20_000 + 263);
     }
 
     #[test]

@@ -19,6 +19,21 @@
 //! collected into the plan's [`io_plan`](PointFaultPlan::io_plan), which
 //! trace-replaying harnesses apply to every artifact they ingest.
 //!
+//! A third family targets the *service phase* of a long-running prediction
+//! engine (`bp-serve`): entries name a shard and a per-shard request
+//! ordinal instead of a sweep point, and are collected into
+//! [`serve_faults`](PointFaultPlan::serve_faults):
+//!
+//! * `shard-panic@<shard>@<request>` — the shard panics at the dequeue of
+//!   its `<request>`-th request (0-based), before any predictor state is
+//!   touched, so the supervisor's restart path is exercised with an exact
+//!   lost-request accounting;
+//! * `refresh-stall@<shard>@<request>` — the shard's next key-table
+//!   refresh after its `<request>`-th request is dropped (the QARMA
+//!   rewrite never lands), driving the stale-key degraded mode;
+//! * `queue-overload@<shard>@<request>` — the shard's `<request>`-th
+//!   request is shed as if a burst had overflowed the bounded queue.
+//!
 //! Plans are parsed from a comma-separated spec string, conventionally the
 //! `HYBP_FAULT_POINTS` environment variable, and are fully deterministic:
 //! the disposition of `(sweep, index, attempt)` is a pure function of the
@@ -70,6 +85,39 @@ pub struct PointFault {
     pub kind: PointFaultKind,
 }
 
+/// How a targeted service-phase request must be disturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFaultKind {
+    /// The shard panics at the dequeue of the targeted request.
+    ShardPanic,
+    /// The shard's next key-table refresh is dropped (stale-key window).
+    RefreshStall,
+    /// The targeted request is shed as a queue overload.
+    QueueOverload,
+}
+
+impl ServeFaultKind {
+    /// The spec keyword for this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeFaultKind::ShardPanic => "shard-panic",
+            ServeFaultKind::RefreshStall => "refresh-stall",
+            ServeFaultKind::QueueOverload => "queue-overload",
+        }
+    }
+}
+
+/// One targeted service-phase request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeFault {
+    /// Disturbance to inject.
+    pub kind: ServeFaultKind,
+    /// Shard index within the serving engine.
+    pub shard: usize,
+    /// 0-based ordinal of the request within that shard's dequeue order.
+    pub request: u64,
+}
+
 /// What the harness should do with one attempt of one sweep point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PointDisposition {
@@ -90,6 +138,7 @@ pub enum PointDisposition {
 pub struct PointFaultPlan {
     entries: Vec<PointFault>,
     io_faults: Vec<crate::bytes::ByteFault>,
+    serve_faults: Vec<ServeFault>,
 }
 
 impl PointFaultPlan {
@@ -100,7 +149,7 @@ impl PointFaultPlan {
 
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty() && self.io_faults.is_empty()
+        self.entries.is_empty() && self.io_faults.is_empty() && self.serve_faults.is_empty()
     }
 
     /// The targeted points.
@@ -118,6 +167,31 @@ impl PointFaultPlan {
         crate::bytes::ByteFaultPlan::new(self.io_faults.clone())
     }
 
+    /// The service-phase faults the spec carried, in spec order.
+    pub fn serve_faults(&self) -> &[ServeFault] {
+        &self.serve_faults
+    }
+
+    /// The service-phase fault armed for shard `shard`'s `request`-th
+    /// dequeue of the given `kind`, if any. Pure: depends only on the plan
+    /// and the arguments.
+    pub fn serve_fault_at(
+        &self,
+        kind: ServeFaultKind,
+        shard: usize,
+        request: u64,
+    ) -> Option<ServeFault> {
+        self.serve_faults
+            .iter()
+            .find(|f| f.kind == kind && f.shard == shard && f.request == request)
+            .copied()
+    }
+
+    /// The service-phase faults targeting one shard, in plan order.
+    pub fn for_shard(&self, shard: usize) -> impl Iterator<Item = &ServeFault> + '_ {
+        self.serve_faults.iter().filter(move |f| f.shard == shard)
+    }
+
     /// Parses a comma-separated spec. Fields within an entry are separated
     /// by `@` (sweep labels themselves may contain `:` but not `@` or
     /// `,`). An empty spec is the empty plan.
@@ -129,6 +203,7 @@ impl PointFaultPlan {
     pub fn parse(spec: &str) -> Result<PointFaultPlan, String> {
         let mut entries = Vec::new();
         let mut io_faults = Vec::new();
+        let mut serve_faults = Vec::new();
         for raw in spec.split(',') {
             let raw = raw.trim();
             if raw.is_empty() {
@@ -140,6 +215,29 @@ impl PointFaultPlan {
                 Some(&"bitflip") | Some(&"truncate") | Some(&"torn") | Some(&"dup")
             ) {
                 io_faults.push(crate::bytes::ByteFault::parse(raw)?);
+                continue;
+            }
+            if let Some(kind) = match fields.first() {
+                Some(&"shard-panic") => Some(ServeFaultKind::ShardPanic),
+                Some(&"refresh-stall") => Some(ServeFaultKind::RefreshStall),
+                Some(&"queue-overload") => Some(ServeFaultKind::QueueOverload),
+                _ => None,
+            } {
+                let [_, shard, request] = fields.as_slice() else {
+                    return Err(format!(
+                        "invalid service fault '{raw}': expected {}@<shard>@<request>",
+                        kind.name()
+                    ));
+                };
+                serve_faults.push(ServeFault {
+                    kind,
+                    shard: shard.parse::<usize>().map_err(|_| {
+                        format!("invalid shard index '{shard}' in service fault '{raw}'")
+                    })?,
+                    request: request.parse::<u64>().map_err(|_| {
+                        format!("invalid request ordinal '{request}' in service fault '{raw}'")
+                    })?,
+                });
                 continue;
             }
             let fault = match fields.as_slice() {
@@ -166,8 +264,10 @@ impl PointFaultPlan {
                     return Err(format!(
                         "invalid point fault '{raw}': expected panic@<sweep>@<index>, \
                          error@<sweep>@<index>, transient@<sweep>@<index>@<attempts>, \
-                         or an I/O fault (bitflip@<offset>[@<bit>], truncate@<offset>, \
-                         torn@<offset>, dup@<offset>@<len>)"
+                         an I/O fault (bitflip@<offset>[@<bit>], truncate@<offset>, \
+                         torn@<offset>, dup@<offset>@<len>), or a service fault \
+                         (shard-panic@<shard>@<request>, refresh-stall@<shard>@<request>, \
+                         queue-overload@<shard>@<request>)"
                     ))
                 }
             };
@@ -176,7 +276,11 @@ impl PointFaultPlan {
             }
             entries.push(fault);
         }
-        Ok(PointFaultPlan { entries, io_faults })
+        Ok(PointFaultPlan {
+            entries,
+            io_faults,
+            serve_faults,
+        })
     }
 
     /// Parses the plan from [`ENV_VAR`]; an unset variable is the empty
@@ -314,6 +418,50 @@ mod tests {
             "truncate@1@2@3",
             "torn@",
             "dup@5",
+        ] {
+            assert!(PointFaultPlan::parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn serve_faults_parse_alongside_everything_else() {
+        let plan = PointFaultPlan::parse(
+            "shard-panic@2@100,refresh-stall@0@5,queue-overload@1@7,panic@s@1,bitflip@64",
+        )
+        .unwrap();
+        assert_eq!(plan.serve_faults().len(), 3);
+        assert_eq!(plan.entries().len(), 1);
+        assert_eq!(plan.io_faults().len(), 1);
+        assert_eq!(
+            plan.serve_fault_at(ServeFaultKind::ShardPanic, 2, 100),
+            Some(ServeFault {
+                kind: ServeFaultKind::ShardPanic,
+                shard: 2,
+                request: 100
+            })
+        );
+        assert_eq!(plan.serve_fault_at(ServeFaultKind::ShardPanic, 2, 99), None);
+        assert_eq!(
+            plan.serve_fault_at(ServeFaultKind::QueueOverload, 2, 100),
+            None,
+            "kind must match, not just the coordinates"
+        );
+        let shard0: Vec<ServeFaultKind> = plan.for_shard(0).map(|f| f.kind).collect();
+        assert_eq!(shard0, vec![ServeFaultKind::RefreshStall]);
+        let serve_only = PointFaultPlan::parse("refresh-stall@0@0").unwrap();
+        assert!(!serve_only.is_empty());
+        assert!(serve_only.entries().is_empty());
+    }
+
+    #[test]
+    fn malformed_serve_faults_stay_fatal() {
+        for bad in [
+            "shard-panic@1",       // missing request ordinal
+            "shard-panic@1@2@3",   // extra field
+            "refresh-stall@x@1",   // non-numeric shard
+            "queue-overload@1@y",  // non-numeric request
+            "shard-panic@@1",      // empty shard
+            "queue-overload@1@-2", // negative ordinal
         ] {
             assert!(PointFaultPlan::parse(bad).is_err(), "{bad:?} accepted");
         }

@@ -96,6 +96,7 @@ impl Config {
                 "bp-faults",
                 "bp-pipeline",
                 "bp-predictors",
+                "bp-serve",
                 "bp-trace",
                 "bp-workloads",
                 "hybp",

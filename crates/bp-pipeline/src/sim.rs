@@ -37,10 +37,13 @@ pub fn kernel_stream_name(hw: usize) -> String {
 }
 
 /// A captured stream being replayed from a [`TraceStore`].
+///
+/// Holds a streaming cursor, not a decoded vector: the store keeps only
+/// the raw file bytes resident and the cursor decodes one chunk at a
+/// time, so replay memory stays O(chunk) per stream.
 #[derive(Debug)]
 struct ReplaySource {
-    records: Arc<Vec<BranchRecord>>,
-    pos: usize,
+    cursor: bp_trace::RecordCursor,
     profile: BenchmarkProfile,
     store: Arc<TraceStore>,
 }
@@ -57,22 +60,21 @@ impl Feed {
     fn next_branch(&mut self) -> BranchRecord {
         match self {
             Feed::Generate(g) => g.next_branch(),
-            Feed::Replay(r) => {
-                if r.pos >= r.records.len() {
+            Feed::Replay(r) => match r.cursor.next() {
+                Some(rec) => rec,
+                None => {
                     // The capture ran out before the simulation did: restart
                     // the stream and let the store count the wrap as
                     // degradation (the replay is no longer the recorded run).
-                    r.pos = 0;
+                    r.cursor.reset();
                     r.store.note_wrap();
+                    // Non-empty is enforced at build; the fallback only
+                    // guards the unreachable empty case (panic-freedom).
+                    r.cursor.next().unwrap_or_else(|| {
+                        BranchRecord::conditional(Addr::new(0x1000), Addr::new(0x1010), true, 16)
+                    })
                 }
-                // Non-empty is enforced at build; the fallback only guards
-                // the unreachable empty case (panic-freedom).
-                let rec = r.records.get(r.pos).copied().unwrap_or_else(|| {
-                    BranchRecord::conditional(Addr::new(0x1000), Addr::new(0x1010), true, 16)
-                });
-                r.pos += 1;
-                rec
-            }
+            },
         }
     }
 
@@ -277,15 +279,14 @@ impl SimulationBuilder {
                         "stream missing or undecodable in the trace store",
                     )
                 })?;
-                if loaded.records.is_empty() {
+                if loaded.is_empty() {
                     return Err(ConfigError::inconsistent(
                         "trace replay",
                         "trace stream holds no records",
                     ));
                 }
                 Ok(Feed::Replay(ReplaySource {
-                    records: Arc::clone(&loaded.records),
-                    pos: 0,
+                    cursor: loaded.records(),
                     profile,
                     store: Arc::clone(store),
                 }))

@@ -1,0 +1,623 @@
+//! Resilient prediction-as-a-service runtime on top of the HyBP model.
+//!
+//! The simulator crates answer "how accurate/fast is the predictor"; this
+//! crate answers "what happens when you *serve* it": a long-running engine
+//! hosts N supervised worker shards, each owning one [`SecureBpu`] plus its
+//! QARMA key manager, and routes prediction requests to shards by
+//! `(hardware thread, ASID)`. The failure semantics are explicit and typed:
+//!
+//! - **Backpressure.** Each shard models a bounded single-server queue in
+//!   virtual time. A request arriving while the queue holds
+//!   `queue_capacity` admitted-but-unfinished requests is shed as
+//!   [`ShedReason::QueueOverload`] — counted, never silently dropped.
+//! - **Deadline shedding.** A request whose service could not complete
+//!   within `deadline_cycles` of submission is shed as
+//!   [`ShedReason::DeadlineExpired`] *before* it trains the predictor, so
+//!   shed requests never perturb the model stream.
+//! - **Supervision.** A shard panic (injectable via `HYBP_FAULT_POINTS`
+//!   `shard-panic@<shard>@<request>`) is caught at the request boundary.
+//!   The in-flight request is reported [`Response::Lost`], the shard is
+//!   rebuilt from its latest snapshot plus the journal tail, and a seeded
+//!   [`RetryPolicy`] restart budget bounds how many times this may happen
+//!   before the shard is marked [`Health::Failed`] and the remainder of its
+//!   queue is shed as [`ShedReason::ShardFailed`].
+//! - **Stale-key degraded mode.** When a key-table refresh stalls (paper
+//!   §V-C2: predictions during a rewrite use the old epoch instead of
+//!   blocking), the shard keeps serving and flags its answers `degraded`
+//!   until the slot's key generation advances. Degraded mode moves accuracy
+//!   counters only — never correctness.
+//!
+//! Every submitted request is accounted exactly once — answered, shed, or
+//! lost to a restart — and the full report is bit-identical regardless of
+//! the worker pool's thread count: shards are partitioned deterministically
+//! and each shard's entire lifetime runs inside one order-preserving
+//! [`Pool::par_map`] task.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use bp_common::pool::{Pool, RetryPolicy};
+use bp_common::rng::SplitMix64;
+use bp_common::telemetry::{Gauge, Health, Histogram, Observable, Readiness, TelemetrySnapshot};
+use bp_common::{Addr, Asid, BranchKind, BranchRecord, Cycle, HwThreadId};
+use bp_faults::points::PointFaultPlan;
+use hybp::{Mechanism, SecureBpu};
+
+mod shard;
+mod snapshot;
+
+pub use shard::ShardOutcome;
+
+/// A rejected engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError(String);
+
+impl ServeError {
+    pub(crate) fn new(msg: impl Into<String>) -> ServeError {
+        ServeError(msg.into())
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serve config rejected: {}", self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Static configuration of a serving engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of worker shards (each owns one `SecureBpu` + key manager).
+    pub shards: usize,
+    /// Hardware threads modeled per shard BPU.
+    pub hw_threads: usize,
+    /// Predictor mechanism hosted by every shard.
+    pub mechanism: Mechanism,
+    /// Base seed; shard `k` derives its own sub-seed from it.
+    pub seed: u64,
+    /// Bounded queue depth per shard; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// Virtual cycles one prediction occupies the shard's server.
+    pub service_cycles: Cycle,
+    /// Budget from submission to completion before a request is shed.
+    pub deadline_cycles: Cycle,
+    /// Virtual cycles a shard restart keeps its server busy (on top of the
+    /// retry policy's seeded backoff, folded in as cycles).
+    pub restart_penalty_cycles: Cycle,
+    /// Answered requests between predictor-state snapshots.
+    pub snapshot_interval: u64,
+    /// Restart budget: a shard may lose `max_attempts` requests to panics
+    /// before it is marked failed.
+    pub restart_budget: RetryPolicy,
+    /// Where shard snapshots are persisted; `None` keeps restore purely
+    /// journal-based (in memory).
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// The default service point used by the soak benchmark and tests:
+    /// four HyBP shards on SMT-2 cores, a 32-deep queue, and a restart
+    /// budget of three lives.
+    pub fn paper_default() -> ServeConfig {
+        ServeConfig {
+            shards: 4,
+            hw_threads: 2,
+            mechanism: Mechanism::hybp_default(),
+            seed: 0x5eed_5e4e_0000_0008,
+            queue_capacity: 32,
+            service_cycles: 64,
+            deadline_cycles: 4096,
+            restart_penalty_cycles: 20_000,
+            snapshot_interval: 256,
+            restart_budget: RetryPolicy::standard(0x5eed_5e4e_0000_0008),
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// One prediction request submitted to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Globally unique, monotonically assigned id (submission order).
+    pub id: u64,
+    /// Hardware thread the branch executes on.
+    pub hw: HwThreadId,
+    /// Address space the branch belongs to (drives key-domain routing).
+    pub asid: Asid,
+    /// The dynamic branch to predict and train on.
+    pub record: BranchRecord,
+    /// Virtual cycle the request entered the engine.
+    pub submitted_at: Cycle,
+}
+
+/// Why a request was shed instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShedReason {
+    /// The shard's bounded queue was full at arrival.
+    QueueOverload,
+    /// Service could not finish within the request's deadline.
+    DeadlineExpired,
+    /// The shard exhausted its restart budget before this request ran.
+    ShardFailed,
+}
+
+impl ShedReason {
+    /// Stable lowercase name for journals and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueOverload => "queue-overload",
+            ShedReason::DeadlineExpired => "deadline-expired",
+            ShedReason::ShardFailed => "shard-failed",
+        }
+    }
+}
+
+/// The engine's verdict on one request. Every submitted request produces
+/// exactly one `Response`; nothing is silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// The request was served: predicted, compared, and trained.
+    Answered {
+        /// Request id.
+        id: u64,
+        /// Shard that served it.
+        shard: usize,
+        /// Direction mispredicted (conditionals only).
+        direction_mispredict: bool,
+        /// Target mispredicted or BTB miss.
+        target_mispredict: bool,
+        /// Virtual cycle service completed.
+        completed_at: Cycle,
+        /// `completed_at - submitted_at`.
+        latency: Cycle,
+        /// Served during a stale-key window (accuracy-only effect).
+        degraded: bool,
+        /// Key-table generation of the serving slot at completion
+        /// (0 for mechanisms without a key manager).
+        key_generation: u64,
+    },
+    /// The request was shed under load or failure — typed and counted.
+    Shed {
+        /// Request id.
+        id: u64,
+        /// Shard that shed it.
+        shard: usize,
+        /// Why.
+        reason: ShedReason,
+        /// Virtual cycle of the shed decision.
+        at: Cycle,
+    },
+    /// The request was in flight when its shard panicked.
+    Lost {
+        /// Request id.
+        id: u64,
+        /// Shard that lost it.
+        shard: usize,
+        /// 1-based restart this loss triggered.
+        restart: u32,
+    },
+}
+
+impl Response {
+    /// The request id this response accounts for.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Response::Answered { id, .. }
+            | Response::Shed { id, .. }
+            | Response::Lost { id, .. } => id,
+        }
+    }
+
+    /// The shard that produced this response.
+    pub fn shard(&self) -> usize {
+        match *self {
+            Response::Answered { shard, .. }
+            | Response::Shed { shard, .. }
+            | Response::Lost { shard, .. } => shard,
+        }
+    }
+}
+
+/// Per-shard counters, gauges, and final health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests routed to this shard.
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub answered: u64,
+    /// Requests shed because the queue was full.
+    pub shed_overload: u64,
+    /// Requests shed because the deadline could not be met.
+    pub shed_deadline: u64,
+    /// Requests shed after the shard failed permanently.
+    pub shed_failed: u64,
+    /// Requests lost to shard panics (one per restart attempt).
+    pub lost: u64,
+    /// Answers served inside a stale-key degraded window.
+    pub degraded_answers: u64,
+    /// Distinct stale-key windows entered.
+    pub degraded_windows: u64,
+    /// Successful supervisor restarts.
+    pub restarts: u64,
+    /// Snapshot files written.
+    pub snapshots_written: u64,
+    /// Restores that replayed from a snapshot file.
+    pub snapshot_restores: u64,
+    /// Snapshot writes or loads that failed validation (restore then
+    /// falls back to the in-memory journal).
+    pub snapshot_failures: u64,
+    /// Restores that replayed the full in-memory journal.
+    pub journal_replays: u64,
+    /// Final shard health.
+    pub health: Health,
+    /// Queue depth observed at each arrival (current / peak / samples).
+    pub queue_depth: Gauge,
+    /// Answered-request latency distribution (power-of-two buckets).
+    pub latency: Histogram,
+}
+
+impl ShardStats {
+    pub(crate) fn new(shard: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            submitted: 0,
+            answered: 0,
+            shed_overload: 0,
+            shed_deadline: 0,
+            shed_failed: 0,
+            lost: 0,
+            degraded_answers: 0,
+            degraded_windows: 0,
+            restarts: 0,
+            snapshots_written: 0,
+            snapshot_restores: 0,
+            snapshot_failures: 0,
+            journal_replays: 0,
+            health: Health::Ready,
+            queue_depth: Gauge::new(),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// Requests shed for any reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_overload + self.shed_deadline + self.shed_failed
+    }
+
+    /// Whether every submitted request is accounted exactly once.
+    pub fn accounting_exact(&self) -> bool {
+        self.submitted == self.answered + self.shed() + self.lost
+    }
+}
+
+impl Observable for ShardStats {
+    fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::new("serve/shard")
+            .with("shard", self.shard as u64)
+            .with("submitted", self.submitted)
+            .with("answered", self.answered)
+            .with("shed_overload", self.shed_overload)
+            .with("shed_deadline", self.shed_deadline)
+            .with("shed_failed", self.shed_failed)
+            .with("lost", self.lost)
+            .with("degraded_answers", self.degraded_answers)
+            .with("degraded_windows", self.degraded_windows)
+            .with("restarts", self.restarts)
+            .with("snapshots_written", self.snapshots_written)
+            .with("snapshot_restores", self.snapshot_restores)
+            .with("snapshot_failures", self.snapshot_failures)
+            .with("journal_replays", self.journal_replays)
+            .with("health_failed", u64::from(self.health == Health::Failed))
+            .with(
+                "health_degraded",
+                u64::from(self.health == Health::Degraded),
+            )
+            .with("queue_depth_peak", self.queue_depth.peak())
+            .with("latency_count", self.latency.count())
+            .with("latency_sum", self.latency.sum())
+    }
+}
+
+/// Engine-wide totals aggregated over all shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeTotals {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests answered.
+    pub answered: u64,
+    /// Requests shed (all reasons).
+    pub shed: u64,
+    /// Requests lost to restarts.
+    pub lost: u64,
+    /// Degraded-mode answers.
+    pub degraded_answers: u64,
+    /// Supervisor restarts.
+    pub restarts: u64,
+    /// Answers that mispredicted direction or target.
+    pub mispredicted: u64,
+}
+
+/// The complete, deterministic result of one serving run.
+///
+/// `responses` is in global submission order (sorted by request id) and is
+/// bit-identical for any worker-pool thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// One response per submitted request, in submission order.
+    pub responses: Vec<Response>,
+    /// Per-shard statistics, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServeReport {
+    /// Aggregated totals over all shards.
+    pub fn totals(&self) -> ServeTotals {
+        let mut t = ServeTotals::default();
+        for s in &self.shards {
+            t.submitted += s.submitted;
+            t.answered += s.answered;
+            t.shed += s.shed();
+            t.lost += s.lost;
+            t.degraded_answers += s.degraded_answers;
+            t.restarts += s.restarts;
+        }
+        for r in &self.responses {
+            if let Response::Answered {
+                direction_mispredict,
+                target_mispredict,
+                ..
+            } = r
+            {
+                t.mispredicted += u64::from(*direction_mispredict || *target_mispredict);
+            }
+        }
+        t
+    }
+
+    /// Readiness over the final health of every shard.
+    pub fn readiness(&self) -> Readiness {
+        Readiness::new(self.shards.iter().map(|s| s.health).collect())
+    }
+
+    /// Whether every shard accounts every request exactly once and the
+    /// response list covers ids `0..submitted` exactly.
+    pub fn accounting_exact(&self) -> bool {
+        if !self.shards.iter().all(ShardStats::accounting_exact) {
+            return false;
+        }
+        let t = self.totals();
+        if self.responses.len() as u64 != t.submitted {
+            return false;
+        }
+        // Responses are sorted by id on merge; exact coverage of the id
+        // space means position == id.
+        self.responses
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.id() == i as u64)
+    }
+}
+
+impl Observable for ServeReport {
+    fn snapshot(&self) -> TelemetrySnapshot {
+        let t = self.totals();
+        let r = self.readiness();
+        TelemetrySnapshot::new("serve")
+            .with("shards", self.shards.len() as u64)
+            .with("submitted", t.submitted)
+            .with("answered", t.answered)
+            .with("shed", t.shed)
+            .with("lost", t.lost)
+            .with("degraded_answers", t.degraded_answers)
+            .with("restarts", t.restarts)
+            .with("mispredicted", t.mispredicted)
+            .with("shards_ready", r.count(Health::Ready))
+            .with("shards_degraded", r.count(Health::Degraded))
+            .with("shards_failed", r.count(Health::Failed))
+            .with("is_ready", u64::from(r.is_ready()))
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+pub(crate) fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The prediction-serving engine: validates a config once, then runs
+/// request batches through supervised shards.
+#[derive(Debug, Clone)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    faults: PointFaultPlan,
+}
+
+impl ServeEngine {
+    /// Validates the configuration (including a trial BPU construction so
+    /// per-shard builds cannot fail later) and returns an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] naming the rejected field.
+    pub fn new(config: ServeConfig) -> Result<ServeEngine, ServeError> {
+        if config.shards == 0 {
+            return Err(ServeError::new("shards must be positive"));
+        }
+        if config.queue_capacity == 0 {
+            return Err(ServeError::new("queue_capacity must be positive"));
+        }
+        if config.service_cycles == 0 {
+            return Err(ServeError::new("service_cycles must be positive"));
+        }
+        if config.deadline_cycles < config.service_cycles {
+            return Err(ServeError::new(
+                "deadline_cycles must be at least service_cycles (everything would shed)",
+            ));
+        }
+        if config.snapshot_interval == 0 {
+            return Err(ServeError::new("snapshot_interval must be positive"));
+        }
+        if config.restart_budget.max_attempts == 0 {
+            return Err(ServeError::new(
+                "restart_budget.max_attempts must be positive",
+            ));
+        }
+        SecureBpu::new(config.mechanism, config.hw_threads, config.seed)
+            .map_err(|e| ServeError::new(format!("mechanism rejected: {e}")))?;
+        Ok(ServeEngine {
+            config,
+            faults: PointFaultPlan::empty(),
+        })
+    }
+
+    /// Replaces the fault plan (default: inject nothing). The service
+    /// faults of the plan (`shard-panic`, `refresh-stall`,
+    /// `queue-overload`) key on `(shard, dequeue ordinal)`.
+    pub fn with_faults(mut self, faults: PointFaultPlan) -> ServeEngine {
+        self.faults = faults;
+        self
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shard serving `(hw, asid)`. Pure: FNV-1a over both ids modulo
+    /// the shard count, so a software thread's requests always land on the
+    /// same shard and key domain.
+    pub fn route(&self, hw: HwThreadId, asid: Asid) -> usize {
+        let mut h = fnv1a(&[hw.raw()], FNV_OFFSET);
+        h = fnv1a(&asid.raw().to_le_bytes(), h);
+        (h % self.config.shards as u64) as usize
+    }
+
+    /// Serves one batch of requests (submission order, non-decreasing
+    /// `submitted_at`) and returns the complete accounting.
+    ///
+    /// Requests are partitioned per shard preserving submission order;
+    /// each shard's entire lifetime — queueing, prediction, supervision,
+    /// snapshots, restarts — runs inside one order-preserving
+    /// [`Pool::par_map`] task, so the merged report is independent of the
+    /// pool's thread count.
+    pub fn run(&self, requests: &[Request], pool: &Pool) -> ServeReport {
+        let mut partitions: Vec<(usize, Vec<Request>)> =
+            (0..self.config.shards).map(|s| (s, Vec::new())).collect();
+        for req in requests {
+            let shard = self.route(req.hw, req.asid);
+            partitions[shard].1.push(*req);
+        }
+        let outcomes = pool.par_map(&partitions, |(shard, reqs)| {
+            shard::run_shard(&self.config, *shard, reqs, &self.faults)
+        });
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut shards = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            responses.extend(outcome.responses);
+            shards.push(outcome.stats);
+        }
+        // Ids are unique and assigned in submission order, so this restores
+        // the global stream deterministically.
+        responses.sort_unstable_by_key(Response::id);
+        ServeReport { responses, shards }
+    }
+}
+
+/// Shape of a synthetic closed-loop request stream.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Total requests to generate.
+    pub requests: u64,
+    /// Hardware threads to round-robin over.
+    pub hw_threads: usize,
+    /// Distinct ASIDs cycled per hardware thread.
+    pub asids_per_thread: u16,
+    /// Requests between ASID switches on one hardware thread.
+    pub switch_period: u64,
+    /// Mean inter-arrival gap in cycles outside bursts.
+    pub mean_interarrival: Cycle,
+    /// Every `burst_period` requests, `burst_len` arrivals land on the
+    /// same cycle to exercise queue backpressure (0 disables bursts).
+    pub burst_period: u64,
+    /// Arrivals per burst.
+    pub burst_len: u64,
+    /// Workload seed (independent of the engine seed).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The soak workload used by the benchmark and tests.
+    pub fn soak(requests: u64, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            requests,
+            hw_threads: 2,
+            asids_per_thread: 4,
+            switch_period: 97,
+            mean_interarrival: 48,
+            burst_period: 512,
+            burst_len: 24,
+            seed,
+        }
+    }
+}
+
+/// Generates a deterministic synthetic request stream: a few hot branch
+/// PCs per ASID with biased directions, round-robin hardware threads,
+/// periodic ASID switches, and periodic arrival bursts.
+pub fn synth_requests(spec: &WorkloadSpec) -> Vec<Request> {
+    let mut rng = SplitMix64::new(spec.seed);
+    let hw_threads = spec.hw_threads.max(1);
+    let asids = spec.asids_per_thread.max(1);
+    let switch_period = spec.switch_period.max(1);
+    let mut out = Vec::with_capacity(spec.requests as usize);
+    let mut now: Cycle = 0;
+    let mut asid_slot: Vec<u64> = vec![0; hw_threads];
+    for id in 0..spec.requests {
+        let hwi = (id as usize) % hw_threads;
+        if id > 0 && id % switch_period == 0 {
+            asid_slot[hwi] += 1;
+        }
+        let asid = Asid::new(((asid_slot[hwi] % u64::from(asids)) as u16) + 1 + (hwi as u16) * 100);
+        // A small working set of branch PCs per ASID; biased-taken
+        // conditionals dominate, with some direct and indirect jumps.
+        let pc_index = rng.next_below(24);
+        let pc = Addr::new(0x40_0000 + u64::from(asid.raw()) * 0x1_0000 + pc_index * 16);
+        let target = pc.wrapping_add(64 + pc_index * 4);
+        let roll = rng.next_below(100);
+        let record = if roll < 75 {
+            let taken = rng.next_below(100) < 80;
+            BranchRecord::conditional(pc, target, taken, (rng.next_below(12) + 4) as u32)
+        } else if roll < 90 {
+            BranchRecord::unconditional(pc, BranchKind::Direct, target, 8)
+        } else {
+            let t = target.wrapping_add(rng.next_below(4) * 32);
+            BranchRecord::unconditional(pc, BranchKind::Indirect, t, 8)
+        };
+        let in_burst = spec.burst_period > 0
+            && spec.burst_len > 0
+            && id % spec.burst_period.max(1) < spec.burst_len;
+        if !in_burst {
+            now += 1 + rng.next_below(2 * spec.mean_interarrival.max(1));
+        }
+        out.push(Request {
+            id,
+            hw: HwThreadId::new(hwi as u8),
+            asid,
+            record,
+            submitted_at: now,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests;

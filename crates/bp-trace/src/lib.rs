@@ -60,7 +60,7 @@ pub mod varint;
 pub mod writer;
 
 pub use reader::{read_all, ReadMode, TraceReader};
-pub use store::{LoadedTrace, TraceStore};
+pub use store::{LoadedTrace, RecordCursor, TraceStore};
 pub use writer::{write_trace, TraceWriter, WriteSummary};
 
 /// File magic: the first seven bytes of every `.bpt` trace.

@@ -235,56 +235,106 @@ fn find_next_valid_chunk(bytes: &[u8], mut from: usize) -> Option<usize> {
     None
 }
 
-/// A fully decoded trace plus its damage ledger.
-#[derive(Debug, Clone, PartialEq)]
-struct Decoded {
-    records: Vec<BranchRecord>,
-    health: TraceHealth,
+/// What one advance of the incremental decoder contributed.
+pub(crate) enum Step {
+    /// An intact, first-delivery data chunk's records, in stream order.
+    Records(Vec<BranchRecord>),
+    /// A chunk was consumed without new records (trailer, duplicate/stray
+    /// chunk, or a lenient resync) — call [`DecodeState::step`] again.
+    Meta,
+    /// End of the byte stream; the state's health ledger is now final.
+    End,
 }
 
-/// Shared decode loop. In strict mode any `Err` short-circuits; in lenient
-/// mode errors after the file header are converted into resyncs.
-fn decode(bytes: &[u8], mode: ReadMode) -> Result<Decoded, TraceError> {
-    parse_file_header(bytes)?;
-    let strict = mode == ReadMode::Strict;
-    let mut pos = FILE_HEADER_LEN;
-    let mut ordinal: u32 = 0;
-    let mut records = Vec::new();
-    let mut health = TraceHealth::default();
-    let mut seen_seqs = std::collections::BTreeSet::new();
-    let mut trailer: Option<(u64, u64)> = None;
-    let mut ended_in_damage = false;
-    while pos < bytes.len() {
-        match parse_chunk(bytes, pos, ordinal) {
+/// Resumable decode cursor: all the loop state of a whole-file decode,
+/// minus the record accumulator. Callers choose whether records are
+/// collected eagerly ([`read_all`]) or handed out chunk-by-chunk
+/// ([`TraceReader`], the store's replay cursor) — the streaming side never
+/// holds more than one chunk's decoded records at a time, which is what
+/// bounds replay memory to O(chunk) over the raw (undecoded) file bytes.
+#[derive(Debug, Clone)]
+pub(crate) struct DecodeState {
+    pos: usize,
+    ordinal: u32,
+    health: TraceHealth,
+    seen_seqs: std::collections::BTreeSet<u32>,
+    trailer: Option<(u64, u64)>,
+    ended_in_damage: bool,
+    strict: bool,
+    finished: bool,
+}
+
+impl DecodeState {
+    /// Validates the file header (fatal in both modes) and positions the
+    /// cursor at the first chunk.
+    pub(crate) fn new(bytes: &[u8], mode: ReadMode) -> Result<DecodeState, TraceError> {
+        parse_file_header(bytes)?;
+        Ok(DecodeState {
+            pos: FILE_HEADER_LEN,
+            ordinal: 0,
+            health: TraceHealth::default(),
+            seen_seqs: std::collections::BTreeSet::new(),
+            trailer: None,
+            ended_in_damage: false,
+            strict: mode == ReadMode::Strict,
+            finished: false,
+        })
+    }
+
+    /// The damage ledger accumulated so far. Complete only after
+    /// [`DecodeState::step`] has returned [`Step::End`] (the lenient loss
+    /// accounting needs the trailer).
+    pub(crate) fn health(&self) -> TraceHealth {
+        self.health
+    }
+
+    /// Advances past one chunk of `bytes`, which must be the same slice on
+    /// every call. In strict mode any damage is returned once as `Err` and
+    /// the state finishes; in lenient mode damage becomes a resync and
+    /// lands in the health ledger. A finished state keeps reporting
+    /// [`Step::End`].
+    pub(crate) fn step(&mut self, bytes: &[u8]) -> Result<Step, TraceError> {
+        if self.finished {
+            return Ok(Step::End);
+        }
+        if self.pos >= bytes.len() {
+            return self.finish(bytes);
+        }
+        match parse_chunk(bytes, self.pos, self.ordinal) {
             Ok(Chunk::Data {
                 seq,
                 records: recs,
                 size,
             }) => {
-                if strict {
-                    if trailer.is_some() {
-                        return Err(TraceError::TrailingData { offset: pos as u64 });
+                if self.strict {
+                    if self.trailer.is_some() {
+                        self.finished = true;
+                        return Err(TraceError::TrailingData {
+                            offset: self.pos as u64,
+                        });
                     }
-                    if seq != health.chunks_ok as u32 {
+                    if seq != self.health.chunks_ok as u32 {
+                        self.finished = true;
                         return Err(TraceError::BadSequence {
-                            chunk: ordinal,
-                            offset: pos as u64,
-                            expected: health.chunks_ok as u32,
+                            chunk: self.ordinal,
+                            offset: self.pos as u64,
+                            expected: self.health.chunks_ok as u32,
                             found: seq,
                         });
                     }
                 }
-                if trailer.is_some() || !seen_seqs.insert(seq) {
+                self.ordinal += 1;
+                self.pos += size;
+                if self.trailer.is_some() || !self.seen_seqs.insert(seq) {
                     // A stray or duplicated chunk (botched copy): its
                     // records were already delivered once.
-                    health.chunks_skipped += 1;
+                    self.health.chunks_skipped += 1;
+                    Ok(Step::Meta)
                 } else {
-                    health.chunks_ok += 1;
-                    health.records_ok += recs.len() as u64;
-                    records.extend(recs);
+                    self.health.chunks_ok += 1;
+                    self.health.records_ok += recs.len() as u64;
+                    Ok(Step::Records(recs))
                 }
-                ordinal += 1;
-                pos += size;
             }
             Ok(Chunk::Trailer {
                 seq,
@@ -292,75 +342,118 @@ fn decode(bytes: &[u8], mode: ReadMode) -> Result<Decoded, TraceError> {
                 total_chunks,
                 size,
             }) => {
-                if strict {
-                    if trailer.is_some() {
-                        return Err(TraceError::TrailingData { offset: pos as u64 });
+                if self.strict {
+                    if self.trailer.is_some() {
+                        self.finished = true;
+                        return Err(TraceError::TrailingData {
+                            offset: self.pos as u64,
+                        });
                     }
-                    if seq != health.chunks_ok as u32 {
+                    if seq != self.health.chunks_ok as u32 {
+                        self.finished = true;
                         return Err(TraceError::BadSequence {
-                            chunk: ordinal,
-                            offset: pos as u64,
-                            expected: health.chunks_ok as u32,
+                            chunk: self.ordinal,
+                            offset: self.pos as u64,
+                            expected: self.health.chunks_ok as u32,
                             found: seq,
                         });
                     }
                 }
-                if trailer.is_none() {
-                    trailer = Some((total_records, total_chunks));
+                if self.trailer.is_none() {
+                    self.trailer = Some((total_records, total_chunks));
                 } else {
-                    health.chunks_skipped += 1;
+                    self.health.chunks_skipped += 1;
                 }
-                ordinal += 1;
-                pos += size;
+                self.ordinal += 1;
+                self.pos += size;
+                Ok(Step::Meta)
             }
             Err(e) => {
-                if strict {
+                if self.strict {
+                    self.finished = true;
                     return Err(e);
                 }
-                health.chunks_skipped += 1;
-                ordinal += 1;
-                match find_next_valid_chunk(bytes, pos + 1) {
-                    Some(q) => pos = q,
+                self.health.chunks_skipped += 1;
+                self.ordinal += 1;
+                match find_next_valid_chunk(bytes, self.pos + 1) {
+                    Some(q) => {
+                        self.pos = q;
+                        Ok(Step::Meta)
+                    }
                     None => {
-                        ended_in_damage = true;
-                        break;
+                        self.ended_in_damage = true;
+                        self.finish(bytes)
                     }
                 }
             }
         }
     }
-    if strict {
-        return match trailer {
-            None => Err(TraceError::Truncated {
-                offset: bytes.len() as u64,
-                what: "trailer chunk",
-            }),
-            Some((total_records, total_chunks)) => {
-                if total_records != health.records_ok || total_chunks != health.chunks_ok {
-                    Err(TraceError::TrailerMismatch {
-                        expected_records: total_records,
-                        found_records: health.records_ok,
-                        expected_chunks: total_chunks,
-                        found_chunks: health.chunks_ok,
-                    })
-                } else {
-                    Ok(Decoded { records, health })
+
+    /// End-of-stream bookkeeping: strict totals cross-check, lenient loss
+    /// accounting against the trailer.
+    fn finish(&mut self, bytes: &[u8]) -> Result<Step, TraceError> {
+        self.finished = true;
+        if self.strict {
+            return match self.trailer {
+                None => Err(TraceError::Truncated {
+                    offset: bytes.len() as u64,
+                    what: "trailer chunk",
+                }),
+                Some((total_records, total_chunks)) => {
+                    if total_records != self.health.records_ok
+                        || total_chunks != self.health.chunks_ok
+                    {
+                        Err(TraceError::TrailerMismatch {
+                            expected_records: total_records,
+                            found_records: self.health.records_ok,
+                            expected_chunks: total_chunks,
+                            found_chunks: self.health.chunks_ok,
+                        })
+                    } else {
+                        Ok(Step::End)
+                    }
                 }
+            };
+        }
+        match self.trailer {
+            Some((total_records, _)) => {
+                self.health.records_lost = total_records.saturating_sub(self.health.records_ok);
+                self.health.torn_tail = self.ended_in_damage;
             }
-        };
-    }
-    match trailer {
-        Some((total_records, _)) => {
-            health.records_lost = total_records.saturating_sub(health.records_ok);
-            health.torn_tail = ended_in_damage;
+            None => {
+                // Without the trailer the loss past the last intact chunk is
+                // unknowable: flag it rather than guess a number.
+                self.health.torn_tail = true;
+            }
         }
-        None => {
-            // Without the trailer the loss past the last intact chunk is
-            // unknowable: flag it rather than guess a number.
-            health.torn_tail = true;
+        Ok(Step::End)
+    }
+}
+
+/// A fully decoded trace plus its damage ledger.
+#[derive(Debug, Clone, PartialEq)]
+struct Decoded {
+    records: Vec<BranchRecord>,
+    health: TraceHealth,
+}
+
+/// Eager decode: drives [`DecodeState`] to the end, collecting every
+/// delivered chunk. In strict mode any `Err` short-circuits; in lenient
+/// mode errors after the file header are converted into resyncs.
+fn decode(bytes: &[u8], mode: ReadMode) -> Result<Decoded, TraceError> {
+    let mut state = DecodeState::new(bytes, mode)?;
+    let mut records = Vec::new();
+    loop {
+        match state.step(bytes)? {
+            Step::Records(r) => records.extend(r),
+            Step::Meta => {}
+            Step::End => break,
         }
     }
-    Ok(Decoded { records, health })
+    Ok(Decoded {
+        records,
+        health: state.health(),
+    })
 }
 
 /// Decodes a whole in-memory trace.
@@ -379,57 +472,79 @@ pub fn read_all(
     decode(bytes, mode).map(|d| (d.records, d.health))
 }
 
-/// Streaming reader: an iterator over records.
+/// Streaming reader: an iterator over records that decodes one chunk at a
+/// time, so peak decoded-record residency is bounded by the chunk size no
+/// matter how large the file is (the raw bytes stay borrowed, not copied —
+/// resync needs random access to them).
 ///
-/// The decode itself is eager (the corpus sizes this repo replays fit in
-/// memory, and resync needs random access anyway); the iterator interface
-/// is what the replay feed consumes, and keeps callers independent of that
-/// choice. In strict mode the first damage is yielded once as `Err` and
-/// the iterator then fuses.
+/// In strict mode the records before the first damage iterate first, then
+/// the damage is yielded once as `Err` and the iterator fuses.
 #[derive(Debug)]
-pub struct TraceReader {
-    records: std::vec::IntoIter<BranchRecord>,
-    pending_err: Option<TraceError>,
-    health: TraceHealth,
+pub struct TraceReader<'a> {
+    bytes: &'a [u8],
+    state: DecodeState,
+    current: std::vec::IntoIter<BranchRecord>,
+    peak_buffered: usize,
+    fused: bool,
 }
 
-impl TraceReader {
-    /// Decodes `bytes` in `mode`.
+impl<'a> TraceReader<'a> {
+    /// Positions a streaming decode over `bytes` in `mode`.
     ///
     /// # Errors
     ///
     /// File-header damage is returned immediately in both modes (there is
-    /// nothing to iterate). Strict-mode chunk damage is deferred: the
-    /// records before the damage iterate first, then the error.
-    pub fn new(bytes: &[u8], mode: ReadMode) -> Result<TraceReader, TraceError> {
-        parse_file_header(bytes)?;
-        match decode(bytes, mode) {
-            Ok(d) => Ok(TraceReader {
-                records: d.records.into_iter(),
-                pending_err: None,
-                health: d.health,
-            }),
-            Err(e) => Ok(TraceReader {
-                records: Vec::new().into_iter(),
-                pending_err: Some(e),
-                health: TraceHealth::default(),
-            }),
-        }
+    /// nothing to iterate). Chunk-level damage is deferred to iteration.
+    pub fn new(bytes: &'a [u8], mode: ReadMode) -> Result<TraceReader<'a>, TraceError> {
+        Ok(TraceReader {
+            bytes,
+            state: DecodeState::new(bytes, mode)?,
+            current: Vec::new().into_iter(),
+            peak_buffered: 0,
+            fused: false,
+        })
     }
 
-    /// The damage ledger (all-zero in strict mode, which errors instead).
+    /// The damage ledger accumulated so far; complete once iteration ends.
+    /// (Strict mode errors instead of accounting, so its ledger only ever
+    /// shows the intact prefix.)
     pub fn health(&self) -> TraceHealth {
-        self.health
+        self.state.health()
+    }
+
+    /// The largest number of decoded records ever resident in the reader at
+    /// once — the O(chunk) streaming bound, asserted in tests.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
     }
 }
 
-impl Iterator for TraceReader {
+impl Iterator for TraceReader<'_> {
     type Item = Result<BranchRecord, TraceError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        match self.records.next() {
-            Some(r) => Some(Ok(r)),
-            None => self.pending_err.take().map(Err),
+        loop {
+            if let Some(r) = self.current.next() {
+                return Some(Ok(r));
+            }
+            if self.fused {
+                return None;
+            }
+            match self.state.step(self.bytes) {
+                Ok(Step::Records(r)) => {
+                    self.peak_buffered = self.peak_buffered.max(r.len());
+                    self.current = r.into_iter();
+                }
+                Ok(Step::Meta) => {}
+                Ok(Step::End) => {
+                    self.fused = true;
+                    return None;
+                }
+                Err(e) => {
+                    self.fused = true;
+                    return Some(Err(e));
+                }
+            }
         }
     }
 }
@@ -648,19 +763,58 @@ mod tests {
                 Err(other) => panic!("unexpected {other:?}"),
             }
         }
-        // Strict surfaces the damage without delivering a partial stream.
-        assert_eq!((ok, errs), (0, 1));
+        // Streaming strict: the intact prefix is delivered first (the
+        // damage is in the trailer, so both data chunks arrive), then the
+        // damage surfaces exactly once.
+        assert_eq!((ok, errs), (200, 1));
         assert_eq!(reader.next(), None, "fused after the error");
+    }
+
+    #[test]
+    fn strict_reader_stops_at_first_damaged_data_chunk() {
+        let recs = sample(300);
+        let mut bytes = write_trace(&recs, 100).unwrap();
+        let c0_payload = u32::from_le_bytes(bytes[28..32].try_into().unwrap()) as usize;
+        let c1_start = 16 + CHUNK_HEADER_LEN + c0_payload;
+        bytes[c1_start + CHUNK_HEADER_LEN + 10] ^= 0x40;
+        let mut reader = TraceReader::new(&bytes, ReadMode::Strict).unwrap();
+        let prefix: Vec<BranchRecord> = (&mut reader).map_while(|item| item.ok()).collect();
+        assert_eq!(prefix, &recs[..100], "chunk 0 streams before the damage");
+        assert_eq!(reader.next(), None, "fused after the deferred error");
     }
 
     #[test]
     fn lenient_reader_streams_with_health() {
         let recs = sample(200);
         let bytes = write_trace(&recs, 64).unwrap();
-        let reader = TraceReader::new(&bytes, ReadMode::Lenient).unwrap();
+        let mut reader = TraceReader::new(&bytes, ReadMode::Lenient).unwrap();
         assert!(reader.health().is_clean());
-        let back: Vec<BranchRecord> = reader.map(|r| r.unwrap()).collect();
+        let back: Vec<BranchRecord> = (&mut reader).map(|r| r.unwrap()).collect();
         assert_eq!(back, recs);
+        assert_eq!(reader.health().records_ok, 200, "ledger final at end");
+    }
+
+    #[test]
+    fn streaming_reader_buffers_at_most_one_chunk() {
+        // 10_000 records in 64-record chunks: an eager decode would hold
+        // all 10_000 at once; the streaming reader must never hold more
+        // than one chunk's worth.
+        let recs = sample(10_000);
+        let bytes = write_trace(&recs, 64).unwrap();
+        for mode in [ReadMode::Strict, ReadMode::Lenient] {
+            let mut reader = TraceReader::new(&bytes, mode).unwrap();
+            let mut count = 0u64;
+            for item in &mut reader {
+                assert!(item.is_ok());
+                count += 1;
+            }
+            assert_eq!(count, 10_000);
+            assert!(
+                reader.peak_buffered() <= 64,
+                "decoded-record residency must be O(chunk), saw {}",
+                reader.peak_buffered()
+            );
+        }
     }
 
     #[test]

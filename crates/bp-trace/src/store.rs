@@ -17,21 +17,125 @@ use bp_common::telemetry::{Observable, TelemetrySnapshot};
 use bp_common::BranchRecord;
 use bp_faults::bytes::ByteFaultPlan;
 
-use crate::reader::{read_all, ReadMode};
+use crate::reader::{DecodeState, ReadMode, Step, TraceReader};
 use crate::writer::TraceWriter;
 use crate::{TraceError, TraceHealth, FILE_EXTENSION};
 
-/// One decoded trace file, shared between the threads that replay it.
+/// One verified trace file, shared between the threads that replay it.
+///
+/// Holds the *raw* file bytes, not decoded records: replay decodes
+/// chunk-by-chunk through [`LoadedTrace::records`] cursors, so peak
+/// decoded-record residency stays O(chunk) regardless of stream length.
+/// The load itself runs one streaming verification pass, so decode errors
+/// (strict) and the damage ledger (lenient) still surface at build time,
+/// before any simulation starts.
 #[derive(Debug)]
 pub struct LoadedTrace {
-    /// The recovered records, in stream order.
-    pub records: Arc<Vec<BranchRecord>>,
+    bytes: Arc<Vec<u8>>,
+    mode: ReadMode,
+    record_count: u64,
+    instructions: u64,
+    health: TraceHealth,
+}
+
+impl LoadedTrace {
+    /// Records a replay cursor will deliver (verified at load time).
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Whether the stream delivers no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.record_count == 0
+    }
+
     /// Instructions the stream covers (each record is one branch plus its
     /// `gap` non-branch instructions) — the build-time length floor checks
     /// against this.
-    pub instructions: u64,
-    /// The decode's damage ledger (all-zero under strict mode).
-    pub health: TraceHealth,
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The verification pass's damage ledger (all-zero under strict mode).
+    pub fn health(&self) -> TraceHealth {
+        self.health
+    }
+
+    /// A fresh streaming cursor over the stream's records, positioned at
+    /// the start. Each replaying thread owns its own cursor; they share
+    /// the underlying bytes.
+    pub fn records(&self) -> RecordCursor {
+        RecordCursor::new(Arc::clone(&self.bytes), self.mode)
+    }
+}
+
+/// An owning, resettable streaming iterator over a loaded stream's
+/// records. Decodes one chunk at a time; [`RecordCursor::peak_buffered`]
+/// reports the largest decoded-record residency ever reached, which tests
+/// pin to the chunk size.
+///
+/// The underlying bytes were already verified by [`TraceStore::load`], so
+/// iteration is infallible: any residual damage in lenient mode was
+/// accounted in the load-time ledger and is simply skipped again here.
+#[derive(Debug)]
+pub struct RecordCursor {
+    bytes: Arc<Vec<u8>>,
+    mode: ReadMode,
+    state: Option<DecodeState>,
+    current: std::vec::IntoIter<BranchRecord>,
+    peak_buffered: usize,
+}
+
+impl RecordCursor {
+    fn new(bytes: Arc<Vec<u8>>, mode: ReadMode) -> RecordCursor {
+        // The header was validated at load; a `None` state (unreachable)
+        // degrades to an empty cursor rather than panicking.
+        let state = DecodeState::new(&bytes, mode).ok();
+        RecordCursor {
+            bytes,
+            mode,
+            state,
+            current: Vec::new().into_iter(),
+            peak_buffered: 0,
+        }
+    }
+
+    /// Rewinds the cursor to the first record (`peak_buffered` persists
+    /// across resets — it measures the cursor's lifetime residency).
+    pub fn reset(&mut self) {
+        self.state = DecodeState::new(&self.bytes, self.mode).ok();
+        self.current = Vec::new().into_iter();
+    }
+
+    /// The largest number of decoded records ever resident at once.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+}
+
+impl Iterator for RecordCursor {
+    type Item = BranchRecord;
+
+    fn next(&mut self) -> Option<BranchRecord> {
+        loop {
+            if let Some(r) = self.current.next() {
+                return Some(r);
+            }
+            let state = self.state.as_mut()?;
+            match state.step(&self.bytes) {
+                Ok(Step::Records(r)) => {
+                    self.peak_buffered = self.peak_buffered.max(r.len());
+                    self.current = r.into_iter();
+                }
+                Ok(Step::Meta) => {}
+                // End, or damage already accounted at load time: fuse.
+                Ok(Step::End) | Err(_) => {
+                    self.state = None;
+                    return None;
+                }
+            }
+        }
+    }
 }
 
 /// Directory of `.bpt` streams plus the policy for reading them.
@@ -138,10 +242,22 @@ impl TraceStore {
             reason: e.to_string(),
         })?;
         self.ingest_faults.apply(&mut bytes);
-        let (records, health) = read_all(&bytes, self.mode)?;
-        let instructions = records.iter().map(|r| u64::from(r.gap) + 1).sum::<u64>();
+        // Streaming verification pass: decodes chunk-by-chunk (O(chunk)
+        // decoded-record residency) while surfacing exactly the errors an
+        // eager decode would, so damage still fails the build, not the run.
+        let mut reader = TraceReader::new(&bytes, self.mode)?;
+        let mut record_count = 0u64;
+        let mut instructions = 0u64;
+        for item in &mut reader {
+            let r = item?;
+            record_count += 1;
+            instructions += u64::from(r.gap) + 1;
+        }
+        let health = reader.health();
         let loaded = Arc::new(LoadedTrace {
-            records: Arc::new(records),
+            bytes: Arc::new(bytes),
+            mode: self.mode,
+            record_count,
             instructions,
             health,
         });
@@ -242,15 +358,39 @@ mod tests {
         let recs = sample(500);
         store.save("t0s0", 0x5EED, &recs, 128).unwrap();
         let a = store.load("t0s0", 0x5EED).unwrap();
-        assert_eq!(*a.records, recs);
+        assert_eq!(a.records().collect::<Vec<_>>(), recs);
+        assert_eq!(a.record_count(), 500);
+        assert!(!a.is_empty());
         assert_eq!(
-            a.instructions,
+            a.instructions(),
             recs.iter().map(|r| u64::from(r.gap) + 1).sum::<u64>()
         );
         let b = store.load("t0s0", 0x5EED).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second load must hit the cache");
         assert_eq!(store.files_loaded(), 1);
         assert!(!store.is_degraded());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn replay_cursor_is_o_chunk_and_resettable() {
+        let store = temp_store("streaming", ReadMode::Strict);
+        let recs = sample(5000);
+        store.save("big", 9, &recs, 64).unwrap();
+        let loaded = store.load("big", 9).unwrap();
+        let mut cursor = loaded.records();
+        let first: Vec<_> = (&mut cursor).collect();
+        assert_eq!(first, recs);
+        assert!(
+            cursor.peak_buffered() <= 64,
+            "replay must never hold more than one chunk's records, saw {}",
+            cursor.peak_buffered()
+        );
+        // A reset replays the identical stream (wrap-around support).
+        cursor.reset();
+        assert_eq!(cursor.next(), Some(recs[0]));
+        let rest: Vec<_> = cursor.collect();
+        assert_eq!(rest, &recs[1..]);
         let _ = std::fs::remove_dir_all(store.dir());
     }
 
@@ -286,12 +426,13 @@ mod tests {
 
         let lenient = TraceStore::new(strict.dir(), ReadMode::Lenient).with_ingest_faults(plan);
         let loaded = lenient.load("s", 1).unwrap();
-        assert_eq!(loaded.health.chunks_skipped, 1);
-        assert_eq!(loaded.health.records_lost, 100);
+        assert_eq!(loaded.health().chunks_skipped, 1);
+        assert_eq!(loaded.health().records_lost, 100);
+        assert_eq!(loaded.record_count(), 500, "intact chunks still replay");
         assert!(lenient.is_degraded());
         assert_eq!(
             lenient.damaged_files(),
-            vec![(TraceStore::file_name("s", 1), loaded.health)]
+            vec![(TraceStore::file_name("s", 1), loaded.health())]
         );
         let _ = std::fs::remove_dir_all(strict.dir());
     }

@@ -127,6 +127,23 @@ pub struct BpuObservation {
     pub btb_occupancy: Vec<(usize, usize, usize)>,
 }
 
+/// A point-in-time view of one isolation slot's key state — the shape a
+/// serving layer polls to detect and exit stale-key degraded mode. Carries
+/// no key material, only epoch bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyEpoch {
+    /// The slot's keys-table generation (bumped when a rewrite completes).
+    pub generation: u64,
+    /// Whether a background keys-table rewrite is currently in flight.
+    pub refresh_in_flight: bool,
+    /// Reads served from a not-yet-rewritten entry mid-refresh (§V-C2).
+    pub stale_hits: u64,
+    /// Renewals whose rewrite was dropped by a fault, BPU-wide — keys kept
+    /// serving stale. Monotone; a move without a generation advance is the
+    /// degraded-mode entry signal.
+    pub refresh_stalls: u64,
+}
+
 /// Direction predictor layout per mechanism.
 #[derive(Debug)]
 enum DirState {
@@ -336,6 +353,27 @@ impl SecureBpu {
             btb_occupancy: (0..self.btb.config().slots)
                 .map(|s| self.btb.occupancy(s))
                 .collect(),
+        }
+    }
+
+    /// The key-epoch view of isolation slot `slot` at cycle `now`, or
+    /// `None` when the mechanism has no key manager (everything but HyBP).
+    ///
+    /// `refresh_stalls` is manager-wide (all slots share one manager);
+    /// `generation`/`stale_hits`/`refresh_in_flight` are per-slot.
+    pub fn key_epoch(&self, slot: usize, now: Cycle) -> Option<KeyEpoch> {
+        match &self.codec {
+            CodecState::Hybp(c) => {
+                let km = c.key_manager();
+                let table = km.slot(slot).table();
+                Some(KeyEpoch {
+                    generation: table.generation(),
+                    refresh_in_flight: table.refresh_in_flight(now),
+                    stale_hits: table.stale_hits(),
+                    refresh_stalls: km.refresh_stalls(),
+                })
+            }
+            CodecState::Identity(_) => None,
         }
     }
 
@@ -709,6 +747,41 @@ mod tests {
         let m = run_warm(&mut bpu, hw, 0x4000, 100);
         assert!(m < 10, "baseline warm mispredicts {m}");
         assert!(bpu.observation().stats.direction_accuracy() > 0.9);
+    }
+
+    #[test]
+    fn key_epoch_tracks_generation_and_stalls() {
+        use bp_faults::{FaultInjector, FaultPlan};
+        let hw = HwThreadId::new(0);
+
+        // Non-HyBP mechanisms have no key manager.
+        let base = SecureBpu::new(Mechanism::Baseline, 1, 1).expect("valid config");
+        assert_eq!(base.key_epoch(0, 0), None);
+
+        let mut bpu = SecureBpu::new(Mechanism::hybp_default(), 1, 11).expect("valid config");
+        bpu.on_context_switch(hw, Asid::new(1), 0);
+        let e0 = bpu.key_epoch(0, 0).expect("hybp exposes key epochs");
+        assert_eq!(e0.refresh_stalls, 0);
+
+        // A fault-free context switch advances the generation (once the
+        // rewrite lands) and counts no stalls.
+        let done = bpu
+            .on_context_switch(hw, Asid::new(2), 10_000)
+            .expect("renewal acknowledged");
+        let e1 = bpu.key_epoch(0, done + 1).expect("hybp exposes key epochs");
+        assert!(e1.generation > e0.generation, "rewrite completed");
+        assert_eq!(e1.refresh_stalls, 0);
+
+        // A dropped refresh moves refresh_stalls but not the generation:
+        // the degraded-mode entry signal.
+        let inj = FaultInjector::from_plan(FaultPlan::new(3).with_refresh_drops(1));
+        bpu.set_fault_injector(Some(inj));
+        bpu.on_context_switch(hw, Asid::new(3), 50_000);
+        let e2 = bpu.key_epoch(0, 60_000).expect("hybp exposes key epochs");
+        assert_eq!(e2.generation, e1.generation, "rewrite was lost");
+        // A context switch renews both privilege slots of the thread, so
+        // the (manager-wide) stall counter moves by two.
+        assert_eq!(e2.refresh_stalls, 2, "stalls surfaced to the epoch view");
     }
 
     #[test]

@@ -35,6 +35,6 @@ mod codec;
 pub mod cost;
 mod mechanism;
 
-pub use bpu::{BpuStats, BranchOutcome, SecureBpu};
+pub use bpu::{BpuStats, BranchOutcome, KeyEpoch, SecureBpu};
 pub use codec::HybpCodec;
 pub use mechanism::{CipherKind, HybpConfig, Mechanism};
