@@ -24,6 +24,11 @@
 //!   degraded (`# partial` CSV header, non-zero exit).
 //! * `--benches a,b,...` — restrict benchmark-driven experiments that
 //!   honor subsets (currently fig5) to the named benchmarks.
+//! * `--sample k=K,window=W,...` — phase-sampled replay (only valid with
+//!   `--trace-dir`): cluster each stream's windows into K phases and
+//!   replay one weighted representative per phase instead of the whole
+//!   trace. Sampled CSVs carry a `# sampled:` header naming the window
+//!   counts and coverage.
 //!
 //! Unknown options and malformed values are fatal usage errors (exit
 //! code 2) with a message listing what is valid — a typo must never
@@ -35,7 +40,7 @@ use std::sync::Arc;
 
 use bp_common::pool::{FailMode, Pool, RetryPolicy, TaskError};
 use bp_faults::points::{PointDisposition, PointFaultPlan};
-use bp_trace::{ReadMode, TraceStore};
+use bp_trace::{ReadMode, SamplingSpec, TraceSession, TraceStore};
 use bp_workloads::profile::SpecBenchmark;
 
 use crate::cache::ModelCache;
@@ -45,7 +50,8 @@ use crate::{Csv, ExpResult, Scale};
 
 /// Option summary printed with every usage error.
 pub const USAGE: &str = "options: [--scale quick|default|full] [--threads N] [--no-cache] \
-     [--telemetry DIR] [--trace-dir DIR] [--trace-mode strict|lenient] [--benches a,b,...]";
+     [--telemetry DIR] [--trace-dir DIR] [--trace-mode strict|lenient] [--benches a,b,...] \
+     [--sample k=K,window=W,dims=D,warmup=U,seed=S,iters=I]";
 
 /// Parsed command-line options, before any pool/cache is constructed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +70,8 @@ pub struct CliOptions {
     pub trace_mode: ReadMode,
     /// Benchmark subset (`--benches`), if any.
     pub benches: Option<Vec<SpecBenchmark>>,
+    /// Phase-sampling spec (`--sample`), if any.
+    pub sample: Option<SamplingSpec>,
 }
 
 /// Parses a `--benches` value: comma-separated benchmark names.
@@ -107,12 +115,7 @@ pub fn parse_benches(v: &str) -> Result<Vec<SpecBenchmark>, String> {
 /// Rejects anything that is not a positive integer, with a message
 /// naming the offending value.
 pub fn parse_threads(v: &str) -> Result<usize, String> {
-    match v.parse::<usize>() {
-        Ok(n) if n >= 1 => Ok(n),
-        _ => Err(format!(
-            "invalid thread count '{v}': expected a positive integer"
-        )),
-    }
+    bp_common::parse::positive("thread count", v).map(|n| n as usize)
 }
 
 /// Resolves the worker count when `--threads` is absent: a set
@@ -141,6 +144,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     let mut trace_dir: Option<PathBuf> = None;
     let mut trace_mode: Option<ReadMode> = None;
     let mut benches: Option<Vec<SpecBenchmark>> = None;
+    let mut sample: Option<SamplingSpec> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -163,6 +167,13 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                     .get(i + 1)
                     .ok_or_else(|| format!("--benches needs a list; {USAGE}"))?;
                 benches = Some(parse_benches(v)?);
+                i += 2;
+            }
+            "--sample" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--sample needs a spec; {USAGE}"))?;
+                sample = Some(SamplingSpec::parse(v)?);
                 i += 2;
             }
             "--scale" => {
@@ -202,6 +213,11 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             "--trace-mode only applies to trace replay; add --trace-dir DIR. {USAGE}"
         ));
     }
+    if sample.is_some() && trace_dir.is_none() {
+        return Err(format!(
+            "--sample only applies to trace replay; add --trace-dir DIR. {USAGE}"
+        ));
+    }
     Ok(CliOptions {
         scale,
         threads,
@@ -210,6 +226,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         trace_dir,
         trace_mode: trace_mode.unwrap_or_default(),
         benches,
+        sample,
     })
 }
 
@@ -251,6 +268,10 @@ pub struct Ctx {
     /// Benchmark subset restriction (`--benches`), honored by experiments
     /// that sweep benchmarks (currently fig5).
     pub bench_subset: Option<Vec<SpecBenchmark>>,
+    /// Phase-sampling spec (`--sample`): experiments that replay traces
+    /// estimate from weighted representative windows instead of full
+    /// streams, and mark their CSVs with a `# sampled:` header.
+    pub sampling: Option<SamplingSpec>,
 }
 
 impl Ctx {
@@ -269,7 +290,14 @@ impl Ctx {
             telemetry_dir: None,
             trace: None,
             bench_subset: None,
+            sampling: None,
         }
+    }
+
+    /// Arms phase-sampled replay under `spec` (requires a trace store).
+    pub fn with_sampling(mut self, spec: SamplingSpec) -> Ctx {
+        self.sampling = Some(spec);
+        self
     }
 
     /// Attaches a trace store: every simulation point replays captured
@@ -343,9 +371,23 @@ impl Ctx {
             // Harness-level I/O faults (`HYBP_FAULT_POINTS` byte-fault
             // entries) are injected at trace ingest — the adversarial
             // decode path exercised end to end.
-            let store = TraceStore::new(dir, opts.trace_mode)
-                .with_ingest_faults(ctx.fault_points.io_plan());
-            ctx = ctx.with_trace_store(Arc::new(store));
+            let mut builder = TraceSession::open(dir)
+                .mode(opts.trace_mode)
+                .ingest_faults(ctx.fault_points.io_plan());
+            if let Some(spec) = opts.sample {
+                builder = builder.sampling(spec);
+            }
+            let session = match builder.build() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            ctx = ctx.with_trace_store(Arc::clone(session.store()));
+            if let Some(spec) = session.sampling() {
+                ctx = ctx.with_sampling(*spec);
+            }
         }
         if let Some(benches) = opts.benches {
             ctx = ctx.with_bench_subset(benches);

@@ -142,7 +142,8 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses one scale value.
+    /// Parses one scale value through the shared strict-parse helper
+    /// ([`bp_common::parse::one_of`]).
     ///
     /// # Errors
     ///
@@ -150,14 +151,15 @@ impl Scale {
     /// them — a typo like `ful` must never silently run at a different
     /// scale.
     pub fn parse(v: &str) -> Result<Scale, String> {
-        match v {
-            "quick" => Ok(Scale::Quick),
-            "default" => Ok(Scale::Default),
-            "full" => Ok(Scale::Full),
-            other => Err(format!(
-                "invalid scale '{other}': valid values are quick, default, full"
-            )),
-        }
+        bp_common::parse::one_of(
+            "scale",
+            v,
+            &[
+                ("quick", Scale::Quick),
+                ("default", Scale::Default),
+                ("full", Scale::Full),
+            ],
+        )
     }
 
     /// The value accepted by [`Scale::parse`] for this scale.
@@ -487,12 +489,89 @@ pub fn smt_point_cached(
     (v[0], v[1..].to_vec())
 }
 
+/// Computes (deterministically) the phase plan for `bench`'s canonical
+/// replay stream in `ctx`'s trace store under `spec`.
+///
+/// # Errors
+///
+/// Returns a message when no trace store is attached, the stream is
+/// missing or undecodable, or the trace is shorter than one window.
+pub fn phase_plan_for(
+    ctx: &Ctx,
+    bench: SpecBenchmark,
+    spec: &bp_trace::SamplingSpec,
+) -> Result<bp_trace::PhasePlan, String> {
+    let store = ctx
+        .trace
+        .as_ref()
+        .ok_or("phase sampling requires --trace-dir")?;
+    let name = stream_name(0, 0, bench);
+    let seed = stream_seed(SimConfig::default_run().seed, 0, 0);
+    let loaded = store
+        .load(&name, seed)
+        .map_err(|e| format!("{name}: {e}"))?;
+    let (plan, _) = loaded.sample(spec).map_err(|e| format!("{name}: {e}"))?;
+    Ok(plan)
+}
+
+/// One sampled-replay point: the bounded-error MPKI/IPC estimate for
+/// (`mechanism`, `bench`) over the plan's representative windows.
+///
+/// # Errors
+///
+/// Returns a message when the replay cannot be built (no store, missing
+/// stream) or the plan is stale for the store's current bytes.
+pub fn sampled_estimate(
+    ctx: &Ctx,
+    mechanism: Mechanism,
+    bench: SpecBenchmark,
+    plan: &bp_trace::PhasePlan,
+) -> Result<bp_pipeline::SampledEstimate, String> {
+    Simulation::builder(mechanism, SimConfig::default_run())
+        .single_thread(bench)
+        .trace_store(ctx.trace.clone())
+        .sampled_replay(plan.clone())
+        .map_err(|e| format!("{}: {e}", bench.name()))?
+        .run()
+        .map_err(|e| format!("{}: {e}", bench.name()))
+}
+
+/// Synthesizes a phase-alternating branch stream: `phases` cycle every
+/// `phase_instructions`, each phase drawing from its benchmark's profile,
+/// until `total_instructions` are covered. This is the worst reasonable
+/// case for sampling (abrupt phase changes) and the best case for showing
+/// why one contiguous sample is not enough.
+pub fn phased_records(
+    seed: u64,
+    phases: &[SpecBenchmark],
+    phase_instructions: u64,
+    total_instructions: u64,
+) -> Vec<bp_common::BranchRecord> {
+    let mut gens: Vec<_> = phases
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            bp_workloads::WorkloadGenerator::new(b.profile(), seed ^ ((i as u64 + 1) << 24))
+        })
+        .collect();
+    let mut records = Vec::new();
+    let mut instructions = 0u64;
+    while instructions < total_instructions {
+        let phase = ((instructions / phase_instructions) as usize) % gens.len();
+        let r = gens[phase].next_branch();
+        instructions += u64::from(r.gap) + 1;
+        records.push(r);
+    }
+    records
+}
+
 /// Simple CSV accumulator writing into a results directory.
 #[derive(Debug)]
 pub struct Csv {
     path: String,
     buf: String,
     partial: Option<(usize, usize)>,
+    sampled: Option<(u64, u64, f64)>,
 }
 
 impl Csv {
@@ -511,6 +590,7 @@ impl Csv {
             path: dir.as_ref().join(name).display().to_string(),
             buf,
             partial: None,
+            sampled: None,
         }
     }
 
@@ -538,18 +618,30 @@ impl Csv {
         self.partial = Some((completed, total));
     }
 
+    /// Marks the file as produced by phase-sampled replay: [`Csv::finish`]
+    /// will prepend a `# sampled: k/N windows (coverage …)` comment line so
+    /// a bounded-error estimate can never be mistaken for a full replay.
+    /// Composes with [`Csv::mark_partial`], whose line stays first.
+    pub fn mark_sampled(&mut self, selected: u64, total_windows: u64, coverage: f64) {
+        self.sampled = Some((selected, total_windows, coverage));
+    }
+
     /// Writes the file (creating the directory if needed) and returns the
     /// path.
     pub fn finish(self) -> std::io::Result<String> {
         if let Some(parent) = Path::new(&self.path).parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let body = match self.partial {
-            Some((completed, total)) => {
-                format!("# partial: {completed}/{total} points\n{}", self.buf)
-            }
-            None => self.buf,
-        };
+        let mut body = self.buf;
+        if let Some((selected, total, coverage)) = self.sampled {
+            body = format!(
+                "# sampled: {selected}/{total} windows (coverage {:.2}%)\n{body}",
+                coverage * 100.0
+            );
+        }
+        if let Some((completed, total)) = self.partial {
+            body = format!("# partial: {completed}/{total} points\n{body}");
+        }
         std::fs::write(&self.path, body)?;
         Ok(self.path)
     }

@@ -10,6 +10,7 @@
 //! * branch-history registers ([`history::GlobalHistory`], [`history::PathHistory`]),
 //! * statistics helpers ([`stats`]),
 //! * typed configuration errors ([`error::ConfigError`]),
+//! * strict CLI value parsing with one shared error shape ([`parse`]),
 //! * a deterministic, dependency-free property-check harness ([`check`]),
 //! * a scoped worker pool with an order-preserving `par_map`
 //!   ([`pool::Pool`]),
@@ -32,6 +33,7 @@
 pub mod check;
 pub mod error;
 pub mod history;
+pub mod parse;
 pub mod pool;
 pub mod rng;
 pub mod stats;

@@ -17,6 +17,14 @@ pub enum SimError {
         /// The deadline that was exceeded.
         deadline: Cycle,
     },
+    /// A sampled replay's phase plan does not match the trace it was asked
+    /// to replay: a selected window's seek target is not a chunk boundary
+    /// any more, or the window ran out of records mid-measurement. The
+    /// sidecar is stale — re-run `trace_tool sample` over the current trace.
+    StalePlan {
+        /// The window index whose replay failed.
+        window: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -28,6 +36,11 @@ impl fmt::Display for SimError {
                 "simulation hit the runaway deadline ({cycle} >= {deadline} cycles) \
                  before all threads finished measuring"
             ),
+            SimError::StalePlan { window } => write!(
+                f,
+                "phase plan is stale for this trace (window {window} failed to \
+                 seek or measure); re-run `trace_tool sample`"
+            ),
         }
     }
 }
@@ -36,7 +49,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Config(e) => Some(e),
-            SimError::Runaway { .. } => None,
+            SimError::Runaway { .. } | SimError::StalePlan { .. } => None,
         }
     }
 }

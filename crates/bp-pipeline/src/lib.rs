@@ -20,11 +20,16 @@
 pub mod config;
 pub mod error;
 pub mod metrics;
+mod sampled;
 mod sim;
 
 pub use config::{CoreConfig, SimConfig};
 pub use error::{MetricsError, SimError};
 pub use metrics::{RunMetrics, StageCycles, StreamDigest, ThreadMetrics};
+pub use sampled::{
+    FullReplay, ReplayEstimate, SampledEstimate, SampledReplay, MISPREDICT_REDIRECT_CYCLES,
+    MPKI_ABS_MARGIN, MPKI_REL_MARGIN,
+};
 pub use sim::{
     kernel_stream_name, kernel_stream_seed, stream_name, stream_seed, CycleDriver, Simulation,
     SimulationBuilder,

@@ -176,12 +176,12 @@ impl HwContext {
 /// [`build`](SimulationBuilder::build).
 #[derive(Debug, Clone)]
 pub struct SimulationBuilder {
-    mechanism: hybp::Mechanism,
-    cfg: SimConfig,
-    threads: Vec<Vec<SpecBenchmark>>,
-    faults: Option<FaultInjector>,
-    telemetry: Telemetry,
-    trace_store: Option<Arc<TraceStore>>,
+    pub(crate) mechanism: hybp::Mechanism,
+    pub(crate) cfg: SimConfig,
+    pub(crate) threads: Vec<Vec<SpecBenchmark>>,
+    pub(crate) faults: Option<FaultInjector>,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) trace_store: Option<Arc<TraceStore>>,
 }
 
 impl SimulationBuilder {

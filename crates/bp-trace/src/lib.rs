@@ -17,13 +17,21 @@
 //!   and byte offset. **Lenient** resynchronizes to the next intact chunk
 //!   and keeps a [`TraceHealth`] ledger of what was lost — a degraded trace
 //!   yields a degraded (never wrong, never crashing) replay.
-//! * [`TraceStore`] serves decoded streams to the simulator by
-//!   `(stream name, seed)`, caching decodes and aggregating health across
-//!   every file a run touched.
+//! * [`TraceSession`] is the one front door to reading: a builder
+//!   (mirroring the simulator's `SimulationBuilder`) that opens a stream
+//!   directory with a decode mode, optional deterministic ingest faults,
+//!   and an optional [`SamplingSpec`]. Its [`TraceStore`] serves decoded
+//!   streams to the simulator by `(stream name, seed)`, caching decodes
+//!   and aggregating health across every file a run touched.
+//! * [`sampling`] turns long traces into [`PhasePlan`]s: a streaming BBV
+//!   pass plus deterministic k-means pick a few representative windows
+//!   whose weighted replay estimates whole-trace MPKI/IPC at a fraction
+//!   of the cost (see `DESIGN.md` §6h).
 //!
 //! Chunks encode their records independently (deltas reset at each chunk
-//! boundary), which is what makes lenient resync sound: any intact chunk
-//! decodes without context from its damaged neighbours.
+//! boundary), which is what makes lenient resync sound — any intact chunk
+//! decodes without context from its damaged neighbours — and what makes
+//! sampled replay's mid-file seeks exact.
 //!
 //! The corruption tolerance is machine-checked against the deterministic
 //! byte faults of [`bp_faults::bytes`] — see `tests/adversarial.rs`.
@@ -32,7 +40,7 @@
 //!
 //! ```
 //! use bp_common::{Addr, BranchRecord};
-//! use bp_trace::{read_all, ReadMode, TraceWriter};
+//! use bp_trace::{ReadMode, TraceSession, TraceWriter};
 //!
 //! let mut out = Vec::new();
 //! let mut w = TraceWriter::new(&mut out, 64).expect("header write");
@@ -41,7 +49,7 @@
 //!     w.push(&r).expect("record write");
 //! }
 //! w.finish().expect("trailer write");
-//! let (records, health) = read_all(&out, ReadMode::Strict).expect("intact trace");
+//! let (records, health) = TraceSession::decode(&out, ReadMode::Strict).expect("intact trace");
 //! assert_eq!(records.len(), 1000);
 //! assert!(health.is_clean());
 //! ```
@@ -55,11 +63,19 @@ use bp_common::telemetry::{Observable, TelemetrySnapshot};
 
 pub mod crc32;
 pub mod reader;
+pub mod sampling;
+pub mod session;
 pub mod store;
 pub mod varint;
 pub mod writer;
 
-pub use reader::{read_all, ReadMode, TraceReader};
+#[allow(deprecated)]
+pub use reader::read_all;
+pub use reader::{ReadMode, TraceReader};
+pub use sampling::{
+    sample_bytes, sample_trace, PhasePlan, SampleStats, SamplingError, SamplingSpec, Selection,
+};
+pub use session::{TraceSession, TraceSessionBuilder};
 pub use store::{LoadedTrace, RecordCursor, TraceStore};
 pub use writer::{write_trace, TraceWriter, WriteSummary};
 

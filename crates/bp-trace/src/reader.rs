@@ -38,19 +38,18 @@ pub enum ReadMode {
 }
 
 impl ReadMode {
-    /// Parses a `--trace-mode` value.
+    /// Parses a `--trace-mode` value through the shared strict-parse
+    /// helper ([`bp_common::parse::one_of`]).
     ///
     /// # Errors
     ///
     /// Lists the valid values; a typo must never silently pick a mode.
     pub fn parse(v: &str) -> Result<ReadMode, String> {
-        match v {
-            "strict" => Ok(ReadMode::Strict),
-            "lenient" => Ok(ReadMode::Lenient),
-            other => Err(format!(
-                "invalid trace mode '{other}': valid values are strict, lenient"
-            )),
-        }
+        bp_common::parse::one_of(
+            "trace mode",
+            v,
+            &[("strict", ReadMode::Strict), ("lenient", ReadMode::Lenient)],
+        )
     }
 
     /// The value [`ReadMode::parse`] accepts for this mode.
@@ -235,10 +234,26 @@ fn find_next_valid_chunk(bytes: &[u8], mut from: usize) -> Option<usize> {
     None
 }
 
+/// Whether `pos` heads a fully valid chunk of `bytes` — the precondition
+/// for seeking a decode there (the sampling plan stores chunk offsets; a
+/// stale or corrupted plan must fail the seek, not decode garbage).
+pub(crate) fn chunk_starts_at(bytes: &[u8], pos: usize) -> bool {
+    pos >= FILE_HEADER_LEN
+        && pos < bytes.len()
+        && bytes.len() - pos >= CHUNK_HEADER_LEN
+        && parse_chunk(bytes, pos, 0).is_ok()
+}
+
 /// What one advance of the incremental decoder contributed.
 pub(crate) enum Step {
     /// An intact, first-delivery data chunk's records, in stream order.
-    Records(Vec<BranchRecord>),
+    /// `offset` is the absolute byte offset of the chunk's start — the
+    /// seek anchor phase sampling records for each window (chunks encode
+    /// independently, so a later decode can resume exactly here).
+    Records {
+        recs: Vec<BranchRecord>,
+        offset: u64,
+    },
     /// A chunk was consumed without new records (trailer, duplicate/stray
     /// chunk, or a lenient resync) — call [`DecodeState::step`] again.
     Meta,
@@ -279,6 +294,25 @@ impl DecodeState {
             strict: mode == ReadMode::Strict,
             finished: false,
         })
+    }
+
+    /// Positions a decode cursor directly at byte `pos`, which the caller
+    /// must have proven heads a valid chunk ([`chunk_starts_at`]) of a
+    /// file whose header was already validated at load time. Always
+    /// lenient and sequence-agnostic: a mid-file resume sees arbitrary
+    /// sequence numbers, so strict's "seq equals chunks seen" cross-check
+    /// cannot apply. Used by the sampled-replay seek path.
+    pub(crate) fn at_offset(pos: usize) -> DecodeState {
+        DecodeState {
+            pos,
+            ordinal: 0,
+            health: TraceHealth::default(),
+            seen_seqs: std::collections::BTreeSet::new(),
+            trailer: None,
+            ended_in_damage: false,
+            strict: false,
+            finished: false,
+        }
     }
 
     /// The damage ledger accumulated so far. Complete only after
@@ -324,6 +358,7 @@ impl DecodeState {
                     }
                 }
                 self.ordinal += 1;
+                let offset = self.pos as u64;
                 self.pos += size;
                 if self.trailer.is_some() || !self.seen_seqs.insert(seq) {
                     // A stray or duplicated chunk (botched copy): its
@@ -333,7 +368,7 @@ impl DecodeState {
                 } else {
                     self.health.chunks_ok += 1;
                     self.health.records_ok += recs.len() as u64;
-                    Ok(Step::Records(recs))
+                    Ok(Step::Records { recs, offset })
                 }
             }
             Ok(Chunk::Trailer {
@@ -432,20 +467,21 @@ impl DecodeState {
 
 /// A fully decoded trace plus its damage ledger.
 #[derive(Debug, Clone, PartialEq)]
-struct Decoded {
-    records: Vec<BranchRecord>,
-    health: TraceHealth,
+pub(crate) struct Decoded {
+    pub(crate) records: Vec<BranchRecord>,
+    pub(crate) health: TraceHealth,
 }
 
 /// Eager decode: drives [`DecodeState`] to the end, collecting every
 /// delivered chunk. In strict mode any `Err` short-circuits; in lenient
 /// mode errors after the file header are converted into resyncs.
-fn decode(bytes: &[u8], mode: ReadMode) -> Result<Decoded, TraceError> {
+/// Surfaced to callers as `TraceSession::decode`.
+pub(crate) fn decode(bytes: &[u8], mode: ReadMode) -> Result<Decoded, TraceError> {
     let mut state = DecodeState::new(bytes, mode)?;
     let mut records = Vec::new();
     loop {
         match state.step(bytes)? {
-            Step::Records(r) => records.extend(r),
+            Step::Records { recs, .. } => records.extend(recs),
             Step::Meta => {}
             Step::End => break,
         }
@@ -465,6 +501,10 @@ fn decode(bytes: &[u8], mode: ReadMode) -> Result<Decoded, TraceError> {
 /// [`TraceError::HeaderCrc`], [`TraceError::UnsupportedVersion`], or a
 /// file shorter than its header) — everything else is absorbed into the
 /// returned [`TraceHealth`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use TraceSession::decode(bytes, mode) — same behaviour, one front door"
+)]
 pub fn read_all(
     bytes: &[u8],
     mode: ReadMode,
@@ -531,9 +571,9 @@ impl Iterator for TraceReader<'_> {
                 return None;
             }
             match self.state.step(self.bytes) {
-                Ok(Step::Records(r)) => {
-                    self.peak_buffered = self.peak_buffered.max(r.len());
-                    self.current = r.into_iter();
+                Ok(Step::Records { recs, .. }) => {
+                    self.peak_buffered = self.peak_buffered.max(recs.len());
+                    self.current = recs.into_iter();
                 }
                 Ok(Step::Meta) => {}
                 Ok(Step::End) => {
@@ -555,6 +595,15 @@ mod tests {
     use super::*;
     use crate::writer::write_trace;
     use bp_common::BranchKind;
+
+    /// Test-local decode entry (shadows the deprecated free function of
+    /// the same name, so these tests exercise the live path).
+    fn read_all(
+        bytes: &[u8],
+        mode: ReadMode,
+    ) -> Result<(Vec<BranchRecord>, TraceHealth), TraceError> {
+        decode(bytes, mode).map(|d| (d.records, d.health))
+    }
 
     fn sample(n: u64) -> Vec<BranchRecord> {
         (0..n)

@@ -67,6 +67,18 @@ impl LoadedTrace {
     pub fn records(&self) -> RecordCursor {
         RecordCursor::new(Arc::clone(&self.bytes), self.mode)
     }
+
+    /// Raw verified file bytes, shared with every cursor — the sampling
+    /// pass runs its own streaming decode over them.
+    pub(crate) fn raw_bytes(&self) -> &Arc<Vec<u8>> {
+        &self.bytes
+    }
+
+    /// The mode the bytes were verified under (cursors decode in the same
+    /// mode, so sampling must too for the window boundaries to line up).
+    pub(crate) fn read_mode(&self) -> ReadMode {
+        self.mode
+    }
 }
 
 /// An owning, resettable streaming iterator over a loaded stream's
@@ -111,6 +123,33 @@ impl RecordCursor {
     pub fn peak_buffered(&self) -> usize {
         self.peak_buffered
     }
+
+    /// Repositions the cursor at the chunk starting at absolute byte
+    /// `offset`, then discards `skip` records, so the next call to
+    /// [`Iterator::next`] yields the record `skip` positions into that
+    /// chunk. Chunks encode independently (the writer resets its delta
+    /// base at every flush), which is what makes a mid-file resume exact.
+    ///
+    /// Returns `false` — leaving the cursor fused — when `offset` does not
+    /// head a valid chunk of these bytes or the stream ends before `skip`
+    /// records: a stale or mismatched sampling plan must fail loudly at
+    /// the call site, never replay the wrong window.
+    pub fn seek(&mut self, offset: u64, skip: u64) -> bool {
+        let pos = usize::try_from(offset).unwrap_or(usize::MAX);
+        if !crate::reader::chunk_starts_at(&self.bytes, pos) {
+            self.state = None;
+            self.current = Vec::new().into_iter();
+            return false;
+        }
+        self.state = Some(DecodeState::at_offset(pos));
+        self.current = Vec::new().into_iter();
+        for _ in 0..skip {
+            if self.next().is_none() {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 impl Iterator for RecordCursor {
@@ -123,9 +162,9 @@ impl Iterator for RecordCursor {
             }
             let state = self.state.as_mut()?;
             match state.step(&self.bytes) {
-                Ok(Step::Records(r)) => {
-                    self.peak_buffered = self.peak_buffered.max(r.len());
-                    self.current = r.into_iter();
+                Ok(Step::Records { recs, .. }) => {
+                    self.peak_buffered = self.peak_buffered.max(recs.len());
+                    self.current = recs.into_iter();
                 }
                 Ok(Step::Meta) => {}
                 // End, or damage already accounted at load time: fuse.
@@ -153,22 +192,40 @@ pub struct TraceStore {
 
 impl TraceStore {
     /// A store over `dir`, decoding in `mode`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use TraceSession::open(dir).mode(mode).build() — same store, one front door"
+    )]
     pub fn new(dir: impl Into<PathBuf>, mode: ReadMode) -> TraceStore {
-        TraceStore {
-            dir: dir.into(),
-            mode,
-            ingest_faults: ByteFaultPlan::empty(),
-            cache: Mutex::new(BTreeMap::new()),
-            wraps: AtomicU64::new(0),
-        }
+        TraceStore::with_parts(dir.into(), mode, ByteFaultPlan::empty())
     }
 
     /// Applies `plan` to every file's bytes *after* reading and *before*
     /// decoding — deterministic fault injection for the adversarial
     /// harness and the CI integrity job.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use TraceSession::open(dir).ingest_faults(plan).build() instead"
+    )]
     pub fn with_ingest_faults(mut self, plan: ByteFaultPlan) -> TraceStore {
         self.ingest_faults = plan;
         self
+    }
+
+    /// The one real constructor; the session builder calls this, and the
+    /// deprecated shims forward here so the two paths cannot drift.
+    pub(crate) fn with_parts(
+        dir: PathBuf,
+        mode: ReadMode,
+        ingest_faults: ByteFaultPlan,
+    ) -> TraceStore {
+        TraceStore {
+            dir,
+            mode,
+            ingest_faults,
+            cache: Mutex::new(BTreeMap::new()),
+            wraps: AtomicU64::new(0),
+        }
     }
 
     /// The directory this store reads.
@@ -276,14 +333,19 @@ impl TraceStore {
         total
     }
 
-    /// Per-file ledgers for files that lost anything, in file-name order.
+    /// Per-file ledgers for files that lost anything, sorted by file name.
+    /// The sort is explicit (not an artifact of the cache's iteration
+    /// order) so degradation reports stay byte-identical run to run even
+    /// if the cache's container ever changes.
     pub fn damaged_files(&self) -> Vec<(String, TraceHealth)> {
         let cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
-        cache
+        let mut out: Vec<(String, TraceHealth)> = cache
             .iter()
             .filter(|(_, l)| !l.health.is_clean())
             .map(|(name, l)| (name.clone(), l.health))
-            .collect()
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Number of files loaded so far.
@@ -331,12 +393,13 @@ impl Observable for TraceStore {
 #[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
+    use crate::session::TraceSession;
     use bp_common::Addr;
     use bp_faults::bytes::ByteFault;
 
-    fn temp_store(tag: &str, mode: ReadMode) -> TraceStore {
+    fn temp_store(tag: &str, mode: ReadMode) -> Arc<TraceStore> {
         let dir = std::env::temp_dir().join(format!("bp-trace-store-{tag}-{}", std::process::id()));
-        TraceStore::new(dir, mode)
+        Arc::clone(TraceSession::open(dir).mode(mode).build().unwrap().store())
     }
 
     fn sample(n: u64) -> Vec<BranchRecord> {
@@ -415,16 +478,23 @@ mod tests {
         let strict = temp_store("ingest-strict", ReadMode::Strict);
         strict.save("s", 1, &recs, 100).unwrap();
         let err = {
-            let faulted =
-                TraceStore::new(strict.dir(), ReadMode::Strict).with_ingest_faults(plan.clone());
-            faulted.load("s", 1).unwrap_err()
+            let faulted = TraceSession::open(strict.dir())
+                .ingest_faults(plan.clone())
+                .build()
+                .unwrap();
+            faulted.store().load("s", 1).unwrap_err()
         };
         assert!(matches!(
             err,
             TraceError::ChunkCrc { .. } | TraceError::BadRecord { .. }
         ));
 
-        let lenient = TraceStore::new(strict.dir(), ReadMode::Lenient).with_ingest_faults(plan);
+        let lenient_session = TraceSession::open(strict.dir())
+            .mode(ReadMode::Lenient)
+            .ingest_faults(plan)
+            .build()
+            .unwrap();
+        let lenient = lenient_session.store();
         let loaded = lenient.load("s", 1).unwrap();
         assert_eq!(loaded.health().chunks_skipped, 1);
         assert_eq!(loaded.health().records_lost, 100);

@@ -16,7 +16,13 @@
 use bp_common::rng::SplitMix64;
 use bp_common::{Addr, BranchKind, BranchRecord};
 use bp_faults::bytes::ByteFaultPlan;
-use bp_trace::{read_all, write_trace, ReadMode, TraceError, FILE_HEADER_LEN};
+use bp_trace::{write_trace, ReadMode, TraceError, TraceHealth, TraceSession, FILE_HEADER_LEN};
+
+/// Local alias for the session decode entry point, keeping the invariant
+/// assertions below focused on the decode semantics rather than the API.
+fn read_all(bytes: &[u8], mode: ReadMode) -> Result<(Vec<BranchRecord>, TraceHealth), TraceError> {
+    TraceSession::decode(bytes, mode)
+}
 
 /// Deterministic, profile-flavoured synthetic stream.
 fn synthetic_records(seed: u64, n: u64) -> Vec<BranchRecord> {

@@ -1,0 +1,89 @@
+//! Coverage for the deprecated pre-`TraceSession` entry points.
+//!
+//! `TraceStore::new`, `TraceStore::with_ingest_faults`, and `read_all`
+//! are kept as thin shims for one release. These tests pin the contract:
+//! the shims must behave byte-for-byte like the session front door, so
+//! downstream code can migrate at its own pace without behaviour drift.
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use bp_common::{Addr, BranchKind, BranchRecord};
+use bp_faults::bytes::ByteFaultPlan;
+use bp_trace::{read_all, write_trace, ReadMode, TraceSession, TraceStore};
+
+fn records(n: u64) -> Vec<BranchRecord> {
+    (0..n)
+        .map(|i| BranchRecord {
+            pc: Addr::new(0x40_0000 + i * 4),
+            kind: BranchKind::Conditional,
+            target: Addr::new(0x41_0000 + i * 8),
+            taken: i % 3 != 0,
+            gap: (i % 17) as u32,
+        })
+        .collect()
+}
+
+#[test]
+fn read_all_shim_matches_session_decode() {
+    let recs = records(257);
+    let bytes = write_trace(&recs, 64).expect("write");
+    for mode in [ReadMode::Strict, ReadMode::Lenient] {
+        assert_eq!(
+            read_all(&bytes, mode),
+            TraceSession::decode(&bytes, mode),
+            "shim and session decode must agree ({} mode)",
+            mode.name()
+        );
+    }
+}
+
+#[test]
+fn store_constructor_shims_match_session_builder() {
+    let dir = std::env::temp_dir().join(format!("hybp-shim-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let recs = records(500);
+    let old = TraceStore::new(&dir, ReadMode::Strict);
+    old.save("stream-a", 7, &recs, 64).expect("save");
+
+    let new = Arc::clone(
+        TraceSession::open(&dir)
+            .mode(ReadMode::Strict)
+            .build()
+            .expect("session opens")
+            .store(),
+    );
+    let via_old = old.load("stream-a", 7).expect("old path loads");
+    let via_new = new.load("stream-a", 7).expect("new path loads");
+    assert_eq!(
+        via_old.records().collect::<Vec<_>>(),
+        via_new.records().collect::<Vec<_>>(),
+        "both constructors must see the same stream"
+    );
+
+    // The fault-injecting shim must match the builder's ingest_faults.
+    let plan = ByteFaultPlan::parse("bitflip@64@1").expect("plan");
+    let faulty_old = TraceStore::new(&dir, ReadMode::Lenient).with_ingest_faults(plan.clone());
+    let faulty_new = Arc::clone(
+        TraceSession::open(&dir)
+            .mode(ReadMode::Lenient)
+            .ingest_faults(plan)
+            .build()
+            .expect("session opens")
+            .store(),
+    );
+    let old_result = faulty_old
+        .load("stream-a", 7)
+        .map(|t| t.records().collect::<Vec<_>>());
+    let new_result = faulty_new
+        .load("stream-a", 7)
+        .map(|t| t.records().collect::<Vec<_>>());
+    match (old_result, new_result) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "faulted loads must agree"),
+        (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+        (a, b) => panic!("shim diverged from builder: {a:?} vs {b:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,7 +21,7 @@ use bench::{experiments, replay_stream_budget, Ctx, Scale};
 use bp_common::pool::Pool;
 use bp_faults::bytes::ByteFault;
 use bp_pipeline::{kernel_stream_name, kernel_stream_seed, stream_name, stream_seed, SimConfig};
-use bp_trace::{read_all, write_trace, ReadMode, TraceStore};
+use bp_trace::{write_trace, ReadMode, TraceSession, TraceStore};
 use bp_workloads::profile::SpecBenchmark;
 use bp_workloads::{WorkloadGenerator, TABLE_V_MIXES};
 
@@ -31,6 +31,17 @@ const CHUNK_SIZES: [usize; 5] = [1, 7, 64, 333, 4096];
 
 fn tmp_base(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("hybp-trace-rt-{tag}-{}", std::process::id()))
+}
+
+/// Opens a shared store over `dir` through the session front door.
+fn open_store(dir: &Path, mode: ReadMode) -> Arc<TraceStore> {
+    Arc::clone(
+        TraceSession::open(dir)
+            .mode(mode)
+            .build()
+            .expect("session opens")
+            .store(),
+    )
 }
 
 /// Generates `n` records the way the simulator's feed does.
@@ -43,7 +54,7 @@ fn assert_roundtrip(bench: SpecBenchmark, seed: u64, n: usize) {
     let records = gen_records(bench, seed, n);
     for chunk in CHUNK_SIZES {
         let bytes = write_trace(&records, chunk).expect("encodable stream");
-        let (back, health) = read_all(&bytes, ReadMode::Strict).expect("clean decode");
+        let (back, health) = TraceSession::decode(&bytes, ReadMode::Strict).expect("clean decode");
         assert_eq!(
             back,
             records,
@@ -100,7 +111,8 @@ fn record_streams(dir: &Path, benches: &[SpecBenchmark]) {
         kernel_stream_seed(master, 0),
         SpecBenchmark::Kernel,
     ));
-    let store = TraceStore::new(dir, ReadMode::Strict);
+    let session = TraceSession::open(dir).build().expect("session opens");
+    let store = session.store();
     for (name, seed, bench) in streams {
         let budget = (replay_stream_budget(Scale::Quick, &bench.profile()) as f64 * margin) as u64;
         let mut g = WorkloadGenerator::new(bench.profile(), seed);
@@ -153,7 +165,7 @@ fn fig5_replay_is_byte_identical_and_degrades_gracefully() {
     // stream, and thread count is not allowed to matter.
     let (gen_out, gen_csv, _) = fig5_run(&base, "gen", 4, None);
     gen_out.expect("generator run is clean");
-    let intact = Arc::new(TraceStore::new(&traces, ReadMode::Strict));
+    let intact = open_store(&traces, ReadMode::Strict);
     let (rep_out, rep_csv, _) = fig5_run(&base, "replay", 1, Some(intact));
     rep_out.expect("intact replay is clean");
     assert_eq!(gen_csv, rep_csv, "replayed CSV must be byte-identical");
@@ -175,7 +187,7 @@ fn fig5_replay_is_byte_identical_and_degrades_gracefully() {
 
     // Strict replay: the mcf point dies with a typed error naming the
     // damaged chunk; xz still completes, so the CSV is partial.
-    let strict = Arc::new(TraceStore::new(&traces, ReadMode::Strict));
+    let strict = open_store(&traces, ReadMode::Strict);
     let (strict_out, strict_csv, strict_ctx) = fig5_run(&base, "strict", 2, Some(strict));
     let err = strict_out.expect_err("strict replay of a corrupted stream must degrade");
     assert!(err.contains("degraded"), "{err}");
@@ -195,7 +207,7 @@ fn fig5_replay_is_byte_identical_and_degrades_gracefully() {
     // the loss is accounted as trace degradation (partial CSV, error
     // exit), and the degraded result is deterministic across thread
     // counts.
-    let lenient = Arc::new(TraceStore::new(&traces, ReadMode::Lenient));
+    let lenient = open_store(&traces, ReadMode::Lenient);
     let (len_out, len_csv, len_ctx) = fig5_run(&base, "lenient", 2, Some(lenient));
     let err = len_out.expect_err("lenient replay of a corrupted stream must report degradation");
     assert!(err.contains("degraded"), "{err}");
@@ -211,7 +223,7 @@ fn fig5_replay_is_byte_identical_and_degrades_gracefully() {
             .any(|(_, f)| f.message.contains("chunks_skipped=1")),
         "lenient degradation must carry the health ledger: {failures:?}"
     );
-    let lenient2 = Arc::new(TraceStore::new(&traces, ReadMode::Lenient));
+    let lenient2 = open_store(&traces, ReadMode::Lenient);
     let (_, len_csv_serial, _) = fig5_run(&base, "lenient-serial", 1, Some(lenient2));
     assert_eq!(
         len_csv, len_csv_serial,
@@ -225,7 +237,7 @@ fn fig5_replay_is_byte_identical_and_degrades_gracefully() {
 fn empty_stream_is_a_build_error_not_a_silent_loop() {
     let base = tmp_base("empty");
     let _ = std::fs::remove_dir_all(&base);
-    let store = TraceStore::new(&base, ReadMode::Strict);
+    let store = open_store(&base, ReadMode::Strict);
     let cfg = SimConfig::default_run();
     // All three single-thread streams exist, but the first user stream
     // holds zero records: replay has nothing to feed, which must be a
@@ -252,7 +264,7 @@ fn empty_stream_is_a_build_error_not_a_silent_loop() {
         .expect("kernel stream saved");
     let err = match bp_pipeline::Simulation::builder(hybp::Mechanism::Baseline, cfg)
         .single_thread(b)
-        .trace_store(Some(Arc::new(store)))
+        .trace_store(Some(store))
         .build()
     {
         Ok(_) => panic!("an empty stream must not build"),
