@@ -67,6 +67,9 @@ fn par_map_output_is_input_ordered_not_completion_ordered() {
     let pool = Pool::new(4);
     let got = pool.par_map_indices(16, |i| {
         if i % 4 == 0 {
+            // Staged uneven timing so completion order differs from input
+            // order; not a hot-path block.
+            #[allow(clippy::disallowed_methods)]
             std::thread::sleep(std::time::Duration::from_millis(20));
         }
         i * 3

@@ -313,6 +313,10 @@ where
     }
 }
 
+// Retry backoff is the one place the workspace intentionally blocks a
+// worker thread: it runs only after a task already failed, far from any
+// answer hot path.
+#[allow(clippy::disallowed_methods)]
 fn backoff_sleep(retry: &RetryPolicy, index: usize, attempt: u32) {
     let ms = retry.backoff_ms(index, attempt);
     if ms > 0 {
@@ -596,6 +600,7 @@ impl Observable for Pool {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests stage uneven timing with sleeps
 mod tests {
     use super::*;
 

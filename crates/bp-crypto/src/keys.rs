@@ -339,7 +339,7 @@ impl KeysTable {
     pub fn inject_bit_flip(&mut self, entry: usize, bit: u32) {
         let entry = entry % self.config.entries.max(1);
         let bit = bit % self.config.key_bits.max(1);
-        // bp-lint: allow(secret-branch) reason="branches on the index bounds check (Option presence), never on key bit values"
+        // bp-lint: allow(secret-taint-branch) reason="branches on the index bounds check (Option presence), never on key bit values"
         if let Some(k) = self.keys.get_mut(entry) {
             *k ^= 1u64 << bit;
         }

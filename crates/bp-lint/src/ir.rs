@@ -1,0 +1,490 @@
+//! A lightweight item/expression IR on top of the token stream.
+//!
+//! The taint pass needs more structure than a flat token list — function
+//! boundaries, parameter names and types, `let`-binding spans — but far
+//! less than a real Rust parser: no type inference, no trait resolution,
+//! no macro expansion. This module recovers exactly that middle layer:
+//!
+//! * every `fn` item, with its parameter list parsed into
+//!   `(name, type identifiers)` pairs and the token span of its body;
+//! * every `let` statement inside a body, with the bound names, the
+//!   optional type-annotation identifiers, and the initializer span;
+//! * every plain `name = expr;` reassignment of a local.
+//!
+//! Spans are half-open `[start, end)` index ranges into the lexed token
+//! vector, so passes can re-walk any region with full line fidelity.
+//! The extraction is deliberately permissive: code it cannot parse (odd
+//! macros, exotic patterns) simply yields no IR, which makes the taint
+//! pass silent there rather than wrong.
+
+use crate::lexer::{Tok, Token};
+
+/// One function parameter: its binding name and the identifiers that make
+/// up its type (path segments, generic arguments — order preserved).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// The bound name (`self` for methods).
+    pub name: String,
+    /// Every identifier appearing in the type annotation.
+    pub type_idents: Vec<String>,
+}
+
+/// One `let` binding inside a function body.
+#[derive(Debug, Clone)]
+pub struct LetBinding {
+    /// Names bound by the pattern (one for `let x`, several for tuples).
+    pub names: Vec<String>,
+    /// Identifiers of the optional type annotation.
+    pub type_idents: Vec<String>,
+    /// Token span of the initializer expression (empty when there is no
+    /// `=`, as in `let x;`).
+    pub init: (usize, usize),
+    /// Line of the `let` keyword.
+    pub line: u32,
+}
+
+/// One `name = expr;` reassignment of a plain local.
+#[derive(Debug, Clone)]
+pub struct Assign {
+    /// The assigned name.
+    pub name: String,
+    /// Token span of the right-hand side.
+    pub rhs: (usize, usize),
+    /// Line of the assignment.
+    pub line: u32,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Parsed parameters.
+    pub params: Vec<Param>,
+    /// Token span of the body, *inside* the braces.
+    pub body: (usize, usize),
+    /// `let` bindings in the body, in source order.
+    pub lets: Vec<LetBinding>,
+    /// Reassignments in the body, in source order.
+    pub assigns: Vec<Assign>,
+}
+
+/// Extracts every function (with body) from a token stream.
+pub fn functions(toks: &[Token]) -> Vec<Function> {
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if ident_is(toks, i, "fn") {
+            if let Some(f) = parse_fn(toks, i) {
+                out.push(f);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn ident_is(toks: &[Token], i: usize, s: &str) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Ident(x)) if x == s)
+}
+
+fn ident(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Finds the index of the matching closer for the opener at `open`.
+fn matching(toks: &[Token], open: usize, o: char, c: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if punct(toks, j, o) {
+            depth += 1;
+        } else if punct(toks, j, c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses one `fn` starting at the `fn` keyword; `None` for bodyless
+/// declarations (trait methods, extern fns) or anything unparsable.
+fn parse_fn(toks: &[Token], at: usize) -> Option<Function> {
+    let name = ident(toks, at + 1)?.to_string();
+    let line = toks[at].line;
+    // Find the parameter `(`, skipping generics `<...>`.
+    let mut j = at + 2;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct('(') if angle <= 0 => break,
+            Tok::Punct('{') | Tok::Punct(';') => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    let open_paren = j;
+    let close_paren = matching(toks, open_paren, '(', ')')?;
+    let params = parse_params(toks, open_paren + 1, close_paren);
+    // Find the body `{` (skipping the return type and any `where` clause);
+    // a `;` first means a bodyless declaration.
+    let mut k = close_paren + 1;
+    let mut angle = 0i32;
+    while k < toks.len() {
+        match &toks[k].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct('{') if angle <= 0 => break,
+            Tok::Punct(';') if angle <= 0 => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    let open_brace = k;
+    let close_brace = matching(toks, open_brace, '{', '}')?;
+    let body = (open_brace + 1, close_brace);
+    let (lets, assigns) = parse_body(toks, body);
+    Some(Function {
+        name,
+        line,
+        params,
+        body,
+        lets,
+        assigns,
+    })
+}
+
+/// Parses a parameter list between `[from, to)` (the parens excluded).
+fn parse_params(toks: &[Token], from: usize, to: usize) -> Vec<Param> {
+    let mut out = Vec::new();
+    // Split on top-level commas.
+    let mut start = from;
+    let mut depth = 0i32;
+    let mut j = from;
+    while j <= to {
+        let at_end = j == to;
+        let at_comma = !at_end && depth == 0 && punct(toks, j, ',');
+        if at_end || at_comma {
+            if let Some(p) = parse_one_param(toks, start, j) {
+                out.push(p);
+            }
+            start = j + 1;
+        } else if !at_end {
+            match &toks[j].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => depth -= 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Parses one `pattern: Type` parameter (or a bare `self` receiver).
+fn parse_one_param(toks: &[Token], from: usize, to: usize) -> Option<Param> {
+    // The binding name: the first identifier that is not a qualifier.
+    let mut name = None;
+    let mut j = from;
+    while j < to {
+        match ident(toks, j) {
+            Some("mut") | Some("ref") => j += 1,
+            Some(s) => {
+                name = Some(s.to_string());
+                j += 1;
+                break;
+            }
+            None => j += 1, // leading `&`, lifetimes were dropped by the lexer
+        }
+    }
+    let name = name?;
+    // Everything after the `:` is the type.
+    let mut type_idents = Vec::new();
+    let mut saw_colon = false;
+    while j < to {
+        if !saw_colon {
+            if punct(toks, j, ':') {
+                saw_colon = true;
+            }
+        } else if let Some(s) = ident(toks, j) {
+            type_idents.push(s.to_string());
+        }
+        j += 1;
+    }
+    Some(Param { name, type_idents })
+}
+
+/// Token spans of nested `fn` items (keyword through closing brace,
+/// inclusive) inside a body span. Sink scans use this to stay inside one
+/// function's own code.
+pub fn nested_fn_spans(toks: &[Token], body: (usize, usize)) -> Vec<(usize, usize)> {
+    let (from, to) = body;
+    let mut out = Vec::new();
+    let mut i = from;
+    while i < to {
+        if ident_is(toks, i, "fn") {
+            if let Some(f) = parse_fn(toks, i) {
+                out.push((i, f.body.1 + 1));
+                i = f.body.1.max(i + 1);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts `let` bindings and plain reassignments from a body span.
+fn parse_body(toks: &[Token], body: (usize, usize)) -> (Vec<LetBinding>, Vec<Assign>) {
+    let (from, to) = body;
+    let mut lets = Vec::new();
+    let mut assigns = Vec::new();
+    let mut i = from;
+    while i < to {
+        // A nested `fn` is its own IR function; its bindings must not
+        // leak into the enclosing body's environment.
+        if ident_is(toks, i, "fn") {
+            if let Some(f) = parse_fn(toks, i) {
+                i = f.body.1.max(i + 1);
+                continue;
+            }
+        }
+        if ident_is(toks, i, "let") {
+            // `if let` / `while let` heads end at the body `{`, not at a
+            // `;`; treating them as statements would swallow the branch
+            // body into the initializer span.
+            let head_only = i > from && matches!(ident(toks, i - 1), Some("if") | Some("while"));
+            if let Some((b, next)) = parse_let(toks, i, to, head_only) {
+                lets.push(b);
+                i = next;
+                continue;
+            }
+        }
+        // `name = expr ;` — a plain reassignment: an identifier followed by
+        // a single `=` (not `==`, `=>`, `+=`-style, or a comparison).
+        if let Some(s) = ident(toks, i) {
+            let is_plain_target = i == from
+                || matches!(toks.get(i - 1).map(|t| &t.tok),
+                    Some(Tok::Punct(p)) if matches!(p, ';' | '{' | '}'));
+            if is_plain_target
+                && punct(toks, i + 1, '=')
+                && !punct(toks, i + 2, '=')
+                && !matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Ident(k)) if is_keyword(k))
+            {
+                let rhs_start = i + 2;
+                let rhs_end = stmt_end(toks, rhs_start, to);
+                assigns.push(Assign {
+                    name: s.to_string(),
+                    rhs: (rhs_start, rhs_end),
+                    line: toks[i].line,
+                });
+                i = rhs_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    (lets, assigns)
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else" | "while" | "for" | "loop" | "match" | "return" | "break" | "continue"
+    )
+}
+
+/// Index of the body `{` (or a stray `;`) ending an `if let`/`while let`
+/// head that starts at `from`.
+fn head_end(toks: &[Token], from: usize, to: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < to {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct('{') | Tok::Punct(';') if depth <= 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    to
+}
+
+/// Index just past the statement starting at `from` (the `;` at depth 0,
+/// or `to`).
+fn stmt_end(toks: &[Token], from: usize, to: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < to {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct(';') if depth <= 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    to
+}
+
+/// Parses one `let` starting at the `let` keyword. Returns the binding
+/// and the resume index (past the `;`, or at the body `{` for
+/// `head_only` — an `if let`/`while let` head).
+fn parse_let(toks: &[Token], at: usize, to: usize, head_only: bool) -> Option<(LetBinding, usize)> {
+    let line = toks[at].line;
+    let end = if head_only {
+        head_end(toks, at + 1, to)
+    } else {
+        stmt_end(toks, at + 1, to)
+    };
+    // Split at the first top-level `=` (skipping `==` and closures is not
+    // needed: a pattern cannot contain either).
+    let mut eq = None;
+    let mut depth = 0i32;
+    let mut j = at + 1;
+    while j < end {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => depth -= 1,
+            Tok::Punct('=') if depth <= 0 && !punct(toks, j + 1, '=') => {
+                eq = Some(j);
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Pattern and optional type annotation sit between `let` and `=`.
+    let pat_end = eq.unwrap_or(end);
+    let mut names = Vec::new();
+    let mut type_idents = Vec::new();
+    let mut saw_colon = false;
+    let mut k = at + 1;
+    let mut pat_depth = 0i32;
+    while k < pat_end {
+        match &toks[k].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => pat_depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => pat_depth -= 1,
+            Tok::Punct(':') if pat_depth <= 0 => saw_colon = true,
+            Tok::Ident(s) if s != "mut" && s != "ref" && s != "_" => {
+                if saw_colon {
+                    type_idents.push(s.clone());
+                } else if !s.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    // Uppercase idents in pattern position are enum
+                    // constructors / path segments (`Some`, `Ok`,
+                    // `State::Idle`), not bound names.
+                    names.push(s.clone());
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    if names.is_empty() {
+        return None;
+    }
+    let init = match eq {
+        // `end` is past the `;` for statements (exclude it) and exactly
+        // at the `{` for `if let` heads (already exclusive).
+        Some(e) if head_only => (e + 1, end),
+        Some(e) => (e + 1, end.saturating_sub(1).max(e + 1)),
+        None => (pat_end, pat_end),
+    };
+    Some((
+        LetBinding {
+            names,
+            type_idents,
+            init,
+            line,
+        },
+        end,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<Function> {
+        functions(&lex(src).tokens)
+    }
+
+    #[test]
+    fn extracts_fn_params_and_body() {
+        let fs = fns("pub fn f(table: &KeysTable, n: usize) -> u64 { n as u64 }\n");
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].name, "f");
+        assert_eq!(fs[0].params.len(), 2);
+        assert_eq!(fs[0].params[0].name, "table");
+        assert!(fs[0].params[0].type_idents.contains(&"KeysTable".into()));
+        assert_eq!(fs[0].params[1].name, "n");
+    }
+
+    #[test]
+    fn extracts_let_bindings_with_initializers() {
+        let fs = fns("fn f(k: u64) -> u64 {\n    let material = k ^ 1;\n    let (a, b) = (material, 2);\n    a + b\n}\n");
+        assert_eq!(fs[0].lets.len(), 2);
+        assert_eq!(fs[0].lets[0].names, vec!["material".to_string()]);
+        assert_eq!(fs[0].lets[1].names, vec!["a".to_string(), "b".to_string()]);
+        assert!(fs[0].lets[0].init.1 > fs[0].lets[0].init.0);
+    }
+
+    #[test]
+    fn extracts_reassignments() {
+        let fs = fns("fn f() {\n    let mut x = 0;\n    x = secret();\n}\n");
+        assert_eq!(fs[0].assigns.len(), 1);
+        assert_eq!(fs[0].assigns[0].name, "x");
+    }
+
+    #[test]
+    fn generic_fns_and_where_clauses_parse() {
+        let fs = fns(
+            "fn g<C: Codec>(c: &mut C, seed: IndexSeed) -> u64 where C: Sized {\n    let x = seed.mix();\n    x\n}\n",
+        );
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].params[1].name, "seed");
+        assert!(fs[0].params[1].type_idents.contains(&"IndexSeed".into()));
+        assert_eq!(fs[0].lets.len(), 1);
+    }
+
+    #[test]
+    fn bodyless_declarations_are_skipped() {
+        let fs = fns("trait T { fn decl(&self, x: u64) -> u64; }\nfn real() {}\n");
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].name, "real");
+    }
+
+    #[test]
+    fn nested_fns_are_both_found() {
+        let fs = fns("fn outer() {\n    fn inner(keys: &[u64]) {}\n    inner(&[]);\n}\n");
+        // Outer is found first; inner is found on the rescan.
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].name, "outer");
+    }
+
+    #[test]
+    fn let_else_does_not_panic() {
+        let fs = fns(
+            "fn f(o: Option<u64>) -> u64 {\n    let Some(v) = o else { return 0; };\n    v\n}\n",
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].lets[0].names.contains(&"v".to_string()) || !fs[0].lets.is_empty());
+    }
+}

@@ -324,6 +324,12 @@ fn lex_prefixed_string(chars: &[char], i: usize) -> (Tok, usize, u32) {
         } else if !raw && chars[j] == '\\' && j + 1 < n {
             content.push(chars[j]);
             content.push(chars[j + 1]);
+            // A line-continuation escape still consumes a newline; losing
+            // it would shift every later token's line and mis-scope
+            // `#[cfg(test)]` ranges below the literal.
+            if chars[j + 1] == '\n' {
+                nl += 1;
+            }
             j += 2;
         } else if chars[j] == '"' {
             // Check the closing guard.
@@ -412,6 +418,40 @@ let real = HashMap::new();
     #[test]
     fn line_numbers_survive_multiline_strings() {
         let src = "let a = \"line\none\";\nlet after = 1;";
+        let toks = lex(src);
+        let after = toks
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "after"));
+        assert_eq!(after.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn guarded_raw_strings_keep_line_numbers() {
+        // `#`-count >= 2, inner `"#` sequences, and byte-raw variants must
+        // all lex as one token without losing lines; the `after` marker
+        // checks the accounting.
+        let src =
+            "let a = r##\"one\ntwo \"# three\nfour\"##;\nlet b = br##\"x\ny\"##;\nlet after = 1;\n";
+        let toks = lex(src);
+        let after = toks
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "after"));
+        assert_eq!(after.map(|t| t.line), Some(6));
+        // The guard hashes never leak out as punctuation tokens.
+        assert!(!toks
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Punct('#'))));
+    }
+
+    #[test]
+    fn escaped_newline_in_byte_string_counts_the_line() {
+        // Regression: the `\<newline>` line-continuation escape inside a
+        // prefixed (byte) string used to be skipped without counting the
+        // newline, shifting every later token up one line.
+        let src = "let a = b\"one\\\ntwo\";\nlet after = 1;\n";
         let toks = lex(src);
         let after = toks
             .tokens

@@ -23,6 +23,7 @@
 //! workspace, and holds itself to its own rules (`tests/self_check.rs`).
 
 pub mod baseline;
+pub mod ir;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -77,8 +78,19 @@ pub struct Config {
     /// exists so fixture workspaces can carve out counter-examples).
     pub panic_exempt_crates: BTreeSet<String>,
     /// Path suffixes of constant-time cipher internals, exempt from the
-    /// `secret-branch` rule (audited as a unit instead).
+    /// `secret-taint-branch` rule (audited as a unit instead).
     pub cipher_internal_suffixes: Vec<String>,
+    /// Path suffixes of the codec allowlist, exempt from
+    /// `secret-taint-index`: files where secret-derived indexing *is* the
+    /// randomization mechanism under study (cipher S-box lookups, the
+    /// keyed index computation itself).
+    pub index_exempt_suffixes: Vec<String>,
+    /// Path suffixes of shard answer hot-path files, where
+    /// `serve-hot-lock` forbids lock acquisition and blocking calls.
+    pub serve_hot_path_suffixes: Vec<String>,
+    /// Crates whose lock acquisition order is checked crate-wide by
+    /// `serve-lock-order`.
+    pub serve_crates: BTreeSet<String>,
 }
 
 impl Config {
@@ -114,6 +126,14 @@ impl Config {
                 "bp-crypto/src/prince.rs".to_string(),
                 "bp-crypto/src/llbc.rs".to_string(),
             ],
+            index_exempt_suffixes: vec![
+                "bp-crypto/src/qarma.rs".to_string(),
+                "bp-crypto/src/prince.rs".to_string(),
+                "bp-crypto/src/llbc.rs".to_string(),
+                "bp-crypto/src/keys.rs".to_string(),
+            ],
+            serve_hot_path_suffixes: vec!["bp-serve/src/shard.rs".to_string()],
+            serve_crates: set(&["bp-serve"]),
         }
     }
 }
@@ -125,6 +145,7 @@ impl Config {
 /// report is normalized (deterministically sorted) and ready to emit.
 pub fn run_lint(config: &Config, baseline: &Baseline) -> Result<Report, LintError> {
     let mut report = Report::default();
+    let mut sequences: Vec<rules::serve::LockSeq> = Vec::new();
     let files = workspace_files(&config.root)?;
     for rel in &files {
         let abs = config.root.join(rel);
@@ -134,8 +155,16 @@ pub fn run_lint(config: &Config, baseline: &Baseline) -> Result<Report, LintErro
         let src = fs::read_to_string(&abs)
             .map_err(|e| LintError::Io(format!("{}: {e}", abs.display())))?;
         report.files_scanned += 1;
-        scan_file(config, rel, &class, &src, &mut report);
+        scan_file_collect(config, rel, &class, &src, &mut report, &mut sequences);
     }
+    // Workspace passes. These findings land after waiver resolution by
+    // design: a lock-order inversion spans two sites and a budget drift
+    // spans manifest + source, so neither can be accepted by one inline
+    // comment — fix the code or the manifest.
+    report
+        .findings
+        .append(&mut rules::serve::finalize_lock_order(&sequences));
+    storage_budget_pass(config, &mut report)?;
     report.normalize();
     baseline.apply(&mut report);
     // Baselining happens after waiver resolution; re-sort in case stale
@@ -144,13 +173,71 @@ pub fn run_lint(config: &Config, baseline: &Baseline) -> Result<Report, LintErro
     Ok(report)
 }
 
+/// Runs the `storage-budget` rule: reads `budgets.toml` at the workspace
+/// root (its absence is itself a finding — the manifest is part of the
+/// invariant) plus every source file each section lists, and appends
+/// findings for computed ≠ declared, reference drift, or tier overflow.
+fn storage_budget_pass(config: &Config, report: &mut Report) -> Result<(), LintError> {
+    let manifest_path = config.root.join("budgets.toml");
+    let manifest = match fs::read_to_string(&manifest_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            report.findings.push(Finding {
+                rule: "storage-budget",
+                file: "budgets.toml".to_string(),
+                line: 1,
+                snippet: "budgets.toml".to_string(),
+                message:
+                    "storage-budget manifest `budgets.toml` is missing from the workspace root"
+                        .to_string(),
+                status: Status::Active,
+            });
+            return Ok(());
+        }
+        Err(e) => return Err(LintError::Io(format!("{}: {e}", manifest_path.display()))),
+    };
+    let mut sources = Vec::new();
+    for rel in rules::budget::listed_files(&manifest) {
+        let abs = config.root.join(&rel);
+        let src = fs::read_to_string(&abs)
+            .map_err(|e| LintError::Io(format!("{}: {e}", abs.display())))?;
+        sources.push((rel, src));
+    }
+    report
+        .findings
+        .append(&mut rules::budget::check(&manifest, &sources));
+    Ok(())
+}
+
 /// Lints one file's source text (separated from I/O for fixture tests).
+///
+/// Cross-file state is finalized *locally*: lock sequences from this file
+/// alone feed `serve-lock-order`. Production runs go through
+/// [`run_lint`], which accumulates sequences across the workspace
+/// instead.
 pub fn scan_file(
     config: &Config,
     rel: &str,
     class: &scope::FileClass,
     src: &str,
     report: &mut Report,
+) {
+    let mut sequences = Vec::new();
+    scan_file_collect(config, rel, class, src, report, &mut sequences);
+    report
+        .findings
+        .append(&mut rules::serve::finalize_lock_order(&sequences));
+}
+
+/// [`scan_file`] variant that collects lock sequences into a caller-owned
+/// accumulator instead of finalizing them per file.
+pub fn scan_file_collect(
+    config: &Config,
+    rel: &str,
+    class: &scope::FileClass,
+    src: &str,
+    report: &mut Report,
+    sequences: &mut Vec<rules::serve::LockSeq>,
 ) {
     let lexed = lexer::lex(src);
     let tests = scope::test_ranges(&lexed);
@@ -162,7 +249,7 @@ pub fn scan_file(
         config,
     };
     let mut findings = Vec::new();
-    rules::run_all(&ctx, &mut findings, &mut report.unsafe_inventory);
+    rules::run_all(&ctx, &mut findings, &mut report.unsafe_inventory, sequences);
 
     // Waiver resolution.
     let total_lines = src.lines().count() as u32;

@@ -1,0 +1,655 @@
+//! `storage-budget`: bit-exact verification of predictor storage.
+//!
+//! HyBP's evaluation (like the STBPU/CIBPU comparisons it follows) only
+//! means something if every mechanism is held to the same storage budget.
+//! This rule makes that budget a checked-in artifact: `budgets.toml` at
+//! the workspace root declares, per predictor configuration, the
+//! component bit formulas and the total, written in terms of the *named
+//! geometry constants* in the predictor sources. bp-lint then:
+//!
+//! 1. parses those `const NAME: _ = <integer>;` values out of the listed
+//!    source files (textually — the geometry consts are plain literals by
+//!    construction, enforced here by failing on anything else);
+//! 2. evaluates each component formula and checks the sum equals the
+//!    declared `total_bits`;
+//! 3. checks any `reference`/`reference_bits` claim against the built-in
+//!    table of SNIPPETS.md values for the named configurations, so the
+//!    manifest cannot silently drift from the literature numbers;
+//! 4. checks `total_bits <= tier_bits` where a tier cap is declared.
+//!
+//! The manifest dialect is a small TOML subset — `[section]` headers,
+//! `key = <int>`, `key = "string"`, `files = ["a", "b"]`, and
+//! `component.<name> = "<expr>"` — parsed by hand like the baseline file,
+//! keeping the crate std-only. Findings anchor to `budgets.toml` lines so
+//! `--deny-new` output points at the drifting declaration.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Finding, Status};
+
+/// SNIPPETS.md reference storage values (bits) for named configurations:
+/// the CBP-class TAGE-SC-L 64KB submission lineage.
+pub const REFERENCE_BITS: &[(&str, u64)] = &[
+    ("cbp64kb.loop", 1248),
+    ("cbp64kb.sc", 58190),
+    ("cbp64kb.tage", 463917),
+    ("cbp64kb.total", 523355),
+];
+
+/// One `[section]` of the manifest.
+#[derive(Debug, Default)]
+struct Section {
+    name: String,
+    line: u32,
+    files: Vec<String>,
+    components: Vec<(String, String, u32)>, // (name, expr, line)
+    total_bits: Option<(u64, u32)>,
+    reference: Option<(String, u32)>,
+    reference_bits: Option<(u64, u32)>,
+    tier_bits: Option<(u64, u32)>,
+}
+
+/// Every file any section lists, deduped and sorted.
+pub fn listed_files(manifest: &str) -> Vec<String> {
+    let (sections, _) = parse_manifest(manifest);
+    let mut out: Vec<String> = sections.iter().flat_map(|s| s.files.clone()).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Predictor sections every workspace manifest must declare (prefix
+/// match: `tage.paper_scl` satisfies `tage.`).
+const REQUIRED_SECTIONS: &[&str] = &[
+    "bimodal.",
+    "btb.",
+    "loop_pred.",
+    "sc.",
+    "tage.",
+    "tage_scl.",
+];
+
+/// Checks a manifest against the listed sources. Pure: the caller does
+/// the I/O (see `storage_budget_pass` in the crate root).
+pub fn check(manifest: &str, sources: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let (sections, mut parse_errors) = parse_manifest(manifest);
+    findings.append(&mut parse_errors);
+
+    for prefix in REQUIRED_SECTIONS {
+        if !sections.iter().any(|s| s.name.starts_with(prefix)) {
+            findings.push(at(
+                1,
+                (*prefix).to_string(),
+                format!("manifest declares no `[{prefix}*]` section; every predictor must budget its storage"),
+            ));
+        }
+    }
+
+    for section in &sections {
+        // Gather consts from this section's files.
+        let mut consts: BTreeMap<String, u64> = BTreeMap::new();
+        let mut broken = false;
+        for file in &section.files {
+            let Some((_, src)) = sources.iter().find(|(rel, _)| rel == file) else {
+                findings.push(at(
+                    section.line,
+                    file.clone(),
+                    format!(
+                        "section `{}` lists `{file}` but it was not readable",
+                        section.name
+                    ),
+                ));
+                broken = true;
+                continue;
+            };
+            for (name, value) in parse_consts(src) {
+                if let Some(prev) = consts.insert(name.clone(), value) {
+                    if prev != value {
+                        findings.push(at(
+                            section.line,
+                            name.clone(),
+                            format!(
+                                "const `{name}` is defined with different values ({prev} vs \
+                                 {value}) across the files of section `{}`",
+                                section.name
+                            ),
+                        ));
+                        broken = true;
+                    }
+                }
+            }
+        }
+        if broken {
+            continue;
+        }
+        // Evaluate components.
+        let mut computed: u64 = 0;
+        let mut eval_failed = false;
+        for (comp, expr, line) in &section.components {
+            match eval(expr, &consts) {
+                Ok(v) => computed += v,
+                Err(why) => {
+                    findings.push(at(
+                        *line,
+                        format!("component.{comp}"),
+                        format!(
+                            "cannot evaluate component `{comp}` of `{}`: {why}",
+                            section.name
+                        ),
+                    ));
+                    eval_failed = true;
+                }
+            }
+        }
+        let Some((declared, total_line)) = section.total_bits else {
+            findings.push(at(
+                section.line,
+                section.name.clone(),
+                format!("section `{}` declares no `total_bits`", section.name),
+            ));
+            continue;
+        };
+        if !eval_failed && !section.components.is_empty() && computed != declared {
+            findings.push(at(
+                total_line,
+                format!("total_bits = {declared}"),
+                format!(
+                    "section `{}`: computed storage is {computed} bits but the manifest \
+                     declares {declared} — the geometry consts and the budget have drifted",
+                    section.name
+                ),
+            ));
+        }
+        // Reference claims must match the built-in table bit-for-bit.
+        if let Some((ref_name, ref_line)) = &section.reference {
+            match REFERENCE_BITS.iter().find(|(n, _)| n == ref_name) {
+                None => findings.push(at(
+                    *ref_line,
+                    ref_name.clone(),
+                    format!(
+                        "section `{}` names unknown reference `{ref_name}`; known: {}",
+                        section.name,
+                        REFERENCE_BITS
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                )),
+                Some((_, expect)) => match section.reference_bits {
+                    None => findings.push(at(
+                        *ref_line,
+                        ref_name.clone(),
+                        format!(
+                            "section `{}` names reference `{ref_name}` but declares no \
+                             `reference_bits` to pin it",
+                            section.name
+                        ),
+                    )),
+                    Some((claimed, claim_line)) if claimed != *expect => findings.push(at(
+                        claim_line,
+                        format!("reference_bits = {claimed}"),
+                        format!(
+                            "section `{}` claims `{ref_name}` is {claimed} bits; the \
+                             SNIPPETS.md reference value is {expect}",
+                            section.name
+                        ),
+                    )),
+                    Some(_) => {}
+                },
+            }
+        }
+        if let Some((cap, cap_line)) = section.tier_bits {
+            if declared > cap {
+                findings.push(at(
+                    cap_line,
+                    format!("tier_bits = {cap}"),
+                    format!(
+                        "section `{}`: declared {declared} bits exceeds its storage tier \
+                         cap of {cap} bits",
+                        section.name
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Renders the deterministic computed-vs-declared table for `--budgets`
+/// (the CI `budget-drift` step). Returns the table text and whether every
+/// section checks out (`check` findings decide — the table is advisory
+/// formatting around the same verdict).
+pub fn budget_table(manifest: &str, sources: &[(String, String)]) -> (String, bool) {
+    let (sections, _) = parse_manifest(manifest);
+    let findings = check(manifest, sources);
+    let mut out = String::new();
+    out.push_str("section                   computed    declared  status\n");
+    for section in &sections {
+        let mut consts: BTreeMap<String, u64> = BTreeMap::new();
+        for file in &section.files {
+            if let Some((_, src)) = sources.iter().find(|(rel, _)| rel == file) {
+                consts.extend(parse_consts(src));
+            }
+        }
+        let computed: Option<u64> = section
+            .components
+            .iter()
+            .map(|(_, expr, _)| eval(expr, &consts).ok())
+            .sum();
+        let declared = section.total_bits.map(|(v, _)| v);
+        let ok = match (computed, declared) {
+            (Some(c), Some(d)) => c == d,
+            _ => false,
+        } && !findings.iter().any(|f| f.message.contains(&section.name));
+        let fmt = |v: Option<u64>| v.map_or("?".to_string(), |v| v.to_string());
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>11}  {}\n",
+            section.name,
+            fmt(computed),
+            fmt(declared),
+            if ok { "ok" } else { "DRIFT" },
+        ));
+    }
+    let clean = findings.is_empty();
+    if !clean {
+        out.push('\n');
+        for f in &findings {
+            out.push_str(&format!("budgets.toml:{}: {}\n", f.line, f.message));
+        }
+    }
+    (out, clean)
+}
+
+/// A `storage-budget` finding anchored in the manifest.
+fn at(line: u32, snippet: String, message: String) -> Finding {
+    Finding {
+        rule: "storage-budget",
+        file: "budgets.toml".to_string(),
+        line,
+        snippet,
+        message,
+        status: Status::Active,
+    }
+}
+
+/// Parses the manifest subset; malformed lines become findings.
+fn parse_manifest(text: &str) -> (Vec<Section>, Vec<Finding>) {
+    let mut sections: Vec<Section> = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            sections.push(Section {
+                name: name.trim().to_string(),
+                line: lineno,
+                ..Section::default()
+            });
+            continue;
+        }
+        let Some(section) = sections.last_mut() else {
+            findings.push(at(
+                lineno,
+                line.clone(),
+                "manifest entry before any [section] header".to_string(),
+            ));
+            continue;
+        };
+        let Some((key, value)) = line.split_once('=') else {
+            findings.push(at(
+                lineno,
+                line.clone(),
+                "manifest line is not `key = value`".to_string(),
+            ));
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let ok = if key == "files" {
+            parse_string_list(value)
+                .map(|fs| section.files = fs)
+                .is_some()
+        } else if let Some(comp) = key.strip_prefix("component.") {
+            parse_string(value)
+                .map(|e| section.components.push((comp.to_string(), e, lineno)))
+                .is_some()
+        } else if key == "total_bits" {
+            parse_int(value)
+                .map(|v| section.total_bits = Some((v, lineno)))
+                .is_some()
+        } else if key == "reference" {
+            parse_string(value)
+                .map(|r| section.reference = Some((r, lineno)))
+                .is_some()
+        } else if key == "reference_bits" {
+            parse_int(value)
+                .map(|v| section.reference_bits = Some((v, lineno)))
+                .is_some()
+        } else if key == "tier_bits" {
+            parse_int(value)
+                .map(|v| section.tier_bits = Some((v, lineno)))
+                .is_some()
+        } else {
+            findings.push(at(
+                lineno,
+                key.to_string(),
+                format!("unknown manifest key `{key}`"),
+            ));
+            continue;
+        };
+        if !ok {
+            findings.push(at(
+                lineno,
+                line.clone(),
+                format!("malformed value for manifest key `{key}`"),
+            ));
+        }
+    }
+    (sections, findings)
+}
+
+/// Drops a `#`-comment, respecting (only) double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(v: &str) -> Option<String> {
+    v.strip_prefix('"')?
+        .strip_suffix('"')
+        .map(|s| s.to_string())
+}
+
+fn parse_int(v: &str) -> Option<u64> {
+    v.replace('_', "").parse().ok()
+}
+
+fn parse_string_list(v: &str) -> Option<Vec<String>> {
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part)?);
+    }
+    Some(out)
+}
+
+/// Extracts `const NAME: <ty> = <integer literal>;` declarations from
+/// source text. Deliberately literal-only: geometry consts that need
+/// computation belong in the manifest's component expressions, where this
+/// rule can audit them.
+pub fn parse_consts(src: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while let Some(rel) = src[i..].find("const ") {
+        let start = i + rel;
+        i = start + 6;
+        // Must be a word boundary on the left (not `fn_const ` etc.).
+        if start > 0 && (bytes[start - 1] as char).is_ascii_alphanumeric() {
+            continue;
+        }
+        let rest = &src[i..];
+        let Some(colon) = rest.find(':') else { break };
+        let name = rest[..colon].trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            continue;
+        }
+        let after_colon = &rest[colon + 1..];
+        let Some(eq) = after_colon.find('=') else {
+            continue;
+        };
+        // The type between `:` and `=` must be a plain ident, or this is
+        // not a const item (e.g. `const N: usize` in a generic parameter
+        // list, where a later unrelated `=` would otherwise match).
+        let ty = after_colon[..eq].trim();
+        if ty.is_empty() || !ty.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            continue;
+        }
+        let Some(semi) = after_colon[eq + 1..].find(';') else {
+            continue;
+        };
+        let value_text = after_colon[eq + 1..eq + 1 + semi].trim();
+        if let Some(v) = parse_int(value_text) {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Evaluates `+ - * /` integer expressions with parens over the const
+/// environment. Recursive descent; division is exact (a remainder is an
+/// error — bit budgets do not round).
+fn eval(expr: &str, env: &BTreeMap<String, u64>) -> Result<u64, String> {
+    let toks = eval_lex(expr)?;
+    let mut pos = 0usize;
+    let v = eval_sum(&toks, &mut pos, env)?;
+    if pos != toks.len() {
+        return Err(format!("unexpected trailing input at token {pos}"));
+    }
+    Ok(v)
+}
+
+#[derive(Debug, PartialEq)]
+enum ETok {
+    Num(u64),
+    Name(String),
+    Op(char),
+}
+
+fn eval_lex(expr: &str) -> Result<Vec<ETok>, String> {
+    let chars: Vec<char> = expr.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_digit() {
+            let mut j = i;
+            let mut text = String::new();
+            while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                if chars[j] != '_' {
+                    text.push(chars[j]);
+                }
+                j += 1;
+            }
+            out.push(ETok::Num(text.parse().map_err(|e| format!("{e}"))?));
+            i = j;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i;
+            let mut text = String::new();
+            while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.push(ETok::Name(text));
+            i = j;
+        } else if matches!(c, '+' | '-' | '*' | '/' | '(' | ')') {
+            out.push(ETok::Op(c));
+            i += 1;
+        } else {
+            return Err(format!("unexpected character `{c}`"));
+        }
+    }
+    Ok(out)
+}
+
+fn eval_sum(toks: &[ETok], pos: &mut usize, env: &BTreeMap<String, u64>) -> Result<u64, String> {
+    let mut acc = eval_product(toks, pos, env)?;
+    while let Some(ETok::Op(op @ ('+' | '-'))) = toks.get(*pos) {
+        let op = *op;
+        *pos += 1;
+        let rhs = eval_product(toks, pos, env)?;
+        acc = if op == '+' {
+            acc.checked_add(rhs).ok_or("overflow")?
+        } else {
+            acc.checked_sub(rhs).ok_or("negative intermediate")?
+        };
+    }
+    Ok(acc)
+}
+
+fn eval_product(
+    toks: &[ETok],
+    pos: &mut usize,
+    env: &BTreeMap<String, u64>,
+) -> Result<u64, String> {
+    let mut acc = eval_atom(toks, pos, env)?;
+    while let Some(ETok::Op(op @ ('*' | '/'))) = toks.get(*pos) {
+        let op = *op;
+        *pos += 1;
+        let rhs = eval_atom(toks, pos, env)?;
+        if op == '*' {
+            acc = acc.checked_mul(rhs).ok_or("overflow")?;
+        } else {
+            if rhs == 0 {
+                return Err("division by zero".to_string());
+            }
+            if acc % rhs != 0 {
+                return Err(format!(
+                    "{acc} / {rhs} is not exact; bit budgets do not round"
+                ));
+            }
+            acc /= rhs;
+        }
+    }
+    Ok(acc)
+}
+
+fn eval_atom(toks: &[ETok], pos: &mut usize, env: &BTreeMap<String, u64>) -> Result<u64, String> {
+    match toks.get(*pos) {
+        Some(ETok::Num(v)) => {
+            *pos += 1;
+            Ok(*v)
+        }
+        Some(ETok::Name(n)) => {
+            *pos += 1;
+            env.get(n).copied().ok_or_else(|| {
+                format!("unknown const `{n}` (not a plain integer literal in the listed files?)")
+            })
+        }
+        Some(ETok::Op('(')) => {
+            *pos += 1;
+            let v = eval_sum(toks, pos, env)?;
+            match toks.get(*pos) {
+                Some(ETok::Op(')')) => {
+                    *pos += 1;
+                    Ok(v)
+                }
+                _ => Err("missing closing paren".to_string()),
+            }
+        }
+        other => Err(format!("expected a value, found {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consts_are_parsed_from_source() {
+        let src = "pub const A: usize = 8192;\nconst B: u32 = 1_024;\nconst SKIP: usize = A * 2;\n";
+        let cs = parse_consts(src);
+        assert_eq!(cs, vec![("A".to_string(), 8192), ("B".to_string(), 1024)]);
+    }
+
+    #[test]
+    fn expressions_evaluate_over_consts() {
+        let mut env = BTreeMap::new();
+        env.insert("E".to_string(), 64u64);
+        env.insert("W".to_string(), 47u64);
+        assert_eq!(eval("E * W", &env).unwrap(), 3008);
+        assert_eq!(eval("(E + E) * W / 2", &env).unwrap(), 3008);
+        assert!(eval("E / 5", &env).is_err());
+        assert!(eval("MISSING", &env).is_err());
+    }
+
+    #[test]
+    fn matching_manifest_is_clean() {
+        let manifest = "\
+[loop_pred.default_scl]
+files = [\"p/src/loop.rs\"]
+component.entries = \"ENTRIES * ENTRY_BITS\"
+total_bits = 3008
+reference = \"cbp64kb.loop\"
+reference_bits = 1248
+";
+        let src = "pub const ENTRIES: usize = 64;\npub const ENTRY_BITS: usize = 47;\n";
+        let findings = check(manifest, &[("p/src/loop.rs".to_string(), src.to_string())]);
+        // Only the missing-required-section findings fire.
+        assert!(
+            findings.iter().all(|f| f.message.contains("declares no")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn drifted_total_is_caught() {
+        let manifest = "\
+[loop_pred.default_scl]
+files = [\"p/src/loop.rs\"]
+component.entries = \"ENTRIES * ENTRY_BITS\"
+total_bits = 3009
+";
+        let src = "pub const ENTRIES: usize = 64;\npub const ENTRY_BITS: usize = 47;\n";
+        let findings = check(manifest, &[("p/src/loop.rs".to_string(), src.to_string())]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("computed storage is 3008")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn reference_drift_is_caught() {
+        let manifest = "\
+[loop_pred.default_scl]
+files = []
+total_bits = 3008
+reference = \"cbp64kb.loop\"
+reference_bits = 1249
+";
+        let findings = check(manifest, &[]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("reference value is 1248")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn tier_overflow_is_caught() {
+        let manifest = "\
+[tage_scl.paper]
+files = []
+total_bits = 600000
+tier_bits = 524288
+";
+        let findings = check(manifest, &[]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("exceeds its storage tier cap")),
+            "{findings:?}"
+        );
+    }
+}

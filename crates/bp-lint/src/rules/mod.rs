@@ -5,9 +5,12 @@
 //! live in [`crate::Config`] so fixture tests can build small fake
 //! workspaces that exercise every rule without touching the real tree.
 
+pub mod budget;
 pub mod determinism;
 pub mod panic_freedom;
 pub mod secret;
+pub mod serve;
+pub mod taint;
 pub mod unsafe_audit;
 
 use crate::lexer::{Lexed, Tok, Token};
@@ -23,9 +26,14 @@ pub const ALL_RULES: &[&str] = &[
     "determinism-thread-id",
     "determinism-time",
     "panic-freedom",
-    "secret-branch",
     "secret-debug",
-    "secret-format",
+    "secret-taint-branch",
+    "secret-taint-format",
+    "secret-taint-index",
+    "secret-taint-store",
+    "serve-hot-lock",
+    "serve-lock-order",
+    "storage-budget",
     "unsafe-audit",
     "waiver-hygiene",
 ];
@@ -74,10 +82,23 @@ impl FileCtx<'_> {
     }
 }
 
-/// Runs every rule over one file, appending findings and unsafe sites.
-pub fn run_all(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>, inventory: &mut Vec<UnsafeSite>) {
+/// Runs every per-file rule, appending findings and unsafe sites, and
+/// collecting lock sequences for the cross-file `serve-lock-order`
+/// finalize.
+///
+/// Workspace-level passes — `storage-budget` (needs the manifest plus
+/// every listed source) and [`serve::finalize_lock_order`] — run from
+/// [`crate::run_lint`], not here.
+pub fn run_all(
+    ctx: &FileCtx<'_>,
+    findings: &mut Vec<Finding>,
+    inventory: &mut Vec<UnsafeSite>,
+    sequences: &mut Vec<serve::LockSeq>,
+) {
     determinism::run(ctx, findings);
     secret::run(ctx, findings);
+    taint::run(ctx, findings);
+    serve::run_collect(ctx, findings, sequences);
     panic_freedom::run(ctx, findings);
     unsafe_audit::run(ctx, findings, inventory);
 }

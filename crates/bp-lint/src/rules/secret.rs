@@ -1,30 +1,27 @@
-//! Secret-hygiene rules: key material must stay dark.
+//! Secret-hygiene: the `secret-debug` rule plus the shared key-material
+//! vocabulary used by the dataflow taint pass.
 //!
 //! The threat model (PPP eviction sets, reuse attacks, §VI of the paper)
 //! assumes the attacker never learns the randomization keys: the QARMA-64
-//! code book, the per-domain content keys, the index seeds. Three rules
-//! police the software-side ways that assumption quietly breaks:
+//! code book, the per-domain content keys, the index seeds. This module
+//! owns the *vocabulary* of that assumption — which type names, field
+//! names, and identifiers denote key material ([`SECRET_TYPES`],
+//! [`SECRET_FIELDS`], [`SECRET_IDENTS`]) — and one rule of its own:
 //!
 //! * `secret-debug` — a key-material type deriving or implementing
 //!   `Debug`/`Display` means one `{:?}` anywhere prints the code book.
-//!   Detection is by type name ([`SECRET_TYPES`]) *and* by shape: any
-//!   struct with a field named like key material (`keys`, `content_key`,
-//!   `round_keys`, ...) that derives `Debug` is flagged.
-//! * `secret-format` — a key-material identifier appearing inside a
-//!   format-macro argument list (or as an inline `{keys_table}` capture)
-//!   is a leak into a log or panic message.
-//! * `secret-branch` — a key-material identifier inside an `if`/`while`/
-//!   `match` head is a secret-dependent branch: a timing side channel.
-//!   Cipher internals (`qarma.rs`, `prince.rs`, `llbc.rs`) are exempt —
-//!   they are written table-driven/constant-time and audited as a unit —
-//!   as are reads of secret *shape* (`.len()`, `.is_empty()`, `.capacity()`),
-//!   which is geometry, not key material.
+//!   Detection is by type name *and* by shape: any struct with a field
+//!   named like key material (`keys`, `content_key`, `round_keys`, ...)
+//!   that derives `Debug` is flagged.
 //!
-//! These are token-level heuristics, deliberately so: they catch the
-//! honest-mistake class (a stray debug print, a convenient early-return on
-//! a key value) rather than adversarial obfuscation. The `secret-debug`
-//! rule is the load-bearing backstop — with no `Debug` impl on the key
-//! types, the compiler itself rejects most leak paths.
+//! The lexical `secret-format` / `secret-branch` rules that used to live
+//! here were replaced in v2 by the strictly stronger dataflow rules in
+//! [`super::taint`] (`secret-taint-branch`, `secret-taint-format`,
+//! `secret-taint-index`, `secret-taint-store`), which follow key material
+//! through `let` bindings and method returns instead of matching names at
+//! the sink only. The `secret-debug` rule remains token-level and is the
+//! load-bearing backstop — with no `Debug` impl on the key types, the
+//! compiler itself rejects most leak paths.
 
 use super::{ident_at, punct_at, FileCtx};
 use crate::lexer::Tok;
@@ -44,21 +41,22 @@ pub const SECRET_TYPES: &[&str] = &[
 ];
 
 /// Field names that mark a struct as key-material-bearing.
-const SECRET_FIELDS: &[&str] = &[
+pub(crate) const SECRET_FIELDS: &[&str] = &[
     "content_key",
     "k0",
     "k1",
     "key_halves",
     "keys",
     "old_keys",
+    "refresh",
     "round_keys",
     "w0",
     "w1",
 ];
 
-/// Variable/field identifiers treated as key material in format strings
-/// and branch heads.
-const SECRET_IDENTS: &[&str] = &[
+/// Variable/field identifiers treated as key material wherever they
+/// appear; the taint pass seeds its environment from this list.
+pub(crate) const SECRET_IDENTS: &[&str] = &[
     "code_book",
     "content_key",
     "index_seed",
@@ -70,7 +68,7 @@ const SECRET_IDENTS: &[&str] = &[
 ];
 
 /// Format-like macros whose arguments reach logs, panics, or strings.
-const FORMAT_MACROS: &[&str] = &[
+pub(crate) const FORMAT_MACROS: &[&str] = &[
     "assert",
     "assert_eq",
     "assert_ne",
@@ -96,7 +94,8 @@ const FORMAT_MACROS: &[&str] = &[
     "writeln",
 ];
 
-/// Runs the three secret-hygiene rules over one file.
+/// Runs the `secret-debug` rule over one file. The dataflow secret rules
+/// run from [`super::taint`].
 pub fn run(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     if !ctx
         .config
@@ -106,15 +105,6 @@ pub fn run(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
         return;
     }
     debug_impls(ctx, findings);
-    format_leaks(ctx, findings);
-    if !ctx
-        .config
-        .cipher_internal_suffixes
-        .iter()
-        .any(|s| ctx.rel.ends_with(s.as_str()))
-    {
-        secret_branches(ctx, findings);
-    }
 }
 
 /// `secret-debug`: derives and manual impls of Debug/Display on key types.
@@ -320,121 +310,9 @@ fn body_has_secret_field(toks: &[crate::lexer::Token], open: usize) -> bool {
     false
 }
 
-/// `secret-format`: key-material identifiers inside format-macro calls.
-fn format_leaks(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
-    let toks = &ctx.lexed.tokens;
-    let n = toks.len();
-    let mut i = 0usize;
-    while i < n {
-        let is_macro = ident_at(toks, i).is_some_and(|s| FORMAT_MACROS.contains(&s))
-            && punct_at(toks, i + 1, '!')
-            && (punct_at(toks, i + 2, '(')
-                || punct_at(toks, i + 2, '[')
-                || punct_at(toks, i + 2, '{'));
-        if !is_macro || !ctx.is_production(toks[i].line) {
-            i += 1;
-            continue;
-        }
-        let macro_name = match ident_at(toks, i) {
-            Some(s) => s.to_string(),
-            None => String::new(),
-        };
-        // Scan the argument span to the matching close.
-        let mut depth = 0i32;
-        let mut j = i + 2;
-        while j < n {
-            match &toks[j].tok {
-                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
-                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                Tok::Ident(s)
-                    if (SECRET_IDENTS.contains(&s.as_str())
-                        || SECRET_TYPES.contains(&s.as_str()))
-                        && !is_shape_read(toks, j + 1) =>
-                {
-                    findings.push(ctx.finding(
-                        "secret-format",
-                        toks[j].line,
-                        s.clone(),
-                        format!("key-material identifier `{s}` in `{macro_name}!` arguments"),
-                    ));
-                }
-                Tok::Str(content) => {
-                    for cap in inline_captures(content) {
-                        if SECRET_IDENTS.contains(&cap.as_str()) {
-                            findings.push(ctx.finding(
-                                "secret-format",
-                                toks[j].line,
-                                format!("{{{cap}}}"),
-                                format!(
-                                    "key-material identifier `{cap}` captured inline in a `{macro_name}!` format string"
-                                ),
-                            ));
-                        }
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        i = j + 1;
-    }
-}
-
-/// `secret-branch`: key-material identifiers in `if`/`while`/`match` heads.
-fn secret_branches(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
-    let toks = &ctx.lexed.tokens;
-    let n = toks.len();
-    let mut i = 0usize;
-    while i < n {
-        let kw = match ident_at(toks, i) {
-            Some(k @ ("if" | "while" | "match")) => k,
-            _ => {
-                i += 1;
-                continue;
-            }
-        };
-        if !ctx.is_production(toks[i].line) {
-            i += 1;
-            continue;
-        }
-        let kw = kw.to_string();
-        // Condition span: from after the keyword to the body `{` at depth 0.
-        let mut depth = 0i32;
-        let mut j = i + 1;
-        while j < n {
-            match &toks[j].tok {
-                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
-                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
-                Tok::Punct('{') if depth == 0 => break,
-                Tok::Punct(';') if depth == 0 => break,
-                Tok::Ident(s)
-                    if SECRET_IDENTS.contains(&s.as_str()) && !is_shape_read(toks, j + 1) =>
-                {
-                    findings.push(ctx.finding(
-                            "secret-branch",
-                            toks[j].line,
-                            s.clone(),
-                            format!(
-                                "key-material identifier `{s}` in a `{kw}` head: secret-dependent control flow outside cipher internals"
-                            ),
-                        ));
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        i = j + 1;
-    }
-}
-
 /// Is the token sequence at `i` a shape read (`.len()`, `.is_empty()`,
 /// `.capacity()`) rather than a value read? Shape is geometry, not secret.
-fn is_shape_read(toks: &[crate::lexer::Token], i: usize) -> bool {
+pub(crate) fn is_shape_read(toks: &[crate::lexer::Token], i: usize) -> bool {
     punct_at(toks, i, '.')
         && matches!(
             ident_at(toks, i + 1),
@@ -444,7 +322,7 @@ fn is_shape_read(toks: &[crate::lexer::Token], i: usize) -> bool {
 }
 
 /// Extracts `{name}` / `{name:spec}` inline captures from a format string.
-fn inline_captures(s: &str) -> Vec<String> {
+pub(crate) fn inline_captures(s: &str) -> Vec<String> {
     let chars: Vec<char> = s.chars().collect();
     let mut out = Vec::new();
     let mut i = 0usize;

@@ -1,0 +1,191 @@
+//! Serve-discipline rules for the prediction-as-a-service runtime.
+//!
+//! `bp-serve`'s latency story rests on the shard answer loop staying
+//! lock-free: a shard owns its predictor outright and answers from a
+//! single thread, so any lock acquisition or blocking call on that path
+//! is either a bug or a regression waiting to convoy. Two rules:
+//!
+//! * `serve-hot-lock` — inside hot-path files
+//!   (`Config::serve_hot_path_suffixes`, by default the shard answer
+//!   loop), production code may not acquire locks (`.lock()`,
+//!   `.try_lock()`, `.read()`/`.write()` on a guard-yielding receiver is
+//!   caught by the first two) or block (`thread::sleep`, `park`,
+//!   channel `.recv()`, condvar `.wait()`).
+//! * `serve-lock-order` — across the whole crate, every function's
+//!   sequence of `receiver.lock()` acquisitions is recorded; if two
+//!   functions anywhere acquire the same pair of locks in opposite
+//!   orders, both orderings are reported. This is the classic AB/BA
+//!   deadlock shape, and it is inherently a *workspace* property: the
+//!   per-file pass only collects, [`finalize_lock_order`] judges.
+//!
+//! Lock-order findings are appended after waiver resolution by design —
+//! a deadlock shape spans two sites in two files, so a single-line waiver
+//! cannot meaningfully accept it; fix the order instead.
+
+use std::collections::BTreeMap;
+
+use super::{ident_at, path_sep_at, punct_at, FileCtx};
+use crate::report::{Finding, Status};
+
+/// Method names that acquire a lock.
+const LOCK_METHODS: &[&str] = &["lock", "try_lock"];
+
+/// Method names that block the calling thread.
+const BLOCKING_METHODS: &[&str] = &["park", "recv", "recv_timeout", "wait", "wait_timeout"];
+
+/// One function's ordered lock acquisitions: receiver names in source
+/// order, with the file/line of each acquisition site.
+#[derive(Debug, Clone)]
+pub struct LockSeq {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Enclosing function name.
+    pub function: String,
+    /// `(receiver, line)` per acquisition, in source order.
+    pub acquisitions: Vec<(String, u32)>,
+}
+
+/// Runs `serve-hot-lock` over one file and collects this file's lock
+/// sequences for the workspace-level `serve-lock-order` finalize.
+pub fn run_collect(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>, sequences: &mut Vec<LockSeq>) {
+    hot_lock(ctx, findings);
+    collect_lock_sequences(ctx, sequences);
+}
+
+/// `serve-hot-lock`: lock/blocking calls in hot-path files.
+fn hot_lock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !ctx
+        .config
+        .serve_hot_path_suffixes
+        .iter()
+        .any(|s| ctx.rel.ends_with(s.as_str()))
+    {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let n = toks.len();
+    let mut i = 0usize;
+    while i < n {
+        if !ctx.is_production(toks[i].line) {
+            i += 1;
+            continue;
+        }
+        // `thread::sleep(...)` by path.
+        if ident_at(toks, i) == Some("thread")
+            && path_sep_at(toks, i + 1)
+            && ident_at(toks, i + 3) == Some("sleep")
+        {
+            findings.push(ctx.finding(
+                "serve-hot-lock",
+                toks[i].line,
+                "thread::sleep",
+                "blocking call `thread::sleep` on the shard answer hot path",
+            ));
+            i += 4;
+            continue;
+        }
+        // `.lock()` / `.try_lock()` / blocking method calls.
+        if punct_at(toks, i, '.') {
+            if let Some(m) = ident_at(toks, i + 1) {
+                if punct_at(toks, i + 2, '(')
+                    && (LOCK_METHODS.contains(&m) || BLOCKING_METHODS.contains(&m))
+                {
+                    let kind = if LOCK_METHODS.contains(&m) {
+                        "lock acquisition"
+                    } else {
+                        "blocking call"
+                    };
+                    findings.push(ctx.finding(
+                        "serve-hot-lock",
+                        toks[i + 1].line,
+                        format!(".{m}()"),
+                        format!("{kind} `.{m}()` on the shard answer hot path"),
+                    ));
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Records each function's ordered `receiver.lock()` acquisitions. Scoped
+/// to the serve crates (`Config::serve_crates`); test code excluded.
+fn collect_lock_sequences(ctx: &FileCtx<'_>, sequences: &mut Vec<LockSeq>) {
+    if !ctx.config.serve_crates.contains(&ctx.class.crate_name) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for f in crate::ir::functions(toks) {
+        let mut acquisitions = Vec::new();
+        let (from, to) = f.body;
+        let mut j = from;
+        while j < to {
+            // `receiver.lock()` — receiver is the identifier chain just
+            // before the dot; the last segment is enough to name the lock.
+            if punct_at(toks, j, '.')
+                && ident_at(toks, j + 1).is_some_and(|m| LOCK_METHODS.contains(&m))
+                && punct_at(toks, j + 2, '(')
+                && ctx.is_production(toks[j].line)
+            {
+                if let Some(recv) = ident_at(toks, j.wrapping_sub(1)) {
+                    if recv != "self" {
+                        acquisitions.push((recv.to_string(), toks[j + 1].line));
+                    }
+                }
+            }
+            j += 1;
+        }
+        if !acquisitions.is_empty() {
+            sequences.push(LockSeq {
+                file: ctx.rel.to_string(),
+                function: f.name.clone(),
+                acquisitions,
+            });
+        }
+    }
+}
+
+/// `serve-lock-order`: judges all collected sequences at once. For every
+/// ordered pair (a, b) acquired in that order by some function, a
+/// function elsewhere acquiring (b, a) is an inversion; both sites are
+/// reported, deterministically.
+pub fn finalize_lock_order(sequences: &[LockSeq]) -> Vec<Finding> {
+    // pair (first, second) -> earliest (file, function, line) exhibiting it.
+    let mut orders: BTreeMap<(String, String), (String, String, u32)> = BTreeMap::new();
+    for seq in sequences {
+        for (i, (a, _)) in seq.acquisitions.iter().enumerate() {
+            for (b, line_b) in seq.acquisitions.iter().skip(i + 1) {
+                if a == b {
+                    continue;
+                }
+                orders
+                    .entry((a.clone(), b.clone()))
+                    .or_insert_with(|| (seq.file.clone(), seq.function.clone(), *line_b));
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for ((a, b), (file, function, line)) in &orders {
+        // Only report each conflicting pair once, from the
+        // lexicographically smaller ordering, naming both sites.
+        if a < b {
+            if let Some((file2, function2, line2)) = orders.get(&(b.clone(), a.clone())) {
+                findings.push(Finding {
+                    rule: "serve-lock-order",
+                    file: file.clone(),
+                    line: *line,
+                    snippet: format!("{a} -> {b}"),
+                    message: format!(
+                        "lock-order inversion: `{function}` ({file}:{line}) acquires \
+                         `{a}` then `{b}`, but `{function2}` ({file2}:{line2}) acquires \
+                         `{b}` then `{a}` — AB/BA deadlock shape"
+                    ),
+                    status: Status::Active,
+                });
+            }
+        }
+    }
+    findings
+}

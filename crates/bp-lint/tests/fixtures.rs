@@ -3,19 +3,27 @@
 //! malformed-waiver case; plus the self-check that the real workspace is
 //! clean and that JSON output is byte-deterministic.
 
+use bp_lint::baseline::Baseline;
 use bp_lint::report::{Report, Status};
 use bp_lint::scope::{FileClass, FileKind};
-use bp_lint::{scan_file, Config};
+use bp_lint::{run_lint, scan_file, Config};
 use std::collections::BTreeSet;
 
 /// Lints `src` as if it were the named workspace-relative library file,
-/// under a config that puts the fixture crate in every rule's scope.
+/// under a config that puts the fixture crate in every rule's scope:
+/// `cipher_core.rs` plays the audited cipher internal, `codec_core.rs`
+/// the secret-indexing codec, and `shard.rs` the serve hot path.
 fn lint_src(rel: &str, src: &str) -> Report {
     let mut cfg = Config::workspace_default("/nonexistent");
     cfg.determinism_crates.insert("fix".to_string());
     cfg.secret_scope_crates.insert("fix".to_string());
+    cfg.serve_crates.insert("fix".to_string());
     cfg.cipher_internal_suffixes
         .push("fix/src/cipher_core.rs".to_string());
+    cfg.index_exempt_suffixes
+        .push("fix/src/codec_core.rs".to_string());
+    cfg.serve_hot_path_suffixes
+        .push("fix/src/shard.rs".to_string());
     let class = FileClass {
         crate_name: "fix".to_string(),
         kind: if rel.ends_with("main.rs") {
@@ -255,7 +263,7 @@ impl std::fmt::Display for Other {
 }
 
 #[test]
-fn secret_format_positive_key_in_format_string() {
+fn taint_format_positive_key_in_format_args() {
     let src = r#"
 pub fn leak(keys: &[u64]) -> String {
     format!("keys = {:x?}", keys)
@@ -263,14 +271,14 @@ pub fn leak(keys: &[u64]) -> String {
 "#;
     let report = lint_src("crates/fix/src/lib.rs", src);
     assert!(
-        active(&report).contains("secret-format"),
+        active(&report).contains("secret-taint-format"),
         "{:?}",
         report.findings
     );
 }
 
 #[test]
-fn secret_branch_positive_and_cipher_internal_exempt() {
+fn taint_branch_positive_and_cipher_internal_exempt() {
     let src = r#"
 pub fn timing_leak(keys: &[u64]) -> u32 {
     if keys[0] & 1 == 1 {
@@ -282,7 +290,7 @@ pub fn timing_leak(keys: &[u64]) -> u32 {
 "#;
     let report = lint_src("crates/fix/src/lib.rs", src);
     assert!(
-        active(&report).contains("secret-branch"),
+        active(&report).contains("secret-taint-branch"),
         "{:?}",
         report.findings
     );
@@ -290,6 +298,168 @@ pub fn timing_leak(keys: &[u64]) -> u32 {
     // The same code inside an audited cipher internal is exempt.
     let report = lint_src("crates/fix/src/cipher_core.rs", src);
     assert!(active(&report).is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn taint_flows_through_a_let_binding_to_a_branch() {
+    // The acceptance fixture for the dataflow upgrade: the v1 lexical
+    // rule matched secret *names* at the sink, so laundering key bits
+    // through an innocently named local was invisible. The taint pass
+    // follows the assignment.
+    let src = r#"
+pub struct KeysTable {
+    content_key: u64,
+}
+
+impl KeysTable {
+    pub fn content_key(&self, _idx: usize) -> u64 {
+        self.content_key
+    }
+}
+
+pub fn observe(table: &KeysTable) -> u32 {
+    let material = table.content_key(0);
+    if material & 1 == 1 {
+        1
+    } else {
+        0
+    }
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    let branch: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "secret-taint-branch" && f.status == Status::Active)
+        .collect();
+    assert_eq!(branch.len(), 1, "{:?}", report.findings);
+    assert!(
+        branch[0].message.contains("material"),
+        "finding must name the laundered local: {:?}",
+        branch[0]
+    );
+}
+
+#[test]
+fn taint_propagates_through_reassignment() {
+    let src = r#"
+pub fn relabel(keys: &[u64]) -> u32 {
+    let mut cursor = 0u64;
+    cursor = keys[0];
+    let probe = cursor;
+    if probe & 1 == 1 {
+        1
+    } else {
+        0
+    }
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(
+        active(&report).contains("secret-taint-branch"),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn taint_index_positive_and_codec_allowlist_exempt() {
+    let src = r#"
+pub fn leak_pattern(table: &[u32; 16], keys: &[u64]) -> u32 {
+    let idx = (keys[0] & 15) as usize;
+    table[idx]
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(
+        active(&report).contains("secret-taint-index"),
+        "{:?}",
+        report.findings
+    );
+
+    // The same shape inside the codec allowlist is the mechanism under
+    // study, not a leak.
+    let report = lint_src("crates/fix/src/codec_core.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn taint_store_positive_into_non_secret_field() {
+    let src = r#"
+pub struct Slot {
+    pub tag: u64,
+    pub round_keys: [u64; 4],
+}
+
+pub fn stash(slot: &mut Slot, keys: &[u64]) {
+    slot.tag = keys[0];
+}
+
+pub fn rotate(slot: &mut Slot, keys: &[u64]) {
+    // Declared key-material fields are where secrets are allowed to rest.
+    slot.round_keys = [keys[0]; 4];
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    let store: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "secret-taint-store" && f.status == Status::Active)
+        .collect();
+    assert_eq!(store.len(), 1, "{:?}", report.findings);
+    assert!(store[0].message.contains("tag"), "{:?}", store[0]);
+}
+
+#[test]
+fn taint_waived_line_is_recorded_not_active() {
+    let src = r#"
+pub fn decide(keys: &[u64]) -> u32 {
+    // bp-lint: allow(secret-taint-branch) reason="fixture: audited public decision"
+    if keys[0] & 1 == 1 {
+        1
+    } else {
+        0
+    }
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+    assert!(rules_fired(&report, Status::Waived).contains("secret-taint-branch"));
+}
+
+#[test]
+fn stale_v1_waiver_is_reported_and_suppresses_nothing() {
+    // Waivers written against the retired lexical rule names must not
+    // silently keep suppressing: `secret-branch` no longer exists, so the
+    // waiver is flagged as unknown and the taint finding stays active.
+    let src = r#"
+pub fn decide(keys: &[u64]) -> u32 {
+    // bp-lint: allow(secret-branch) reason="written against the v1 rule"
+    if keys[0] & 1 == 1 {
+        1
+    } else {
+        0
+    }
+}
+"#;
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    let fired = active(&report);
+    assert!(
+        fired.contains("secret-taint-branch"),
+        "{:?}",
+        report.findings
+    );
+    let hygiene: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "waiver-hygiene" && f.status == Status::Active)
+        .collect();
+    assert_eq!(hygiene.len(), 1, "{:?}", report.findings);
+    assert!(
+        hygiene[0].message.contains("unknown rule `secret-branch`"),
+        "{:?}",
+        hygiene[0]
+    );
 }
 
 #[test]
@@ -433,6 +603,118 @@ pub fn f() -> u32 {
     assert!(hygiene[0].message.contains("suppresses nothing"));
 }
 
+// ------------------------------------------------------------ serve-discipline
+
+#[test]
+fn serve_hot_lock_fires_only_on_the_hot_path() {
+    let src = r#"
+pub fn answer(m: &std::sync::Mutex<u64>) -> u64 {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let g = m.lock();
+    drop(g);
+    0
+}
+"#;
+    let report = lint_src("crates/fix/src/shard.rs", src);
+    let hot: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "serve-hot-lock" && f.status == Status::Active)
+        .collect();
+    assert_eq!(
+        hot.len(),
+        2,
+        "sleep and lock both fire: {:?}",
+        report.findings
+    );
+
+    // Off the hot path the same code is allowed (supervisors may block).
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn lock_order_inversion_is_reported_once_with_both_sites() {
+    let src = r#"
+pub fn forward(locks: &Locks) {
+    let a = locks.alpha.lock();
+    let b = locks.beta.lock();
+    drop((a, b));
+}
+
+pub fn backward(locks: &Locks) {
+    let b = locks.beta.lock();
+    let a = locks.alpha.lock();
+    drop((a, b));
+}
+"#;
+    let report = lint_src("crates/fix/src/serve_paths.rs", src);
+    let order: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "serve-lock-order")
+        .collect();
+    assert_eq!(order.len(), 1, "{:?}", report.findings);
+    assert!(order[0].message.contains("forward"), "{:?}", order[0]);
+    assert!(order[0].message.contains("backward"), "{:?}", order[0]);
+    assert!(order[0].message.contains("deadlock"), "{:?}", order[0]);
+}
+
+#[test]
+fn consistent_lock_order_is_silent() {
+    let src = r#"
+pub fn first(locks: &Locks) {
+    let a = locks.alpha.lock();
+    let b = locks.beta.lock();
+    drop((a, b));
+}
+
+pub fn second(locks: &Locks) {
+    let a = locks.alpha.lock();
+    let b = locks.beta.lock();
+    drop((a, b));
+}
+"#;
+    let report = lint_src("crates/fix/src/serve_paths.rs", src);
+    assert!(active(&report).is_empty(), "{:?}", report.findings);
+}
+
+// -------------------------------------------------------------- storage-budget
+
+/// `run_lint` reads `budgets.toml` from the workspace root and anchors
+/// drift findings in it — the fixture drifts `total_bits` by one.
+#[test]
+fn storage_budget_drift_is_an_active_finding() {
+    let dir = std::env::temp_dir().join(format!("bp-lint-budget-fixture-{}", std::process::id()));
+    let src_dir = dir.join("crates").join("fix").join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir fixture tree");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub const ENTRIES: usize = 64;\npub const ENTRY_BITS: usize = 47;\n",
+    )
+    .expect("write source");
+    std::fs::write(
+        dir.join("budgets.toml"),
+        "[loop_pred.default_scl]\n\
+         files = [\"crates/fix/src/lib.rs\"]\n\
+         component.entries = \"ENTRIES * ENTRY_BITS\"\n\
+         total_bits = 3009\n",
+    )
+    .expect("write budgets");
+
+    let config = Config::workspace_default(&dir);
+    let report = run_lint(&config, &Baseline::default()).expect("lint runs");
+    assert!(
+        report.findings.iter().any(|f| f.rule == "storage-budget"
+            && f.file == "budgets.toml"
+            && f.message.contains("computed storage is 3008")),
+        "{:?}",
+        report.findings
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // -------------------------------------------------------- lexer-level silence
 
 #[test]
@@ -447,4 +729,30 @@ pub fn text() -> &'static str {
 "#;
     let report = lint_src("crates/fix/src/lib.rs", src);
     assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn multi_hash_raw_strings_do_not_swallow_scope_markers() {
+    // A production raw string that *contains* `#[cfg(test)]` must not
+    // open a test scope: the `.unwrap()` after it is still production
+    // code and must fire. Guards with two or more `#`s and byte-raw
+    // strings exercise the delimiter counting.
+    let src = "pub const DOC: &str = r##\"#[cfg(test)] mod tests { fn t() {} }\"##;\n\
+               pub const RAW: &[u8] = br#\"also \"quoted\" bytes\"#;\n\
+               pub fn f(x: Option<u32>) -> u32 {\n\
+                   x.unwrap()\n\
+               }\n";
+    let report = lint_src("crates/fix/src/lib.rs", src);
+    let fired = active(&report);
+    assert!(fired.contains("panic-freedom"), "{:?}", report.findings);
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .filter(|f| f.status == Status::Active)
+            .count(),
+        1,
+        "only the unwrap fires: {:?}",
+        report.findings
+    );
 }

@@ -39,6 +39,12 @@ pub struct Bimodal {
     id: TableId,
 }
 
+/// Prediction entries of the paper's base predictor. Named (and kept a
+/// plain literal) so `budgets.toml` can verify storage bit-for-bit.
+pub const PAPER_BIMODAL_ENTRIES: usize = 8192;
+/// Hysteresis sharing shift of the paper's base predictor (2:1).
+pub const PAPER_BIMODAL_HYST_SHIFT: u32 = 1;
+
 impl Bimodal {
     /// Creates a bimodal predictor with `entries` prediction bits and
     /// `entries >> hyst_shift` hysteresis bits.
@@ -63,7 +69,7 @@ impl Bimodal {
 
     /// The paper's base predictor: 8 Kbit prediction + 4 Kbit hysteresis.
     pub fn paper_base() -> Self {
-        Bimodal::new(8192, 1)
+        Bimodal::new(PAPER_BIMODAL_ENTRIES, PAPER_BIMODAL_HYST_SHIFT)
     }
 
     /// Number of prediction entries.

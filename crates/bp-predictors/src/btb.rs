@@ -33,6 +33,24 @@ pub struct BtbConfig {
     pub entry_bits: u32,
 }
 
+// Zen 2-style geometry, named (and kept plain literals) so
+// `budgets.toml` can verify the storage budget bit-for-bit.
+
+/// Modeled bits per BTB entry (target + attributes; Zen 2-style).
+pub const BTB_ENTRY_BITS: u32 = 60;
+/// L0 sets of the Zen 2-style hierarchy.
+pub const ZEN2_L0_SETS: usize = 4;
+/// L0 ways.
+pub const ZEN2_L0_WAYS: usize = 4;
+/// L1 sets.
+pub const ZEN2_L1_SETS: usize = 64;
+/// L1 ways.
+pub const ZEN2_L1_WAYS: usize = 8;
+/// L2 sets.
+pub const ZEN2_L2_SETS: usize = 1024;
+/// L2 ways.
+pub const ZEN2_L2_WAYS: usize = 7;
+
 impl BtbConfig {
     /// Creates a config. Non-power-of-two set counts are allowed (scaled
     /// configurations for the Figure-8 sweep reduce sets fractionally); the
@@ -49,7 +67,7 @@ impl BtbConfig {
             sets,
             ways,
             tag_bits,
-            entry_bits: 60,
+            entry_bits: BTB_ENTRY_BITS,
         }
     }
 
@@ -359,9 +377,9 @@ impl BtbHierarchyConfig {
             // cheap and aliasing there would be disproportionately costly);
             // the big L2 uses the 12-bit partial tag the paper's security
             // analysis assumes (its T parameter).
-            l0: BtbConfig::new(4, 4, 20),
-            l1: BtbConfig::new(64, 8, 14),
-            l2: BtbConfig::new(1024, 7, 12),
+            l0: BtbConfig::new(ZEN2_L0_SETS, ZEN2_L0_WAYS, 20),
+            l1: BtbConfig::new(ZEN2_L1_SETS, ZEN2_L1_WAYS, 14),
+            l2: BtbConfig::new(ZEN2_L2_SETS, ZEN2_L2_WAYS, 12),
             slots: 1,
             l2_shared: true,
             latencies: [0, 1, 4],

@@ -1,0 +1,107 @@
+//! Storage-budget ground truth: the totals `budgets.toml` declares,
+//! re-derived here from the live `storage_bits()` implementations.
+//!
+//! Three representations of each predictor's storage must agree
+//! bit-for-bit:
+//!
+//! 1. the runtime accounting (`storage_bits()` on the config types);
+//! 2. the checked-in manifest (`budgets.toml`), whose component formulas
+//!    the `storage-budget` lint evaluates from the named geometry consts;
+//! 3. the literature reference values for the named configurations
+//!    (SNIPPETS.md, CBP-class TAGE-SC-L lineage), pinned below.
+//!
+//! The lint ties (2) to the consts; the tests in this module tie (1) to
+//! (2)'s declared totals, closing the triangle. If a geometry const
+//! changes, *both* checks fail until the manifest is updated — drift
+//! cannot happen silently in either direction.
+
+/// `budgets.toml` declared total for `[tage.paper_scl]` (bits).
+pub const BUDGET_TAGE_PAPER_SCL_BITS: u64 = 442_368;
+/// `budgets.toml` declared total for `[sc.default_scl]` (bits).
+pub const BUDGET_SC_DEFAULT_SCL_BITS: u64 = 24_576;
+/// `budgets.toml` declared total for `[loop_pred.default_scl]` (bits).
+pub const BUDGET_LOOP_DEFAULT_SCL_BITS: u64 = 3_008;
+/// `budgets.toml` declared total for `[bimodal.paper_base]` (bits).
+pub const BUDGET_BIMODAL_PAPER_BASE_BITS: u64 = 12_288;
+/// `budgets.toml` declared total for `[btb.zen2]` (bits).
+pub const BUDGET_BTB_ZEN2_BITS: u64 = 461_760;
+/// `budgets.toml` declared total for `[tage_scl.paper]` (bits).
+pub const BUDGET_TAGE_SCL_PAPER_BITS: u64 = 469_952;
+
+/// SNIPPETS.md reference: CBP TAGE-SC-L 64KB, TAGE component (bits).
+pub const REFERENCE_TAGE_64KB_BITS: u64 = 463_917;
+/// SNIPPETS.md reference: CBP TAGE-SC-L 64KB, SC component (bits).
+pub const REFERENCE_SC_64KB_BITS: u64 = 58_190;
+/// SNIPPETS.md reference: CBP TAGE-SC-L 64KB, loop component (bits).
+pub const REFERENCE_LOOP_64KB_BITS: u64 = 1_248;
+/// The 64KB storage tier cap every paper-scale config must fit (bits).
+pub const TIER_64KB_BITS: u64 = 524_288;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bimodal::Bimodal;
+    use crate::btb::BtbHierarchyConfig;
+    use crate::loop_pred::LoopPredictor;
+    use crate::sc::ScConfig;
+    use crate::tage::TageConfig;
+    use crate::tage_scl::TageScL;
+    use crate::DirectionPredictor;
+
+    #[test]
+    fn tage_storage_matches_the_declared_budget() {
+        assert_eq!(
+            TageConfig::paper_scl().storage_bits(),
+            BUDGET_TAGE_PAPER_SCL_BITS
+        );
+    }
+
+    #[test]
+    fn sc_storage_matches_the_declared_budget() {
+        assert_eq!(
+            ScConfig::default_scl().storage_bits(),
+            BUDGET_SC_DEFAULT_SCL_BITS
+        );
+    }
+
+    #[test]
+    fn loop_storage_matches_the_declared_budget() {
+        assert_eq!(
+            LoopPredictor::default_scl().storage_bits(),
+            BUDGET_LOOP_DEFAULT_SCL_BITS
+        );
+    }
+
+    #[test]
+    fn bimodal_storage_matches_the_declared_budget() {
+        assert_eq!(
+            Bimodal::paper_base().storage_bits(),
+            BUDGET_BIMODAL_PAPER_BASE_BITS
+        );
+    }
+
+    #[test]
+    fn btb_storage_matches_the_declared_budget() {
+        assert_eq!(
+            BtbHierarchyConfig::zen2().storage_bits(),
+            BUDGET_BTB_ZEN2_BITS
+        );
+    }
+
+    #[test]
+    fn tage_scl_storage_matches_the_declared_budget() {
+        assert_eq!(
+            TageScL::paper_default().storage_bits_with_slots(),
+            BUDGET_TAGE_SCL_PAPER_BITS
+        );
+    }
+
+    #[test]
+    fn paper_configs_fit_the_64kb_tier() {
+        assert!(BUDGET_TAGE_SCL_PAPER_BITS <= TIER_64KB_BITS);
+        assert!(
+            REFERENCE_TAGE_64KB_BITS + REFERENCE_SC_64KB_BITS + REFERENCE_LOOP_64KB_BITS
+                <= TIER_64KB_BITS
+        );
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod bimodal;
 pub mod btb;
+pub mod budget;
 pub mod codec;
 pub mod loop_pred;
 pub mod ras;

@@ -39,6 +39,22 @@ pub struct LoopVerdict {
     pub confident: bool,
 }
 
+// Named geometry (plain literals) so `budgets.toml` can verify the
+// storage budget bit-for-bit via the `storage-budget` lint.
+
+/// Entries of the default SC-L loop predictor.
+pub const SCL_LOOP_ENTRIES: usize = 64;
+/// Partial tag width per entry.
+pub const LOOP_TAG_BITS: u32 = 10;
+/// Trained trip-count width per entry.
+pub const LOOP_TRIP_BITS: u32 = 16;
+/// Current iteration counter width per entry.
+pub const LOOP_CURRENT_BITS: u32 = 16;
+/// Confidence counter width per entry.
+pub const LOOP_CONF_BITS: u32 = 4;
+/// Valid bit per entry.
+pub const LOOP_VALID_BITS: u32 = 1;
+
 impl LoopPredictor {
     /// Creates a loop predictor with `entries` slots.
     ///
@@ -56,7 +72,7 @@ impl LoopPredictor {
 
     /// The default 64-entry predictor.
     pub fn default_scl() -> Self {
-        LoopPredictor::new(64)
+        LoopPredictor::new(SCL_LOOP_ENTRIES)
     }
 
     fn slot<C: TableCodec + ?Sized>(&self, pc: Addr, codec: &mut C, now: Cycle) -> (usize, u16) {
@@ -141,7 +157,10 @@ impl LoopPredictor {
 
     /// Modeled storage in bits (tag 10 + trip 16 + current 16 + conf 4 + valid 1).
     pub fn storage_bits(&self) -> u64 {
-        self.entries.len() as u64 * 47
+        let entry_bits = u64::from(
+            LOOP_TAG_BITS + LOOP_TRIP_BITS + LOOP_CURRENT_BITS + LOOP_CONF_BITS + LOOP_VALID_BITS,
+        );
+        self.entries.len() as u64 * entry_bits
     }
 }
 

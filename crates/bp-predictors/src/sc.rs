@@ -22,13 +22,23 @@ pub struct ScConfig {
     pub ctr_bits: u32,
 }
 
+/// Entries per component table of the default corrector. Named (and kept
+/// a plain literal) so `budgets.toml` can verify storage bit-for-bit.
+pub const SCL_SC_ENTRIES: usize = 1024;
+/// Component tables of the default corrector (bias + three histories).
+pub const SCL_SC_TABLES: usize = 4;
+/// Counter width of the default corrector.
+pub const SCL_SC_CTR_BITS: u32 = 6;
+
 impl ScConfig {
     /// The default corrector: bias table + three history components.
     pub fn default_scl() -> Self {
+        let lens = vec![0, 4, 10, 21];
+        debug_assert_eq!(lens.len(), SCL_SC_TABLES);
         ScConfig {
-            entries: 1024,
-            history_lens: vec![0, 4, 10, 21],
-            ctr_bits: 6,
+            entries: SCL_SC_ENTRIES,
+            history_lens: lens,
+            ctr_bits: SCL_SC_CTR_BITS,
         }
     }
 

@@ -49,6 +49,27 @@ pub struct TageConfig {
     pub u_reset_period: u64,
 }
 
+// Paper-scale geometry, named so `budgets.toml` can verify the storage
+// budget bit-for-bit against these exact values (the `storage-budget`
+// lint parses them from this file; keep them plain integer literals).
+
+/// Base (bimodal) prediction entries of the paper-scale TAGE.
+pub const PAPER_BASE_ENTRIES: usize = 8192;
+/// Entries per tagged table.
+pub const PAPER_TAGGED_ENTRIES: usize = 2048;
+/// Tables carrying the short partial tag (the shortest histories).
+pub const PAPER_SHORT_TABLES: usize = 5;
+/// Tables carrying the long partial tag.
+pub const PAPER_LONG_TABLES: usize = 10;
+/// Partial tag width on the short-history tables.
+pub const PAPER_SHORT_TAG_BITS: u32 = 8;
+/// Partial tag width on the long-history tables.
+pub const PAPER_LONG_TAG_BITS: u32 = 11;
+/// Signed prediction counter width.
+pub const PAPER_CTR_BITS: u32 = 3;
+/// Useful counter width.
+pub const PAPER_U_BITS: u32 = 1;
+
 impl TageConfig {
     /// The paper-scale TAGE: 8K-entry base, 15 tagged tables of 2K entries
     /// (modeling the "thirty 1K-entry interleaved banks"), tags 8 bits on
@@ -57,19 +78,24 @@ impl TageConfig {
         let lengths = [
             4, 6, 9, 13, 19, 29, 43, 64, 96, 144, 216, 324, 486, 600, 640,
         ];
+        debug_assert_eq!(lengths.len(), PAPER_SHORT_TABLES + PAPER_LONG_TABLES);
         TageConfig {
-            base_entries: 8192,
+            base_entries: PAPER_BASE_ENTRIES,
             tagged: lengths
                 .iter()
                 .enumerate()
                 .map(|(i, &history_len)| TaggedTableConfig {
-                    entries: 2048,
-                    tag_bits: if i < 5 { 8 } else { 11 },
+                    entries: PAPER_TAGGED_ENTRIES,
+                    tag_bits: if i < PAPER_SHORT_TABLES {
+                        PAPER_SHORT_TAG_BITS
+                    } else {
+                        PAPER_LONG_TAG_BITS
+                    },
                     history_len,
                 })
                 .collect(),
-            ctr_bits: 3,
-            u_bits: 1,
+            ctr_bits: PAPER_CTR_BITS,
+            u_bits: PAPER_U_BITS,
             u_reset_period: 256 * 1024,
         }
     }

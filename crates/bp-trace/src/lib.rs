@@ -69,8 +69,6 @@ pub mod store;
 pub mod varint;
 pub mod writer;
 
-#[allow(deprecated)]
-pub use reader::read_all;
 pub use reader::{ReadMode, TraceReader};
 pub use sampling::{
     sample_bytes, sample_trace, PhasePlan, SampleStats, SamplingError, SamplingSpec, Selection,

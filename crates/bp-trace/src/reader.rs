@@ -492,26 +492,6 @@ pub(crate) fn decode(bytes: &[u8], mode: ReadMode) -> Result<Decoded, TraceError
     })
 }
 
-/// Decodes a whole in-memory trace.
-///
-/// # Errors
-///
-/// Strict mode: any damage, as a typed [`TraceError`]. Lenient mode: only
-/// file-header damage ([`TraceError::BadFileMagic`],
-/// [`TraceError::HeaderCrc`], [`TraceError::UnsupportedVersion`], or a
-/// file shorter than its header) — everything else is absorbed into the
-/// returned [`TraceHealth`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use TraceSession::decode(bytes, mode) — same behaviour, one front door"
-)]
-pub fn read_all(
-    bytes: &[u8],
-    mode: ReadMode,
-) -> Result<(Vec<BranchRecord>, TraceHealth), TraceError> {
-    decode(bytes, mode).map(|d| (d.records, d.health))
-}
-
 /// Streaming reader: an iterator over records that decodes one chunk at a
 /// time, so peak decoded-record residency is bounded by the chunk size no
 /// matter how large the file is (the raw bytes stay borrowed, not copied —
@@ -596,8 +576,8 @@ mod tests {
     use crate::writer::write_trace;
     use bp_common::BranchKind;
 
-    /// Test-local decode entry (shadows the deprecated free function of
-    /// the same name, so these tests exercise the live path).
+    /// Test-local decode entry pairing records with health, the shape most
+    /// assertions want.
     fn read_all(
         bytes: &[u8],
         mode: ReadMode,

@@ -16,9 +16,10 @@
 //!     .build()?
 //! ```
 //!
-//! The old entry points remain as thin `#[deprecated]` shims for one
-//! release (the same migration pattern the predictor constructors used)
-//! and forward here, so behaviour cannot drift between the two paths.
+//! This is the *only* way to build a store: the pre-session entry points
+//! (`TraceStore::new`, `with_ingest_faults`, the free `read_all`) served
+//! their one-release deprecation window and are gone; the positive
+//! contract lives in `tests/trace_session_contract.rs`.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -113,9 +114,8 @@ impl TraceSession {
         }
     }
 
-    /// Decodes a whole in-memory trace — the session-shaped replacement
-    /// for the deprecated free function `read_all` (no directory needed,
-    /// so no builder either).
+    /// Decodes a whole in-memory trace (no directory needed, so no
+    /// builder either).
     ///
     /// # Errors
     ///
@@ -182,7 +182,7 @@ mod tests {
     }
 
     #[test]
-    fn builder_defaults_match_the_old_constructor() {
+    fn builder_defaults_are_strict_and_unsampled() {
         let dir = temp_dir("defaults");
         let session = TraceSession::open(&dir).build().unwrap();
         assert_eq!(session.store().mode(), ReadMode::Strict);
@@ -236,7 +236,7 @@ mod tests {
     }
 
     #[test]
-    fn decode_matches_the_deprecated_free_function() {
+    fn decode_round_trips_a_written_trace() {
         let recs = sample_records(300);
         let bytes = crate::write_trace(&recs, 64).unwrap();
         let (a, ha) = TraceSession::decode(&bytes, ReadMode::Strict).unwrap();

@@ -191,29 +191,8 @@ pub struct TraceStore {
 }
 
 impl TraceStore {
-    /// A store over `dir`, decoding in `mode`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use TraceSession::open(dir).mode(mode).build() — same store, one front door"
-    )]
-    pub fn new(dir: impl Into<PathBuf>, mode: ReadMode) -> TraceStore {
-        TraceStore::with_parts(dir.into(), mode, ByteFaultPlan::empty())
-    }
-
-    /// Applies `plan` to every file's bytes *after* reading and *before*
-    /// decoding — deterministic fault injection for the adversarial
-    /// harness and the CI integrity job.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use TraceSession::open(dir).ingest_faults(plan).build() instead"
-    )]
-    pub fn with_ingest_faults(mut self, plan: ByteFaultPlan) -> TraceStore {
-        self.ingest_faults = plan;
-        self
-    }
-
-    /// The one real constructor; the session builder calls this, and the
-    /// deprecated shims forward here so the two paths cannot drift.
+    /// The one real constructor; every store is built through
+    /// [`crate::session::TraceSession`]'s builder, which forwards here.
     pub(crate) fn with_parts(
         dir: PathBuf,
         mode: ReadMode,

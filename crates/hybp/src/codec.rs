@@ -127,6 +127,7 @@ impl HybpCodec {
         let (key, renewed) = self
             .key_manager
             .index_key(self.slot, pc_slice, self.asid, self.vmid, now);
+        // bp-lint: allow(secret-taint-branch) reason="`renewed` is the key manager's public renewal event flag (already observable as a timing event), not key bit values"
         if renewed {
             self.stats.counter_renewals += 1;
         }
